@@ -1,0 +1,106 @@
+// Experiment C2 (paper §I claim): duplicated-computing energy waste.
+//
+// The paper cites Digiconomist's 30.14 TWh/year estimate for Bitcoin PoW
+// and observes that proof-of-stake removes the hashing but stays
+// duplicated computing. We measure energy per committed transaction for
+// PoW, PoS, and the per-category breakdown, then the smart-contract
+// analogue: duplicated on-chain analytics vs transformed at-data
+// execution.
+#include <cstdio>
+
+#include "chain/chainsim.hpp"
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::chain;
+
+ChainSimConfig config_for(ConsensusKind consensus, std::size_t nodes) {
+  ChainSimConfig config;
+  config.node_count = nodes;
+  config.regions = 4;
+  config.client_count = 8;
+  config.tx_count = 150;
+  config.tx_rate_per_s = 150.0;
+  config.params.consensus = consensus;
+  config.params.block_interval_s = 0.5;
+  config.seed = 99;
+  return config;
+}
+
+void consensus_energy() {
+  banner("C2a: energy per committed transaction, PoW vs PoS (8 nodes)");
+  Table table({"consensus", "committed", "hash_attempts", "energy_total",
+               "energy/tx", "pow_share_pct"});
+  for (const ConsensusKind kind :
+       {ConsensusKind::ProofOfWork, ConsensusKind::ProofOfStake}) {
+    const ChainSimReport report = run_chain_sim(config_for(kind, 8));
+    const double hash_j = static_cast<double>(report.total_hash_attempts) *
+                          ChainSimConfig{}.energy.joules_per_hash;
+    table.row()
+        .cell(kind == ConsensusKind::ProofOfWork ? "proof-of-work"
+                                                 : "proof-of-stake")
+        .cell(report.committed_txs)
+        .cell(report.total_hash_attempts)
+        .cell(sim::format_joules(report.energy_total_j))
+        .cell(sim::format_joules(report.energy_per_committed_tx_j))
+        .cell(100.0 * hash_j / report.energy_total_j, 1);
+  }
+  table.print();
+}
+
+void energy_vs_nodes() {
+  banner("C2b: PoW energy per tx vs network size (the waste scales)");
+  Table table({"nodes", "energy/tx", "duplication", "hash_J_per_tx"});
+  for (const std::size_t nodes : {2u, 4u, 8u, 16u, 32u}) {
+    const ChainSimReport report =
+        run_chain_sim(config_for(ConsensusKind::ProofOfWork, nodes));
+    const double hash_j = static_cast<double>(report.total_hash_attempts) *
+                          ChainSimConfig{}.energy.joules_per_hash;
+    table.row()
+        .cell(nodes)
+        .cell(sim::format_joules(report.energy_per_committed_tx_j))
+        .cell(report.execution_duplication, 2)
+        .cell(hash_j / static_cast<double>(report.committed_txs), 3);
+  }
+  table.print();
+}
+
+void contract_energy() {
+  banner("C2c: smart-contract analytics energy, duplicated vs transformed");
+  // The paper: "since smart contract is a user created program code which
+  // can be any Turing complete computing intensive code ... the waste of
+  // duplicated computation power is much more than the distributed
+  // consensus protocol."
+  Table table({"chain_nodes", "duplicated", "transformed", "waste_factor"});
+  for (const std::size_t nodes : {4u, 16u, 64u, 256u}) {
+    core::ArchWorkload w;
+    w.sites = 8;
+    w.chain_nodes = nodes;
+    const double dup = core::run_duplicated(w).energy_j;
+    const double xf = core::run_transformed(w).energy_j;
+    table.row()
+        .cell(nodes)
+        .cell(sim::format_joules(dup))
+        .cell(sim::format_joules(xf))
+        .cell(dup / xf, 1);
+  }
+  table.print();
+  std::puts(
+      "\nShape check (paper): PoW energy is hashing-dominated and grows\n"
+      "linearly with node count; PoS removes the hash term but keeps the\n"
+      "duplicated execution/network energy; the transform removes the\n"
+      "duplication itself, so its energy is flat in replication width.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_c2_energy: paper §I energy-waste claims ==");
+  consensus_energy();
+  energy_vs_nodes();
+  contract_energy();
+  return 0;
+}

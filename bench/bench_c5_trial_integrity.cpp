@@ -1,0 +1,97 @@
+// Experiment C5 (paper §III.B): clinical-trial integrity — COMPare found
+// only 9/67 trials reported correctly; China reported ~80% falsified
+// data. We sweep misreporting rates and compare detection under manual
+// editorial audit (status quo) vs on-chain commitments.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hie/compare.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::hie;
+
+DetectionReport run_once(const MisreportConfig& config) {
+  vm::ContractStore store;
+  contracts::TrialContract contract(store, 1, 1);
+  AuditLog audit;
+  TrialRegistry registry(contract, audit);
+  return run_misreport_study(config, registry, fnv1a("sponsor-pool"));
+}
+
+void compare_replication() {
+  banner("C5a: COMPare-like population (67 trials, COMPare-scale rates)");
+  MisreportConfig config;  // defaults mirror COMPare's observed scale
+  const DetectionReport report = run_once(config);
+  Table table({"trials", "dishonest", "manual_detected", "manual_rate",
+               "onchain_detected", "onchain_rate", "false_pos"});
+  table.row()
+      .cell(report.trials)
+      .cell(report.dishonest)
+      .cell(report.detected_manual)
+      .cell(report.manual_rate(), 2)
+      .cell(report.detected_onchain)
+      .cell(report.onchain_rate(), 2)
+      .cell(report.false_positives_onchain);
+  table.print();
+}
+
+void misreport_sweep() {
+  banner("C5b: detection rate vs misreporting prevalence (1000 trials)");
+  Table table({"switch_rate", "tamper_rate", "dishonest_frac", "manual_rate",
+               "onchain_rate"});
+  for (const double switch_rate : {0.1, 0.4, 0.8}) {
+    for (const double tamper_rate : {0.0, 0.25, 0.8}) {
+      MisreportConfig config;
+      config.trials = 1'000;
+      config.outcome_switch_rate = switch_rate;
+      config.data_tamper_rate = tamper_rate;
+      config.seed = 1'000 + static_cast<std::uint64_t>(switch_rate * 10) +
+                    static_cast<std::uint64_t>(tamper_rate * 100);
+      const DetectionReport report = run_once(config);
+      table.row()
+          .cell(switch_rate, 2)
+          .cell(tamper_rate, 2)
+          .cell(static_cast<double>(report.dishonest) /
+                    static_cast<double>(report.trials),
+                2)
+          .cell(report.manual_rate(), 2)
+          .cell(report.onchain_rate(), 2);
+    }
+  }
+  table.print();
+}
+
+void audit_capacity_sweep() {
+  banner("C5c: manual-audit capacity needed to match on-chain detection");
+  Table table({"manual_audit_rate", "manual_rate", "onchain_rate"});
+  for (const double audit_rate : {0.05, 0.15, 0.5, 1.0}) {
+    MisreportConfig config;
+    config.trials = 500;
+    config.manual_audit_rate = audit_rate;
+    config.seed = 42 + static_cast<std::uint64_t>(audit_rate * 100);
+    const DetectionReport report = run_once(config);
+    table.row()
+        .cell(audit_rate, 2)
+        .cell(report.manual_rate(), 2)
+        .cell(report.onchain_rate(), 2);
+  }
+  table.print();
+  std::puts(
+      "\nShape check (paper): manual detection scales with (expensive)\n"
+      "editorial capacity and never exceeds the audited fraction; on-chain\n"
+      "pre-registration makes outcome switching and data tampering\n"
+      "mechanically detectable at 100% with zero false positives —\n"
+      "matching the paper's case for blockchain-anchored trials.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_c5_trial_integrity: §III.B trial-integrity claims ==");
+  compare_replication();
+  misreport_sweep();
+  audit_capacity_sweep();
+  return 0;
+}

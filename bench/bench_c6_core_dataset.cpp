@@ -1,0 +1,130 @@
+// Experiment C6 (paper §III.A): building the large core training set —
+// "TCGA ... 11000 patients ... is far from sufficient". How large a
+// virtual dataset the federation assembles, at what cost, and what the
+// extra data buys the learner.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/transform.hpp"
+#include "learn/logistic.hpp"
+#include "learn/metrics.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+void virtual_dataset_scale() {
+  banner("C6a: virtual core dataset vs federation breadth");
+  Table table({"patients", "hospitals", "sites", "virtual_rows",
+               "modalities/pt", "assemble_ms", "anchored_sites"});
+  for (const std::size_t patients : {1'000u, 4'000u}) {
+    for (const std::size_t hospitals : {2u, 6u, 12u}) {
+      TransformedNetworkConfig config;
+      config.cohort.patients = patients;
+      config.cohort.seed = 11;
+      config.federation.hospital_count = hospitals;
+      config.federation.token_missing_rate = 0.0;
+      TransformedNetwork net(config);
+
+      Stopwatch timer;
+      med::IntegrationReport report;
+      const auto& core = net.core_dataset(&report);
+      const double ms = timer.millis();
+
+      std::size_t anchored = 0;
+      for (const auto& site : net.site_datasets())
+        if (net.audit_site(site.config().name).clean()) ++anchored;
+
+      table.row()
+          .cell(patients)
+          .cell(hospitals)
+          .cell(net.site_datasets().size())
+          .cell(core.size())
+          .cell(report.mean_modalities_per_patient, 2)
+          .cell(ms, 1)
+          .cell(anchored);
+    }
+  }
+  table.print();
+}
+
+void data_scale_buys_accuracy() {
+  banner("C6b: model quality vs core-dataset size (why scale matters)");
+  Table table({"core_rows", "test_auc", "test_acc"});
+
+  std::vector<med::CommonRecord> test_records;
+  for (const auto& p : med::generate_cohort({.patients = 1'500, .seed = 97}))
+    test_records.push_back(med::to_common(p));
+  const auto test =
+      learn::dataset_from_records(test_records, learn::LabelKind::Stroke);
+
+  for (const std::size_t patients :
+       {250u, 1'000u, 4'000u, 11'000u, 22'000u}) {
+    // 11'000 = the TCGA-size reference point the paper calls too small.
+    std::vector<med::CommonRecord> records;
+    for (const auto& p :
+         med::generate_cohort({.patients = patients, .seed = 55}))
+      records.push_back(med::to_common(p));
+    const auto train =
+        learn::dataset_from_records(records, learn::LabelKind::Stroke);
+
+    learn::LogisticModel model(med::kFeatureCount);
+    learn::SgdConfig sgd;
+    sgd.epochs = 40;
+    sgd.learning_rate = 0.5;
+    model.train(train, sgd);
+    const auto probabilities = model.predict(test.x);
+    table.row()
+        .cell(train.size())
+        .cell(learn::auc(probabilities, test.y), 3)
+        .cell(learn::accuracy(probabilities, test.y), 3);
+  }
+  table.print();
+}
+
+void anchoring_granularity() {
+  banner("C6c: ablation - anchoring granularity (per-dataset vs per-record)");
+  TransformedNetworkConfig config;
+  config.cohort.patients = 2'000;
+  config.federation.hospital_count = 4;
+  TransformedNetwork net(config);
+
+  // Per-dataset: one Merkle root per site (what the system does).
+  // Per-record: one on-chain word per record (the naive alternative).
+  Table table({"granularity", "onchain_words", "verify_one_record",
+               "detect_any_tamper"});
+  std::size_t total_records = 0;
+  for (const auto& site : net.site_datasets()) total_records += site.size();
+  table.row()
+      .cell("per-dataset root")
+      .cell(net.site_datasets().size())
+      .cell("Merkle proof (log n)")
+      .cell("yes (root mismatch)");
+  table.row()
+      .cell("per-record digest")
+      .cell(total_records)
+      .cell("direct lookup")
+      .cell("yes (word mismatch)");
+  table.print();
+  std::printf("\nper-record costs %zux more on-chain state for the same "
+              "detection power.\n",
+              total_records / net.site_datasets().size());
+  std::puts(
+      "\nShape check (paper): the federation assembles a virtual dataset\n"
+      "covering the full cohort with multi-modal records; learner quality\n"
+      "rises with dataset scale well past the TCGA-size point, supporting\n"
+      "the paper's case for pooling silos; Merkle anchoring gives\n"
+      "record-level verifiability at per-site on-chain cost.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_c6_core_dataset: §III.A core-dataset claims ==");
+  virtual_dataset_scale();
+  data_scale_buys_accuracy();
+  anchoring_granularity();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Experiment F2 (paper Figure 2): the global medical blockchain —
+// cross-site health-data exchange, peer-to-peer vs via the trusted
+// government/FDA hub, with consent enforcement and audit completeness.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hie/exchange.hpp"
+#include "med/generator.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::hie;
+
+struct Fixture {
+  std::vector<med::PatientRecord> cohort;
+  med::SiteDataset dataset;
+  ConsentManager consent;
+  AuditLog audit;
+  sim::Network network;
+  ExchangeService service;
+  Hash256 secret = crypto::sha256("requester-secret");
+
+  explicit Fixture(std::size_t patients)
+      : cohort(med::generate_cohort({.patients = patients, .seed = 7})),
+        dataset({"hospital-0", med::SchemaKind::CommonV1, 0.0, 1}, cohort,
+                crypto::sha256("national")),
+        // 8 member sites across 4 regions; node 7 is the FDA hub.
+        network(sim::Network::uniform(8, 4)),
+        service(dataset, consent, audit, network, /*site_node=*/0,
+                /*hub_node=*/7) {}
+};
+
+void route_comparison() {
+  banner("F2a: exchange latency, peer-to-peer vs via trusted hub");
+  Fixture fx(200);
+  Table table({"route", "requests", "granted", "avg_transfer_ms",
+               "avg_payload_B", "audit_entries"});
+
+  for (const ExchangeRoute route :
+       {ExchangeRoute::PeerToPeer, ExchangeRoute::ViaHub}) {
+    const std::size_t audit_before = fx.audit.size();
+    double total_ms = 0, total_bytes = 0;
+    std::size_t granted = 0;
+    constexpr std::size_t kRequests = 100;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const auto uid = fx.cohort[i].demographics.uid;
+      ExchangeRequest req;
+      req.requester_org = "university";
+      req.patient_token = fx.dataset.token_for(uid);
+      req.today = 10;
+      req.route = route;
+      req.requester_node = 1;  // member site in a third region
+      fx.consent.grant(req.patient_token, "university", kScopeResearch);
+      const ExchangeResult result = fx.service.serve(req, fx.secret, i);
+      if (result.permitted) {
+        ++granted;
+        total_ms += result.transfer_time_s * 1e3;
+        total_bytes += static_cast<double>(result.payload_bytes);
+      }
+    }
+    table.row()
+        .cell(route == ExchangeRoute::PeerToPeer ? "peer-to-peer" : "via-hub")
+        .cell(kRequests)
+        .cell(granted)
+        .cell(total_ms / static_cast<double>(granted), 3)
+        .cell(total_bytes / static_cast<double>(granted), 0)
+        .cell(fx.audit.size() - audit_before);
+  }
+  table.print();
+}
+
+void consent_enforcement() {
+  banner("F2b: consent enforcement and audit completeness");
+  Fixture fx(100);
+  Table table({"scenario", "permitted", "records", "audit_actions"});
+
+  const auto uid = fx.cohort[0].demographics.uid;
+  const std::string token = fx.dataset.token_for(uid);
+
+  auto run_case = [&](const std::string& label, bool grant, bool revoke,
+                      std::uint32_t scopes) {
+    const std::size_t before = fx.audit.size();
+    if (grant) fx.consent.grant(token, "pharma", kScopeResearch);
+    if (revoke) fx.consent.revoke(token, "pharma");
+    ExchangeRequest req;
+    req.requester_org = "pharma";
+    req.patient_token = token;
+    req.scopes = scopes;
+    req.today = 1;
+    req.requester_node = 2;
+    const ExchangeResult result = fx.service.serve(req, fx.secret, 1);
+    table.row()
+        .cell(label)
+        .cell(result.permitted ? "yes" : "no")
+        .cell(result.records)
+        .cell(fx.audit.size() - before);
+  };
+
+  run_case("no consent", false, false, kScopeResearch);
+  run_case("granted", true, false, kScopeResearch);
+  run_case("wrong scope", false, false, kScopeTreatment);
+  run_case("revoked", false, true, kScopeResearch);
+  table.print();
+
+  std::printf("\naudit chain verifies: %s (entries=%zu)\n",
+              fx.audit.verify_chain() ? "yes" : "NO", fx.audit.size());
+}
+
+void tamper_and_truncation() {
+  banner("F2c: audit-log tamper/truncation detection via anchored head");
+  Fixture fx(50);
+  for (int i = 0; i < 20; ++i)
+    fx.audit.append(i, AuditAction::RecordsReleased, "hospital-0",
+                    "tok-" + std::to_string(i));
+  const Hash256 anchored = fx.audit.head();
+
+  Table table({"attack", "chain_self_check", "vs_anchored_head"});
+  {
+    AuditLog copy = fx.audit;
+    table.row()
+        .cell("none")
+        .cell(copy.verify_chain() ? "pass" : "FAIL")
+        .cell(copy.verify_against(anchored) ? "pass" : "FAIL");
+  }
+  {
+    AuditLog copy = fx.audit;
+    copy.tamper_detail(5, "redacted");
+    table.row()
+        .cell("rewrite entry 5")
+        .cell(copy.verify_chain() ? "pass" : "detected")
+        .cell(copy.verify_against(anchored) ? "pass" : "detected");
+  }
+  {
+    AuditLog copy = fx.audit;
+    copy.truncate(10);
+    table.row()
+        .cell("truncate to 10")
+        .cell(copy.verify_chain() ? "pass (!)" : "detected")
+        .cell(copy.verify_against(anchored) ? "pass" : "detected");
+  }
+  table.print();
+  std::puts(
+      "\nShape check (paper): hub routing costs ~2x the one-hop latency but\n"
+      "centralizes audit; truncation is invisible to self-checks and caught\n"
+      "only by the on-chain anchored head.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_f2_global_exchange: Figure 2 reproduction ==");
+  route_comparison();
+  consent_enforcement();
+  tamper_and_truncation();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Experiment F4 (paper Figure 4): smart-contract management — validation
+// and dispatch of the three request categories (data / analytics /
+// clinical-trial), gas per call, oracle-bridge overhead.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/registry.hpp"
+#include "contracts/trial.hpp"
+#include "oracle/bridge.hpp"
+#include "oracle/monitor.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::contracts;
+
+constexpr Word kHospital = 0x10;
+constexpr Word kResearcher = 0x20;
+constexpr Word kBridgeId = 0xb1;
+
+void per_category_cost() {
+  banner("F4a: gas and throughput per contract request category");
+  vm::ContractStore store;
+  PolicyContract policy(store, 1, 1);
+  RegistryContract registry(store, 1, 1);
+  AnalyticsContract analytics(store, 1, 1);
+  TrialContract trial(store, 1, 1);
+  analytics.init(1, kBridgeId, policy.id());
+
+  constexpr int kCalls = 2'000;
+  Table table({"category", "call", "gas/call", "calls_per_s"});
+
+  auto bench = [&](const char* category, const char* name, auto&& fn,
+                   std::uint64_t gas) {
+    Stopwatch timer;
+    for (int i = 0; i < kCalls; ++i) fn(i);
+    const double rate = kCalls / timer.seconds();
+    table.row().cell(category).cell(name).cell(gas).cell(rate, 0);
+  };
+
+  // Data contract category (policy + registry).
+  policy.register_dataset(kHospital, 1);
+  const std::uint64_t reg_gas = policy.last_gas();
+  bench("data", "policy.register", [&](int i) {
+    policy.register_dataset(kHospital, 1'000 + static_cast<Word>(i));
+  }, reg_gas);
+  policy.grant(kHospital, 1, kResearcher, kPermCompute);
+  const std::uint64_t grant_gas = policy.last_gas();
+  bench("data", "policy.grant", [&](int i) {
+    policy.grant(kHospital, 1'000 + static_cast<Word>(i), kResearcher,
+                 kPermCompute);
+  }, grant_gas);
+  policy.check(1, kResearcher, kPermCompute);
+  const std::uint64_t check_gas = policy.last_gas();
+  bench("data", "policy.check", [&](int i) {
+    policy.check(1'000 + static_cast<Word>(i % kCalls), kResearcher,
+                 kPermCompute);
+  }, check_gas);
+  registry.register_dataset(kHospital, 1, 0xaa, 100, 1);
+  const std::uint64_t anchor_gas = registry.last_gas();
+  bench("data", "registry.anchor", [&](int i) {
+    registry.register_dataset(kHospital, 50'000 + static_cast<Word>(i), 0xaa,
+                              100, 1);
+  }, anchor_gas);
+
+  // Analytics contract category (includes the on-chain SXLOAD policy
+  // check against the policy contract's storage).
+  analytics.request(kResearcher, 1, 7, 1, 0x1);
+  const std::uint64_t request_gas = analytics.last_gas();
+  bench("analytics", "request+policy", [&](int i) {
+    analytics.request(kResearcher, 10'000 + static_cast<Word>(i), 7, 1, 0x1);
+  }, request_gas);
+  analytics.complete(kBridgeId, 1, 0x2);
+  const std::uint64_t complete_gas = analytics.last_gas();
+  bench("analytics", "complete", [&](int i) {
+    analytics.complete(kBridgeId, 10'000 + static_cast<Word>(i), 0x2);
+  }, complete_gas);
+
+  // Clinical-trial contract category.
+  trial.register_trial(kHospital, 1, 0xfe, 501);
+  const std::uint64_t trial_gas = trial.last_gas();
+  bench("trial", "register", [&](int i) {
+    trial.register_trial(kHospital, 20'000 + static_cast<Word>(i), 0xfe, 501);
+  }, trial_gas);
+  trial.enroll(kHospital, 1, 99);
+  const std::uint64_t enroll_gas = trial.last_gas();
+  bench("trial", "enroll", [&](int i) {
+    trial.enroll(kHospital, 1, 100 + static_cast<Word>(i));
+  }, enroll_gas);
+
+  table.print();
+}
+
+void bridge_overhead() {
+  banner("F4b: off-chain bridge end-to-end (request -> monitor -> tool -> complete)");
+  vm::ContractStore store;
+  PolicyContract policy(store, 1, 1);
+  AnalyticsContract analytics(store, 1, 1);
+  oracle::MonitorNode monitor(store);
+  analytics.init(1, kBridgeId, policy.id());
+  oracle::OffchainBridge bridge(analytics, policy, monitor, kBridgeId);
+  bridge.register_tool(7, [](Word d, Word p) { return d ^ p; });
+
+  policy.register_dataset(kHospital, 1);
+  policy.grant(kHospital, 1, kResearcher, kPermCompute);
+
+  constexpr int kTasks = 1'000;
+  Stopwatch submit_timer;
+  for (int i = 0; i < kTasks; ++i)
+    bridge.submit_request(kResearcher, 1 + static_cast<Word>(i), 7, 1, 0x5);
+  const double submit_s = submit_timer.seconds();
+
+  Stopwatch process_timer;
+  const std::size_t executed = bridge.process_pending();
+  const double process_s = process_timer.seconds();
+
+  Table table({"stage", "tasks", "total_ms", "tasks_per_s"});
+  table.row()
+      .cell("submit (on-chain gate)")
+      .cell(kTasks)
+      .cell(submit_s * 1e3, 1)
+      .cell(kTasks / submit_s, 0);
+  table.row()
+      .cell("monitor+execute+complete")
+      .cell(executed)
+      .cell(process_s * 1e3, 1)
+      .cell(static_cast<double>(executed) / process_s, 0);
+  table.print();
+  std::printf("\nmonitor events seen: %llu, relayed: %llu, executed: %llu\n",
+              static_cast<unsigned long long>(monitor.events_seen()),
+              static_cast<unsigned long long>(bridge.stats().requests_relayed),
+              static_cast<unsigned long long>(bridge.stats().tasks_executed));
+}
+
+void denial_path() {
+  banner("F4c: policy denial is cheap and leaves no pending work");
+  vm::ContractStore store;
+  PolicyContract policy(store, 1, 1);
+  AnalyticsContract analytics(store, 1, 1);
+  oracle::MonitorNode monitor(store);
+  analytics.init(1, kBridgeId, policy.id());
+  oracle::OffchainBridge bridge(analytics, policy, monitor, kBridgeId);
+  policy.register_dataset(kHospital, 1);  // no grants at all
+
+  constexpr int kTasks = 1'000;
+  Stopwatch timer;
+  for (int i = 0; i < kTasks; ++i)
+    bridge.submit_request(kResearcher, 1 + static_cast<Word>(i), 7, 1, 0x5);
+  Table table({"denied", "total_ms", "pending_after"});
+  std::size_t pending = 0;
+  for (int i = 0; i < kTasks; ++i)
+    if (analytics.status(1 + static_cast<Word>(i)) !=
+        contracts::RequestStatus::None)
+      ++pending;
+  table.row()
+      .cell(bridge.stats().requests_denied)
+      .cell(timer.millis(), 1)
+      .cell(pending);
+  table.print();
+  std::puts(
+      "\nShape check (paper): the on-chain control point stays lightweight —\n"
+      "hundreds of gas and thousands of calls/s per core — while arbitrary\n"
+      "computation runs off-chain behind the oracle bridge.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_f4_contract_mgmt: Figure 4 reproduction ==");
+  per_category_cost();
+  bridge_overhead();
+  denial_path();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Experiment F5 (paper Figure 5): query decomposition — end-to-end
+// latency of the decomposed distributed query vs centralized
+// copy-then-query, sweeping cohort size and site count (crossover).
+//
+// Local execution is measured live; wide-area data movement (which a
+// single host cannot exhibit) is charged from the network model: the
+// centralized baseline must first ship every site's serialized records
+// over the WAN, the transformed system ships only results.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/global_query.hpp"
+#include "med/dataset.hpp"
+#include "med/generator.hpp"
+#include "med/linkage.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+constexpr double kWanBytesPerSec = 125e6;  // 1 Gbit/s effective
+
+struct SiteSet {
+  std::vector<LocalSystem> sites;
+  std::uint64_t total_site_bytes = 0;
+};
+
+SiteSet build_sites(std::size_t patients, std::size_t hospitals) {
+  const auto cohort = med::generate_cohort({.patients = patients, .seed = 17});
+  med::FederationConfig config;
+  config.hospital_count = hospitals;
+  config.token_missing_rate = 0.0;
+  const med::Federation fed = med::build_federation(cohort, config);
+
+  SiteSet out;
+  for (const auto& dataset : fed.sites) {
+    out.total_site_bytes += dataset.byte_size();
+    med::RecordLinker linker;
+    linker.add_site(dataset.export_rows(), dataset.config().schema);
+    out.sites.emplace_back(dataset.config().name, linker.integrate());
+  }
+  return out;
+}
+
+learn::QueryVector retrieval_query() {
+  learn::QueryVector qv;
+  qv.task = learn::TaskKind::RetrieveData;
+  qv.cohort.where = {{"age", 60, 200}, {"smoker", 0.5, 1.5}};
+  qv.cohort.select = {"age", "systolic_bp", "glucose"};
+  return qv;
+}
+
+void crossover_sweep() {
+  banner("F5a: distributed vs centralized query latency (crossover)");
+  Table table({"patients", "sites", "distributed_s", "centralized_s",
+               "dist_bytes_moved", "central_bytes_moved", "winner"});
+
+  for (const std::size_t patients : {500u, 2'000u, 8'000u}) {
+    for (const std::size_t hospitals : {2u, 4u, 8u}) {
+      SiteSet set = build_sites(patients, hospitals);
+      std::vector<const LocalSystem*> ptrs;
+      for (const auto& site : set.sites) ptrs.push_back(&site);
+      GlobalQueryService service(ptrs, {});
+
+      // Transformed: decompose + local execute + compose; only result
+      // rows cross the WAN.
+      const QueryExecution exec = service.submit(retrieval_query());
+      const double dist_s =
+          exec.timings.total() +
+          static_cast<double>(exec.result_bytes_moved) / kWanBytesPerSec;
+
+      // Centralized: ship every site's raw records first, then run the
+      // query once over the pooled data.
+      std::vector<med::CommonRecord> pooled;
+      for (const auto& site : set.sites)
+        pooled.insert(pooled.end(), site.records().begin(),
+                      site.records().end());
+      Stopwatch central_timer;
+      med::QueryStats stats;
+      med::run_query(pooled, retrieval_query().cohort, &stats);
+      const double central_s =
+          central_timer.seconds() +
+          static_cast<double>(set.total_site_bytes) / kWanBytesPerSec;
+
+      table.row()
+          .cell(patients)
+          .cell(set.sites.size())
+          .cell(dist_s, 4)
+          .cell(central_s, 4)
+          .cell(exec.result_bytes_moved)
+          .cell(set.total_site_bytes)
+          .cell(dist_s < central_s ? "distributed" : "centralized");
+    }
+  }
+  table.print();
+}
+
+void decomposition_granularity() {
+  banner("F5b: ablation - decomposition granularity (per-site vs per-shard)");
+  // Finer decomposition raises parallelism but multiplies per-task
+  // gating/composition overhead; measured on the aggregate task.
+  SiteSet set = build_sites(4'000, 4);
+  Table table({"granularity", "tasks", "exec_s", "result_bytes"});
+
+  learn::QueryVector qv;
+  qv.task = learn::TaskKind::AggregateStats;
+  qv.aggregate_field = "systolic_bp";
+
+  {  // per-site (the default decomposition)
+    std::vector<const LocalSystem*> ptrs;
+    for (const auto& site : set.sites) ptrs.push_back(&site);
+    GlobalQueryService service(ptrs, {});
+    const QueryExecution exec = service.submit(qv);
+    table.row()
+        .cell("per-site")
+        .cell(ptrs.size())
+        .cell(exec.timings.total(), 5)
+        .cell(exec.result_bytes_moved);
+  }
+  {  // per-shard: split each site's records into 4 sub-systems
+    std::vector<LocalSystem> shards;
+    for (const auto& site : set.sites) {
+      const auto& records = site.records();
+      const std::size_t quarter = records.size() / 4 + 1;
+      for (std::size_t s = 0; s < 4; ++s) {
+        const std::size_t lo = std::min(s * quarter, records.size());
+        const std::size_t hi = std::min(lo + quarter, records.size());
+        shards.emplace_back(
+            site.name() + "-shard" + std::to_string(s),
+            std::vector<med::CommonRecord>(records.begin() + lo,
+                                           records.begin() + hi));
+      }
+    }
+    std::vector<const LocalSystem*> ptrs;
+    for (const auto& shard : shards) ptrs.push_back(&shard);
+    GlobalQueryService service(ptrs, {});
+    const QueryExecution exec = service.submit(qv);
+    table.row()
+        .cell("per-shard(4x)")
+        .cell(ptrs.size())
+        .cell(exec.timings.total(), 5)
+        .cell(exec.result_bytes_moved);
+  }
+  table.print();
+  std::puts(
+      "\nShape check (paper): moving the query to the data wins everywhere\n"
+      "data is large — the centralized path is dominated by WAN shipping of\n"
+      "raw records, which grows with cohort size while the distributed\n"
+      "path's result traffic stays near-constant.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_f5_decompose: Figure 5 reproduction ==");
+  crossover_sweep();
+  decomposition_granularity();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Experiment F6 (paper Figure 6): the local transformed blockchain
+// system — per-stage breakdown of query vector -> contract mapping ->
+// local analytics -> composed result, for all three task kinds, with the
+// on-chain policy gate on and off (ablation).
+#include <cstdio>
+
+#include <cmath>
+
+#include "common/table.hpp"
+#include "core/transform.hpp"
+#include "med/privacy.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+TransformedNetwork build_network() {
+  TransformedNetworkConfig config;
+  config.cohort.patients = 2'000;
+  config.federation.hospital_count = 4;
+  config.federation.token_missing_rate = 0.0;
+  return TransformedNetwork(config);
+}
+
+void stage_breakdown() {
+  banner("F6a: pipeline stage breakdown per task kind (policy gate ON)");
+  TransformedNetwork net = build_network();
+  net.grant_researcher_everywhere();
+
+  Table table({"task", "gate_ms", "execute_ms", "compose_ms", "total_ms",
+               "sites_run", "flops", "result_bytes"});
+
+  const std::vector<std::pair<const char*, std::string>> queries = {
+      {"retrieve", "retrieve age and glucose for age over 65"},
+      {"aggregate", "average of systolic_bp for smokers"},
+      {"train", "predict stroke using logistic rounds 5"},
+  };
+  for (const auto& [label, text] : queries) {
+    const auto exec = net.query_text(text);
+    if (!exec.has_value()) continue;
+    table.row()
+        .cell(label)
+        .cell(exec->timings.gate_s * 1e3, 2)
+        .cell(exec->timings.execute_s * 1e3, 2)
+        .cell(exec->timings.compose_s * 1e3, 3)
+        .cell(exec->timings.total() * 1e3, 2)
+        .cell(exec->sites_executed)
+        .cell(exec->total_flops)
+        .cell(exec->result_bytes_moved);
+  }
+  table.print();
+}
+
+void gate_ablation() {
+  banner("F6b: ablation - on-chain policy gate ON vs OFF (trusted mode)");
+  // Gate ON: the full TransformedNetwork. Gate OFF: bare service over the
+  // same local systems.
+  TransformedNetwork net = build_network();
+  net.grant_researcher_everywhere();
+
+  std::vector<const LocalSystem*> ptrs;
+  for (const auto& site : net.local_systems()) ptrs.push_back(&site);
+  GlobalQueryService trusted(ptrs, {});
+
+  learn::QueryVector qv;
+  qv.task = learn::TaskKind::AggregateStats;
+  qv.aggregate_field = "glucose";
+
+  Table table({"mode", "gate_ms", "total_ms", "onchain_events"});
+  {
+    const std::size_t events_before = net.chain().events().size();
+    const QueryExecution exec = net.query(qv);
+    table.row()
+        .cell("gate ON")
+        .cell(exec.timings.gate_s * 1e3, 3)
+        .cell(exec.timings.total() * 1e3, 3)
+        .cell(net.chain().events().size() - events_before);
+  }
+  {
+    const QueryExecution exec = trusted.submit(qv);
+    table.row()
+        .cell("gate OFF")
+        .cell(exec.timings.gate_s * 1e3, 3)
+        .cell(exec.timings.total() * 1e3, 3)
+        .cell(0);
+  }
+  table.print();
+}
+
+void query_vector_mapping() {
+  banner("F6c: query-vector -> smart-contract mapping fidelity");
+  TransformedNetwork net = build_network();
+  net.grant_researcher_everywhere();
+
+  Table table({"query_text", "task", "predicates", "digest", "sites_run"});
+  for (const std::string text : {
+           "count smokers with age over 70",
+           "predict cancer using mlp rounds 3",
+           "retrieve heart_rate for bmi over 35",
+       }) {
+    const auto exec = net.query_text(text);
+    if (!exec.has_value()) continue;
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(exec->qv.digest()));
+    const char* task = exec->qv.task == learn::TaskKind::TrainModel
+                           ? "train"
+                           : (exec->qv.task == learn::TaskKind::AggregateStats
+                                  ? "aggregate"
+                                  : "retrieve");
+    table.row()
+        .cell(text)
+        .cell(task)
+        .cell(exec->qv.cohort.where.size())
+        .cell(digest_hex)
+        .cell(exec->sites_executed);
+  }
+  table.print();
+}
+
+void privacy_ablation() {
+  banner("F6d: ablation - differential privacy budget vs release error");
+  TransformedNetwork net = build_network();
+  net.grant_researcher_everywhere();
+  const auto exact = net.query_text("average of systolic_bp for smokers");
+  if (!exact.has_value()) return;
+  const double true_count = static_cast<double>(exact->aggregate.count);
+  const double true_mean = exact->aggregate.mean;
+
+  Table table({"epsilon", "mean_abs_count_err", "mean_abs_mean_err",
+               "count_err_pct"});
+  const auto bounds = med::bounds_for_field("systolic_bp");
+  for (const double epsilon : {0.1, 0.5, 1.0, 5.0}) {
+    double count_err = 0, mean_err = 0;
+    constexpr int kTrials = 200;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto noisy =
+          med::privatize(exact->aggregate, bounds,
+                         {epsilon, static_cast<std::uint64_t>(t) + 1});
+      count_err += std::abs(noisy.count - true_count);
+      mean_err += std::abs(noisy.mean - true_mean);
+    }
+    table.row()
+        .cell(epsilon, 1)
+        .cell(count_err / kTrials, 2)
+        .cell(mean_err / kTrials, 3)
+        .cell(100.0 * (count_err / kTrials) / true_count, 1);
+  }
+  table.print();
+  std::puts(
+      "\nShape check (paper): the gate adds milliseconds of on-chain policy\n"
+      "work while local analytics dominates; every request leaves an\n"
+      "auditable event trail; NLP-lite queries map deterministically onto\n"
+      "query vectors and contract parameter digests.");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== bench_f6_local_pipeline: Figure 6 reproduction ==");
+  stage_breakdown();
+  gate_ablation();
+  query_vector_mapping();
+  privacy_ablation();
+  return 0;
+}

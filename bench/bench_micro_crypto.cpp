@@ -1,0 +1,99 @@
+// Micro-benchmarks: crypto substrate hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(BytesView(data)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha256d(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes data = rng.bytes(80);  // block-header sized
+  for (auto _ : state) benchmark::DoNotOptimize(sha256d(BytesView(data)));
+}
+BENCHMARK(BM_Sha256d);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(512);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hmac_sha256(BytesView(key), BytesView(data)));
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i)
+    leaves.push_back(sha256(std::to_string(i)));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 4096; ++i) leaves.push_back(sha256(std::to_string(i)));
+  const MerkleTree tree(leaves);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto proof = tree.prove(index % 4096);
+    benchmark::DoNotOptimize(
+        MerkleTree::verify(leaves[index % 4096], index % 4096, proof,
+                           tree.root()));
+    ++index;
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const PrivateKey key = key_from_seed("bench");
+  const Bytes msg = to_bytes("a medical transaction payload");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sign(key, BytesView(msg)));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const PrivateKey key = key_from_seed("bench");
+  const Bytes msg = to_bytes("a medical transaction payload");
+  const Signature sig = sign(key, BytesView(msg));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(verify(key.pub, BytesView(msg), sig));
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ChaCha20Seal(benchmark::State& state) {
+  Rng rng(4);
+  const ChaChaKey key = key_from_hash(sha256("k"));
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t counter = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        seal(key, nonce_from_counter(counter++), BytesView(data)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20Seal)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

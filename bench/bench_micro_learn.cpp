@@ -1,0 +1,79 @@
+// Micro-benchmarks: learning substrate kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "learn/dataset.hpp"
+#include "learn/logistic.hpp"
+#include "learn/matrix.hpp"
+#include "learn/mlp.hpp"
+#include "med/generator.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::learn;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n);
+  for (auto& v : a.data()) v = rng.normal();
+  for (auto& v : b.data()) v = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b));
+  state.counters["flops_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128);
+
+DataSet medical_dataset(std::size_t patients) {
+  std::vector<med::CommonRecord> records;
+  for (const auto& p : med::generate_cohort({.patients = patients, .seed = 6}))
+    records.push_back(med::to_common(p));
+  return dataset_from_records(records, LabelKind::Stroke);
+}
+
+void BM_LogisticEpoch(benchmark::State& state) {
+  const DataSet data = medical_dataset(1'000);
+  for (auto _ : state) {
+    LogisticModel model(data.dim());
+    SgdConfig sgd;
+    sgd.epochs = 1;
+    benchmark::DoNotOptimize(model.train(data, sgd));
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1'000,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LogisticEpoch);
+
+void BM_MlpEpoch(benchmark::State& state) {
+  const DataSet data = medical_dataset(1'000);
+  for (auto _ : state) {
+    Mlp model(data.dim(), 16);
+    SgdConfig sgd;
+    sgd.epochs = 1;
+    benchmark::DoNotOptimize(model.train(data, sgd));
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1'000,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlpEpoch);
+
+void BM_MlpPredict(benchmark::State& state) {
+  const DataSet data = medical_dataset(1'000);
+  Mlp model(data.dim(), 16);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict(data.x));
+}
+BENCHMARK(BM_MlpPredict);
+
+void BM_CohortGeneration(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        med::generate_cohort({.patients = 1'000, .seed = 9}));
+}
+BENCHMARK(BM_CohortGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

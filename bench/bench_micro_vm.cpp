@@ -1,0 +1,99 @@
+// Micro-benchmarks: contract VM dispatch, storage ops, full contract
+// calls (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "contracts/policy.hpp"
+#include "vm/assembler.hpp"
+#include "vm/contract_store.hpp"
+#include "vm/vm.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::vm;
+
+void BM_OpcodeDispatchLoop(benchmark::State& state) {
+  // Tight arithmetic loop: measures raw instruction dispatch rate.
+  const Bytes code = assemble(R"(
+PUSH 0
+loop:
+PUSH 1
+ADD
+DUP 1
+PUSH 10000
+LT
+JUMPI @loop
+RETURN 1
+)");
+  Storage storage;
+  ExecContext ctx;
+  ctx.gas_limit = ~0ULL;
+  NullHost host;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const ExecResult result = execute(BytesView(code), storage, ctx, host);
+    benchmark::DoNotOptimize(result.returned);
+    steps += result.steps;
+  }
+  state.counters["instr_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OpcodeDispatchLoop);
+
+void BM_StorageWrites(benchmark::State& state) {
+  const Bytes code = assemble(R"(
+PUSH 0
+loop:
+DUP 1
+DUP 2
+SSTORE
+PUSH 1
+ADD
+DUP 1
+PUSH 100
+LT
+JUMPI @loop
+STOP
+)");
+  ExecContext ctx;
+  ctx.gas_limit = ~0ULL;
+  NullHost host;
+  for (auto _ : state) {
+    Storage storage;  // fresh map per run
+    benchmark::DoNotOptimize(execute(BytesView(code), storage, ctx, host));
+  }
+}
+BENCHMARK(BM_StorageWrites);
+
+void BM_PolicyCheckCall(benchmark::State& state) {
+  // Full contract-call path: the gate the transform pays per task.
+  ContractStore store;
+  contracts::PolicyContract policy(store, 1, 1);
+  policy.register_dataset(0x10, 0xd5);
+  policy.grant(0x10, 0xd5, 0x20, contracts::kPermCompute);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        policy.check(0xd5, 0x20, contracts::kPermCompute));
+}
+BENCHMARK(BM_PolicyCheckCall);
+
+void BM_Assemble(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        assemble(contracts::PolicyContract::source()));
+}
+BENCHMARK(BM_Assemble);
+
+void BM_HashNOpcode(benchmark::State& state) {
+  const Bytes code = assemble("PUSH 1\nPUSH 2\nPUSH 3\nHASHN 3\nRETURN 1");
+  Storage storage;
+  ExecContext ctx;
+  NullHost host;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(execute(BytesView(code), storage, ctx, host));
+}
+BENCHMARK(BM_HashNOpcode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Offline consortium audit: a regulator who holds only the genesis
+// parameters receives an exported chain file, replays it from scratch,
+// and independently re-derives every contract state and event — the
+// "transparent, auditable" property the paper wants from medical
+// blockchains, exercised end to end.
+#include <cstdio>
+
+#include "chain/codec.hpp"
+#include "contracts/abi.hpp"
+#include "contracts/trial.hpp"
+#include "core/consortium.hpp"
+
+int main() {
+  using namespace mc;
+
+  // --- 1. The consortium operates: a trial lifecycle on-chain ---------
+  core::Consortium consortium({.members = 4});
+  const auto trial_contract = consortium.deploy_contract(
+      consortium.admin(), contracts::TrialContract::bytecode());
+  if (!trial_contract.has_value()) return 1;
+
+  consortium.call_contract(consortium.admin(), *trial_contract,
+                           contracts::encode_call(1, {0x77, 0xfeed, 501}));
+  for (vm::Word patient = 1; patient <= 5; ++patient)
+    consortium.call_contract(consortium.admin(), *trial_contract,
+                             contracts::encode_call(2, {0x77, patient}));
+  consortium.call_contract(consortium.admin(), *trial_contract,
+                           contracts::encode_call(3, {0x77, 501, 0xabc}));
+  std::printf("consortium ran %llu blocks; %llu duplicated executions "
+              "across %zu members\n",
+              static_cast<unsigned long long>(consortium.height()),
+              static_cast<unsigned long long>(consortium.total_executions()),
+              consortium.size());
+
+  // --- 2. Export the chain for the auditor ----------------------------
+  const chain::ChainFile file = chain::export_chain(consortium.member(0));
+  const Bytes wire = file.encode();
+  std::printf("exported chain file: %zu blocks, %zu bytes\n",
+              file.blocks.size(), wire.size());
+
+  // --- 3. The auditor replays from genesis, offline -------------------
+  // The auditor knows only the public chain parameters; it re-validates
+  // every signature, Merkle root and contract execution itself.
+  chain::ChainParams params;
+  params.consensus = chain::ConsensusKind::Pbft;
+  params.premine = {{crypto::address_of(consortium.admin().pub),
+                     chain::Amount{10'000'000'000ULL}}};
+  vm::ContractStore audit_store;
+  chain::VmExecutionHook audit_hook(audit_store);
+  chain::Node auditor(crypto::key_from_seed("regulator"), params,
+                      chain::make_genesis("medchain-consortium",
+                                          params.pow_target),
+                      &audit_hook);
+
+  const auto decoded = chain::ChainFile::decode(BytesView(wire));
+  if (!decoded.has_value()) return 1;
+  const chain::ImportResult imported =
+      chain::import_chain(auditor, *decoded);
+  std::printf("auditor replay: %s (height %llu, %zu blocks re-executed)\n",
+              imported.ok ? "ok" : imported.error.c_str(),
+              static_cast<unsigned long long>(imported.height),
+              imported.blocks_applied);
+
+  // --- 4. Independent conclusions match the consortium ----------------
+  const bool state_matches =
+      auditor.state().digest() == consortium.member(0).state().digest();
+  const bool contracts_match =
+      audit_store.digest() == consortium.store(0).digest();
+  std::printf("ledger digest matches:   %s\n", state_matches ? "yes" : "NO");
+  std::printf("contract digest matches: %s\n", contracts_match ? "yes" : "NO");
+
+  contracts::TrialContract audited(audit_store, *trial_contract);
+  std::printf("auditor reads trial 0x77: enrollment=%llu, outcome "
+              "verified=%s, protocol digest=%llx\n",
+              static_cast<unsigned long long>(audited.enrollment(0x77)),
+              audited.verify_outcome(0x77) ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  audited.protocol_digest(0x77)));
+  std::printf("events independently re-derived: %zu\n",
+              audit_store.events().size());
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Authoring a custom on-chain contract and running it on the replicated
+// consortium — the developer-facing path of the transformed architecture.
+//
+// The contract here is a minimal per-dataset access-fee meter: hospitals
+// charge per analytics request, the contract counts requests and revenue
+// per dataset. It is written directly in medchain VM assembly, deployed
+// through a real Deploy transaction, and called through Call transactions
+// that every consortium member re-executes identically.
+#include <cstdio>
+
+#include "core/consortium.hpp"
+#include "vm/assembler.hpp"
+
+namespace {
+
+// Storage: H(1, dataset) -> request count, H(2, dataset) -> fee revenue.
+// selector 1: record_request(dataset, fee)
+// selector 2: stats(dataset) -> (count, revenue)
+constexpr char kMeterSource[] = R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @record
+DUP 1
+PUSH 2
+EQ
+JUMPI @stats
+REVERT
+
+record:
+POP
+; count += 1
+PUSH 1
+PUSH 1
+CALLDATALOAD
+HASHN 2             ; [ckey]
+DUP 1
+SLOAD               ; [ckey,count]
+PUSH 1
+ADD
+SWAP 1              ; [count+1,ckey]
+SSTORE
+; revenue += fee
+PUSH 2
+PUSH 1
+CALLDATALOAD
+HASHN 2             ; [rkey]
+DUP 1
+SLOAD               ; [rkey,rev]
+PUSH 2
+CALLDATALOAD        ; [rkey,rev,fee]
+ADD
+SWAP 1              ; [rev+fee,rkey]
+SSTORE
+PUSH 1
+CALLDATALOAD
+PUSH 2
+CALLDATALOAD
+PUSH 400            ; topic: request metered
+EMIT 2
+PUSH 1
+RETURN 1
+
+stats:
+POP
+PUSH 1
+PUSH 1
+CALLDATALOAD
+HASHN 2
+SLOAD               ; [count]
+PUSH 2
+PUSH 1
+CALLDATALOAD
+HASHN 2
+SLOAD               ; [count,revenue]
+RETURN 2
+)";
+
+}  // namespace
+
+int main() {
+  using namespace mc;
+
+  // 1. Assemble and inspect the contract.
+  const Bytes code = vm::assemble(kMeterSource);
+  std::printf("assembled meter contract: %zu bytes of bytecode\n",
+              code.size());
+  std::printf("first instructions:\n%s",
+              vm::disassemble(BytesView(code.data(), 20)).c_str());
+
+  // 2. Spin up a 4-member consortium and deploy through a real block.
+  core::Consortium consortium({.members = 4});
+  const auto meter = consortium.deploy_contract(consortium.admin(), code);
+  if (!meter.has_value()) {
+    std::puts("deployment failed");
+    return 1;
+  }
+  std::printf("deployed at contract id %llx (chain height %llu)\n",
+              static_cast<unsigned long long>(*meter),
+              static_cast<unsigned long long>(consortium.height()));
+
+  // 3. Meter a few analytics requests against two datasets.
+  constexpr vm::Word kStrokeDataset = 0xd1;
+  constexpr vm::Word kCancerDataset = 0xd2;
+  for (int i = 0; i < 5; ++i)
+    consortium.call_contract(consortium.admin(), *meter,
+                             {1, kStrokeDataset, 25});
+  for (int i = 0; i < 2; ++i)
+    consortium.call_contract(consortium.admin(), *meter,
+                             {1, kCancerDataset, 40});
+
+  // 4. Read the stats from two different members' replicas.
+  for (const std::size_t member : {std::size_t{0}, std::size_t{3}}) {
+    vm::ExecContext ctx;
+    ctx.calldata = {2, kStrokeDataset};
+    const auto result = consortium.store(member).call(*meter, ctx);
+    std::printf("member %zu sees stroke dataset: %llu requests, %llu fees\n",
+                member,
+                static_cast<unsigned long long>(result->returned.at(0)),
+                static_cast<unsigned long long>(result->returned.at(1)));
+  }
+
+  // 5. Every replica executed every call: check consensus + duplication.
+  std::printf("consortium in consensus: %s, total executions: %llu "
+              "(7 calls + 1 deploy, x4 members)\n",
+              consortium.in_consensus() ? "yes" : "NO",
+              static_cast<unsigned long long>(consortium.total_executions()));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Heterogeneous data integration walkthrough (paper Figure 3 / §III.A).
+//
+// Shows the raw reality the paper starts from — four sites exporting the
+// same patients under incompatible legacy schemas — and the pipeline
+// that fixes it: normalization to the common data format, cross-site
+// linkage by privacy-preserving tokens, imputation, Merkle anchoring,
+// and peer auditability.
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "contracts/registry.hpp"
+#include "med/anchor.hpp"
+#include "med/dataset.hpp"
+#include "med/generator.hpp"
+#include "med/linkage.hpp"
+
+int main() {
+  using namespace mc;
+  using namespace mc::med;
+
+  // One global cohort scattered across silos, as patients really are.
+  const auto cohort = generate_cohort({.patients = 800, .seed = 12});
+  FederationConfig fed_config;
+  fed_config.hospital_count = 2;
+  fed_config.token_missing_rate = 0.03;
+  const Federation fed = build_federation(cohort, fed_config);
+
+  // --- 1. The schema zoo ----------------------------------------------
+  std::puts("site exports (same patient, different vocabularies):");
+  for (const auto& site : fed.sites) {
+    const auto rows = site.export_rows();
+    if (rows.empty()) continue;
+    std::printf("  %-16s %-18s %4zu rows, fields:", site.config().name.c_str(),
+                schema_def(site.config().schema).name.c_str(), rows.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, rows[0].fields.size());
+         ++i)
+      std::printf(" %s", rows[0].fields[i].first.c_str());
+    std::puts(" ...");
+  }
+
+  // --- 2. Anchor every silo on-chain before integration ---------------
+  vm::ContractStore store;
+  contracts::RegistryContract registry(store, 1, 1);
+  for (const auto& site : fed.sites) {
+    anchor_dataset(registry, fnv1a(site.config().name), site);
+    std::printf("anchored %-16s root=%s.. records=%zu\n",
+                site.config().name.c_str(),
+                short_hex(site.content_digest()).c_str(), site.size());
+  }
+
+  // --- 3. Normalize + link + impute -> the virtual core dataset -------
+  RecordLinker linker;
+  for (const auto& site : fed.sites)
+    linker.add_site(site.export_rows(), site.config().schema);
+  IntegrationReport report;
+  const auto merged = linker.integrate(&report);
+  std::printf(
+      "\nintegration: %zu rows in -> %zu patients merged "
+      "(%.2f modalities/patient, %zu unlinkable, %zu fields imputed)\n",
+      report.rows_in, report.patients_merged,
+      report.mean_modalities_per_patient, report.rows_unlinkable,
+      report.imputed_fields);
+
+  // One merged record, fully in the common data format:
+  const CommonRecord& sample = merged.front();
+  std::printf("sample merged record: age=%.0f sex=%.0f sbp=%.0f chol=%.0f "
+              "hr=%.0f snps=%.0f label_stroke=%.0f\n",
+              sample.age, sample.sex, sample.systolic_bp, sample.cholesterol,
+              sample.heart_rate, sample.snp_burden, sample.label_stroke);
+
+  // --- 4. Peer audit: honest sites pass, tampering is caught ----------
+  std::puts("\npeer audit against on-chain anchors:");
+  for (const auto& site : fed.sites)
+    std::printf("  %-16s %s\n", site.config().name.c_str(),
+                audit_dataset(registry, site).clean() ? "clean" : "TAMPERED");
+
+  Federation dirty = fed;
+  dirty.sites[0].tamper(2, -35.0);  // silently lower one blood pressure
+  std::printf("after a silent edit at %s: %s\n",
+              dirty.sites[0].config().name.c_str(),
+              audit_dataset(registry, dirty.sites[0]).clean() ? "clean (!)"
+                                                              : "TAMPERED");
+
+  // Record-level proof: any peer can verify one record's inclusion.
+  std::printf("record 5 inclusion proof (honest site): %s\n",
+              verify_record_inclusion(registry, fed.sites[0], 5) ? "verifies"
+                                                                 : "fails");
+  return 0;
+}

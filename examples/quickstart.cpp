@@ -1,0 +1,65 @@
+// Quickstart: stand up the full transformed medical blockchain and run
+// queries against federated hospital data — in ~60 lines of user code.
+//
+//   $ ./quickstart
+//
+// What happens underneath: a synthetic patient cohort is split across
+// hospital / wearable / genome silos; each silo's dataset is registered
+// and Merkle-anchored on-chain; policy, registry, analytics and trial
+// contracts are deployed to the contract VM; queries are parsed into
+// query vectors, gated by the on-chain policy contract, executed at each
+// data site in parallel, and composed into one answer.
+#include <cstdio>
+
+#include "core/transform.hpp"
+
+int main() {
+  using namespace mc;
+
+  // 1. Build the network: 1000 synthetic patients across 4 hospitals,
+  //    one wearable vendor and one genome lab.
+  core::TransformedNetworkConfig config;
+  config.cohort.patients = 1'000;
+  config.federation.hospital_count = 4;
+  core::TransformedNetwork net(config);
+  std::printf("sites online: %zu (contracts deployed: %zu)\n",
+              net.local_systems().size(), net.chain().size());
+
+  // 2. Without on-chain grants, every site refuses the researcher.
+  auto denied = net.query_text("count smokers with age over 60");
+  std::printf("before grants: %zu sites executed, %zu denied\n",
+              denied->sites_executed, denied->sites_denied);
+
+  // 3. Each data owner grants read+compute through the policy contract.
+  net.grant_researcher_everywhere();
+
+  // 4. Aggregate query, decomposed to every site, composed exactly.
+  //    Sites whose statistics cannot match (no smoking data at the
+  //    genome/wearable silos) are pruned before any on-chain work.
+  auto count = net.query_text("count smokers with age over 60");
+  std::printf("after grants:  smokers over 60 = %zu (%zu sites ran, "
+              "%zu pruned by site stats)\n",
+              count->aggregate.count, count->sites_executed,
+              count->sites_pruned);
+
+  auto bp = net.query_text("average of systolic_bp for smokers");
+  std::printf("mean systolic BP (smokers) = %.1f mmHg (n=%zu)\n",
+              bp->aggregate.mean, bp->aggregate.count);
+
+  // 5. Federated model training: data never moves, parameters do.
+  auto trained = net.query_text("predict stroke using logistic rounds 10");
+  std::printf("federated stroke model: %zu parameters, %llu bytes moved, "
+              "%.1f MFLOP at the data\n",
+              trained->model_params.size(),
+              static_cast<unsigned long long>(trained->result_bytes_moved),
+              static_cast<double>(trained->total_flops) / 1e6);
+
+  // 6. Integrity: every site's live data matches its on-chain anchor...
+  std::printf("hospital-0 audit clean: %s\n",
+              net.audit_site("hospital-0").clean() ? "yes" : "no");
+  // ...and silent tampering is caught by any peer.
+  net.mutable_site_dataset(0).tamper(0, 30.0);
+  std::printf("after silent lab-value edit, audit clean: %s\n",
+              net.audit_site("hospital-0").clean() ? "yes" : "no");
+  return 0;
+}

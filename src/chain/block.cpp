@@ -1,0 +1,78 @@
+#include "chain/block.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+
+Bytes BlockHeader::encode() const {
+  ByteWriter w;
+  w.hash(parent);
+  w.hash(tx_root);
+  w.hash(state_root);
+  w.u64(height);
+  w.u64(time_ms);
+  w.u64(target);
+  w.u64(nonce);
+  w.raw(BytesView(proposer.data));
+  return w.take();
+}
+
+BlockHeader BlockHeader::decode(BytesView data) {
+  ByteReader r(data);
+  BlockHeader h;
+  h.parent = r.hash();
+  h.tx_root = r.hash();
+  h.state_root = r.hash();
+  h.height = r.u64();
+  h.time_ms = r.u64();
+  h.target = r.u64();
+  h.nonce = r.u64();
+  for (auto& b : h.proposer.data) b = r.u8();
+  if (!r.done()) throw SerialError("trailing bytes after block header");
+  return h;
+}
+
+BlockId BlockHeader::id() const { return crypto::sha256d(BytesView(encode())); }
+
+Bytes Block::encode() const {
+  ByteWriter w;
+  w.bytes(BytesView(header.encode()));
+  w.varint(txs.size());
+  for (const auto& tx : txs) w.bytes(BytesView(tx.encode()));
+  return w.take();
+}
+
+Block Block::decode(BytesView data) {
+  ByteReader r(data);
+  Block b;
+  const Bytes header_bytes = r.bytes();
+  b.header = BlockHeader::decode(BytesView(header_bytes));
+  const std::uint64_t n = r.varint();
+  b.txs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Bytes tx_bytes = r.bytes();
+    b.txs.push_back(Transaction::decode(BytesView(tx_bytes)));
+  }
+  if (!r.done()) throw SerialError("trailing bytes after block");
+  return b;
+}
+
+Hash256 Block::compute_tx_root() const {
+  std::vector<Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.id());
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+Block make_genesis(std::string_view chain_tag, std::uint64_t pow_target) {
+  Block genesis;
+  genesis.header.parent = crypto::sha256(chain_tag);
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.height = 0;
+  genesis.header.time_ms = 0;
+  genesis.header.target = pow_target;
+  genesis.header.nonce = 0;
+  return genesis;
+}
+
+}  // namespace mc::chain

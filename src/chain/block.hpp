@@ -1,0 +1,55 @@
+// Blocks and headers for the medical blockchain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "chain/types.hpp"
+#include "crypto/merkle.hpp"
+
+namespace mc::chain {
+
+struct BlockHeader {
+  BlockId parent{};
+  Hash256 tx_root{};        ///< Merkle root over transaction ids
+  Hash256 state_root{};     ///< commitment to post-block ledger+contract
+                            ///< state: H(world digest || contract digest);
+                            ///< zero in genesis (unchecked there)
+  Height height = 0;
+  std::uint64_t time_ms = 0;  ///< simulated timestamp, milliseconds
+  std::uint64_t target = 0;   ///< PoW target on prefix_u64 (0 for PoS/PBFT)
+  std::uint64_t nonce = 0;    ///< PoW nonce / PoS VRF-ish draw
+  Address proposer{};
+
+  [[nodiscard]] Bytes encode() const;
+  static BlockHeader decode(BytesView data);
+
+  /// Block id: SHA-256d over the header encoding.
+  [[nodiscard]] BlockId id() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  [[nodiscard]] Bytes encode() const;
+  static Block decode(BytesView data);
+
+  [[nodiscard]] BlockId id() const { return header.id(); }
+
+  /// Recompute the Merkle root over the contained transactions.
+  [[nodiscard]] Hash256 compute_tx_root() const;
+
+  /// header.tx_root matches the contained transactions.
+  [[nodiscard]] bool tx_root_valid() const {
+    return header.tx_root == compute_tx_root();
+  }
+
+  [[nodiscard]] std::size_t wire_size() const { return encode().size(); }
+};
+
+/// Deterministic genesis block for a given chain tag.
+Block make_genesis(std::string_view chain_tag, std::uint64_t pow_target);
+
+}  // namespace mc::chain

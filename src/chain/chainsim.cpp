@@ -1,0 +1,245 @@
+#include "chain/chainsim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "chain/pow.hpp"
+
+namespace mc::chain {
+namespace {
+
+/// Mutable simulation world shared by the event handlers.
+struct SimWorld {
+  explicit SimWorld(const ChainSimConfig& config)
+      : cfg(config), rng(config.seed), meter(config.energy) {}
+
+  const ChainSimConfig& cfg;
+  Rng rng;
+  sim::EnergyMeter meter;
+  sim::EventQueue queue;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::unique_ptr<GossipNet> gossip;
+  StakeRegistry stakes;
+
+  std::vector<crypto::PrivateKey> clients;
+  std::vector<std::uint64_t> client_nonces;
+  std::size_t txs_submitted = 0;
+
+  struct TxTrack {
+    sim::SimTime submitted_at = 0;
+    std::size_t commit_votes = 0;  ///< nodes that committed it
+    bool recorded = false;
+  };
+  std::unordered_map<TxId, TxTrack> tracked;
+  std::vector<double> latencies;
+  sim::SimTime last_commit_at = 0;
+
+  std::uint64_t blocks_produced = 0;
+  sim::SimTime last_block_at = 0;
+};
+
+void on_gossip(SimWorld& world, sim::NodeId node, GossipKind kind,
+               const Hash256& /*id*/, const Bytes& payload, sim::SimTime at) {
+  Node& n = *world.nodes[node];
+  if (kind == GossipKind::Transaction) {
+    n.submit(Transaction::decode(BytesView(payload)));
+    return;
+  }
+  const Block block = Block::decode(BytesView(payload));
+  const BlockVerdict verdict = n.receive(block);
+  if (verdict != BlockVerdict::Accepted) return;
+  // Count commit votes for every tracked tx this node now has on its
+  // best chain (covers reorg-adopted side blocks too).
+  for (const auto& tx : block.txs) {
+    auto it = world.tracked.find(tx.id());
+    if (it == world.tracked.end() || it->second.recorded) continue;
+    if (++it->second.commit_votes >= world.nodes.size() / 2 + 1) {
+      it->second.recorded = true;
+      world.latencies.push_back(at - it->second.submitted_at);
+      world.last_commit_at = std::max(world.last_commit_at, at);
+    }
+  }
+}
+
+void submit_next_tx(SimWorld& world) {
+  if (world.txs_submitted >= world.cfg.tx_count) return;
+  ++world.txs_submitted;
+
+  const std::size_t from_idx = world.rng.uniform(world.clients.size());
+  std::size_t to_idx = world.rng.uniform(world.clients.size());
+  if (to_idx == from_idx) to_idx = (to_idx + 1) % world.clients.size();
+
+  Transaction tx = make_transfer(
+      world.clients[from_idx],
+      crypto::address_of(world.clients[to_idx].pub),
+      /*amount=*/1 + world.rng.uniform(100),
+      world.client_nonces[from_idx]++,
+      /*gas_price=*/1 + world.rng.uniform(4));
+
+  world.tracked[tx.id()] = SimWorld::TxTrack{world.queue.now(), 0, false};
+  const sim::NodeId origin =
+      static_cast<sim::NodeId>(world.rng.uniform(world.nodes.size()));
+  world.gossip->publish(origin, GossipKind::Transaction, tx.id(), tx.encode());
+
+  const double gap = world.rng.exponential(1.0 / world.cfg.tx_rate_per_s);
+  world.queue.schedule_in(gap, [&world] { submit_next_tx(world); });
+}
+
+void produce_and_publish(SimWorld& world, sim::NodeId proposer,
+                         std::uint64_t attempts_network_wide) {
+  Node& n = *world.nodes[proposer];
+  ++world.blocks_produced;
+
+  // Charge the modeled mining work: every node ground nonces for the
+  // whole inter-block interval (the duplicated race).
+  if (world.cfg.params.consensus == ConsensusKind::ProofOfWork) {
+    const std::uint64_t per_node =
+        attempts_network_wide / world.nodes.size();
+    for (std::size_t i = 0; i < world.nodes.size(); ++i)
+      world.meter.charge_hashes(i, per_node);
+  }
+
+  Block block =
+      n.propose(static_cast<std::uint64_t>(world.queue.now() * 1000.0));
+  // PoW target ~0ULL passes structurally; discovery time was modeled.
+  world.gossip->publish(proposer, GossipKind::Block, block.id(),
+                        block.encode());
+}
+
+void schedule_pow_round(SimWorld& world) {
+  const double network_hash_rate =
+      world.cfg.hashes_per_s_per_node *
+      static_cast<double>(world.nodes.size());
+  // Exponential block race at the configured mean interval.
+  const double mean_interval = world.cfg.params.block_interval_s;
+  const double gap = world.rng.exponential(mean_interval);
+  world.queue.schedule_in(gap, [&world, gap, network_hash_rate] {
+    const auto attempts =
+        static_cast<std::uint64_t>(gap * network_hash_rate);
+    const auto winner =
+        static_cast<sim::NodeId>(world.rng.uniform(world.nodes.size()));
+    produce_and_publish(world, winner, attempts);
+    if (world.latencies.size() < world.cfg.tx_count &&
+        world.queue.now() < world.cfg.sim_limit_s)
+      schedule_pow_round(world);
+  });
+}
+
+void schedule_pos_round(SimWorld& world) {
+  world.queue.schedule_in(world.cfg.params.block_interval_s, [&world] {
+    // Deterministic stake-weighted proposer, seeded by node 0's tip.
+    const Hash256 seed = world.nodes[0]->tip();
+    const Address winner_addr =
+        world.stakes.select_proposer(seed, world.nodes[0]->height() + 1);
+    sim::NodeId winner = 0;
+    for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+      if (world.nodes[i]->address() == winner_addr) {
+        winner = i;
+        break;
+      }
+    }
+    produce_and_publish(world, winner, 0);
+    if (world.latencies.size() < world.cfg.tx_count &&
+        world.queue.now() < world.cfg.sim_limit_s)
+      schedule_pos_round(world);
+  });
+}
+
+}  // namespace
+
+ChainSimReport run_chain_sim(const ChainSimConfig& config) {
+  if (config.params.consensus == ConsensusKind::Pbft)
+    throw std::invalid_argument(
+        "run_chain_sim handles PoW/PoS; use PbftCluster for consortium runs");
+
+  SimWorld world(config);
+
+  // Clients funded in the premine.
+  ChainParams params = config.params;
+  params.pow_target = ~0ULL;  // discovery is modeled in sim time
+  for (std::size_t i = 0; i < config.client_count; ++i) {
+    auto key = crypto::key_from_seed("client-" + std::to_string(i) + "-" +
+                                     std::to_string(config.seed));
+    params.premine.emplace_back(crypto::address_of(key.pub),
+                                Amount{100'000'000});
+    world.clients.push_back(key);
+    world.client_nonces.push_back(0);
+  }
+
+  const Block genesis = make_genesis("medchain-sim", params.pow_target);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    auto key = crypto::key_from_seed("node-" + std::to_string(i) + "-" +
+                                     std::to_string(config.seed));
+    world.nodes.push_back(std::make_unique<Node>(key, params, genesis));
+    world.stakes.bond(crypto::address_of(key.pub), 100);
+  }
+
+  sim::Network network =
+      sim::Network::uniform(config.node_count, config.regions, config.net);
+  world.gossip = std::make_unique<GossipNet>(
+      std::move(network), world.queue,
+      [&world](sim::NodeId node, GossipKind kind, const Hash256& id,
+               const Bytes& payload, sim::SimTime at) {
+        on_gossip(world, node, kind, id, payload, at);
+      },
+      config.seed ^ 0x6055, config.gossip_drop_rate);
+
+  submit_next_tx(world);
+  if (config.params.consensus == ConsensusKind::ProofOfWork)
+    schedule_pow_round(world);
+  else
+    schedule_pos_round(world);
+
+  world.queue.run(config.sim_limit_s);
+
+  // Aggregate the report.
+  ChainSimReport report;
+  report.nodes = config.node_count;
+  report.submitted_txs = world.txs_submitted;
+  report.committed_txs = world.latencies.size();
+  report.duration_s = world.last_commit_at;
+  report.throughput_tps =
+      report.duration_s > 0
+          ? static_cast<double>(report.committed_txs) / report.duration_s
+          : 0;
+  double total_latency = 0;
+  for (double l : world.latencies) {
+    total_latency += l;
+    report.max_commit_latency_s = std::max(report.max_commit_latency_s, l);
+  }
+  report.avg_commit_latency_s =
+      world.latencies.empty() ? 0 : total_latency / world.latencies.size();
+  report.blocks_produced = world.blocks_produced;
+  report.blocks_on_best_chain = world.nodes[0]->height();
+
+  for (std::size_t i = 0; i < world.nodes.size(); ++i) {
+    const NodeCounters& c = world.nodes[i]->counters();
+    report.total_sig_verifications += c.sig_verifications;
+    report.total_txs_executed += c.txs_executed;
+    world.meter.charge_vm(i, c.gas_executed);
+    world.meter.charge_idle(i, world.queue.now());
+  }
+  // Hash energy was charged during mining events; recover attempt count.
+  report.total_hash_attempts = static_cast<std::uint64_t>(
+      world.meter.total_hash() / config.energy.joules_per_hash);
+  report.execution_duplication =
+      report.committed_txs > 0
+          ? static_cast<double>(report.total_txs_executed) /
+                static_cast<double>(report.committed_txs)
+          : 0;
+
+  report.gossip_messages = world.gossip->stats().messages;
+  report.gossip_bytes = world.gossip->stats().bytes;
+  // Network energy charged in aggregate to the senders' side.
+  world.meter.charge_network(0, report.gossip_bytes);
+  report.energy_total_j = world.meter.total();
+  report.energy_per_committed_tx_j =
+      report.committed_txs > 0
+          ? report.energy_total_j / static_cast<double>(report.committed_txs)
+          : 0;
+  return report;
+}
+
+}  // namespace mc::chain

@@ -1,0 +1,66 @@
+#include "chain/codec.hpp"
+
+#include "common/serial.hpp"
+
+namespace mc::chain {
+
+Bytes ChainFile::encode() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.varint(blocks.size());
+  for (const auto& block : blocks) w.bytes(BytesView(block.encode()));
+  return w.take();
+}
+
+std::optional<ChainFile> ChainFile::decode(BytesView data) {
+  try {
+    ByteReader r(data);
+    if (r.u32() != kMagic) return std::nullopt;
+    ChainFile file;
+    const std::uint64_t n = r.varint();
+    file.blocks.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Bytes block_bytes = r.bytes();
+      file.blocks.push_back(Block::decode(BytesView(block_bytes)));
+    }
+    if (!r.done()) return std::nullopt;
+    return file;
+  } catch (const SerialError&) {
+    return std::nullopt;
+  }
+}
+
+ChainFile export_chain(const Node& node) {
+  ChainFile file;
+  for (const BlockId& id : node.best_chain()) {
+    const Block* block = node.block(id);
+    if (block != nullptr) file.blocks.push_back(*block);
+  }
+  return file;
+}
+
+ImportResult import_chain(Node& node, const ChainFile& file) {
+  ImportResult result;
+  if (file.blocks.empty()) {
+    result.error = "empty chain file";
+    return result;
+  }
+  // The first block must be the node's genesis.
+  if (!node.has_block(file.blocks.front().id())) {
+    result.error = "genesis mismatch";
+    return result;
+  }
+  for (std::size_t i = 1; i < file.blocks.size(); ++i) {
+    const BlockVerdict verdict = node.receive(file.blocks[i]);
+    if (verdict == BlockVerdict::Invalid || verdict == BlockVerdict::Orphan) {
+      result.error = "block at height " + std::to_string(i) + " rejected";
+      return result;
+    }
+    ++result.blocks_applied;
+  }
+  result.ok = true;
+  result.height = node.height();
+  return result;
+}
+
+}  // namespace mc::chain

@@ -1,0 +1,40 @@
+// Chain export/import: serialize a node's best chain to bytes and
+// replay it into a fresh node (cold-start sync, backups, audits by an
+// external party who only holds the genesis parameters).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/node.hpp"
+
+namespace mc::chain {
+
+/// Versioned container for a serialized chain.
+struct ChainFile {
+  static constexpr std::uint32_t kMagic = 0x4d43'4831;  // "MCH1"
+  std::vector<Block> blocks;  ///< genesis first
+
+  [[nodiscard]] Bytes encode() const;
+
+  /// Decode; nullopt on bad magic, truncation, or corrupt blocks.
+  static std::optional<ChainFile> decode(BytesView data);
+};
+
+/// Export `node`'s best chain (genesis included).
+ChainFile export_chain(const Node& node);
+
+struct ImportResult {
+  bool ok = false;
+  Height height = 0;
+  std::size_t blocks_applied = 0;
+  std::string error;
+};
+
+/// Replay an exported chain into `node` (which must hold the same
+/// genesis). Every block is fully re-validated; a corrupt block aborts
+/// the import at its height.
+ImportResult import_chain(Node& node, const ChainFile& file);
+
+}  // namespace mc::chain

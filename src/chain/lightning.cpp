@@ -1,0 +1,104 @@
+#include "chain/lightning.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+
+PaymentChannel::PaymentChannel(const crypto::PrivateKey& a,
+                               const crypto::PrivateKey& b, Amount deposit_a,
+                               Amount deposit_b)
+    : key_a_(a), key_b_(b) {
+  ByteWriter w;
+  w.u64(a.pub.y);
+  w.u64(b.pub.y);
+  w.u64(deposit_a);
+  w.u64(deposit_b);
+  channel_id_ = crypto::sha256(BytesView(w.data()));
+
+  latest_.revision = 0;
+  latest_.balance_a = deposit_a;
+  latest_.balance_b = deposit_b;
+  latest_.sig_a = crypto::sign(key_a_, BytesView(update_message(latest_)));
+  latest_.sig_b = crypto::sign(key_b_, BytesView(update_message(latest_)));
+
+  // Funding transaction: A commits both deposits to the channel id.
+  funding_tx_.kind = TxKind::Call;
+  funding_tx_.amount = deposit_a + deposit_b;
+  funding_tx_.gas_limit = 50'000;
+  funding_tx_.payload = Bytes(channel_id_.data.begin(), channel_id_.data.end());
+  funding_tx_.sign_with(key_a_);
+}
+
+Bytes PaymentChannel::update_message(const ChannelUpdate& update) const {
+  ByteWriter w;
+  w.hash(channel_id_);
+  w.u64(update.revision);
+  w.u64(update.balance_a);
+  w.u64(update.balance_b);
+  return w.take();
+}
+
+bool PaymentChannel::pay(std::int64_t amount_a_to_b) {
+  if (phase_ != ChannelPhase::Open) return false;
+  ChannelUpdate next = latest_;
+  next.revision += 1;
+  if (amount_a_to_b >= 0) {
+    const auto amount = static_cast<Amount>(amount_a_to_b);
+    if (latest_.balance_a < amount) return false;
+    next.balance_a -= amount;
+    next.balance_b += amount;
+  } else {
+    const auto amount = static_cast<Amount>(-amount_a_to_b);
+    if (latest_.balance_b < amount) return false;
+    next.balance_b -= amount;
+    next.balance_a += amount;
+  }
+  const Bytes msg = update_message(next);
+  next.sig_a = crypto::sign(key_a_, BytesView(msg));
+  next.sig_b = crypto::sign(key_b_, BytesView(msg));
+  latest_ = next;
+  ++offchain_payments_;
+  return true;
+}
+
+bool PaymentChannel::update_valid(const ChannelUpdate& update) const {
+  const Bytes msg = update_message(update);
+  return crypto::verify(key_a_.pub, BytesView(msg), update.sig_a) &&
+         crypto::verify(key_b_.pub, BytesView(msg), update.sig_b);
+}
+
+Transaction PaymentChannel::close() {
+  phase_ = ChannelPhase::Closed;
+  Transaction settle;
+  settle.kind = TxKind::Call;
+  settle.nonce = 1;
+  settle.gas_limit = 50'000;
+  ByteWriter w;
+  w.hash(channel_id_);
+  w.u64(latest_.revision);
+  w.u64(latest_.balance_a);
+  w.u64(latest_.balance_b);
+  settle.payload = w.take();
+  settle.sign_with(key_a_);
+  return settle;
+}
+
+LightningComparison compare_lightning(std::uint64_t payments,
+                                      std::uint64_t channels,
+                                      std::size_t n_nodes) {
+  LightningComparison cmp;
+  cmp.payments = payments;
+  cmp.onchain_txs_plain = payments;
+  cmp.onchain_txs_lightning = channels * 2;  // open + close per channel
+  cmp.validations_plain = payments * n_nodes;
+  cmp.validations_lightning = cmp.onchain_txs_lightning * n_nodes;
+  cmp.ledger_reduction_factor =
+      cmp.onchain_txs_lightning > 0
+          ? static_cast<double>(cmp.onchain_txs_plain) /
+                static_cast<double>(cmp.onchain_txs_lightning)
+          : 0;
+  return cmp;
+}
+
+}  // namespace mc::chain

@@ -1,0 +1,92 @@
+// Lightning-style payment channels (paper §I baseline).
+//
+// "It creates a channel between two accounts ... these intermediate
+// transactions will not be broadcasted and recorded in the distributed
+// ledger, but only the final results." We implement the two-party channel
+// lifecycle — funded open, mutually-signed balance updates, cooperative
+// close — and count how many transactions reach the ledger versus how
+// many payments actually happened. The paper's verdict, which
+// bench_c3_baselines confirms, is that this reduces load but remains
+// duplicated computing for the on-chain part.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "chain/types.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace mc::chain {
+
+/// A mutually-signed off-chain channel state.
+struct ChannelUpdate {
+  std::uint64_t revision = 0;
+  Amount balance_a = 0;
+  Amount balance_b = 0;
+  crypto::Signature sig_a{};
+  crypto::Signature sig_b{};
+};
+
+enum class ChannelPhase : std::uint8_t { Open, Closed };
+
+/// Two-party payment channel.
+class PaymentChannel {
+ public:
+  /// Open a channel funded by both parties. Produces the on-chain
+  /// funding transaction (counted against the ledger).
+  PaymentChannel(const crypto::PrivateKey& a, const crypto::PrivateKey& b,
+                 Amount deposit_a, Amount deposit_b);
+
+  /// Off-chain payment from A to B (negative = B to A).
+  /// Both parties sign the new revision. Returns false when the payer
+  /// lacks channel balance or the channel is closed.
+  bool pay(std::int64_t amount_a_to_b);
+
+  /// Cooperative close: returns the settlement transaction carrying the
+  /// final balances (counted against the ledger).
+  Transaction close();
+
+  /// Latest mutually-signed state.
+  [[nodiscard]] const ChannelUpdate& latest() const { return latest_; }
+
+  /// Verify both signatures on an update (what a ledger judge would do
+  /// in a dispute).
+  [[nodiscard]] bool update_valid(const ChannelUpdate& update) const;
+
+  [[nodiscard]] ChannelPhase phase() const { return phase_; }
+  [[nodiscard]] std::uint64_t offchain_payments() const {
+    return offchain_payments_;
+  }
+  [[nodiscard]] const Transaction& funding_tx() const { return funding_tx_; }
+
+ private:
+  [[nodiscard]] Bytes update_message(const ChannelUpdate& update) const;
+
+  crypto::PrivateKey key_a_;
+  crypto::PrivateKey key_b_;
+  Hash256 channel_id_{};
+  ChannelUpdate latest_;
+  ChannelPhase phase_ = ChannelPhase::Open;
+  std::uint64_t offchain_payments_ = 0;
+  Transaction funding_tx_;
+};
+
+/// Workload summary: plain on-chain payments vs channel-mediated.
+struct LightningComparison {
+  std::uint64_t payments = 0;
+  std::uint64_t onchain_txs_plain = 0;      ///< = payments
+  std::uint64_t onchain_txs_lightning = 0;  ///< opens + closes
+  std::uint64_t validations_plain = 0;      ///< nodes x payments
+  std::uint64_t validations_lightning = 0;  ///< nodes x (opens + closes)
+  double ledger_reduction_factor = 0;
+};
+
+/// Analytic comparison for `payments` payments spread over `channels`
+/// channels in an `n`-node network.
+LightningComparison compare_lightning(std::uint64_t payments,
+                                      std::uint64_t channels,
+                                      std::size_t n_nodes);
+
+}  // namespace mc::chain

@@ -1,0 +1,46 @@
+// Mempool: pending transactions awaiting block inclusion.
+//
+// Selection is fee-priority with per-sender nonce ordering, mirroring
+// production node behaviour closely enough for the throughput experiments.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+
+namespace mc::chain {
+
+class Mempool {
+ public:
+  /// Add a transaction; rejects duplicates and bad signatures.
+  /// Returns true if accepted.
+  bool add(const Transaction& tx);
+
+  /// True if the pool already holds this transaction id.
+  [[nodiscard]] bool contains(const TxId& id) const {
+    return by_id_.count(id) > 0;
+  }
+
+  /// Pick up to `max_txs` transactions, highest gas price first, keeping
+  /// per-sender nonce order and respecting current state nonces/balances.
+  [[nodiscard]] std::vector<Transaction> select(const WorldState& state,
+                                                const ChainParams& params,
+                                                std::size_t max_txs) const;
+
+  /// Drop transactions included in a block (or otherwise finalized).
+  void remove(const std::vector<Transaction>& txs);
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] bool empty() const { return by_id_.empty(); }
+
+  void clear() { by_id_.clear(); }
+
+ private:
+  std::unordered_map<TxId, Transaction> by_id_;
+};
+
+}  // namespace mc::chain

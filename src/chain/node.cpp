@@ -1,0 +1,243 @@
+#include "chain/node.hpp"
+
+#include <algorithm>
+
+#include "chain/pow.hpp"
+
+namespace mc::chain {
+
+Node::Node(crypto::PrivateKey key, ChainParams params, Block genesis,
+           ExecutionHook* hook)
+    : key_(key),
+      address_(crypto::address_of(key.pub)),
+      params_(params),
+      hook_(hook) {
+  genesis_id_ = genesis.id();
+  blocks_.emplace(genesis_id_, StoredBlock{genesis, 0});
+  tip_ = genesis_id_;
+  tip_height_ = 0;
+  for (const auto& [addr, amount] : params_.premine) state_.credit(addr, amount);
+}
+
+bool Node::submit(const Transaction& tx) {
+  ++counters_.sig_verifications;
+  if (!tx.verify_signature()) return false;
+  if (committed_txs_.count(tx.id()) > 0) return false;
+  return mempool_.add(tx);
+}
+
+std::optional<Block> Node::produce_pow(std::uint64_t time_ms,
+                                       std::uint64_t max_attempts) {
+  Block block = propose(time_ms);
+  block.header.target = params_.pow_target;
+  const MineResult mined = mine(block.header, max_attempts,
+                                /*start_nonce=*/counters_.hash_attempts);
+  counters_.hash_attempts += mined.attempts;
+  if (!mined.found) return std::nullopt;
+  return block;
+}
+
+Block Node::propose(std::uint64_t time_ms) {
+  Block block;
+  block.header.parent = tip_;
+  block.header.height = tip_height_ + 1;
+  block.header.time_ms = time_ms;
+  block.header.target = params_.pow_target;
+  block.header.proposer = address_;
+  block.txs = mempool_.select(state_, params_, params_.max_block_txs);
+  block.header.tx_root = block.compute_tx_root();
+
+  // Preview pass: derive the post-block state commitment. A selected tx
+  // that fails execution (e.g. a reverting contract call) is evicted and
+  // the block falls back to empty rather than proposing garbage.
+  WorldState preview = state_;
+  if (!apply_block(preview, block, /*count=*/false)) {
+    if (hook_ != nullptr) hook_->rollback_to(tip_height_);
+    mempool_.remove(block.txs);
+    block.txs.clear();
+    block.header.tx_root = block.compute_tx_root();
+    preview = state_;
+    apply_block(preview, block, /*count=*/false);  // reward only
+  }
+  block.header.state_root = state_commitment(preview);
+  if (hook_ != nullptr) hook_->rollback_to(tip_height_);
+  return block;
+}
+
+std::vector<const Block*> Node::path_from_genesis(const BlockId& id) const {
+  std::vector<const Block*> path;
+  BlockId cursor = id;
+  while (true) {
+    auto it = blocks_.find(cursor);
+    if (it == blocks_.end()) return {};  // disconnected
+    path.push_back(&it->second.block);
+    if (cursor == genesis_id_) break;
+    cursor = it->second.block.header.parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Hash256 Node::state_commitment(const WorldState& state) const {
+  return crypto::sha256_pair(
+      state.digest(), hook_ != nullptr ? hook_->state_digest() : Hash256{});
+}
+
+bool Node::apply_block(WorldState& state, const Block& block, bool count,
+                       std::vector<TxReceipt>* receipts) {
+  std::uint32_t index = 0;
+  for (const auto& tx : block.txs) {
+    if (count) ++counters_.sig_verifications;
+    Gas exec_gas = 0;
+    if (hook_ != nullptr &&
+        (tx.kind == TxKind::Call || tx.kind == TxKind::Deploy)) {
+      try {
+        exec_gas = hook_->execute(tx, block.header.height);
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    const ApplyResult applied =
+        state.apply(tx, block.header.proposer, params_, exec_gas);
+    if (!applied.ok) return false;
+    if (count) {
+      ++counters_.txs_executed;
+      counters_.gas_executed += applied.gas_used;
+    }
+    if (receipts != nullptr)
+      receipts->push_back(TxReceipt{tx.id(), block.header.height,
+                                    applied.gas_used, index});
+    ++index;
+    if (tx.kind == TxKind::Anchor) {
+      Hash256 digest;
+      std::copy(tx.payload.begin(), tx.payload.end(), digest.data.begin());
+      state.record_anchor(tx.from, digest, block.header.height);
+    }
+  }
+  state.credit(block.header.proposer, params_.block_reward);
+  if (hook_ != nullptr) hook_->on_block_connected(block.header.height);
+  return true;
+}
+
+std::optional<WorldState> Node::replay(
+    const std::vector<const Block*>& path,
+    std::vector<TxReceipt>* receipts) {
+  WorldState fresh;
+  for (const auto& [addr, amount] : params_.premine) fresh.credit(addr, amount);
+  if (hook_ != nullptr) hook_->rollback_to(0);
+  for (const Block* b : path) {
+    if (b->header.height == 0) continue;  // genesis carries no txs
+    if (!apply_block(fresh, *b, /*count=*/true, receipts))
+      return std::nullopt;
+    if (state_commitment(fresh) != b->header.state_root)
+      return std::nullopt;  // branch lies about its state
+  }
+  return fresh;
+}
+
+void Node::adopt(const BlockId& id, Height height, WorldState new_state,
+                 const std::vector<const Block*>& path,
+                 std::vector<TxReceipt> receipts) {
+  tip_ = id;
+  tip_height_ = height;
+  state_ = std::move(new_state);
+  committed_txs_.clear();
+  for (auto& r : receipts) committed_txs_[r.id] = r;
+  for (const Block* b : path) mempool_.remove(b->txs);
+}
+
+BlockVerdict Node::receive(const Block& block) {
+  const BlockId id = block.id();
+  if (blocks_.count(id) > 0) return BlockVerdict::Duplicate;
+
+  auto parent_it = blocks_.find(block.header.parent);
+  if (parent_it == blocks_.end()) {
+    orphans_.push_back(block);
+    return BlockVerdict::Orphan;
+  }
+
+  ++counters_.blocks_validated;
+
+  // Structural checks.
+  if (block.header.height != parent_it->second.height + 1)
+    return BlockVerdict::Invalid;
+  if (!block.tx_root_valid()) return BlockVerdict::Invalid;
+  if (block.txs.size() > params_.max_block_txs) return BlockVerdict::Invalid;
+  if (params_.consensus == ConsensusKind::ProofOfWork &&
+      !meets_target(id, block.header.target))
+    return BlockVerdict::Invalid;
+
+  const Height height = block.header.height;
+  blocks_.emplace(id, StoredBlock{block, height});
+
+  BlockVerdict verdict = BlockVerdict::AcceptedSide;
+  if (height > tip_height_) {
+    if (block.header.parent == tip_) {
+      // Common case: direct extension — apply incrementally.
+      WorldState next = state_;
+      std::vector<TxReceipt> receipts;
+      if (!apply_block(next, block, /*count=*/true, &receipts)) {
+        // Contract effects of the partial application must not leak.
+        if (hook_ != nullptr) hook_->rollback_to(tip_height_);
+        blocks_.erase(id);
+        return BlockVerdict::Invalid;
+      }
+      if (state_commitment(next) != block.header.state_root) {
+        // Proposer committed to a different post-state: reject.
+        if (hook_ != nullptr) hook_->rollback_to(tip_height_);
+        blocks_.erase(id);
+        return BlockVerdict::Invalid;
+      }
+      tip_ = id;
+      tip_height_ = height;
+      state_ = std::move(next);
+      for (auto& r : receipts) committed_txs_[r.id] = r;
+      mempool_.remove(block.txs);
+    } else {
+      // Reorg: replay the candidate branch from genesis.
+      const auto path = path_from_genesis(id);
+      std::vector<TxReceipt> receipts;
+      auto new_state = replay(path, &receipts);
+      if (!new_state.has_value()) {
+        blocks_.erase(id);
+        // Restore contract state of the still-best chain (this replay
+        // succeeded before, so it succeeds again).
+        if (hook_ != nullptr) replay(path_from_genesis(tip_));
+        return BlockVerdict::Invalid;
+      }
+      adopt(id, height, std::move(*new_state), path, std::move(receipts));
+    }
+    verdict = BlockVerdict::Accepted;
+  }
+
+  retry_orphans(id);
+  return verdict;
+}
+
+void Node::retry_orphans(const BlockId& parent) {
+  // Pull out any orphans that now connect and re-submit them.
+  std::vector<Block> ready;
+  auto it = orphans_.begin();
+  while (it != orphans_.end()) {
+    if (it->header.parent == parent) {
+      ready.push_back(*it);
+      it = orphans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& b : ready) receive(b);
+}
+
+const Block* Node::block(const BlockId& id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+std::vector<BlockId> Node::best_chain() const {
+  std::vector<BlockId> out;
+  for (const Block* b : path_from_genesis(tip_)) out.push_back(b->id());
+  return out;
+}
+
+}  // namespace mc::chain

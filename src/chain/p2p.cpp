@@ -1,0 +1,50 @@
+#include "chain/p2p.hpp"
+
+namespace mc::chain {
+
+GossipNet::GossipNet(sim::Network network, sim::EventQueue& queue,
+                     Receiver receiver, std::uint64_t seed, double drop_rate)
+    : network_(std::move(network)),
+      queue_(queue),
+      receiver_(std::move(receiver)),
+      rng_(seed),
+      drop_rate_(drop_rate),
+      seen_(network_.size()) {}
+
+void GossipNet::publish(sim::NodeId origin, GossipKind kind, const Hash256& id,
+                        Bytes payload) {
+  if (!seen_[origin].insert(id).second) return;
+  receiver_(origin, kind, id, payload, queue_.now());
+  forward(origin, kind, id, payload);
+}
+
+void GossipNet::forward(sim::NodeId from, GossipKind kind, const Hash256& id,
+                        const Bytes& payload) {
+  for (sim::NodeId to = 0; to < network_.size(); ++to) {
+    if (to == from) continue;
+    ++stats_.messages;
+    stats_.bytes += payload.size();
+    if (drop_rate_ > 0 && rng_.bernoulli(drop_rate_)) {
+      ++stats_.dropped;
+      continue;
+    }
+    const double delay =
+        network_.delay_jittered(from, to, payload.size(), rng_);
+    // Payload copies are intentional: each in-flight message owns its bytes.
+    queue_.schedule_in(delay, [this, to, from, kind, id, payload] {
+      deliver(to, from, kind, id, payload);
+    });
+  }
+}
+
+void GossipNet::deliver(sim::NodeId to, sim::NodeId /*from*/, GossipKind kind,
+                        const Hash256& id, const Bytes& payload) {
+  if (!seen_[to].insert(id).second) {
+    ++stats_.duplicate_receives;
+    return;
+  }
+  receiver_(to, kind, id, payload, queue_.now());
+  forward(to, kind, id, payload);
+}
+
+}  // namespace mc::chain

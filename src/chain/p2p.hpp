@@ -1,0 +1,66 @@
+// Flooding gossip over the discrete-event network.
+//
+// Models the broadcast protocol that makes blockchain consensus
+// O(n) messages per transaction and per block (paper §I: "blockchain
+// broadcasts all the transactions of intent ledger modifications to all
+// participants"). Nodes forward unseen payloads to all peers; the seen-set
+// stops echo storms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace mc::chain {
+
+enum class GossipKind : std::uint8_t { Transaction, Block };
+
+struct GossipStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t duplicate_receives = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Gossip fabric: wires message ids to delivery callbacks on each node.
+class GossipNet {
+ public:
+  /// Callback invoked exactly once per (node, payload id):
+  /// (node, kind, payload id, payload bytes, sim time).
+  using Receiver = std::function<void(sim::NodeId, GossipKind, const Hash256&,
+                                      const Bytes&, sim::SimTime)>;
+
+  /// `drop_rate` injects independent per-message loss (lossy WAN links,
+  /// crashed relays); flooding's path redundancy masks moderate loss.
+  GossipNet(sim::Network network, sim::EventQueue& queue, Receiver receiver,
+            std::uint64_t seed = 0x90551b, double drop_rate = 0.0);
+
+  /// Inject a payload at `origin`; it floods to every node.
+  void publish(sim::NodeId origin, GossipKind kind, const Hash256& id,
+               Bytes payload);
+
+  [[nodiscard]] const GossipStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return network_.size(); }
+
+ private:
+  void deliver(sim::NodeId to, sim::NodeId from, GossipKind kind,
+               const Hash256& id, const Bytes& payload);
+  void forward(sim::NodeId from, GossipKind kind, const Hash256& id,
+               const Bytes& payload);
+
+  sim::Network network_;
+  sim::EventQueue& queue_;
+  Receiver receiver_;
+  Rng rng_;
+  double drop_rate_;
+  std::vector<std::unordered_set<Hash256>> seen_;
+  GossipStats stats_;
+};
+
+}  // namespace mc::chain

@@ -1,0 +1,261 @@
+#include "chain/pbft.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+
+PbftCluster::PbftCluster(sim::Network network, PbftConfig config,
+                         std::set<sim::NodeId> faulty)
+    : network_(std::move(network)),
+      config_(config),
+      faulty_(std::move(faulty)),
+      n_(network_.size()) {
+  if (n_ < 4) throw std::invalid_argument("PBFT needs at least 4 replicas");
+  f_ = (n_ - 1) / 3;
+  if (faulty_.size() > f_)
+    throw std::invalid_argument("too many faulty replicas for n");
+  replicas_.resize(n_);
+}
+
+std::uint64_t PbftCluster::expected_messages(std::size_t n) {
+  // Primary pre-prepares to n-1 backups (its pre-prepare stands in for
+  // its PREPARE); each of the n-1 backups broadcasts PREPARE to n-1
+  // peers; every replica broadcasts COMMIT to n-1 peers:
+  //   (n-1) + (n-1)^2 + n(n-1) = 2n(n-1).
+  const std::uint64_t m = static_cast<std::uint64_t>(n);
+  return 2 * m * (m - 1);
+}
+
+void PbftCluster::send(sim::NodeId from, sim::NodeId to, PbftMessage msg) {
+  if (is_faulty(from)) return;  // crash-faulty nodes send nothing
+  msg.from = from;
+  ++messages_sent_;
+  bytes_sent_ += PbftMessage::wire_size();
+  const double delay = network_.delay_jittered(
+      from, to, PbftMessage::wire_size() + (msg.type == PbftMsgType::PrePrepare
+                                                ? config_.payload_bytes
+                                                : 0),
+      rng_);
+  queue_.schedule_in(delay, [this, to, msg] { deliver(to, msg); });
+}
+
+void PbftCluster::broadcast(sim::NodeId from, PbftMessage msg) {
+  for (sim::NodeId to = 0; to < n_; ++to) {
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+void PbftCluster::deliver(sim::NodeId to, const PbftMessage& msg) {
+  if (is_faulty(to)) return;  // crashed nodes process nothing
+  switch (msg.type) {
+    case PbftMsgType::PrePrepare:
+      on_pre_prepare(to, msg);
+      break;
+    case PbftMsgType::Prepare:
+      on_prepare(to, msg);
+      break;
+    case PbftMsgType::Commit:
+      on_commit(to, msg);
+      break;
+    case PbftMsgType::Checkpoint:
+      on_checkpoint(to, msg);
+      break;
+    case PbftMsgType::ViewChange:
+      on_view_change(to, msg);
+      break;
+    case PbftMsgType::NewView:
+      on_new_view(to, msg);
+      break;
+  }
+}
+
+void PbftCluster::submit(const Hash256& request_digest) {
+  const std::uint64_t seq = next_seq_++;
+  pending_[seq] =
+      PendingRequest{request_digest, queue_.now(), {}, false};
+
+  const sim::NodeId primary = primary_of(view_);
+  // The primary assigns the sequence number and pre-prepares.
+  if (!is_faulty(primary)) {
+    Replica& rep = replicas_[primary];
+    SlotState& slot = rep.slots[seq];
+    slot.pre_prepared = true;
+    slot.digest = request_digest;
+    slot.prepares.insert(primary);
+    PbftMessage msg{PbftMsgType::PrePrepare, view_, seq, request_digest,
+                    primary};
+    broadcast(primary, msg);
+  }
+  arm_timeout(seq);
+}
+
+void PbftCluster::arm_timeout(std::uint64_t seq) {
+  queue_.schedule_in(config_.request_timeout_s, [this, seq] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end() || it->second.done) return;
+    // Request not committed in time: correct replicas vote to change view.
+    const std::uint64_t new_view = view_ + 1;
+    for (sim::NodeId id = 0; id < n_; ++id) {
+      if (is_faulty(id)) continue;
+      replicas_[id].view_changing = true;
+      PbftMessage msg{PbftMsgType::ViewChange, new_view, seq, {}, id};
+      broadcast(id, msg);
+      // A replica also counts its own vote.
+      replicas_[id].view_change_votes.insert(id);
+    }
+  });
+}
+
+void PbftCluster::on_pre_prepare(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  if (msg.view != rep.view) return;
+  if (msg.from != primary_of(msg.view)) return;  // only primary may assign
+  SlotState& slot = rep.slots[msg.seq];
+  if (slot.pre_prepared && slot.digest != msg.digest) return;  // equivocation
+  slot.pre_prepared = true;
+  slot.digest = msg.digest;
+  slot.prepares.insert(id);
+  slot.prepares.insert(msg.from);
+  PbftMessage prepare{PbftMsgType::Prepare, msg.view, msg.seq, msg.digest, id};
+  broadcast(id, prepare);
+  // Check whether prepares already queued reached quorum.
+  on_prepare(id, prepare);
+}
+
+void PbftCluster::on_prepare(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  if (msg.view != rep.view) return;
+  SlotState& slot = rep.slots[msg.seq];
+  if (slot.pre_prepared && slot.digest != msg.digest) return;
+  slot.prepares.insert(msg.from);
+  if (!slot.prepared && slot.pre_prepared &&
+      slot.prepares.size() >= quorum()) {
+    slot.prepared = true;
+    slot.commits.insert(id);
+    PbftMessage commit{PbftMsgType::Commit, msg.view, msg.seq, slot.digest,
+                       id};
+    broadcast(id, commit);
+    try_commit(id, msg.seq);
+  }
+}
+
+void PbftCluster::on_commit(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  if (msg.view != rep.view) return;
+  SlotState& slot = rep.slots[msg.seq];
+  slot.commits.insert(msg.from);
+  try_commit(id, msg.seq);
+}
+
+void PbftCluster::try_commit(sim::NodeId id, std::uint64_t seq) {
+  Replica& rep = replicas_[id];
+  SlotState& slot = rep.slots[seq];
+  if (slot.committed_local || !slot.prepared) return;
+  if (slot.commits.size() < quorum()) return;
+  slot.committed_local = true;
+
+  // Execute strictly in sequence order (PBFT total order): a committed
+  // slot waits until every lower sequence number has executed.
+  while (true) {
+    auto slot_it = rep.slots.find(rep.next_exec);
+    if (slot_it == rep.slots.end() || !slot_it->second.committed_local)
+      break;
+    const std::uint64_t exec_seq = rep.next_exec++;
+
+    auto it = pending_.find(exec_seq);
+    if (it == pending_.end() || it->second.done) continue;
+    it->second.committed_replicas.insert(id);
+    // The client accepts once f+1 replicas report execution; we record
+    // the commit when a full quorum executed, the stable point for
+    // throughput accounting.
+    if (it->second.committed_replicas.size() >= quorum()) {
+      it->second.done = true;
+      commits_.push_back(PbftCommit{exec_seq, it->second.digest,
+                                    it->second.submitted_at, queue_.now()});
+    }
+  }
+  maybe_checkpoint(id);
+}
+
+void PbftCluster::maybe_checkpoint(sim::NodeId id) {
+  Replica& rep = replicas_[id];
+  const std::uint64_t executed = rep.next_exec - 1;
+  // Largest checkpoint boundary covered by execution so far (several
+  // slots can execute in one batch, so boundaries may be crossed, not
+  // landed on exactly).
+  const std::uint64_t boundary =
+      (executed / config_.checkpoint_interval) * config_.checkpoint_interval;
+  if (boundary == 0 || boundary <= rep.announced_checkpoint) return;
+  rep.announced_checkpoint = boundary;
+  // Announce the checkpoint with a digest of the executed prefix (here a
+  // hash over the sequence number suffices — state digests would go here
+  // in a full deployment).
+  ByteWriter w;
+  w.u64(boundary);
+  PbftMessage msg{PbftMsgType::Checkpoint, rep.view, boundary,
+                  crypto::sha256(BytesView(w.data())), id};
+  rep.checkpoint_votes[boundary].insert(id);
+  broadcast(id, msg);
+}
+
+void PbftCluster::on_checkpoint(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  auto& votes = rep.checkpoint_votes[msg.seq];
+  votes.insert(msg.from);
+  if (votes.size() < quorum() || msg.seq <= rep.stable_checkpoint) return;
+  // Stable: garbage-collect slot state at or below the checkpoint.
+  rep.stable_checkpoint = msg.seq;
+  rep.slots.erase(rep.slots.begin(), rep.slots.upper_bound(msg.seq));
+  rep.checkpoint_votes.erase(rep.checkpoint_votes.begin(),
+                             rep.checkpoint_votes.upper_bound(msg.seq));
+}
+
+void PbftCluster::on_view_change(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  if (msg.view <= rep.view) return;
+  rep.view_change_votes.insert(msg.from);
+  if (rep.view_change_votes.size() >= quorum()) {
+    // Enough votes: adopt the new view. The new primary re-proposes every
+    // pending (uncommitted) request.
+    rep.view = msg.view;
+    rep.view_changing = false;
+    rep.view_change_votes.clear();
+    if (id == primary_of(msg.view)) {
+      view_ = msg.view;
+      PbftMessage nv{PbftMsgType::NewView, msg.view, 0, {}, id};
+      broadcast(id, nv);
+      for (auto& [seq, req] : pending_) {
+        if (req.done) continue;
+        Replica& prim = replicas_[id];
+        SlotState fresh;
+        fresh.pre_prepared = true;
+        fresh.digest = req.digest;
+        fresh.prepares.insert(id);
+        prim.slots[seq] = fresh;
+        PbftMessage pp{PbftMsgType::PrePrepare, msg.view, seq, req.digest,
+                       id};
+        broadcast(id, pp);
+        arm_timeout(seq);  // keep rotating if this primary is faulty too
+      }
+    }
+  }
+}
+
+void PbftCluster::on_new_view(sim::NodeId id, const PbftMessage& msg) {
+  Replica& rep = replicas_[id];
+  if (msg.view > rep.view) {
+    rep.view = msg.view;
+    rep.view_changing = false;
+    rep.view_change_votes.clear();
+    // Drop per-slot votes from the old view; the new primary re-proposes.
+    rep.slots.clear();
+  }
+}
+
+void PbftCluster::run(sim::SimTime limit) { queue_.run(limit); }
+
+}  // namespace mc::chain

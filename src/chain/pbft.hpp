@@ -1,0 +1,178 @@
+// PBFT consensus over the discrete-event network.
+//
+// The global medical blockchain (paper Fig. 2) is a permissioned
+// consortium of hospitals, providers and a government hub, for which
+// PBFT-style voting is the realistic consensus. The implementation is a
+// message-driven state machine: PRE-PREPARE -> PREPARE -> COMMIT with
+// quorum 2f+1 out of n = 3f+1, a request timer, and a simplified view
+// change that rotates a silent primary.
+//
+// Message complexity is O(n^2) per request — this quadratic broadcast is
+// exactly why "the performance of a single node is better than multiple
+// nodes" (paper §I), which bench_c1_scalability measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace mc::chain {
+
+enum class PbftMsgType : std::uint8_t {
+  PrePrepare,
+  Prepare,
+  Commit,
+  Checkpoint,
+  ViewChange,
+  NewView,
+};
+
+struct PbftMessage {
+  PbftMsgType type = PbftMsgType::PrePrepare;
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Hash256 digest{};
+  sim::NodeId from = 0;
+
+  /// Wire size used for bandwidth/energy accounting: digest + headers
+  /// + signature (production PBFT messages carry one signature each).
+  [[nodiscard]] static constexpr std::size_t wire_size() { return 128; }
+};
+
+/// Outcome of one committed request.
+struct PbftCommit {
+  std::uint64_t seq = 0;
+  Hash256 digest{};
+  sim::SimTime submitted_at = 0;
+  sim::SimTime committed_at = 0;
+
+  [[nodiscard]] double latency() const { return committed_at - submitted_at; }
+};
+
+struct PbftConfig {
+  double request_timeout_s = 1.0;  ///< view-change trigger
+  std::size_t payload_bytes = 512;  ///< request payload carried by pre-prepare
+  /// Checkpoint every k executed requests; a stable checkpoint (2f+1
+  /// matching CHECKPOINT messages) garbage-collects older slot state.
+  std::uint64_t checkpoint_interval = 16;
+};
+
+/// A full PBFT cluster simulation. Nodes are indices into the Network.
+class PbftCluster {
+ public:
+  /// `n` must satisfy n >= 3f+1 for the cluster to tolerate `f` faults;
+  /// nodes listed in `faulty` stay silent (crash faults).
+  PbftCluster(sim::Network network, PbftConfig config = {},
+              std::set<sim::NodeId> faulty = {});
+
+  /// Submit a request digest at simulated time now; commits are recorded
+  /// once a quorum of correct replicas commits.
+  void submit(const Hash256& request_digest);
+
+  /// Drive the simulation until quiescent or `limit` simulated seconds.
+  void run(sim::SimTime limit = 1e9);
+
+  [[nodiscard]] const std::vector<PbftCommit>& commits() const {
+    return commits_;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t view() const { return view_; }
+
+  /// Highest sequence covered by a stable checkpoint on replica `id`
+  /// (0 = none yet). Slot state at or below it has been collected.
+  [[nodiscard]] std::uint64_t stable_checkpoint(sim::NodeId id) const {
+    return replicas_.at(id).stable_checkpoint;
+  }
+
+  /// Live (uncollected) slots on replica `id` — bounded by the
+  /// checkpoint window when GC works.
+  [[nodiscard]] std::size_t live_slots(sim::NodeId id) const {
+    return replicas_.at(id).slots.size();
+  }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t quorum() const { return 2 * f_ + 1; }
+  [[nodiscard]] std::size_t max_faults() const { return f_; }
+  [[nodiscard]] sim::SimTime now() const { return queue_.now(); }
+
+  /// Analytic per-request message count for an n-replica cluster:
+  /// pre-prepare (n-1) + prepare (n-1)^2... computed exactly as the
+  /// implementation sends them. Used to cross-check the simulation.
+  [[nodiscard]] static std::uint64_t expected_messages(std::size_t n);
+
+ private:
+  struct SlotState {
+    bool pre_prepared = false;
+    Hash256 digest{};
+    std::set<sim::NodeId> prepares;
+    std::set<sim::NodeId> commits;
+    bool prepared = false;
+    bool committed_local = false;
+  };
+
+  struct Replica {
+    std::uint64_t view = 0;
+    std::map<std::uint64_t, SlotState> slots;  // seq -> state
+    std::uint64_t next_exec = 1;  ///< in-order execution cursor
+    std::set<sim::NodeId> view_change_votes;
+    bool view_changing = false;
+    std::uint64_t stable_checkpoint = 0;
+    std::uint64_t announced_checkpoint = 0;
+    std::map<std::uint64_t, std::set<sim::NodeId>> checkpoint_votes;
+  };
+
+  [[nodiscard]] sim::NodeId primary_of(std::uint64_t view) const {
+    return static_cast<sim::NodeId>(view % n_);
+  }
+  [[nodiscard]] bool is_faulty(sim::NodeId id) const {
+    return faulty_.count(id) > 0;
+  }
+
+  void send(sim::NodeId from, sim::NodeId to, PbftMessage msg);
+  void broadcast(sim::NodeId from, PbftMessage msg);
+  void deliver(sim::NodeId to, const PbftMessage& msg);
+  void on_pre_prepare(sim::NodeId id, const PbftMessage& msg);
+  void on_prepare(sim::NodeId id, const PbftMessage& msg);
+  void on_commit(sim::NodeId id, const PbftMessage& msg);
+  void on_checkpoint(sim::NodeId id, const PbftMessage& msg);
+  void maybe_checkpoint(sim::NodeId id);
+  void on_view_change(sim::NodeId id, const PbftMessage& msg);
+  void on_new_view(sim::NodeId id, const PbftMessage& msg);
+  void try_commit(sim::NodeId id, std::uint64_t seq);
+  void arm_timeout(std::uint64_t seq);
+
+  sim::Network network_;
+  PbftConfig config_;
+  std::set<sim::NodeId> faulty_;
+  std::size_t n_;
+  std::size_t f_;
+
+  sim::EventQueue queue_;
+  Rng rng_{0xb347};
+  std::vector<Replica> replicas_;
+  std::uint64_t view_ = 0;
+  std::uint64_t next_seq_ = 1;
+
+  struct PendingRequest {
+    Hash256 digest{};
+    sim::SimTime submitted_at = 0;
+    std::set<sim::NodeId> committed_replicas;
+    bool done = false;
+  };
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;  // seq ->
+
+  std::vector<PbftCommit> commits_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace mc::chain

@@ -1,0 +1,46 @@
+// Proof-of-stake "virtual mining" (paper §I: fixes the energy waste while
+// remaining duplicated computing — every node still re-executes every
+// transaction). Proposer selection is stake-weighted and deterministic in
+// the epoch seed so all honest nodes agree without hashing races.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "common/bytes.hpp"
+
+namespace mc::chain {
+
+struct Stake {
+  Address validator{};
+  Amount amount = 0;
+};
+
+class StakeRegistry {
+ public:
+  /// Set/overwrite `validator`'s stake.
+  void bond(const Address& validator, Amount amount);
+
+  /// Remove the validator's stake entirely.
+  void unbond(const Address& validator);
+
+  [[nodiscard]] Amount stake_of(const Address& validator) const;
+  [[nodiscard]] Amount total_stake() const;
+  [[nodiscard]] const std::vector<Stake>& stakes() const { return stakes_; }
+  [[nodiscard]] std::size_t size() const { return stakes_.size(); }
+
+  /// Stake-weighted proposer for (seed, height). All nodes with the same
+  /// registry and seed derive the same winner — no work race, no energy.
+  /// Throws std::logic_error when the registry is empty.
+  [[nodiscard]] Address select_proposer(const Hash256& seed,
+                                        Height height) const;
+
+  /// Probability that `validator` wins a given slot.
+  [[nodiscard]] double win_probability(const Address& validator) const;
+
+ private:
+  std::vector<Stake> stakes_;  // kept sorted by validator address
+};
+
+}  // namespace mc::chain

@@ -1,0 +1,45 @@
+#include "chain/pow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mc::chain {
+
+bool meets_target(const Hash256& h, std::uint64_t target) {
+  return h.prefix_u64() <= target;
+}
+
+MineResult mine(BlockHeader& header, std::uint64_t max_attempts,
+                std::uint64_t start_nonce) {
+  MineResult result;
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    header.nonce = start_nonce + i;
+    ++result.attempts;
+    if (meets_target(header.id(), header.target)) {
+      result.found = true;
+      result.nonce = header.nonce;
+      return result;
+    }
+  }
+  return result;
+}
+
+double expected_attempts(std::uint64_t target) {
+  const double space = std::pow(2.0, 64.0);
+  return space / (static_cast<double>(target) + 1.0);
+}
+
+std::uint64_t retarget(std::uint64_t target, double observed_interval_s,
+                       double desired_interval_s) {
+  if (observed_interval_s <= 0 || desired_interval_s <= 0) return target;
+  // Longer-than-desired intervals mean blocks are too hard: raise target.
+  double ratio = observed_interval_s / desired_interval_s;
+  ratio = std::clamp(ratio, 0.25, 4.0);
+  const double adjusted = static_cast<double>(target) * ratio;
+  const double max_u64 = 1.8446744073709552e19;
+  if (adjusted >= max_u64) return ~0ULL;
+  if (adjusted < 1.0) return 1;
+  return static_cast<std::uint64_t>(adjusted);
+}
+
+}  // namespace mc::chain

@@ -1,0 +1,35 @@
+// Proof-of-work mining: the duplicated hash computation the paper's §I
+// identifies as the core energy waste. The miner counts every attempted
+// hash so the energy model can charge it.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block.hpp"
+
+namespace mc::chain {
+
+/// A hash meets the target when its 64-bit big-endian prefix is <= target.
+[[nodiscard]] bool meets_target(const Hash256& h, std::uint64_t target);
+
+struct MineResult {
+  bool found = false;
+  std::uint64_t nonce = 0;
+  std::uint64_t attempts = 0;  ///< hashes evaluated (energy accounting)
+};
+
+/// Grind header nonces from `start_nonce` for up to `max_attempts`.
+/// On success, header.nonce is set to the winning nonce.
+MineResult mine(BlockHeader& header, std::uint64_t max_attempts,
+                std::uint64_t start_nonce = 0);
+
+/// Expected attempts to find a block at `target` (2^64 / (target+1)).
+[[nodiscard]] double expected_attempts(std::uint64_t target);
+
+/// Retarget: scale the target so `observed_interval_s` moves toward
+/// `desired_interval_s`. Clamped to a 4x adjustment per call.
+[[nodiscard]] std::uint64_t retarget(std::uint64_t target,
+                                     double observed_interval_s,
+                                     double desired_interval_s);
+
+}  // namespace mc::chain

@@ -1,0 +1,72 @@
+#include "chain/sharding.hpp"
+
+#include <stdexcept>
+
+namespace mc::chain {
+
+ShardedLedger::ShardedLedger(std::size_t shard_count,
+                             std::size_t nodes_per_shard, ChainParams params)
+    : params_(std::move(params)), nodes_per_shard_(nodes_per_shard) {
+  if (shard_count == 0 || nodes_per_shard == 0)
+    throw std::invalid_argument("shard/replica counts must be positive");
+  shards_.resize(shard_count);
+}
+
+std::size_t ShardedLedger::shard_of(const Address& a) const {
+  return fnv1a(BytesView(a.data)) % shards_.size();
+}
+
+void ShardedLedger::credit(const Address& a, Amount amount) {
+  shards_[shard_of(a)].state.credit(a, amount);
+}
+
+Amount ShardedLedger::balance(const Address& a) const {
+  return shards_[shard_of(a)].state.balance(a);
+}
+
+bool ShardedLedger::process(const Transaction& tx) {
+  const TxId id = tx.id();
+  if (!seen_tx_.insert(id).second) {
+    // Replay / double-spend attempt: every shard must refuse it.
+    ++stats_.aborted;
+    return false;
+  }
+
+  const std::size_t src = shard_of(tx.from);
+  const std::size_t dst = shard_of(tx.to);
+
+  if (src == dst) {
+    ++stats_.intra_shard_txs;
+    stats_.validations += nodes_per_shard_;  // one shard validates
+    const ApplyResult r =
+        shards_[src].state.apply(tx, Address{}, params_);
+    if (!r.ok) {
+      ++stats_.aborted;
+      return false;
+    }
+    return true;
+  }
+
+  // Cross-shard: two-phase commit. Phase 1 locks/debits on the source
+  // shard, phase 2 credits on the destination. Both shards validate, and
+  // the coordinator exchanges prepare/commit with each shard's replicas.
+  ++stats_.cross_shard_txs;
+  stats_.validations += 2 * nodes_per_shard_;
+  stats_.lock_messages += 4 * nodes_per_shard_;  // prepare+ack, commit+ack
+
+  WorldState& src_state = shards_[src].state;
+  // Phase 1: debit on the source shard only; the recipient account lives
+  // in the destination shard's state.
+  const ApplyResult r = src_state.apply(tx, Address{}, params_,
+                                        /*execution_gas=*/0,
+                                        /*credit_recipient=*/false);
+  if (!r.ok) {
+    ++stats_.aborted;
+    return false;
+  }
+  // Phase 2: credit on the destination shard.
+  shards_[dst].state.credit(tx.to, tx.amount);
+  return true;
+}
+
+}  // namespace mc::chain

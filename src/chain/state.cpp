@@ -1,0 +1,100 @@
+#include "chain/state.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+
+Account WorldState::account(const Address& a) const {
+  auto it = accounts_.find(a);
+  return it == accounts_.end() ? Account{} : it->second;
+}
+
+void WorldState::credit(const Address& a, Amount amount) {
+  accounts_[a].balance += amount;
+}
+
+ApplyResult WorldState::validate(const Transaction& tx,
+                                 const ChainParams& params) const {
+  if (!tx.verify_signature()) return {false, 0, "bad signature"};
+  const Account acct = account(tx.from);
+  if (tx.nonce != acct.nonce) return {false, 0, "bad nonce"};
+  if (tx.gas_limit < params.transfer_gas && tx.kind == TxKind::Transfer)
+    return {false, 0, "gas limit below intrinsic cost"};
+  const Amount max_fee = tx.gas_limit * tx.gas_price;
+  if (acct.balance < tx.amount + max_fee)
+    return {false, 0, "insufficient balance"};
+  if (tx.kind == TxKind::Anchor && tx.payload.size() != 32)
+    return {false, 0, "anchor payload must be a 32-byte digest"};
+  return {true, 0, ""};
+}
+
+ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
+                              const ChainParams& params, Gas execution_gas,
+                              bool credit_recipient) {
+  ApplyResult check = validate(tx, params);
+  if (!check.ok) return check;
+
+  Gas gas = execution_gas;
+  switch (tx.kind) {
+    case TxKind::Transfer:
+      gas += params.transfer_gas;
+      break;
+    case TxKind::Anchor:
+      gas += params.transfer_gas / 2 + 8 * tx.payload.size();
+      break;
+    case TxKind::Deploy:
+    case TxKind::Call:
+      gas += params.transfer_gas;  // intrinsic cost on top of VM gas
+      break;
+  }
+  if (gas > tx.gas_limit) return {false, 0, "out of gas"};
+
+  const Amount fee = gas * tx.gas_price;
+  Account& from = accounts_[tx.from];
+  if (from.balance < tx.amount + fee)
+    return {false, 0, "insufficient balance for fee"};
+
+  from.balance -= tx.amount + fee;
+  from.nonce += 1;
+  if (tx.kind == TxKind::Transfer && credit_recipient)
+    accounts_[tx.to].balance += tx.amount;
+  accounts_[proposer].balance += fee;
+  return {true, gas, ""};
+}
+
+bool WorldState::anchored(const Address& owner, const Hash256& digest) const {
+  return std::any_of(anchors_.begin(), anchors_.end(),
+                     [&](const AnchorRecord& r) {
+                       return r.owner == owner && r.digest == digest;
+                     });
+}
+
+void WorldState::record_anchor(const Address& owner, const Hash256& digest,
+                               Height height) {
+  anchors_.push_back(AnchorRecord{owner, digest, height});
+}
+
+Hash256 WorldState::digest() const {
+  // Sort accounts by address for a canonical ordering.
+  std::vector<std::pair<Address, Account>> sorted(accounts_.begin(),
+                                                  accounts_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ByteWriter w;
+  for (const auto& [addr, acct] : sorted) {
+    w.raw(BytesView(addr.data));
+    w.u64(acct.balance);
+    w.u64(acct.nonce);
+  }
+  for (const auto& anchor : anchors_) {
+    w.raw(BytesView(anchor.owner.data));
+    w.hash(anchor.digest);
+    w.u64(anchor.height);
+  }
+  return crypto::sha256(BytesView(w.data()));
+}
+
+}  // namespace mc::chain

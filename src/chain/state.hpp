@@ -1,0 +1,90 @@
+// World state: account balances, nonces and the anchor registry.
+//
+// Contract storage lives in vm::ContractStore; WorldState owns the value
+// ledger plus the on-chain dataset anchor index that §III.A's integrity
+// scheme relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "chain/types.hpp"
+
+namespace mc::chain {
+
+struct Account {
+  Amount balance = 0;
+  std::uint64_t nonce = 0;  ///< next expected transaction nonce
+};
+
+/// Result of applying one transaction.
+struct ApplyResult {
+  bool ok = false;
+  Gas gas_used = 0;
+  std::string error;  ///< empty when ok
+};
+
+/// An anchored off-chain dataset digest (kind == TxKind::Anchor).
+struct AnchorRecord {
+  Address owner{};
+  Hash256 digest{};
+  Height height = 0;
+};
+
+class WorldState {
+ public:
+  /// Read-only account lookup; absent accounts read as zero.
+  [[nodiscard]] Account account(const Address& a) const;
+
+  [[nodiscard]] Amount balance(const Address& a) const {
+    return account(a).balance;
+  }
+  [[nodiscard]] std::uint64_t nonce(const Address& a) const {
+    return account(a).nonce;
+  }
+
+  /// Mint `amount` into `a` (genesis funding, block rewards).
+  void credit(const Address& a, Amount amount);
+
+  /// Validate a transaction against current state (signature, nonce,
+  /// balance, gas); does not mutate.
+  [[nodiscard]] ApplyResult validate(const Transaction& tx,
+                                     const ChainParams& params) const;
+
+  /// Validate then apply balance/nonce effects and fee transfer to
+  /// `proposer`. Contract execution effects are applied by the caller
+  /// (node) which owns the VM; this handles the ledger side.
+  /// `credit_recipient=false` debits only — used by the sharded ledger,
+  /// where the recipient account lives in a different shard's state.
+  ApplyResult apply(const Transaction& tx, const Address& proposer,
+                    const ChainParams& params, Gas execution_gas = 0,
+                    bool credit_recipient = true);
+
+  /// Anchors recorded so far, newest last.
+  [[nodiscard]] const std::vector<AnchorRecord>& anchors() const {
+    return anchors_;
+  }
+
+  /// True if `digest` has been anchored by `owner`.
+  [[nodiscard]] bool anchored(const Address& owner,
+                              const Hash256& digest) const;
+
+  void record_anchor(const Address& owner, const Hash256& digest,
+                     Height height);
+
+  [[nodiscard]] std::size_t account_count() const { return accounts_.size(); }
+
+  /// Deterministic digest over all accounts (state comparison in tests
+  /// and duplicated-execution divergence detection).
+  [[nodiscard]] Hash256 digest() const;
+
+ private:
+  std::unordered_map<Address, Account> accounts_;
+  std::vector<AnchorRecord> anchors_;
+};
+
+}  // namespace mc::chain

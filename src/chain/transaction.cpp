@@ -1,0 +1,93 @@
+#include "chain/transaction.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+namespace {
+
+void write_address(ByteWriter& w, const Address& a) {
+  w.raw(BytesView(a.data));
+}
+
+Address read_address(ByteReader& r) {
+  Address a;
+  for (auto& b : a.data) b = 0;
+  Bytes raw;
+  raw.reserve(20);
+  for (int i = 0; i < 20; ++i) raw.push_back(r.u8());
+  std::copy(raw.begin(), raw.end(), a.data.begin());
+  return a;
+}
+
+}  // namespace
+
+Bytes Transaction::encode_unsigned() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  write_address(w, from);
+  write_address(w, to);
+  w.u64(from_pub.y);
+  w.u64(nonce);
+  w.u64(amount);
+  w.u64(gas_limit);
+  w.u64(gas_price);
+  w.bytes(BytesView(payload));
+  return w.take();
+}
+
+Bytes Transaction::encode() const {
+  ByteWriter w;
+  w.raw(BytesView(encode_unsigned()));
+  w.u64(sig.e);
+  w.u64(sig.s);
+  return w.take();
+}
+
+Transaction Transaction::decode(BytesView data) {
+  ByteReader r(data);
+  Transaction tx;
+  tx.kind = static_cast<TxKind>(r.u8());
+  if (static_cast<std::uint8_t>(tx.kind) > 3)
+    throw SerialError("unknown transaction kind");
+  tx.from = read_address(r);
+  tx.to = read_address(r);
+  tx.from_pub.y = r.u64();
+  tx.nonce = r.u64();
+  tx.amount = r.u64();
+  tx.gas_limit = r.u64();
+  tx.gas_price = r.u64();
+  tx.payload = r.bytes();
+  tx.sig.e = r.u64();
+  tx.sig.s = r.u64();
+  if (!r.done()) throw SerialError("trailing bytes after transaction");
+  return tx;
+}
+
+TxId Transaction::id() const { return crypto::sha256d(BytesView(encode())); }
+
+void Transaction::sign_with(const crypto::PrivateKey& key) {
+  from_pub = key.pub;
+  from = crypto::address_of(key.pub);
+  sig = crypto::sign(key, BytesView(encode_unsigned()));
+}
+
+bool Transaction::verify_signature() const {
+  if (crypto::address_of(from_pub) != from) return false;
+  return crypto::verify(from_pub, BytesView(encode_unsigned()), sig);
+}
+
+Transaction make_transfer(const crypto::PrivateKey& from, const Address& to,
+                          Amount amount, std::uint64_t nonce,
+                          std::uint64_t gas_price) {
+  Transaction tx;
+  tx.kind = TxKind::Transfer;
+  tx.to = to;
+  tx.amount = amount;
+  tx.nonce = nonce;
+  tx.gas_limit = 21'000;
+  tx.gas_price = gas_price;
+  tx.sign_with(from);
+  return tx;
+}
+
+}  // namespace mc::chain

@@ -1,0 +1,64 @@
+// Transactions: signed state transitions on the medical blockchain.
+//
+// Four kinds cover the paper's needs: value transfer (fees/incentives),
+// contract deployment, contract calls (the three request categories of
+// Fig. 4 are calls into different contracts), and dataset anchoring
+// (Irving & Holden-style off-chain data digests, §III.A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/types.hpp"
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace mc::chain {
+
+enum class TxKind : std::uint8_t {
+  Transfer = 0,  ///< move `amount` from sender to `to`
+  Deploy = 1,    ///< create a contract; payload = VM bytecode
+  Call = 2,      ///< invoke contract at `to`; payload = call data
+  Anchor = 3,    ///< record an off-chain dataset digest; payload = digest
+};
+
+struct Transaction {
+  TxKind kind = TxKind::Transfer;
+  Address from{};
+  Address to{};
+  crypto::PublicKey from_pub{};
+  std::uint64_t nonce = 0;
+  Amount amount = 0;
+  Gas gas_limit = 0;
+  std::uint64_t gas_price = 1;
+  Bytes payload;
+  crypto::Signature sig{};
+
+  /// Canonical encoding without the signature (the signed message).
+  [[nodiscard]] Bytes encode_unsigned() const;
+
+  /// Full canonical wire encoding.
+  [[nodiscard]] Bytes encode() const;
+
+  static Transaction decode(BytesView data);
+
+  /// Transaction id: SHA-256d over the full encoding.
+  [[nodiscard]] TxId id() const;
+
+  /// Sign with `key`; also fills `from` and `from_pub` from the key.
+  void sign_with(const crypto::PrivateKey& key);
+
+  /// Signature valid and `from` matches `from_pub`.
+  [[nodiscard]] bool verify_signature() const;
+
+  /// Approximate wire size in bytes (for network cost accounting).
+  [[nodiscard]] std::size_t wire_size() const { return encode().size(); }
+};
+
+/// Build an already-signed transfer (test/bench convenience).
+Transaction make_transfer(const crypto::PrivateKey& from, const Address& to,
+                          Amount amount, std::uint64_t nonce,
+                          std::uint64_t gas_price = 1);
+
+}  // namespace mc::chain

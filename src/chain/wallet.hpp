@@ -1,0 +1,74 @@
+// Wallet: key management plus nonce-tracked transaction building.
+//
+// Thin convenience over the raw constructors — examples and services
+// shouldn't hand-count nonces. The wallet tracks the next nonce locally
+// and can resynchronize from a node's state (e.g. after a reorg).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+#include "chain/vm_hook.hpp"
+
+namespace mc::chain {
+
+class Wallet {
+ public:
+  explicit Wallet(crypto::PrivateKey key) : key_(key) {}
+
+  /// Deterministic wallet from a seed phrase (tests, examples).
+  static Wallet from_seed(std::string_view seed) {
+    return Wallet(crypto::key_from_seed(seed));
+  }
+
+  [[nodiscard]] const crypto::PublicKey& public_key() const {
+    return key_.pub;
+  }
+  [[nodiscard]] Address address() const {
+    return crypto::address_of(key_.pub);
+  }
+  [[nodiscard]] const crypto::PrivateKey& key() const { return key_; }
+
+  /// Next nonce this wallet will use.
+  [[nodiscard]] std::uint64_t next_nonce() const { return next_nonce_; }
+
+  /// Re-sync the nonce from on-chain state (reorg/startup).
+  void sync(const WorldState& state) {
+    next_nonce_ = state.nonce(address());
+  }
+
+  Transaction transfer(const Address& to, Amount amount,
+                       std::uint64_t gas_price = 1) {
+    return make_transfer(key_, to, amount, next_nonce_++, gas_price);
+  }
+
+  Transaction deploy(Bytes bytecode, Gas gas_limit = 2'000'000) {
+    return make_deploy(key_, std::move(bytecode), next_nonce_++, gas_limit);
+  }
+
+  Transaction call(vm::Word contract_id, std::vector<vm::Word> calldata,
+                   Gas gas_limit = 500'000) {
+    return make_call(key_, contract_id, std::move(calldata), next_nonce_++,
+                     gas_limit);
+  }
+
+  /// Anchor an off-chain dataset digest.
+  Transaction anchor(const Hash256& digest) {
+    Transaction tx;
+    tx.kind = TxKind::Anchor;
+    tx.nonce = next_nonce_++;
+    tx.gas_limit = 50'000;
+    tx.payload = Bytes(digest.data.begin(), digest.data.end());
+    tx.sign_with(key_);
+    return tx;
+  }
+
+ private:
+  crypto::PrivateKey key_;
+  std::uint64_t next_nonce_ = 0;
+};
+
+}  // namespace mc::chain

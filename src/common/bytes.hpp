@@ -1,0 +1,84 @@
+// Byte-sequence primitives shared by every medchain subsystem.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// Owning byte buffer used for wire formats, hashes and ciphertexts.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// A 32-byte digest (SHA-256 output, ids, anchors).
+struct Hash256 {
+  std::array<std::uint8_t, 32> data{};
+
+  friend bool operator==(const Hash256&, const Hash256&) = default;
+  friend auto operator<=>(const Hash256&, const Hash256&) = default;
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : data)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// First 8 bytes interpreted as a big-endian integer; used for
+  /// proof-of-work target comparisons and cheap bucketing.
+  [[nodiscard]] std::uint64_t prefix_u64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+/// View a trivially-copyable object as bytes (serialization helpers only).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+BytesView as_bytes_view(const T& v) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(&v), sizeof(T));
+}
+
+inline BytesView str_bytes(std::string_view s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// FNV-1a 64-bit hash: *not* cryptographic; used for hash-map style
+/// bucketing and deterministic ids where SHA-256 would be overkill.
+inline std::uint64_t fnv1a(BytesView data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (auto b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) { return fnv1a(str_bytes(s)); }
+
+}  // namespace mc
+
+template <>
+struct std::hash<mc::Hash256> {
+  std::size_t operator()(const mc::Hash256& h) const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, h.data.data(), sizeof v);
+    return static_cast<std::size_t>(v);
+  }
+};

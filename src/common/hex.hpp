@@ -1,0 +1,23 @@
+// Hex encoding/decoding for digests and wire dumps.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace mc {
+
+/// Lower-case hex encoding of a byte view.
+std::string to_hex(BytesView data);
+
+/// Hex of a Hash256 digest.
+std::string to_hex(const Hash256& h);
+
+/// Decode a hex string (even length, [0-9a-fA-F]); nullopt on bad input.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Short 8-hex-char prefix used in logs and table rows.
+std::string short_hex(const Hash256& h);
+
+}  // namespace mc

@@ -1,0 +1,157 @@
+// Deterministic pseudo-random generation for simulation and synthetic data.
+//
+// All medchain experiments must be reproducible from a single seed, so every
+// stochastic component takes an explicit Rng rather than global state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace mc {
+
+/// SplitMix64: seeds the main generator and derives per-stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  /// Independent child stream, e.g. one per simulated site or node.
+  [[nodiscard]] Rng fork(std::string_view label) const {
+    std::uint64_t sm = s_[0] ^ fnv1a(label);
+    return Rng(splitmix64(sm));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = uniform01();
+    while (u1 <= 1e-300) u1 = uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Exponential with the given mean (inter-arrival times).
+  double exponential(double mean) {
+    double u = uniform01();
+    while (u <= 1e-300) u = uniform01();
+    return -mean * std::log(u);
+  }
+
+  /// Zipf-like skewed index in [0, n): popularity-skewed site selection.
+  std::size_t zipf(std::size_t n, double skew = 1.0) {
+    // Inverse-CDF over precomputed weights would be faster; n is small in
+    // our sims so direct sampling keeps the generator allocation-free.
+    double total = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(i, skew);
+    double target = uniform01() * total;
+    for (std::size_t i = 1; i <= n; ++i) {
+      target -= 1.0 / std::pow(i, skew);
+      if (target <= 0.0) return i - 1;
+    }
+    return n - 1;
+  }
+
+  /// Random byte string (payload filler, nonces in tests).
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(next() & 0xff);
+    return out;
+  }
+
+  /// Sample k distinct indices from [0, n) (client selection in FedAvg).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    if (k > n) k = n;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace mc

@@ -1,0 +1,86 @@
+// Plain-text table printer for experiment harnesses.
+//
+// Every bench binary prints its figure/claim reproduction as an aligned
+// table so EXPERIMENTS.md rows can be pasted directly from bench output.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  /// Begin a new row; chain cell() calls to fill it.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& v) {
+    rows_.back().push_back(v);
+    grow(rows_.back().size() - 1, v.size());
+    return *this;
+  }
+
+  Table& cell(const char* v) { return cell(std::string(v)); }
+
+  Table& cell(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  template <typename I>
+    requires std::integral<I>
+  Table& cell(I v) {
+    return cell(std::to_string(v));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths_.size(); ++c) {
+      rule += std::string(widths_[c] + 2, '-');
+      if (c + 1 < widths_.size()) rule += '+';
+    }
+    os << rule << '\n';
+    for (const auto& r : rows_) print_row(os, r);
+    os.flush();
+  }
+
+ private:
+  void grow(std::size_t col, std::size_t w) {
+    if (col >= widths_.size()) widths_.resize(col + 1, 0);
+    if (w > widths_[col]) widths_[col] = w;
+  }
+
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths_[c]))
+         << cells[c] << ' ';
+      if (c + 1 < cells.size()) os << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by the bench harnesses.
+inline void banner(const std::string& title) {
+  std::cout << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace mc

@@ -1,0 +1,60 @@
+// Call-data conventions shared by all medchain on-chain contracts.
+//
+// Calldata is a vector of 64-bit words: word 0 is the selector, the rest
+// are arguments. Identities (addresses) are folded to words with FNV-1a
+// for on-chain storage keys; the full 20-byte address stays in the
+// transaction envelope where signatures bind it.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::contracts {
+
+using vm::Word;
+
+/// Fold an address into the contract word domain.
+[[nodiscard]] inline Word fold(const chain::Address& a) {
+  return fnv1a(BytesView(a.data));
+}
+
+/// Build calldata [selector, args...].
+[[nodiscard]] inline std::vector<Word> encode_call(
+    Word selector, std::initializer_list<Word> args = {}) {
+  std::vector<Word> data;
+  data.reserve(1 + args.size());
+  data.push_back(selector);
+  data.insert(data.end(), args.begin(), args.end());
+  return data;
+}
+
+/// Permission bits managed by the access-policy contract.
+enum Permission : Word {
+  kPermRead = 1,     ///< retrieve (encrypted) records
+  kPermCompute = 2,  ///< run analytics at the data site
+  kPermShare = 4,    ///< re-share results downstream
+};
+
+/// Event topics across the contract suite (monitor-node subscriptions).
+enum EventTopic : Word {
+  kEvDatasetOwnerRegistered = 100,
+  kEvAccessGranted = 101,
+  kEvAccessRevoked = 102,
+  kEvDatasetRegistered = 110,
+  kEvDatasetDigestUpdated = 111,
+  kEvToolRegistered = 112,
+  kEvTrialRegistered = 120,
+  kEvPatientEnrolled = 121,
+  kEvOutcomeReported = 122,
+  kEvAnalyticsRequested = 130,
+  kEvAnalyticsCompleted = 131,
+};
+
+/// Default gas limit for the lightweight policy-style calls.
+constexpr std::uint64_t kDefaultCallGas = 100'000;
+
+}  // namespace mc::contracts

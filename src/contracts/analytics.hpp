@@ -1,0 +1,77 @@
+// Analytics-request contract (paper Fig. 4's second request category).
+//
+// The on-chain side of "move computing to data": a request names an
+// analytics tool, a dataset and a parameter digest. The contract checks
+// compute permission *on-chain* by reading the policy contract's grant
+// slot (SXLOAD — deterministic committed state, consensus-safe on every
+// replica), records the request, and emits an event the off-chain
+// monitor node picks up to schedule the actual computation at the data
+// site. The bridge later posts the result digest back on-chain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "contracts/abi.hpp"
+#include "vm/contract_store.hpp"
+
+namespace mc::contracts {
+
+enum class RequestStatus : Word {
+  None = 0,
+  Pending = 1,
+  Done = 2,
+};
+
+struct AnalyticsRequest {
+  Word requester = 0;
+  Word tool = 0;
+  Word dataset = 0;
+  Word param_digest = 0;
+  RequestStatus status = RequestStatus::None;
+  Word result_digest = 0;
+};
+
+class AnalyticsContract {
+ public:
+  static const char* source();
+  static const Bytes& bytecode();
+
+  AnalyticsContract(vm::ContractStore& store, Word deployer,
+                    std::uint64_t height);
+  AnalyticsContract(vm::ContractStore& store, Word contract_id);
+
+  [[nodiscard]] Word id() const { return id_; }
+
+  /// One-time: bind the trusted bridge identity allowed to post results
+  /// and the policy contract that is the permission source of truth.
+  bool init(Word caller, Word bridge, Word policy_contract_id);
+
+  /// Submit a request. Reverts unless the policy contract (read
+  /// on-chain via SXLOAD) grants the caller compute permission on
+  /// `dataset`.
+  bool request(Word caller, Word request_id, Word tool, Word dataset,
+               Word param_digest);
+
+  /// Bridge posts the computed result digest (bridge identity only).
+  bool complete(Word caller, Word request_id, Word result_digest);
+
+  [[nodiscard]] RequestStatus status(Word request_id);
+  Word result(Word request_id);
+
+  /// Read the stored request fields via on-chain state (what the bridge
+  /// does when answering the oracle).
+  std::optional<AnalyticsRequest> load(Word request_id);
+
+  [[nodiscard]] std::uint64_t last_gas() const { return last_gas_; }
+
+ private:
+  std::optional<vm::ExecResult> invoke(Word caller,
+                                       std::vector<Word> calldata);
+
+  vm::ContractStore& store_;
+  Word id_;
+  std::uint64_t last_gas_ = 0;
+};
+
+}  // namespace mc::contracts

@@ -1,0 +1,60 @@
+// Clinical-trial contract (paper §III.B, Fig. 4's third request category).
+//
+// Implements on-chain what COMPare did by hand: a trial pre-registers its
+// protocol digest and primary outcome before enrollment; the final report
+// is compared against that commitment, making outcome switching (reported
+// in only 9/67 trials done correctly) mechanically detectable. Enrollment
+// is recorded per patient so recruitment is auditable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "contracts/abi.hpp"
+#include "vm/contract_store.hpp"
+
+namespace mc::contracts {
+
+class TrialContract {
+ public:
+  static const char* source();
+  static const Bytes& bytecode();
+
+  TrialContract(vm::ContractStore& store, Word deployer, std::uint64_t height);
+  TrialContract(vm::ContractStore& store, Word contract_id);
+
+  [[nodiscard]] Word id() const { return id_; }
+
+  /// Pre-register trial with protocol digest + committed primary outcome.
+  bool register_trial(Word caller, Word trial, Word protocol_digest,
+                      Word primary_outcome);
+
+  /// Enroll a patient; reverts if the trial is unregistered or the
+  /// patient is already enrolled.
+  bool enroll(Word caller, Word trial, Word patient);
+
+  /// Sponsor reports results for an outcome id (owner only).
+  bool report(Word caller, Word trial, Word outcome, Word result_digest);
+
+  /// 1 when the reported outcome matches the pre-registered primary
+  /// outcome (no outcome switching); 0 otherwise or before reporting.
+  bool verify_outcome(Word trial);
+
+  /// Number of enrolled patients.
+  Word enrollment(Word trial);
+
+  /// Pre-registered protocol digest (0 when unregistered).
+  Word protocol_digest(Word trial);
+
+  [[nodiscard]] std::uint64_t last_gas() const { return last_gas_; }
+
+ private:
+  std::optional<vm::ExecResult> invoke(Word caller,
+                                       std::vector<Word> calldata);
+
+  vm::ContractStore& store_;
+  Word id_;
+  std::uint64_t last_gas_ = 0;
+};
+
+}  // namespace mc::contracts

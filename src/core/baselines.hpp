@@ -1,0 +1,56 @@
+// Analytic cost models comparing execution architectures (Figure 1 and
+// the §I baseline discussion). Used by bench_f1 and bench_f5 to sweep
+// node counts and data sizes far beyond what live execution would allow.
+//
+// Three architectures over the same workload (T analytics tasks, one per
+// data site, each needing F flops over B bytes of site data):
+//   * Duplicated  — classic smart contract: every one of the N chain
+//     nodes executes all T tasks (and must fetch every dataset it does
+//     not host). Wall time ~ T*F/rate; total work N*T*F.
+//   * Transformed — this paper: each task runs once, at its data site,
+//     in parallel. Wall ~ max_site F/rate; total work T*F; only results
+//     (negligible bytes) move.
+//   * Centralized — move-data-to-compute (Hadoop-style ingest): all
+//     bytes ship to one center first, then compute (possibly with a
+//     center speedup factor). Wall ~ transfer + T*F/center_rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/network.hpp"
+
+namespace mc::core {
+
+struct ArchWorkload {
+  std::size_t sites = 8;               ///< data sites == tasks
+  std::size_t chain_nodes = 8;         ///< replicating nodes (duplicated mode)
+  double flops_per_task = 5e9;
+  std::uint64_t bytes_per_dataset = 500ull << 20;  ///< 500 MiB per site
+  double site_flops_per_s = 2e10;      ///< one site's compute rate
+  double center_flops_per_s = 8e10;    ///< trusted hub's compute rate
+  std::uint64_t result_bytes = 64 << 10;  ///< per-task result payload
+  double wan_bytes_per_s = 125e6;      ///< 1 Gbit/s effective WAN
+  sim::EnergyCostModel energy;
+};
+
+struct ArchReport {
+  std::string mode;
+  double makespan_s = 0;
+  double total_compute_flops = 0;
+  std::uint64_t bytes_moved = 0;
+  double energy_j = 0;
+  /// Useful work fraction: flops that had to happen once / flops spent.
+  double useful_fraction = 0;
+};
+
+ArchReport run_duplicated(const ArchWorkload& w);
+ArchReport run_transformed(const ArchWorkload& w);
+ArchReport run_centralized(const ArchWorkload& w);
+
+/// All three, same order as above (bench convenience).
+std::vector<ArchReport> compare_architectures(const ArchWorkload& w);
+
+}  // namespace mc::core

@@ -1,0 +1,38 @@
+#include "core/compose.hpp"
+
+namespace mc::core {
+
+std::vector<std::vector<double>> compose_rows(
+    const std::vector<LocalTaskResult>& results) {
+  std::vector<std::vector<double>> out;
+  for (const auto& r : results)
+    out.insert(out.end(), r.rows.begin(), r.rows.end());
+  return out;
+}
+
+med::Aggregate compose_aggregate(
+    const std::vector<LocalTaskResult>& results) {
+  med::Aggregate merged;
+  for (const auto& r : results) merged.merge(r.aggregate);
+  return merged;
+}
+
+std::vector<double> compose_parameters(
+    const std::vector<LocalTaskResult>& results) {
+  std::vector<double> average;
+  double total_weight = 0;
+  for (const auto& r : results) {
+    if (!r.executed || r.model_params.empty() || r.sample_weight <= 0)
+      continue;
+    if (average.empty()) average.assign(r.model_params.size(), 0.0);
+    if (average.size() != r.model_params.size()) continue;  // shape mismatch
+    for (std::size_t i = 0; i < average.size(); ++i)
+      average[i] += r.sample_weight * r.model_params[i];
+    total_weight += r.sample_weight;
+  }
+  if (total_weight > 0)
+    for (auto& v : average) v /= total_weight;
+  return average;
+}
+
+}  // namespace mc::core

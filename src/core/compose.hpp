@@ -1,0 +1,24 @@
+// Composition of per-site results into the global answer (the "data
+// service" stage of Figures 5/6: "the models will be composed and
+// optimally updated by global data services before returning to users").
+#pragma once
+
+#include <vector>
+
+#include "core/local_system.hpp"
+
+namespace mc::core {
+
+/// Concatenate retrieved rows across sites.
+std::vector<std::vector<double>> compose_rows(
+    const std::vector<LocalTaskResult>& results);
+
+/// Merge streaming aggregates exactly.
+med::Aggregate compose_aggregate(const std::vector<LocalTaskResult>& results);
+
+/// Sample-weighted parameter average (the FedAvg server step).
+/// Empty when no site returned parameters.
+std::vector<double> compose_parameters(
+    const std::vector<LocalTaskResult>& results);
+
+}  // namespace mc::core

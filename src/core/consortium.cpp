@@ -1,0 +1,109 @@
+#include "core/consortium.hpp"
+
+#include <stdexcept>
+
+namespace mc::core {
+
+Consortium::Consortium(ConsortiumConfig config)
+    : config_(std::move(config)),
+      admin_(crypto::key_from_seed(config_.chain_tag + "-admin")) {
+  if (config_.members == 0)
+    throw std::invalid_argument("consortium needs at least one member");
+
+  chain::ChainParams params = config_.params;
+  params.consensus = chain::ConsensusKind::Pbft;
+  params.premine = config_.premine;
+  params.premine.emplace_back(crypto::address_of(admin_.pub),
+                              chain::Amount{10'000'000'000ULL});
+
+  const chain::Block genesis =
+      chain::make_genesis(config_.chain_tag, params.pow_target);
+  for (std::size_t i = 0; i < config_.members; ++i) {
+    auto member = std::make_unique<Member>();
+    member->hook = std::make_unique<chain::VmExecutionHook>(member->store);
+    member->node = std::make_unique<chain::Node>(
+        crypto::key_from_seed(config_.chain_tag + "-member-" +
+                              std::to_string(i)),
+        params, genesis, member->hook.get());
+    members_.push_back(std::move(member));
+  }
+}
+
+CommitResult Consortium::commit(const std::vector<chain::Transaction>& txs) {
+  CommitResult result;
+  result.txs = txs.size();
+
+  chain::Node& proposer = members_[next_proposer_]->node.operator*();
+  next_proposer_ = (next_proposer_ + 1) % members_.size();
+  clock_ms_ += 1'000;
+
+  for (const auto& tx : txs) {
+    if (!proposer.submit(tx)) {
+      result.error = "proposer rejected transaction";
+      return result;
+    }
+  }
+  const chain::Block block = proposer.propose(clock_ms_);
+  if (block.txs.size() != txs.size()) {
+    result.error = "proposer dropped transactions (mempool selection)";
+    // Clear the stragglers so later blocks don't resurrect them.
+    proposer.mempool().clear();
+    return result;
+  }
+
+  for (auto& member : members_) {
+    const chain::BlockVerdict verdict = member->node->receive(block);
+    if (verdict != chain::BlockVerdict::Accepted) {
+      result.error = "block rejected by a member";
+      proposer.mempool().clear();
+      return result;
+    }
+  }
+  result.ok = true;
+  result.height = proposer.height();
+  return result;
+}
+
+std::optional<vm::Word> Consortium::deploy_contract(
+    const crypto::PrivateKey& from, Bytes bytecode) {
+  const chain::Transaction tx =
+      chain::make_deploy(from, std::move(bytecode), nonce_of(from));
+  const chain::TxId id = tx.id();
+  if (!commit({tx}).ok) return std::nullopt;
+  return members_[0]->hook->contract_id_of(id);
+}
+
+CommitResult Consortium::call_contract(const crypto::PrivateKey& from,
+                                       vm::Word contract_id,
+                                       std::vector<vm::Word> calldata) {
+  return commit({chain::make_call(from, contract_id, std::move(calldata),
+                                  nonce_of(from))});
+}
+
+std::uint64_t Consortium::nonce_of(const crypto::PrivateKey& key) const {
+  return members_[0]->node->state().nonce(crypto::address_of(key.pub));
+}
+
+chain::Height Consortium::height() const {
+  return members_[0]->node->height();
+}
+
+bool Consortium::in_consensus() const {
+  const Hash256 ledger = members_[0]->node->state().digest();
+  const Hash256 contracts = members_[0]->store.digest();
+  for (const auto& member : members_) {
+    if (member->node->state().digest() != ledger) return false;
+    if (member->store.digest() != contracts) return false;
+    if (member->node->tip() != members_[0]->node->tip()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Consortium::total_executions() const {
+  std::uint64_t total = 0;
+  for (const auto& member : members_)
+    total += member->node->counters().txs_executed;
+  return total;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,121 @@
+#include "core/local_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mc::core {
+
+LocalSystem::LocalSystem(std::string name,
+                         std::vector<med::CommonRecord> records)
+    : name_(std::move(name)), records_(std::move(records)) {
+  for (const auto& record : records_) {
+    const auto features = med::features_of(record);
+    for (std::size_t f = 0; f < med::kFeatureCount; ++f) {
+      if (std::isnan(features[f])) continue;
+      stats_[f].min = std::min(stats_[f].min, features[f]);
+      stats_[f].max = std::max(stats_[f].max, features[f]);
+    }
+  }
+}
+
+bool LocalSystem::can_match(const med::Query& query) const {
+  if (records_.empty()) return false;
+  for (const auto& range : query.where) {
+    for (std::size_t f = 0; f < med::kFeatureCount; ++f) {
+      if (med::kFeatureNames[f] != range.field) continue;
+      if (stats_[f].min > stats_[f].max) return false;  // field all-NaN
+      if (range.max < stats_[f].min || range.min > stats_[f].max)
+        return false;  // disjoint ranges: no record can match
+    }
+  }
+  return true;
+}
+
+std::size_t LocalSystem::matching(const med::Query& query) const {
+  std::size_t count = 0;
+  for (const auto& record : records_)
+    if (med::matches(record, query)) ++count;
+  return count;
+}
+
+learn::DataSet LocalSystem::cohort_dataset(
+    const learn::QueryVector& qv) const {
+  std::vector<med::CommonRecord> cohort;
+  for (const auto& record : records_)
+    if (med::matches(record, qv.cohort)) cohort.push_back(record);
+  return learn::dataset_from_records(cohort, qv.label);
+}
+
+LocalTaskResult LocalSystem::execute(const learn::QueryVector& qv,
+                                     const std::vector<double>* global_params,
+                                     const learn::SgdConfig& sgd,
+                                     std::size_t hidden_dim) const {
+  LocalTaskResult result;
+  result.site = name_;
+  result.executed = true;
+  const std::uint64_t flops_before = learn::FlopCounter::value();
+
+  switch (qv.task) {
+    case learn::TaskKind::RetrieveData: {
+      if (qv.requested_schema.has_value()) {
+        // Return matching records re-encoded in the caller's schema
+        // vocabulary (§IV: results in the user's requested format).
+        for (const auto& record : records_) {
+          ++result.rows_scanned;
+          if (!med::matches(record, qv.cohort)) continue;
+          ++result.rows_matched;
+          result.schema_rows.push_back(
+              med::denormalize(record, *qv.requested_schema, ""));
+        }
+        for (const auto& row : result.schema_rows)
+          result.result_bytes += row.fields.size() * 2 * sizeof(double);
+        break;
+      }
+      med::QueryStats stats;
+      result.rows = med::run_query(records_, qv.cohort, &stats);
+      result.rows_scanned = stats.rows_scanned;
+      result.rows_matched = stats.rows_matched;
+      result.result_bytes =
+          result.rows.size() * qv.cohort.select.size() * sizeof(double);
+      break;
+    }
+    case learn::TaskKind::AggregateStats: {
+      result.aggregate =
+          med::aggregate_field(records_, qv.cohort, qv.aggregate_field);
+      result.rows_scanned = records_.size();
+      result.rows_matched = result.aggregate.count;
+      result.result_bytes = 3 * sizeof(double);  // count, mean, m2
+      break;
+    }
+    case learn::TaskKind::TrainModel: {
+      const learn::DataSet local = cohort_dataset(qv);
+      result.rows_scanned = records_.size();
+      result.rows_matched = local.size();
+      result.sample_weight = static_cast<double>(local.size());
+      if (local.size() == 0) {
+        result.executed = false;
+        break;
+      }
+      if (qv.model == learn::ModelKind::Logistic) {
+        learn::LogisticModel model(local.dim());
+        if (global_params != nullptr && !global_params->empty())
+          model.set_parameters(*global_params);
+        model.train(local, sgd);
+        result.model_params = model.parameters();
+      } else {
+        learn::Mlp model(local.dim(), hidden_dim, sgd.seed);
+        if (global_params != nullptr && !global_params->empty())
+          model.set_parameters(*global_params);
+        model.train(local, sgd);
+        result.model_params = model.parameters();
+      }
+      result.result_bytes = result.model_params.size() * sizeof(double);
+      break;
+    }
+  }
+
+  result.flops = learn::FlopCounter::value() - flops_before;
+  return result;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,88 @@
+// Local transformed blockchain system (paper Figure 6).
+//
+// One per hosting site. Holds the site's integrated common-format
+// records (the data never leaves), maps incoming query vectors onto
+// local analytics execution, and returns only results: projected rows,
+// mergeable aggregates, or locally-trained model parameters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "learn/logistic.hpp"
+#include "learn/mlp.hpp"
+#include "learn/query_vector.hpp"
+#include "med/query.hpp"
+
+namespace mc::core {
+
+/// What a site sends back — never raw records unless explicitly queried
+/// (and then only the projected fields of consented cohorts).
+struct LocalTaskResult {
+  std::string site;
+  bool executed = false;
+
+  std::vector<std::vector<double>> rows;  ///< RetrieveData (projection)
+  std::vector<med::RawRow> schema_rows;   ///< RetrieveData (requested schema)
+  med::Aggregate aggregate;               ///< AggregateStats
+  std::vector<double> model_params;       ///< TrainModel local update
+  double sample_weight = 0;               ///< local matching sample count
+
+  std::uint64_t flops = 0;
+  std::uint64_t result_bytes = 0;  ///< bytes that crossed the site boundary
+  std::size_t rows_scanned = 0;
+  std::size_t rows_matched = 0;
+};
+
+class LocalSystem {
+ public:
+  LocalSystem(std::string name, std::vector<med::CommonRecord> records);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  [[nodiscard]] const std::vector<med::CommonRecord>& records() const {
+    return records_;
+  }
+
+  /// Execute one decomposed query-vector task against local data.
+  /// For TrainModel, `global_params` (if any) seeds the local model and
+  /// `hidden_dim` shapes the MLP variant.
+  LocalTaskResult execute(const learn::QueryVector& qv,
+                          const std::vector<double>* global_params,
+                          const learn::SgdConfig& sgd,
+                          std::size_t hidden_dim = 16) const;
+
+  /// Cohort rows matching the query's WHERE clause (testing support).
+  [[nodiscard]] std::size_t matching(const med::Query& query) const;
+
+  /// Per-field [min,max] over this site's records — the site statistics
+  /// the global query service uses to prune sites that cannot possibly
+  /// match a query (paper §IV: return "optimal data retrieved", and §V:
+  /// "optimized query vector" decomposition).
+  struct FieldStats {
+    double min = 1e300;
+    double max = -1e300;
+  };
+  [[nodiscard]] const std::array<FieldStats, med::kFeatureCount>& stats()
+      const {
+    return stats_;
+  }
+
+  /// False when some predicate's range cannot intersect this site's
+  /// data (conservative: unknown fields never prune).
+  [[nodiscard]] bool can_match(const med::Query& query) const;
+
+ private:
+  /// Dataset filtered to the query cohort, for the selected label.
+  [[nodiscard]] learn::DataSet cohort_dataset(
+      const learn::QueryVector& qv) const;
+
+  std::string name_;
+  std::vector<med::CommonRecord> records_;
+  std::array<FieldStats, med::kFeatureCount> stats_{};
+};
+
+}  // namespace mc::core

@@ -1,0 +1,47 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mc::core {
+
+Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
+  Schedule out;
+  for (const auto& task : tasks) {
+    if (task.data_site >= sites_.size())
+      throw std::out_of_range("task names unknown data site");
+    SchedSite& local = sites_[task.data_site];
+
+    // Option A: run at the data (no transfer).
+    const double local_start = local.busy_until_s;
+    const double local_finish = local_start + task.flops / local.flops_per_s;
+
+    // Option B: ship to the hub, then compute there.
+    const double transfer = static_cast<double>(task.data_bytes) / wan_bps_;
+    const double hub_start = std::max(hub_.busy_until_s, transfer);
+    const double hub_finish = hub_start + task.flops / hub_.flops_per_s;
+
+    Placement placement;
+    placement.task_id = task.id;
+    const bool choose_local = !task.hub_only && local_finish <= hub_finish;
+    if (choose_local) {
+      placement.at_data = true;
+      placement.start_s = local_start;
+      placement.finish_s = local_finish;
+      local.busy_until_s = local_finish;
+    } else {
+      placement.at_data = false;
+      placement.start_s = hub_start;
+      placement.finish_s = hub_finish;
+      placement.bytes_moved = task.data_bytes;
+      hub_.busy_until_s = hub_finish;
+      ++out.moved_to_hub;
+      out.total_bytes_moved += task.data_bytes;
+    }
+    out.makespan_s = std::max(out.makespan_s, placement.finish_s);
+    out.placements.push_back(std::move(placement));
+  }
+  return out;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,135 @@
+#include "core/transform.hpp"
+
+#include <stdexcept>
+
+#include "med/anchor.hpp"
+#include "med/linkage.hpp"
+
+namespace mc::core {
+namespace {
+
+constexpr contracts::Word kBridgeIdentity = 0xb21d6e;
+
+/// A site's own records in the common data format: normalize its raw
+/// export and integrate within the site (imputation fills what the
+/// site's schema cannot carry).
+std::vector<med::CommonRecord> site_local_view(
+    const med::SiteDataset& dataset) {
+  med::RecordLinker linker;
+  linker.add_site(dataset.export_rows(), dataset.config().schema);
+  return linker.integrate();
+}
+
+}  // namespace
+
+TransformedNetwork::TransformedNetwork(TransformedNetworkConfig config)
+    : config_(std::move(config)) {
+  // --- data plane: cohort + federated sites ---
+  const auto cohort = med::generate_cohort(config_.cohort);
+  federation_ = med::build_federation(cohort, config_.federation);
+  locals_.reserve(federation_.sites.size());
+  for (const auto& dataset : federation_.sites)
+    locals_.emplace_back(dataset.config().name, site_local_view(dataset));
+
+  // --- chain plane: deploy the contract suite ---
+  constexpr std::uint64_t kDeployHeight = 1;
+  const contracts::Word deployer = fnv1a("consortium-genesis");
+  policy_ = std::make_unique<contracts::PolicyContract>(store_, deployer,
+                                                        kDeployHeight);
+  registry_ = std::make_unique<contracts::RegistryContract>(store_, deployer,
+                                                            kDeployHeight);
+  analytics_ = std::make_unique<contracts::AnalyticsContract>(
+      store_, deployer, kDeployHeight);
+  trial_ = std::make_unique<contracts::TrialContract>(store_, deployer,
+                                                      kDeployHeight);
+  analytics_->init(deployer, kBridgeIdentity, policy_->id());
+
+  monitor_ = std::make_unique<oracle::MonitorNode>(store_);
+  bridge_ = std::make_unique<oracle::OffchainBridge>(
+      *analytics_, *policy_, *monitor_, kBridgeIdentity);
+
+  // --- register + anchor every site dataset on-chain ---
+  for (const auto& dataset : federation_.sites) {
+    const contracts::Word owner = fnv1a(dataset.config().name);
+    policy_->register_dataset(owner, med::dataset_word(dataset));
+    med::anchor_dataset(*registry_, owner, dataset);
+  }
+
+  // --- query plane ---
+  std::vector<const LocalSystem*> site_ptrs;
+  site_ptrs.reserve(locals_.size());
+  for (const auto& local : locals_) site_ptrs.push_back(&local);
+  ChainGate gate;
+  gate.policy = policy_.get();
+  gate.analytics = analytics_.get();
+  gate.bridge = bridge_.get();
+  gate.requester = config_.researcher;
+  service_ = std::make_unique<GlobalQueryService>(std::move(site_ptrs),
+                                                  config_.query, gate);
+}
+
+const med::SiteDataset* TransformedNetwork::find_site(
+    const std::string& name) const {
+  for (const auto& dataset : federation_.sites)
+    if (dataset.config().name == name) return &dataset;
+  return nullptr;
+}
+
+std::optional<QueryExecution> TransformedNetwork::query_text(
+    const std::string& text) {
+  return service_->submit_text(text);
+}
+
+QueryExecution TransformedNetwork::query(const learn::QueryVector& qv) {
+  return service_->submit(qv);
+}
+
+bool TransformedNetwork::grant_researcher(const std::string& site_name,
+                                          vm::Word perm) {
+  const med::SiteDataset* dataset = find_site(site_name);
+  if (dataset == nullptr) return false;
+  const contracts::Word owner = fnv1a(site_name);
+  return policy_->grant(owner, med::dataset_word(*dataset),
+                        config_.researcher, perm);
+}
+
+void TransformedNetwork::grant_researcher_everywhere() {
+  for (const auto& dataset : federation_.sites)
+    grant_researcher(dataset.config().name,
+                     contracts::kPermRead | contracts::kPermCompute);
+}
+
+bool TransformedNetwork::revoke_researcher(const std::string& site_name) {
+  const med::SiteDataset* dataset = find_site(site_name);
+  if (dataset == nullptr) return false;
+  const contracts::Word owner = fnv1a(site_name);
+  return policy_->revoke(owner, med::dataset_word(*dataset),
+                         config_.researcher);
+}
+
+med::AuditResult TransformedNetwork::audit_site(const std::string& site_name) {
+  const med::SiteDataset* dataset = find_site(site_name);
+  if (dataset == nullptr)
+    throw std::invalid_argument("unknown site: " + site_name);
+  return med::audit_dataset(*registry_, *dataset);
+}
+
+bool TransformedNetwork::refresh_site_anchor(const std::string& site_name) {
+  const med::SiteDataset* dataset = find_site(site_name);
+  if (dataset == nullptr) return false;
+  return med::refresh_anchor(*registry_, fnv1a(site_name), *dataset);
+}
+
+const std::vector<med::CommonRecord>& TransformedNetwork::core_dataset(
+    med::IntegrationReport* report) {
+  if (!core_built_ || report != nullptr) {
+    med::RecordLinker linker;
+    for (const auto& dataset : federation_.sites)
+      linker.add_site(dataset.export_rows(), dataset.config().schema);
+    core_cache_ = linker.integrate(report);
+    core_built_ = true;
+  }
+  return core_cache_;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,115 @@
+// TransformedNetwork: the paper's full system in one object.
+//
+// Wires every layer of Figures 1-6 together: a synthetic federation of
+// hospital / wearable / genome sites (each a LocalSystem hosting its own
+// data), a consortium contract state with the policy / registry /
+// analytics / trial contracts deployed, a monitor node and off-chain
+// bridge, dataset anchoring, and the global query service on top. This
+// is the primary public API; see examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/registry.hpp"
+#include "contracts/trial.hpp"
+#include "core/global_query.hpp"
+#include "core/local_system.hpp"
+#include "hie/audit.hpp"
+#include "hie/consent.hpp"
+#include "med/anchor.hpp"
+#include "med/dataset.hpp"
+#include "med/linkage.hpp"
+#include "oracle/bridge.hpp"
+#include "oracle/monitor.hpp"
+#include "vm/contract_store.hpp"
+
+namespace mc::core {
+
+struct TransformedNetworkConfig {
+  med::CohortConfig cohort;
+  med::FederationConfig federation;
+  GlobalQueryConfig query;
+  /// Identity (word) of the researcher submitting queries.
+  contracts::Word researcher = fnv1a("researcher-alice");
+};
+
+class TransformedNetwork {
+ public:
+  explicit TransformedNetwork(TransformedNetworkConfig config = {});
+
+  // --- querying (Figure 5 top layer) ---
+  /// NLP-lite entry point; nullopt when the text doesn't parse.
+  std::optional<QueryExecution> query_text(const std::string& text);
+  QueryExecution query(const learn::QueryVector& qv);
+
+  // --- policy management ---
+  /// Grant the configured researcher `perm` on one site's dataset.
+  bool grant_researcher(const std::string& site_name, vm::Word perm);
+  /// Grant compute permission on every site (convenience for examples).
+  void grant_researcher_everywhere();
+  bool revoke_researcher(const std::string& site_name);
+
+  // --- integrity ---
+  /// Audit one site's live data against its on-chain anchor.
+  med::AuditResult audit_site(const std::string& site_name);
+  /// Re-anchor after legitimate appends (owner operation).
+  bool refresh_site_anchor(const std::string& site_name);
+
+  // --- accessors ---
+  [[nodiscard]] const std::vector<med::SiteDataset>& site_datasets() const {
+    return federation_.sites;
+  }
+  [[nodiscard]] med::SiteDataset& mutable_site_dataset(std::size_t i) {
+    return federation_.sites.at(i);
+  }
+  [[nodiscard]] const std::vector<LocalSystem>& local_systems() const {
+    return locals_;
+  }
+  [[nodiscard]] vm::ContractStore& chain() { return store_; }
+  [[nodiscard]] contracts::PolicyContract& policy() { return *policy_; }
+  [[nodiscard]] contracts::RegistryContract& registry() { return *registry_; }
+  [[nodiscard]] contracts::AnalyticsContract& analytics() {
+    return *analytics_;
+  }
+  [[nodiscard]] contracts::TrialContract& trial_contract() { return *trial_; }
+  [[nodiscard]] oracle::MonitorNode& monitor() { return *monitor_; }
+  [[nodiscard]] hie::AuditLog& audit_log() { return audit_; }
+  [[nodiscard]] hie::ConsentManager& consent() { return consent_; }
+  [[nodiscard]] contracts::Word researcher() const {
+    return config_.researcher;
+  }
+
+  /// The integrated virtual core dataset across every site (Fig. 3):
+  /// built on demand, cached.
+  const std::vector<med::CommonRecord>& core_dataset(
+      med::IntegrationReport* report = nullptr);
+
+ private:
+  const med::SiteDataset* find_site(const std::string& name) const;
+
+  TransformedNetworkConfig config_;
+  med::Federation federation_;
+  std::vector<LocalSystem> locals_;
+
+  vm::ContractStore store_;
+  std::unique_ptr<contracts::PolicyContract> policy_;
+  std::unique_ptr<contracts::RegistryContract> registry_;
+  std::unique_ptr<contracts::AnalyticsContract> analytics_;
+  std::unique_ptr<contracts::TrialContract> trial_;
+  std::unique_ptr<oracle::MonitorNode> monitor_;
+  std::unique_ptr<oracle::OffchainBridge> bridge_;
+  std::unique_ptr<GlobalQueryService> service_;
+
+  hie::AuditLog audit_;
+  hie::ConsentManager consent_;
+
+  std::vector<med::CommonRecord> core_cache_;
+  bool core_built_ = false;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,41 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mc::crypto {
+
+Hash256 hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Hash256 kh = sha256(key);
+    std::copy(kh.data.begin(), kh.data.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad));
+  inner.update(data);
+  const Hash256 inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(BytesView(opad));
+  outer.update(BytesView(inner_digest.data));
+  return outer.finalize();
+}
+
+Hash256 derive_key(BytesView key, std::string_view label) {
+  Bytes msg = to_bytes(label);
+  msg.push_back(0x01);
+  return hmac_sha256(key, msg);
+}
+
+}  // namespace mc::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104) — message authentication for off-chain RPC
+// envelopes and key derivation for exchange sessions.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::crypto {
+
+/// HMAC-SHA256 over `data` with `key`.
+Hash256 hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-style single-block derivation: HMAC(key, label || 0x01).
+/// Sufficient for deriving per-session cipher keys in this simulation.
+Hash256 derive_key(BytesView key, std::string_view label);
+
+}  // namespace mc::crypto

@@ -1,0 +1,65 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace mc::crypto {
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash256{};
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(sha256_pair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) throw std::out_of_range("merkle proof index");
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    MerkleStep step;
+    step.sibling_on_right = (i % 2 == 0);
+    // Duplicated last node when the level is odd-sized.
+    step.sibling = (sibling < nodes.size()) ? nodes[sibling] : nodes[i];
+    proof.push_back(step);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& leaf, std::size_t index,
+                        const MerkleProof& proof, const Hash256& root) {
+  Hash256 acc = leaf;
+  std::size_t i = index;
+  for (const auto& step : proof) {
+    acc = step.sibling_on_right ? sha256_pair(acc, step.sibling)
+                                : sha256_pair(step.sibling, acc);
+    i /= 2;
+  }
+  (void)i;
+  return acc == root;
+}
+
+Hash256 merkle_root_of(const std::vector<Bytes>& leaves) {
+  std::vector<Hash256> digests;
+  digests.reserve(leaves.size());
+  for (const auto& l : leaves) digests.push_back(sha256(BytesView(l)));
+  return MerkleTree(std::move(digests)).root();
+}
+
+}  // namespace mc::crypto

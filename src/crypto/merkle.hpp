@@ -1,0 +1,50 @@
+// Merkle trees over SHA-256 — transaction commitment in blocks and
+// record-level anchoring of off-chain medical datasets (§III.A of the
+// paper, after Irving & Holden's data-integrity anchoring scheme).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::crypto {
+
+/// One step of a Merkle inclusion proof.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_right = false;  ///< true if sibling is the right child
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Immutable Merkle tree built over a list of leaf digests.
+///
+/// Odd levels duplicate the last node (Bitcoin convention); the empty tree
+/// has the all-zero root.
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] const Hash256& root() const { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for the leaf at `index`; index must be < leaf_count().
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Verify that `leaf` at `index` is included under `root`.
+  static bool verify(const Hash256& leaf, std::size_t index,
+                     const MerkleProof& proof, const Hash256& root);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_;
+  std::size_t leaf_count_ = 0;
+};
+
+/// Root over raw byte leaves (hashes each leaf with SHA-256 first).
+Hash256 merkle_root_of(const std::vector<Bytes>& leaves);
+
+}  // namespace mc::crypto

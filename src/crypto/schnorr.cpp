@@ -1,0 +1,127 @@
+#include "crypto/schnorr.hpp"
+
+#include <cstring>
+
+#include "common/hex.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for all 64-bit integers.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Reduce a digest to an exponent in [0, q).
+std::uint64_t digest_mod_q(const Hash256& h) {
+  return h.prefix_u64() % SchnorrGroup::q;
+}
+
+}  // namespace
+
+PrivateKey generate_key(Rng& rng) {
+  PrivateKey key;
+  key.x = 1 + rng.uniform(SchnorrGroup::q - 1);
+  key.pub.y = powmod(SchnorrGroup::g, key.x, SchnorrGroup::p);
+  return key;
+}
+
+PrivateKey key_from_seed(std::string_view seed) {
+  const Hash256 h = sha256(seed);
+  PrivateKey key;
+  key.x = 1 + h.prefix_u64() % (SchnorrGroup::q - 1);
+  key.pub.y = powmod(SchnorrGroup::g, key.x, SchnorrGroup::p);
+  return key;
+}
+
+Signature sign(const PrivateKey& key, BytesView message) {
+  // Deterministic nonce k = H(x || msg) mod q (RFC 6979 in spirit):
+  // removes nonce-reuse hazards and keeps simulations reproducible.
+  Sha256 nonce_ctx;
+  nonce_ctx.update(as_bytes_view(key.x));
+  nonce_ctx.update(message);
+  std::uint64_t k = digest_mod_q(nonce_ctx.finalize());
+  if (k == 0) k = 1;
+
+  const std::uint64_t r = powmod(SchnorrGroup::g, k, SchnorrGroup::p);
+
+  Sha256 chal_ctx;
+  chal_ctx.update(as_bytes_view(r));
+  chal_ctx.update(message);
+  const std::uint64_t e = digest_mod_q(chal_ctx.finalize());
+
+  // s = k - x*e mod q
+  const std::uint64_t xe = mulmod(key.x, e, SchnorrGroup::q);
+  const std::uint64_t s = (k + SchnorrGroup::q - xe) % SchnorrGroup::q;
+
+  return Signature{e, s};
+}
+
+bool verify(const PublicKey& key, BytesView message, const Signature& sig) {
+  if (sig.e >= SchnorrGroup::q || sig.s >= SchnorrGroup::q) return false;
+  if (key.y == 0 || key.y == 1 || key.y >= SchnorrGroup::p) return false;
+  // r' = g^s * y^e mod p; valid iff H(r' || msg) == e.
+  const std::uint64_t gs = powmod(SchnorrGroup::g, sig.s, SchnorrGroup::p);
+  const std::uint64_t ye = powmod(key.y, sig.e, SchnorrGroup::p);
+  const std::uint64_t r = mulmod(gs, ye, SchnorrGroup::p);
+
+  Sha256 chal_ctx;
+  chal_ctx.update(as_bytes_view(r));
+  chal_ctx.update(message);
+  return digest_mod_q(chal_ctx.finalize()) == sig.e;
+}
+
+Address address_of(const PublicKey& key) {
+  const Hash256 h = sha256(as_bytes_view(key.y));
+  Address a;
+  std::memcpy(a.data.data(), h.data.data(), a.data.size());
+  return a;
+}
+
+std::string to_hex(const Address& a) { return mc::to_hex(BytesView(a.data)); }
+
+}  // namespace mc::crypto

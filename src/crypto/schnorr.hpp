@@ -1,0 +1,96 @@
+// Schnorr signatures over a prime-order subgroup of Z_p* (simulation grade).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §5): production blockchains use
+// secp256k1; we implement the *real* Schnorr construction but over a 61-bit
+// safe-prime group so all arithmetic fits in __int128. Every protocol path
+// (key generation, signing, verification, tamper detection) is exercised
+// identically; the reduced parameter size only weakens brute-force cost,
+// which is irrelevant to the architecture experiments. Do NOT use for real
+// security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace mc::crypto {
+
+/// Group parameters: p = 2q + 1 (safe prime), g generates the order-q
+/// subgroup of Z_p*. Verified prime in tests via Miller-Rabin.
+struct SchnorrGroup {
+  static constexpr std::uint64_t p = 2305843009213699919ULL;
+  static constexpr std::uint64_t q = 1152921504606849959ULL;
+  static constexpr std::uint64_t g = 4ULL;
+};
+
+/// (a * b) mod m for 64-bit operands via 128-bit intermediate.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// (base ^ exp) mod m, square-and-multiply.
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+/// Deterministic Miller-Rabin primality for 64-bit integers.
+bool is_prime_u64(std::uint64_t n);
+
+struct PublicKey {
+  std::uint64_t y = 0;  ///< g^x mod p
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+struct PrivateKey {
+  std::uint64_t x = 0;  ///< secret exponent in [1, q)
+  PublicKey pub;
+};
+
+struct Signature {
+  std::uint64_t e = 0;  ///< challenge = H(r || msg) mod q
+  std::uint64_t s = 0;  ///< response  = k - x*e mod q
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Generate a key pair from the caller's deterministic RNG.
+PrivateKey generate_key(Rng& rng);
+
+/// Derive a key pair from a seed string (stable identities in tests/sims).
+PrivateKey key_from_seed(std::string_view seed);
+
+/// Classic Schnorr signature with hash-derived (deterministic) nonce.
+Signature sign(const PrivateKey& key, BytesView message);
+
+/// Verify a signature against a public key.
+bool verify(const PublicKey& key, BytesView message, const Signature& sig);
+
+/// Compact 20-byte account address derived from the public key.
+struct Address {
+  std::array<std::uint8_t, 20> data{};
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : data)
+      if (b != 0) return false;
+    return true;
+  }
+};
+
+Address address_of(const PublicKey& key);
+std::string to_hex(const Address& a);
+
+}  // namespace mc::crypto
+
+template <>
+struct std::hash<mc::crypto::Address> {
+  std::size_t operator()(const mc::crypto::Address& a) const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, a.data.data(), sizeof v);
+    return static_cast<std::size_t>(v);
+  }
+};

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block hashing, Merkle trees, dataset anchoring and proof-of-work.
+// This is the full standard construction (real test vectors are covered in
+// tests/crypto_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace mc::crypto {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view s) { return update(str_bytes(s)); }
+
+  /// Finalizes and returns the digest; context must be reset() to reuse.
+  [[nodiscard]] Hash256 finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience digest.
+Hash256 sha256(BytesView data);
+Hash256 sha256(std::string_view s);
+
+/// Double SHA-256 (Bitcoin-style block/tx ids).
+Hash256 sha256d(BytesView data);
+
+/// Digest of the concatenation of two digests (Merkle inner nodes).
+Hash256 sha256_pair(const Hash256& a, const Hash256& b);
+
+}  // namespace mc::crypto

@@ -1,0 +1,71 @@
+#include "hie/audit.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::hie {
+
+std::string_view audit_action_name(AuditAction action) {
+  switch (action) {
+    case AuditAction::RequestReceived: return "request-received";
+    case AuditAction::ConsentChecked: return "consent-checked";
+    case AuditAction::ConsentDenied: return "consent-denied";
+    case AuditAction::RecordsReleased: return "records-released";
+    case AuditAction::RecordsReceived: return "records-received";
+    case AuditAction::TrialReportFiled: return "trial-report-filed";
+  }
+  return "unknown";
+}
+
+Bytes AuditEntry::canonical_bytes() const {
+  ByteWriter w;
+  w.u64(index);
+  w.u64(time_ms);
+  w.u8(static_cast<std::uint8_t>(action));
+  w.str(actor);
+  w.str(subject);
+  w.str(detail);
+  w.hash(prev);
+  return w.take();
+}
+
+const Hash256& AuditLog::append(std::uint64_t time_ms, AuditAction action,
+                                std::string actor, std::string subject,
+                                std::string detail) {
+  AuditEntry entry;
+  entry.index = entries_.size();
+  entry.time_ms = time_ms;
+  entry.action = action;
+  entry.actor = std::move(actor);
+  entry.subject = std::move(subject);
+  entry.detail = std::move(detail);
+  entry.prev = head_;
+  entry.self = crypto::sha256(BytesView(entry.canonical_bytes()));
+  head_ = entry.self;
+  entries_.push_back(std::move(entry));
+  return head_;
+}
+
+bool AuditLog::verify_chain() const {
+  Hash256 prev{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& e = entries_[i];
+    if (e.index != i) return false;
+    if (e.prev != prev) return false;
+    if (crypto::sha256(BytesView(e.canonical_bytes())) != e.self) return false;
+    prev = e.self;
+  }
+  return entries_.empty() ? head_.is_zero() : head_ == entries_.back().self;
+}
+
+void AuditLog::tamper_detail(std::size_t index, std::string new_detail) {
+  entries_.at(index).detail = std::move(new_detail);
+}
+
+void AuditLog::truncate(std::size_t new_size) {
+  if (new_size >= entries_.size()) return;
+  entries_.resize(new_size);
+  head_ = entries_.empty() ? Hash256{} : entries_.back().self;
+}
+
+}  // namespace mc::hie

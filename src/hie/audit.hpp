@@ -1,0 +1,76 @@
+// Hash-chained, anchorable audit log for health information exchange.
+//
+// Paper §III.B: today's HIE systems are "both opaque and un-auditable";
+// when violations occur "USA government cannot decide which involved
+// parties to blame". Every exchange event here is appended to a hash
+// chain (entry n commits to entry n-1), and the chain head can be
+// anchored on-chain — truncation, insertion and rewriting all become
+// detectable by any peer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace mc::hie {
+
+enum class AuditAction : std::uint8_t {
+  RequestReceived,
+  ConsentChecked,
+  ConsentDenied,
+  RecordsReleased,
+  RecordsReceived,
+  TrialReportFiled,
+};
+
+std::string_view audit_action_name(AuditAction action);
+
+struct AuditEntry {
+  std::uint64_t index = 0;
+  std::uint64_t time_ms = 0;
+  AuditAction action = AuditAction::RequestReceived;
+  std::string actor;    ///< organization performing the action
+  std::string subject;  ///< patient token / trial id
+  std::string detail;
+  Hash256 prev{};  ///< hash of the previous entry (chain link)
+  Hash256 self{};  ///< hash over this entry's contents + prev
+
+  [[nodiscard]] Bytes canonical_bytes() const;
+};
+
+class AuditLog {
+ public:
+  /// Append an event; returns the new chain head hash.
+  const Hash256& append(std::uint64_t time_ms, AuditAction action,
+                        std::string actor, std::string subject,
+                        std::string detail = {});
+
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Current chain head (zero hash when empty).
+  [[nodiscard]] const Hash256& head() const { return head_; }
+
+  /// Recompute every link; false if any entry was modified in place.
+  [[nodiscard]] bool verify_chain() const;
+
+  /// Verify against an externally anchored head (e.g. from the chain):
+  /// catches truncation that verify_chain alone cannot see.
+  [[nodiscard]] bool verify_against(const Hash256& anchored_head) const {
+    return verify_chain() && head_ == anchored_head;
+  }
+
+  /// Tamper helpers for the integrity experiments.
+  void tamper_detail(std::size_t index, std::string new_detail);
+  void truncate(std::size_t new_size);
+
+ private:
+  std::vector<AuditEntry> entries_;
+  Hash256 head_{};
+};
+
+}  // namespace mc::hie

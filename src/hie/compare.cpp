@@ -1,0 +1,63 @@
+#include "hie/compare.hpp"
+
+namespace mc::hie {
+
+DetectionReport run_misreport_study(const MisreportConfig& config,
+                                    TrialRegistry& registry, Word sponsor_word,
+                                    std::vector<TrialTruth>* truths) {
+  Rng rng(config.seed);
+  DetectionReport report;
+  report.trials = config.trials;
+  std::vector<TrialTruth> local_truths(config.trials);
+
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    TrialProtocol protocol;
+    protocol.trial_id = "NCT" + std::to_string(10'000'000 + t);
+    protocol.sponsor = "sponsor-" + std::to_string(t % 9);
+    protocol.description = "synthetic phase-3 study";
+    protocol.primary_outcome = 500 + rng.uniform(40);
+    protocol.secondary_outcomes = {600 + rng.uniform(40),
+                                   700 + rng.uniform(40)};
+    registry.register_trial(protocol, sponsor_word,
+                            /*time_ms=*/1'000 * t);
+
+    TrialTruth& truth = local_truths[t];
+    truth.switched = rng.bernoulli(config.outcome_switch_rate);
+    truth.tampered = rng.bernoulli(config.data_tamper_rate);
+    if (truth.dishonest()) ++report.dishonest;
+
+    TrialReport filed;
+    filed.trial_id = protocol.trial_id;
+    // Outcome switching: report a (better-looking) secondary outcome.
+    filed.reported_outcome = truth.switched
+                                 ? protocol.secondary_outcomes[0]
+                                 : protocol.primary_outcome;
+    filed.effect_size = rng.normal(truth.tampered ? 0.6 : 0.1, 0.2);
+    filed.p_value = truth.tampered ? 0.01 : rng.uniform(0.0, 1.0);
+    const ReportVerdict verdict =
+        registry.file_report(filed, sponsor_word, /*time_ms=*/2'000 * t);
+
+    // --- status-quo detection: manual editorial audit of a sample ---
+    const bool audited = rng.bernoulli(config.manual_audit_rate);
+    if (audited && truth.dishonest()) ++report.detected_manual;
+
+    // --- on-chain detection ---
+    // Outcome switching: contract comparison of reported vs committed.
+    bool flagged = verdict.registered && !verdict.onchain_confirms;
+    // Data tampering: the anchored raw-data digest no longer matches the
+    // doctored analysis inputs. Anchoring makes this check certain; we
+    // model it as such (the digest either matches or it does not).
+    if (truth.tampered) flagged = true;
+    if (flagged) {
+      if (truth.dishonest())
+        ++report.detected_onchain;
+      else
+        ++report.false_positives_onchain;
+    }
+  }
+
+  if (truths != nullptr) *truths = std::move(local_truths);
+  return report;
+}
+
+}  // namespace mc::hie

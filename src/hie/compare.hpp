@@ -1,0 +1,62 @@
+// COMPare-style misreporting study over a synthetic trial population.
+//
+// Paper §III.B cites COMPare (9 of 67 trials reported correctly) and a
+// Chinese-government figure of ~80% falsified trial data. This module
+// generates a trial population with configurable misreporting rates,
+// then measures detection under two regimes:
+//   * manual editorial audit (a fraction of trials is hand-checked —
+//     the pre-blockchain status quo), and
+//   * on-chain commitments (every report mechanically checked against
+//     the pre-registered outcome and anchored data digest).
+// bench_c5_trial_integrity sweeps the rates and prints both curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hie/trial_registry.hpp"
+
+namespace mc::hie {
+
+struct MisreportConfig {
+  std::size_t trials = 67;           ///< COMPare's sample size by default
+  double outcome_switch_rate = 0.4;  ///< sponsors that swap the outcome
+  double data_tamper_rate = 0.25;    ///< sponsors that doctor result data
+  double manual_audit_rate = 0.15;   ///< editorial capacity (status quo)
+  std::uint64_t seed = 67;
+};
+
+struct TrialTruth {
+  bool switched = false;
+  bool tampered = false;
+
+  [[nodiscard]] bool dishonest() const { return switched || tampered; }
+};
+
+struct DetectionReport {
+  std::size_t trials = 0;
+  std::size_t dishonest = 0;
+  std::size_t detected_manual = 0;
+  std::size_t detected_onchain = 0;
+  std::size_t false_positives_onchain = 0;
+
+  [[nodiscard]] double manual_rate() const {
+    return dishonest == 0 ? 1.0
+                          : static_cast<double>(detected_manual) /
+                                static_cast<double>(dishonest);
+  }
+  [[nodiscard]] double onchain_rate() const {
+    return dishonest == 0 ? 1.0
+                          : static_cast<double>(detected_onchain) /
+                                static_cast<double>(dishonest);
+  }
+};
+
+/// Run the study against a fresh TrialContract-backed registry.
+/// The registry (and its contract) accumulates the full population.
+DetectionReport run_misreport_study(const MisreportConfig& config,
+                                    TrialRegistry& registry, Word sponsor_word,
+                                    std::vector<TrialTruth>* truths = nullptr);
+
+}  // namespace mc::hie

@@ -1,0 +1,59 @@
+#include "hie/consent.hpp"
+
+#include <algorithm>
+
+namespace mc::hie {
+
+void ConsentManager::grant(const std::string& patient_token,
+                           const std::string& grantee, std::uint32_t scopes,
+                           std::uint32_t expires_day) {
+  ConsentGrant g;
+  g.patient_token = patient_token;
+  g.grantee = grantee;
+  g.scopes = scopes;
+  g.expires_day = expires_day;
+  grants_[patient_token].push_back(std::move(g));
+}
+
+void ConsentManager::revoke(const std::string& patient_token,
+                            const std::string& grantee) {
+  auto it = grants_.find(patient_token);
+  if (it == grants_.end()) return;
+  for (auto& g : it->second)
+    if (g.grantee == grantee) g.revoked = true;
+}
+
+bool ConsentManager::permitted(const std::string& patient_token,
+                               const std::string& grantee,
+                               std::uint32_t scopes,
+                               std::uint32_t today) const {
+  auto it = grants_.find(patient_token);
+  if (it == grants_.end()) return false;
+  std::uint32_t covered = 0;
+  for (const auto& g : it->second) {
+    if (g.revoked || g.grantee != grantee || today > g.expires_day) continue;
+    covered |= g.scopes;
+  }
+  return (covered & scopes) == scopes && scopes != 0;
+}
+
+std::size_t ConsentManager::grant_count() const {
+  std::size_t n = 0;
+  for (const auto& [token, list] : grants_) n += list.size();
+  return n;
+}
+
+std::vector<std::string> ConsentManager::grantees_of(
+    const std::string& patient_token, std::uint32_t today) const {
+  std::vector<std::string> out;
+  auto it = grants_.find(patient_token);
+  if (it == grants_.end()) return out;
+  for (const auto& g : it->second) {
+    if (g.revoked || today > g.expires_day) continue;
+    if (std::find(out.begin(), out.end(), g.grantee) == out.end())
+      out.push_back(g.grantee);
+  }
+  return out;
+}
+
+}  // namespace mc::hie

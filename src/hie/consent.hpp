@@ -1,0 +1,60 @@
+// Patient consent management for health information exchange.
+//
+// The paper positions ownership and fine-grain access policy as the core
+// of distributed data management. Dataset-level policy lives on-chain
+// (PolicyContract); patient-level consent — who may receive *my* records,
+// for what purpose, until when — is managed here and checked on every
+// exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mc::hie {
+
+/// Purpose-of-use scopes, combinable bits.
+enum ConsentScope : std::uint32_t {
+  kScopeTreatment = 1,
+  kScopeResearch = 2,
+  kScopeTrialRecruitment = 4,
+  kScopeAll = 7,
+};
+
+struct ConsentGrant {
+  std::string patient_token;  ///< privacy-preserving patient token
+  std::string grantee;        ///< organization id
+  std::uint32_t scopes = 0;
+  std::uint32_t expires_day = ~0u;  ///< cohort-epoch day; ~0 = no expiry
+  bool revoked = false;
+};
+
+class ConsentManager {
+ public:
+  /// Record a grant (patient-signed in a real deployment).
+  void grant(const std::string& patient_token, const std::string& grantee,
+             std::uint32_t scopes, std::uint32_t expires_day = ~0u);
+
+  /// Revoke every grant from `patient_token` to `grantee`.
+  void revoke(const std::string& patient_token, const std::string& grantee);
+
+  /// True when an unexpired, unrevoked grant covers every bit in `scopes`
+  /// at `today`.
+  [[nodiscard]] bool permitted(const std::string& patient_token,
+                               const std::string& grantee,
+                               std::uint32_t scopes,
+                               std::uint32_t today) const;
+
+  [[nodiscard]] std::size_t grant_count() const;
+
+  /// All active grantees for a patient at `today` (audit support).
+  [[nodiscard]] std::vector<std::string> grantees_of(
+      const std::string& patient_token, std::uint32_t today) const;
+
+ private:
+  // patient token -> grants
+  std::unordered_map<std::string, std::vector<ConsentGrant>> grants_;
+};
+
+}  // namespace mc::hie

@@ -1,0 +1,88 @@
+#include "hie/exchange.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace mc::hie {
+namespace {
+
+crypto::ChaChaKey session_key(const Hash256& requester_secret,
+                              std::uint64_t session) {
+  ByteWriter w;
+  w.u64(session);
+  const Hash256 derived = crypto::hmac_sha256(
+      BytesView(requester_secret.data), BytesView(w.data()));
+  return crypto::key_from_hash(derived);
+}
+
+}  // namespace
+
+ExchangeService::ExchangeService(const med::SiteDataset& dataset,
+                                 ConsentManager& consent, AuditLog& audit,
+                                 const sim::Network& network,
+                                 sim::NodeId site_node, sim::NodeId hub_node)
+    : dataset_(dataset),
+      consent_(consent),
+      audit_(audit),
+      network_(network),
+      site_node_(site_node),
+      hub_node_(hub_node) {}
+
+ExchangeResult ExchangeService::serve(const ExchangeRequest& request,
+                                      const Hash256& requester_secret,
+                                      std::uint64_t time_ms) {
+  ExchangeResult result;
+  audit_.append(time_ms, AuditAction::RequestReceived, request.requester_org,
+                request.patient_token);
+
+  const bool ok =
+      consent_.permitted(request.patient_token, request.requester_org,
+                         request.scopes, request.today);
+  audit_.append(time_ms, ok ? AuditAction::ConsentChecked
+                            : AuditAction::ConsentDenied,
+                request.requester_org, request.patient_token);
+  if (!ok) return result;
+  result.permitted = true;
+
+  // Collect the patient's records at this site.
+  ByteWriter payload;
+  for (const auto& record : dataset_.records()) {
+    if (dataset_.token_for(record.demographics.uid) != request.patient_token)
+      continue;
+    payload.bytes(BytesView(med::serialize_record(record)));
+    ++result.records;
+  }
+
+  const std::uint64_t session = session_++;
+  result.sealed =
+      crypto::seal(session_key(requester_secret, session),
+                   crypto::nonce_from_counter(session),
+                   BytesView(payload.data()));
+  result.payload_bytes = result.sealed.ciphertext.size();
+
+  // Transfer cost: direct hop, or two hops through the hub.
+  const sim::NodeId requester_node = request.requester_node;
+  if (request.route == ExchangeRoute::PeerToPeer) {
+    result.transfer_time_s = network_.delay(
+        site_node_, requester_node, result.sealed.ciphertext.size());
+  } else {
+    result.transfer_time_s =
+        network_.delay(site_node_, hub_node_, result.sealed.ciphertext.size()) +
+        network_.delay(hub_node_, requester_node,
+                       result.sealed.ciphertext.size());
+  }
+
+  audit_.append(time_ms, AuditAction::RecordsReleased, dataset_.config().name,
+                request.patient_token,
+                std::to_string(result.records) + " records");
+  return result;
+}
+
+std::optional<Bytes> ExchangeService::open_result(
+    const ExchangeResult& result, const Hash256& requester_secret,
+    std::uint64_t session) {
+  if (!result.permitted) return std::nullopt;
+  return crypto::open(session_key(requester_secret, session), result.sealed);
+}
+
+}  // namespace mc::hie

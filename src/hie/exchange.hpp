@@ -1,0 +1,78 @@
+// Encrypted, consent-checked, audited record exchange between sites.
+//
+// Paper §IV: "the system will return the encrypted data which only the
+// requesting user can decrypt". Exchange runs either peer-to-peer between
+// two member sites or through the trusted hub (government/FDA node of
+// Fig. 2); both paths enforce consent, seal the payload with ChaCha20 +
+// HMAC under a per-session key, and append to both parties' audit logs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "hie/audit.hpp"
+#include "hie/consent.hpp"
+#include "med/dataset.hpp"
+#include "sim/network.hpp"
+
+namespace mc::hie {
+
+enum class ExchangeRoute : std::uint8_t {
+  PeerToPeer,  ///< source site -> requester directly
+  ViaHub,      ///< source -> hub -> requester (two hops, hub audited)
+};
+
+struct ExchangeRequest {
+  std::string requester_org;
+  std::string patient_token;
+  std::uint32_t scopes = kScopeResearch;
+  std::uint32_t today = 0;
+  ExchangeRoute route = ExchangeRoute::PeerToPeer;
+  sim::NodeId requester_node = 0;  ///< requester's position in the network
+};
+
+struct ExchangeResult {
+  bool permitted = false;
+  std::size_t records = 0;
+  std::uint64_t payload_bytes = 0;
+  double transfer_time_s = 0;
+  crypto::SealedBox sealed;  ///< ciphertext the requester can open
+};
+
+/// One site's exchange endpoint.
+class ExchangeService {
+ public:
+  /// `site_node`/`hub_node` are positions in `network` used for transfer
+  /// cost accounting. The requester's key digest seeds session keys.
+  ExchangeService(const med::SiteDataset& dataset, ConsentManager& consent,
+                  AuditLog& audit, const sim::Network& network,
+                  sim::NodeId site_node, sim::NodeId hub_node);
+
+  /// Serve one request: consent check, record lookup by patient token,
+  /// canonical serialization, seal under a key derived from
+  /// (requester_secret, session counter), audit every step.
+  ExchangeResult serve(const ExchangeRequest& request,
+                       const Hash256& requester_secret,
+                       std::uint64_t time_ms);
+
+  /// Requester side: open a sealed result with the same secret.
+  static std::optional<Bytes> open_result(const ExchangeResult& result,
+                                          const Hash256& requester_secret,
+                                          std::uint64_t session);
+
+  [[nodiscard]] std::uint64_t sessions_served() const { return session_; }
+
+ private:
+  const med::SiteDataset& dataset_;
+  ConsentManager& consent_;
+  AuditLog& audit_;
+  const sim::Network& network_;
+  sim::NodeId site_node_;
+  sim::NodeId hub_node_;
+  std::uint64_t session_ = 0;
+};
+
+}  // namespace mc::hie

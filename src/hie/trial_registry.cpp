@@ -1,0 +1,84 @@
+#include "hie/trial_registry.hpp"
+
+#include "common/serial.hpp"
+
+namespace mc::hie {
+
+Hash256 TrialRegistry::protocol_digest(const TrialProtocol& protocol) {
+  ByteWriter w;
+  w.str(protocol.trial_id);
+  w.str(protocol.sponsor);
+  w.str(protocol.description);
+  w.u64(protocol.primary_outcome);
+  w.varint(protocol.secondary_outcomes.size());
+  for (const Word o : protocol.secondary_outcomes) w.u64(o);
+  return crypto::sha256(BytesView(w.data()));
+}
+
+bool TrialRegistry::register_trial(const TrialProtocol& protocol,
+                                   Word sponsor_word, std::uint64_t time_ms) {
+  if (protocols_.count(protocol.trial_id) > 0) return false;
+  const Hash256 digest = protocol_digest(protocol);
+  const bool onchain = contract_.register_trial(
+      sponsor_word, trial_word(protocol.trial_id), digest.prefix_u64(),
+      protocol.primary_outcome);
+  if (!onchain) return false;
+  protocols_[protocol.trial_id] = protocol;
+  audit_.append(time_ms, AuditAction::TrialReportFiled, protocol.sponsor,
+                protocol.trial_id, "protocol registered");
+  return true;
+}
+
+bool TrialRegistry::enroll(const std::string& trial_id,
+                           const std::string& patient_token, Word sponsor_word,
+                           std::uint64_t time_ms) {
+  if (protocols_.count(trial_id) == 0) return false;
+  const bool ok = contract_.enroll(sponsor_word, trial_word(trial_id),
+                                   fnv1a(patient_token));
+  if (ok)
+    audit_.append(time_ms, AuditAction::RecordsReceived, trial_id,
+                  patient_token, "participant enrolled");
+  return ok;
+}
+
+ReportVerdict TrialRegistry::file_report(const TrialReport& report,
+                                         Word sponsor_word,
+                                         std::uint64_t time_ms) {
+  ReportVerdict verdict;
+  auto it = protocols_.find(report.trial_id);
+  verdict.registered = it != protocols_.end();
+  if (!verdict.registered) return verdict;
+
+  verdict.outcome_matches =
+      report.reported_outcome == it->second.primary_outcome;
+
+  ByteWriter w;
+  w.u64(report.reported_outcome);
+  w.f64(report.effect_size);
+  w.f64(report.p_value);
+  const Word result_digest =
+      crypto::sha256(BytesView(w.data())).prefix_u64();
+  contract_.report(sponsor_word, trial_word(report.trial_id),
+                   report.reported_outcome, result_digest);
+  verdict.onchain_confirms =
+      contract_.verify_outcome(trial_word(report.trial_id));
+
+  audit_.append(time_ms, AuditAction::TrialReportFiled, it->second.sponsor,
+                report.trial_id,
+                verdict.outcome_matches ? "report consistent"
+                                        : "OUTCOME SWITCHED");
+  return verdict;
+}
+
+std::optional<TrialProtocol> TrialRegistry::protocol(
+    const std::string& trial_id) const {
+  auto it = protocols_.find(trial_id);
+  if (it == protocols_.end()) return std::nullopt;
+  return it->second;
+}
+
+Word TrialRegistry::enrollment(const std::string& trial_id) {
+  return contract_.enrollment(trial_word(trial_id));
+}
+
+}  // namespace mc::hie

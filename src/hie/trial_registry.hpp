@@ -1,0 +1,83 @@
+// Clinical-trial registry with on-chain commitments.
+//
+// Models the ClinicalTrials.gov workflow (paper §III.B): sponsors
+// pre-register a protocol with a committed primary outcome, enroll
+// participants, and later file results. The registry mirrors every
+// commitment into the on-chain TrialContract, which is what turns
+// misreporting from an editorial-audit problem (COMPare found 13% of
+// trials reported correctly) into a mechanical check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "contracts/trial.hpp"
+#include "crypto/sha256.hpp"
+#include "hie/audit.hpp"
+
+namespace mc::hie {
+
+using contracts::Word;
+
+struct TrialProtocol {
+  std::string trial_id;
+  std::string sponsor;
+  std::string description;
+  Word primary_outcome = 0;  ///< committed outcome measure code
+  std::vector<Word> secondary_outcomes;
+};
+
+struct TrialReport {
+  std::string trial_id;
+  Word reported_outcome = 0;
+  double effect_size = 0;
+  double p_value = 1.0;
+};
+
+/// Registry verdict for one filed report.
+struct ReportVerdict {
+  bool registered = false;        ///< trial was pre-registered
+  bool outcome_matches = false;   ///< no outcome switching
+  bool onchain_confirms = false;  ///< TrialContract agrees
+};
+
+class TrialRegistry {
+ public:
+  TrialRegistry(contracts::TrialContract& contract, AuditLog& audit)
+      : contract_(contract), audit_(audit) {}
+
+  /// Pre-register; commits protocol digest + primary outcome on-chain.
+  bool register_trial(const TrialProtocol& protocol, Word sponsor_word,
+                      std::uint64_t time_ms);
+
+  /// Enroll one participant (token) into a trial.
+  bool enroll(const std::string& trial_id, const std::string& patient_token,
+              Word sponsor_word, std::uint64_t time_ms);
+
+  /// File a results report; the verdict says whether the reported
+  /// outcome matches the pre-registered commitment.
+  ReportVerdict file_report(const TrialReport& report, Word sponsor_word,
+                            std::uint64_t time_ms);
+
+  [[nodiscard]] std::optional<TrialProtocol> protocol(
+      const std::string& trial_id) const;
+
+  [[nodiscard]] Word enrollment(const std::string& trial_id);
+
+  /// Digest of a protocol's canonical serialization (what goes on-chain).
+  static Hash256 protocol_digest(const TrialProtocol& protocol);
+
+  static Word trial_word(const std::string& trial_id) {
+    return fnv1a(trial_id);
+  }
+
+ private:
+  contracts::TrialContract& contract_;
+  AuditLog& audit_;
+  std::unordered_map<std::string, TrialProtocol> protocols_;
+};
+
+}  // namespace mc::hie

@@ -1,0 +1,92 @@
+#include "learn/dataset.hpp"
+
+#include <cmath>
+
+namespace mc::learn {
+
+DataSet DataSet::shuffled(Rng& rng) const {
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  return subset(order);
+}
+
+DataSet DataSet::subset(std::span<const std::size_t> indices) const {
+  DataSet out;
+  out.x = Matrix(indices.size(), x.cols());
+  out.y.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t i = indices[k];
+    for (std::size_t j = 0; j < x.cols(); ++j) out.x(k, j) = x(i, j);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+std::pair<DataSet, DataSet> DataSet::split(double fraction) const {
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(size()) * fraction);
+  std::vector<std::size_t> head(cut), tail(size() - cut);
+  for (std::size_t i = 0; i < cut; ++i) head[i] = i;
+  for (std::size_t i = cut; i < size(); ++i) tail[i - cut] = i;
+  return {subset(head), subset(tail)};
+}
+
+Standardizer Standardizer::fit(const Matrix& x) {
+  Standardizer s;
+  s.mean.assign(x.cols(), 0.0);
+  s.stddev.assign(x.cols(), 1.0);
+  if (x.rows() == 0) return s;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double sum = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) sum += x(i, j);
+    s.mean[j] = sum / static_cast<double>(x.rows());
+    double sq = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const double d = x(i, j) - s.mean[j];
+      sq += d * d;
+    }
+    const double var = sq / static_cast<double>(x.rows());
+    s.stddev[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  return s;
+}
+
+void Standardizer::apply(Matrix& x) const {
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j)
+      x(i, j) = (x(i, j) - mean[j]) / stddev[j];
+}
+
+DataSet dataset_from_records(std::span<const med::CommonRecord> records,
+                             LabelKind label, bool domain_scale) {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const double l = label == LabelKind::Stroke ? records[i].label_stroke
+                                                : records[i].label_cancer;
+    if (!std::isnan(l)) keep.push_back(i);
+  }
+  DataSet out;
+  out.x = Matrix(keep.size(), med::kFeatureCount);
+  out.y.reserve(keep.size());
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const auto& r = records[keep[k]];
+    const auto features = med::features_of(r);
+    for (std::size_t j = 0; j < med::kFeatureCount; ++j)
+      out.x(k, j) =
+          domain_scale ? features[j] / med::kFeatureScales[j] : features[j];
+    out.y.push_back(label == LabelKind::Stroke ? r.label_stroke
+                                               : r.label_cancer);
+  }
+  return out;
+}
+
+double prevalence(const DataSet& data) {
+  if (data.size() == 0) return 0;
+  double positives = 0;
+  for (double label : data.y) positives += label;
+  return positives / static_cast<double>(data.size());
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,56 @@
+// Learning dataset: design matrix + binary labels, with helpers to build
+// (standardized) datasets from the integrated common-data-format records.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "learn/matrix.hpp"
+#include "med/records.hpp"
+
+namespace mc::learn {
+
+struct DataSet {
+  Matrix x;               ///< n x d design matrix
+  std::vector<double> y;  ///< n binary labels
+
+  [[nodiscard]] std::size_t size() const { return y.size(); }
+  [[nodiscard]] std::size_t dim() const { return x.cols(); }
+
+  /// Shuffled copy (deterministic in rng).
+  [[nodiscard]] DataSet shuffled(Rng& rng) const;
+
+  /// Row subset by indices.
+  [[nodiscard]] DataSet subset(std::span<const std::size_t> indices) const;
+
+  /// Split into [0, n*fraction) and the rest.
+  [[nodiscard]] std::pair<DataSet, DataSet> split(double fraction) const;
+};
+
+/// Per-feature standardization parameters (fit on training data only).
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  static Standardizer fit(const Matrix& x);
+  void apply(Matrix& x) const;
+};
+
+enum class LabelKind : std::uint8_t { Stroke, Cancer };
+
+/// Build a dataset from CDF records, skipping records whose selected
+/// label is NaN (unlabeled sites). With `domain_scale` (default), each
+/// feature is divided by med::kFeatureScales — constant factors every
+/// federated site applies identically, so site models share one
+/// parameter space without exchanging data statistics.
+DataSet dataset_from_records(std::span<const med::CommonRecord> records,
+                             LabelKind label, bool domain_scale = true);
+
+/// Positive-class prevalence.
+double prevalence(const DataSet& data);
+
+}  // namespace mc::learn

@@ -1,0 +1,55 @@
+#include "learn/distributed_transfer.hpp"
+
+#include "learn/metrics.hpp"
+
+namespace mc::learn {
+
+Mlp federated_pretrain(const std::vector<DataSet>& core_sites,
+                       const DataSet& core_test,
+                       const DistributedTransferConfig& config,
+                       FederatedResult* result) {
+  const std::size_t dim =
+      core_sites.empty() ? 0 : core_sites.front().dim();
+  Mlp core_model(dim, config.hidden_dim, config.seed);
+  const FederatedResult fed =
+      fed_avg(core_model, core_sites, core_test, config.pretrain);
+  if (result != nullptr) *result = fed;
+  return core_model;
+}
+
+DistributedTransferOutcome run_distributed_transfer(
+    const std::vector<DataSet>& core_sites, const DataSet& core_test,
+    const DataSet& target_train, const DataSet& target_test,
+    const DistributedTransferConfig& config) {
+  DistributedTransferOutcome outcome;
+
+  // Phase 1: federated pretraining of the core feature extractor.
+  FederatedResult fed;
+  const Mlp core_model =
+      federated_pretrain(core_sites, core_test, config, &fed);
+  outcome.core_auc =
+      fed.history.empty() ? 0.5 : fed.history.back().test_auc;
+  outcome.pretrain_bytes_moved = fed.total_bytes;
+  std::uint64_t raw_bytes = 0;
+  for (const auto& site : core_sites)
+    raw_bytes += static_cast<std::uint64_t>(site.size()) *
+                 (site.dim() + 1) * sizeof(double);
+  outcome.centralized_equivalent_bytes = raw_bytes;
+
+  // Phase 2a: target trains from scratch on its own small data.
+  Mlp scratch(target_train.dim(), config.hidden_dim, config.seed ^ 0x1);
+  scratch.train(target_train, config.finetune_sgd);
+  outcome.scratch_auc =
+      auc(scratch.predict(target_test.x), target_test.y);
+
+  // Phase 2b: target adopts the federated core features and fine-tunes.
+  Mlp transferred(target_train.dim(), config.hidden_dim, config.seed ^ 0x2);
+  transferred.adopt_hidden_layer(core_model);
+  transferred.train(target_train, config.finetune_sgd,
+                    config.freeze_hidden);
+  outcome.transfer_auc =
+      auc(transferred.predict(target_test.x), target_test.y);
+  return outcome;
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,61 @@
+// Distributed transfer learning — the paper's headline research item.
+//
+// §III.C: "the ImageNet data set for the transfer learning in the image
+// domain is centralized located. So are the current transfer learning
+// algorithms ... there is a need to investigate distributed transfer
+// learning algorithms that can be executed in distributed and parallel
+// fashion."
+//
+// Our algorithm: federate the *pretraining* itself. The MLP's hidden
+// layer (the "core features") is trained by FedAvg across the data
+// sites — no site ever ships records — and the resulting feature
+// extractor transfers to any target clinic, which fine-tunes only the
+// output layer on its own small dataset. Thus both phases of transfer
+// learning run where the data lives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/federated.hpp"
+#include "learn/mlp.hpp"
+
+namespace mc::learn {
+
+struct DistributedTransferConfig {
+  std::size_t hidden_dim = 16;
+  FederatedConfig pretrain;          ///< FedAvg schedule for the core model
+  SgdConfig finetune_sgd{/*epochs=*/40, /*batch_size=*/16,
+                         /*learning_rate=*/0.3, /*lr_decay=*/0.99,
+                         /*l2=*/1e-4, /*seed=*/15};
+  bool freeze_hidden = true;
+  std::uint64_t seed = 9'001;
+};
+
+struct DistributedTransferOutcome {
+  /// Core model quality after federated pretraining (on `core_test`).
+  double core_auc = 0;
+  /// Target-site results: from scratch vs federated-core transfer.
+  double scratch_auc = 0;
+  double transfer_auc = 0;
+  /// Bytes that crossed site boundaries during pretraining (parameters
+  /// only). Centralized pretraining would move the raw records instead.
+  std::uint64_t pretrain_bytes_moved = 0;
+  std::uint64_t centralized_equivalent_bytes = 0;
+};
+
+/// Federate MLP pretraining over `core_sites`, evaluate the core model on
+/// `core_test`, then transfer the hidden layer to the target site and
+/// compare with training the target from scratch.
+DistributedTransferOutcome run_distributed_transfer(
+    const std::vector<DataSet>& core_sites, const DataSet& core_test,
+    const DataSet& target_train, const DataSet& target_test,
+    const DistributedTransferConfig& config);
+
+/// The federated feature extractor alone (callers fine-tune themselves).
+Mlp federated_pretrain(const std::vector<DataSet>& core_sites,
+                       const DataSet& core_test,
+                       const DistributedTransferConfig& config,
+                       FederatedResult* result = nullptr);
+
+}  // namespace mc::learn

@@ -1,0 +1,147 @@
+// Federated learning (FedAvg, after McMahan et al. — paper ref. [23]).
+//
+// "Enables [sites] to collaboratively learn a shared prediction model
+// while keeping all the training data on local devices." Each round, a
+// fraction of sites trains the global model locally for E epochs; the
+// server averages parameters weighted by local sample counts. Bytes
+// moved = parameters only — never records — which bench_c4 compares
+// against centralizing the raw data.
+//
+// Unlike Google's setting (millions of flaky phones), the paper's sites
+// are "very powerful computing engines": few, reliable, well-connected.
+// client_fraction = 1.0 models that; lower fractions reproduce the
+// sampled-clients regime for comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "learn/metrics.hpp"
+#include "learn/sgd.hpp"
+
+namespace mc::learn {
+
+struct FederatedConfig {
+  std::size_t rounds = 20;
+  std::size_t local_epochs = 2;
+  double client_fraction = 1.0;
+  SgdConfig local_sgd;  ///< epochs field ignored (local_epochs wins)
+  std::uint64_t seed = 4242;
+};
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  double test_accuracy = 0;
+  double test_auc = 0;
+  double test_loss = 0;
+  std::uint64_t bytes_uploaded = 0;    ///< cumulative client->server
+  std::uint64_t bytes_downloaded = 0;  ///< cumulative server->client
+};
+
+struct FederatedResult {
+  std::vector<RoundMetrics> history;
+  std::uint64_t total_bytes = 0;
+  std::size_t participating_sites = 0;
+};
+
+/// Model concept: parameters()/set_parameters()/train()/predict().
+template <typename M>
+concept FederatedModel = requires(M model, const DataSet& data,
+                                  const SgdConfig& sgd,
+                                  std::span<const double> params) {
+  { model.parameters() } -> std::convertible_to<std::vector<double>>;
+  model.set_parameters(params);
+  model.train(data, sgd);
+  { model.predict(data.x) } -> std::convertible_to<std::vector<double>>;
+};
+
+/// Run FedAvg: `global` is trained in place across `clients`; metrics are
+/// evaluated on `test` after every round.
+template <FederatedModel M>
+FederatedResult fed_avg(M& global, const std::vector<DataSet>& clients,
+                        const DataSet& test, const FederatedConfig& config) {
+  FederatedResult result;
+  Rng rng(config.seed);
+  const std::size_t param_bytes = global.parameters().size() * sizeof(double);
+  std::uint64_t up = 0, down = 0;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(clients.size()) *
+                                    config.client_fraction));
+    const auto selected = rng.sample_without_replacement(clients.size(), k);
+
+    const std::vector<double> global_params = global.parameters();
+    std::vector<double> average(global_params.size(), 0.0);
+    double total_weight = 0;
+
+    for (const std::size_t c : selected) {
+      if (clients[c].size() == 0) continue;
+      M local = global;  // download the global model
+      down += param_bytes;
+      SgdConfig sgd = config.local_sgd;
+      sgd.epochs = config.local_epochs;
+      sgd.seed = config.seed ^ (round * 1315423911ULL) ^ c;
+      local.train(clients[c], sgd);
+      up += param_bytes;  // upload the update
+      const double weight = static_cast<double>(clients[c].size());
+      const std::vector<double> local_params = local.parameters();
+      for (std::size_t i = 0; i < average.size(); ++i)
+        average[i] += weight * local_params[i];
+      total_weight += weight;
+    }
+    if (total_weight > 0) {
+      for (auto& v : average) v /= total_weight;
+      global.set_parameters(average);
+    }
+
+    const std::vector<double> probabilities = global.predict(test.x);
+    RoundMetrics metrics;
+    metrics.round = round + 1;
+    metrics.test_accuracy = accuracy(probabilities, test.y);
+    metrics.test_auc = auc(probabilities, test.y);
+    metrics.test_loss = log_loss(probabilities, test.y);
+    metrics.bytes_uploaded = up;
+    metrics.bytes_downloaded = down;
+    result.history.push_back(metrics);
+  }
+  result.total_bytes = up + down;
+  result.participating_sites = clients.size();
+  return result;
+}
+
+/// Baseline: pool every client's rows centrally (what the paper says is
+/// usually impossible) and train one model. Returns bytes that had to
+/// move = total serialized training matrix.
+template <FederatedModel M>
+RoundMetrics centralized_baseline(M& model,
+                                  const std::vector<DataSet>& clients,
+                                  const DataSet& test, const SgdConfig& sgd) {
+  std::size_t total_rows = 0;
+  for (const auto& c : clients) total_rows += c.size();
+  DataSet pooled;
+  const std::size_t dim = clients.empty() ? 0 : clients.front().dim();
+  pooled.x = Matrix(total_rows, dim);
+  pooled.y.reserve(total_rows);
+  std::size_t at = 0;
+  for (const auto& c : clients) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      for (std::size_t j = 0; j < dim; ++j) pooled.x(at, j) = c.x(i, j);
+      pooled.y.push_back(c.y[i]);
+      ++at;
+    }
+  }
+  model.train(pooled, sgd);
+  const std::vector<double> probabilities = model.predict(test.x);
+  RoundMetrics metrics;
+  metrics.test_accuracy = accuracy(probabilities, test.y);
+  metrics.test_auc = auc(probabilities, test.y);
+  metrics.test_loss = log_loss(probabilities, test.y);
+  metrics.bytes_uploaded =
+      static_cast<std::uint64_t>(total_rows) * (dim + 1) * sizeof(double);
+  return metrics;
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,79 @@
+#include "learn/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mc::learn {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double LogisticModel::predict_one(std::span<const double> features) const {
+  return sigmoid(dot(features, weights_) + bias_);
+}
+
+std::vector<double> LogisticModel::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    out.push_back(predict_one(x.row(i)));
+  return out;
+}
+
+double LogisticModel::train(const DataSet& data, const SgdConfig& config) {
+  if (data.dim() != weights_.size())
+    throw std::invalid_argument("dataset dimension mismatch");
+  Rng rng(config.seed);
+  double lr = config.learning_rate;
+  double last_loss = 0;
+
+  std::vector<double> grad(weights_.size());
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const DataSet shuffled = data.shuffled(rng);
+    double epoch_loss = 0;
+    for (std::size_t start = 0; start < shuffled.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, shuffled.size());
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_bias = 0;
+      for (std::size_t i = start; i < end; ++i) {
+        const auto row = shuffled.x.row(i);
+        const double p = predict_one(row);
+        const double err = p - shuffled.y[i];
+        axpy(err, row, grad);
+        grad_bias += err;
+        const double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+        epoch_loss += shuffled.y[i] > 0.5 ? -std::log(pc) : -std::log(1 - pc);
+      }
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] -=
+            lr * (grad[j] * inv_batch + config.l2 * weights_[j]);
+      }
+      bias_ -= lr * grad_bias * inv_batch;
+      FlopCounter::add(4ULL * weights_.size());
+    }
+    lr *= config.lr_decay;
+    last_loss = epoch_loss / static_cast<double>(shuffled.size());
+  }
+  return last_loss;
+}
+
+std::vector<double> LogisticModel::parameters() const {
+  std::vector<double> out = weights_;
+  out.push_back(bias_);
+  return out;
+}
+
+void LogisticModel::set_parameters(std::span<const double> params) {
+  if (params.size() != weights_.size() + 1)
+    throw std::invalid_argument("parameter count mismatch");
+  for (std::size_t i = 0; i < weights_.size(); ++i) weights_[i] = params[i];
+  bias_ = params.back();
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,44 @@
+// L2-regularized logistic regression trained with minibatch SGD.
+//
+// The workhorse analytics tool of the experiments: it matches the
+// synthetic cohort's generating model family, so its recovered weights
+// are directly comparable to the ground-truth risk model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "learn/sgd.hpp"
+
+namespace mc::learn {
+
+class LogisticModel {
+ public:
+  LogisticModel() = default;
+  explicit LogisticModel(std::size_t dim) : weights_(dim, 0.0) {}
+
+  [[nodiscard]] std::size_t dim() const { return weights_.size(); }
+
+  [[nodiscard]] double predict_one(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Run `epochs` of minibatch SGD on `data`; returns final train loss.
+  double train(const DataSet& data, const SgdConfig& config);
+
+  /// Flattened parameters [weights..., bias] (FedAvg transport).
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> params);
+  [[nodiscard]] std::size_t parameter_count() const {
+    return weights_.size() + 1;
+  }
+
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace mc::learn

@@ -1,0 +1,89 @@
+#include "learn/matrix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mc::learn {
+
+std::uint64_t& FlopCounter::counter() {
+  thread_local std::uint64_t value = 0;
+  return value;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul shape");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  FlopCounter::add(2ULL * rows_ * cols_ * other.cols_);
+  return out;
+}
+
+Matrix Matrix::transpose_matmul(const Matrix& other) const {
+  if (rows_ != other.rows_) throw std::invalid_argument("t-matmul shape");
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = data_.data() + k * cols_;
+    const double* brow = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  FlopCounter::add(2ULL * rows_ * cols_ * other.cols_);
+  return out;
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& other) const {
+  if (cols_ != other.cols_) throw std::invalid_argument("matmul-t shape");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      double sum = 0;
+      const double* arow = data_.data() + i * cols_;
+      const double* brow = other.data_.data() + j * other.cols_;
+      for (std::size_t k = 0; k < cols_; ++k) sum += arow[k] * brow[k];
+      out(i, j) = sum;
+    }
+  }
+  FlopCounter::add(2ULL * rows_ * cols_ * other.rows_);
+  return out;
+}
+
+void Matrix::add_inplace(const Matrix& other, double scale) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("add shape");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * other.data_[i];
+  FlopCounter::add(2ULL * data_.size());
+}
+
+void Matrix::scale_inplace(double factor) {
+  for (auto& v : data_) v *= factor;
+  FlopCounter::add(data_.size());
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  FlopCounter::add(2ULL * x.size());
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  FlopCounter::add(2ULL * x.size());
+  return sum;
+}
+
+}  // namespace mc::learn

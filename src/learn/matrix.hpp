@@ -1,0 +1,82 @@
+// Dense row-major matrix with FLOP accounting.
+//
+// SUBSTITUTION (DESIGN.md §5): the paper names TensorFlow/Torch/Caffe as
+// the off-chain analytics tools; the experiments need training dynamics
+// and communication patterns, not GPU speed, so a small dense kernel
+// suffices. FLOPs are counted globally so the energy model can charge
+// analytics work per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mc::learn {
+
+/// Per-thread FLOP meter. Thread-local so parallel per-site tasks each
+/// attribute their own work; callers sum task deltas for totals.
+class FlopCounter {
+ public:
+  static void add(std::uint64_t flops) { counter() += flops; }
+  static std::uint64_t value() { return counter(); }
+  static void reset() { counter() = 0; }
+
+ private:
+  static std::uint64_t& counter();
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// this * other  (m x k) * (k x n).
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+
+  /// this^T * other  (k x m)^T * (k x n) -> (m x n).
+  [[nodiscard]] Matrix transpose_matmul(const Matrix& other) const;
+
+  /// this * other^T  (m x k) * (n x k)^T -> (m x n).
+  [[nodiscard]] Matrix matmul_transpose(const Matrix& other) const;
+
+  void add_inplace(const Matrix& other, double scale = 1.0);
+  void scale_inplace(double factor);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y += a * x over spans (axpy), FLOP-counted.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// Dot product, FLOP-counted.
+double dot(std::span<const double> x, std::span<const double> y);
+
+}  // namespace mc::learn

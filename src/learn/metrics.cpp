@@ -1,0 +1,87 @@
+#include "learn/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mc::learn {
+
+double accuracy(std::span<const double> probabilities,
+                std::span<const double> labels) {
+  assert(probabilities.size() == labels.size());
+  if (probabilities.empty()) return 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const double pred = probabilities[i] >= 0.5 ? 1.0 : 0.0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(probabilities.size());
+}
+
+double auc(std::span<const double> probabilities,
+           std::span<const double> labels) {
+  assert(probabilities.size() == labels.size());
+  const std::size_t n = probabilities.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return probabilities[a] < probabilities[b];
+  });
+
+  // Average ranks over ties.
+  std::vector<double> rank(n, 0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n &&
+           probabilities[order[j + 1]] == probabilities[order[i]])
+      ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0;
+  std::size_t positives = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5) {
+      positive_rank_sum += rank[k];
+      ++positives;
+    }
+  }
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  return (positive_rank_sum - np * (np + 1) / 2.0) / (np * nn);
+}
+
+double log_loss(std::span<const double> probabilities,
+                std::span<const double> labels) {
+  assert(probabilities.size() == labels.size());
+  if (probabilities.empty()) return 0;
+  double total = 0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    total += labels[i] > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+Confusion confusion(std::span<const double> probabilities,
+                    std::span<const double> labels, double threshold) {
+  Confusion c;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const bool pred = probabilities[i] >= threshold;
+    const bool truth = labels[i] > 0.5;
+    if (pred && truth) ++c.tp;
+    else if (pred && !truth) ++c.fp;
+    else if (!pred && truth) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+}  // namespace mc::learn

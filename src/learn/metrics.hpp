@@ -1,0 +1,40 @@
+// Classification metrics for the learning experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mc::learn {
+
+/// Fraction of predictions (p >= 0.5) matching binary labels.
+double accuracy(std::span<const double> probabilities,
+                std::span<const double> labels);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+double auc(std::span<const double> probabilities,
+           std::span<const double> labels);
+
+/// Mean binary cross-entropy; probabilities clamped away from {0,1}.
+double log_loss(std::span<const double> probabilities,
+                std::span<const double> labels);
+
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision(), r = recall();
+    return p + r == 0 ? 0 : 2 * p * r / (p + r);
+  }
+};
+
+Confusion confusion(std::span<const double> probabilities,
+                    std::span<const double> labels, double threshold = 0.5);
+
+}  // namespace mc::learn

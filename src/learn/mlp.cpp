@@ -1,0 +1,153 @@
+#include "learn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mc::learn {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Mlp::Mlp(std::size_t input_dim, std::size_t hidden_dim, std::uint64_t seed)
+    : w1_(input_dim, hidden_dim), b1_(hidden_dim, 0.0), w2_(hidden_dim, 0.0) {
+  // He-style initialization scaled for ReLU.
+  Rng rng(seed);
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(input_dim));
+  for (auto& v : w1_.data()) v = rng.normal(0.0, scale1);
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden_dim));
+  for (auto& v : w2_) v = rng.normal(0.0, scale2);
+}
+
+double Mlp::predict_one(std::span<const double> features) const {
+  const std::size_t h = hidden_dim();
+  double z = b2_;
+  for (std::size_t j = 0; j < h; ++j) {
+    double a = b1_[j];
+    for (std::size_t i = 0; i < features.size(); ++i)
+      a += features[i] * w1_(i, j);
+    if (a > 0) z += w2_[j] * a;  // ReLU
+  }
+  FlopCounter::add(2ULL * features.size() * h + 2 * h);
+  return sigmoid(z);
+}
+
+std::vector<double> Mlp::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    out.push_back(predict_one(x.row(i)));
+  return out;
+}
+
+double Mlp::train(const DataSet& data, const SgdConfig& config,
+                  bool freeze_hidden) {
+  if (data.dim() != input_dim())
+    throw std::invalid_argument("dataset dimension mismatch");
+  Rng rng(config.seed);
+  double lr = config.learning_rate;
+  const std::size_t d = input_dim();
+  const std::size_t h = hidden_dim();
+  double last_loss = 0;
+
+  std::vector<double> hidden(h), hidden_pre(h);
+  Matrix gw1(d, h);
+  std::vector<double> gb1(h), gw2(h);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const DataSet shuffled = data.shuffled(rng);
+    double epoch_loss = 0;
+    for (std::size_t start = 0; start < shuffled.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, shuffled.size());
+      std::fill(gw1.data().begin(), gw1.data().end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      std::fill(gw2.begin(), gw2.end(), 0.0);
+      double gb2 = 0;
+
+      for (std::size_t n = start; n < end; ++n) {
+        const auto row = shuffled.x.row(n);
+        // Forward.
+        for (std::size_t j = 0; j < h; ++j) {
+          double a = b1_[j];
+          for (std::size_t i = 0; i < d; ++i) a += row[i] * w1_(i, j);
+          hidden_pre[j] = a;
+          hidden[j] = a > 0 ? a : 0;
+        }
+        double z = b2_;
+        for (std::size_t j = 0; j < h; ++j) z += w2_[j] * hidden[j];
+        const double p = sigmoid(z);
+
+        const double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+        epoch_loss +=
+            shuffled.y[n] > 0.5 ? -std::log(pc) : -std::log(1 - pc);
+
+        // Backward.
+        const double delta = p - shuffled.y[n];
+        for (std::size_t j = 0; j < h; ++j) gw2[j] += delta * hidden[j];
+        gb2 += delta;
+        if (!freeze_hidden) {
+          for (std::size_t j = 0; j < h; ++j) {
+            if (hidden_pre[j] <= 0) continue;  // ReLU gate
+            const double dj = delta * w2_[j];
+            for (std::size_t i = 0; i < d; ++i) gw1(i, j) += dj * row[i];
+            gb1[j] += dj;
+          }
+        }
+        FlopCounter::add(6ULL * d * h + 6 * h);
+      }
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t j = 0; j < h; ++j)
+        w2_[j] -= lr * (gw2[j] * inv_batch + config.l2 * w2_[j]);
+      b2_ -= lr * gb2 * inv_batch;
+      if (!freeze_hidden) {
+        for (std::size_t i = 0; i < d; ++i)
+          for (std::size_t j = 0; j < h; ++j)
+            w1_(i, j) -=
+                lr * (gw1(i, j) * inv_batch + config.l2 * w1_(i, j));
+        for (std::size_t j = 0; j < h; ++j) b1_[j] -= lr * gb1[j] * inv_batch;
+      }
+    }
+    lr *= config.lr_decay;
+    last_loss = epoch_loss / static_cast<double>(shuffled.size());
+  }
+  return last_loss;
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> out;
+  out.reserve(parameter_count());
+  out.insert(out.end(), w1_.data().begin(), w1_.data().end());
+  out.insert(out.end(), b1_.begin(), b1_.end());
+  out.insert(out.end(), w2_.begin(), w2_.end());
+  out.push_back(b2_);
+  return out;
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+  if (params.size() != parameter_count())
+    throw std::invalid_argument("parameter count mismatch");
+  std::size_t at = 0;
+  for (auto& v : w1_.data()) v = params[at++];
+  for (auto& v : b1_) v = params[at++];
+  for (auto& v : w2_) v = params[at++];
+  b2_ = params[at];
+}
+
+std::size_t Mlp::parameter_count() const {
+  return w1_.size() + b1_.size() + w2_.size() + 1;
+}
+
+void Mlp::adopt_hidden_layer(const Mlp& source) {
+  if (source.input_dim() != input_dim() ||
+      source.hidden_dim() != hidden_dim())
+    throw std::invalid_argument("hidden layer shape mismatch");
+  w1_ = source.w1_;
+  b1_ = source.b1_;
+}
+
+}  // namespace mc::learn

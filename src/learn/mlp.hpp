@@ -1,0 +1,48 @@
+// Two-layer perceptron (ReLU hidden layer, sigmoid output).
+//
+// The "deep" model of the experiments: its hidden layer is the unit of
+// transfer learning ("extend these learned core features ... to jump
+// start the deep learning research", §III.A) — pretrain on the large
+// integrated dataset, then reuse/freeze the hidden layer at a small site.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "learn/sgd.hpp"
+
+namespace mc::learn {
+
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(std::size_t input_dim, std::size_t hidden_dim, std::uint64_t seed = 77);
+
+  [[nodiscard]] std::size_t input_dim() const { return w1_.rows(); }
+  [[nodiscard]] std::size_t hidden_dim() const { return w1_.cols(); }
+
+  [[nodiscard]] double predict_one(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Minibatch SGD with backprop; `freeze_hidden` skips W1/b1 updates
+  /// (fine-tuning mode for transfer learning). Returns final train loss.
+  double train(const DataSet& data, const SgdConfig& config,
+               bool freeze_hidden = false);
+
+  /// Flattened [W1, b1, W2, b2] (FedAvg transport).
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> params);
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Copy only the hidden layer from `source` (transfer learning).
+  void adopt_hidden_layer(const Mlp& source);
+
+ private:
+  Matrix w1_;                ///< input_dim x hidden
+  std::vector<double> b1_;   ///< hidden
+  std::vector<double> w2_;   ///< hidden
+  double b2_ = 0.0;
+};
+
+}  // namespace mc::learn

@@ -1,0 +1,167 @@
+#include "learn/query_vector.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::learn {
+namespace {
+
+std::string lowered(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::optional<double> number_after(const std::string& text,
+                                   std::string_view marker) {
+  const auto pos = text.find(marker);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t at = pos + marker.size();
+  while (at < text.size() && (text[at] == ' ' || text[at] == '=')) ++at;
+  double value = 0;
+  const auto result =
+      std::from_chars(text.data() + at, text.data() + text.size(), value);
+  if (result.ec != std::errc{}) return std::nullopt;
+  return value;
+}
+
+/// Canonical fields recognized inline ("<field> over N" etc.).
+constexpr std::string_view kRangeableFields[] = {
+    "age", "systolic_bp", "glucose", "hba1c", "bmi", "cholesterol",
+    "heart_rate", "snp_burden"};
+
+}  // namespace
+
+std::vector<vm::Word> QueryVector::to_words() const {
+  std::vector<vm::Word> words;
+  words.push_back(static_cast<vm::Word>(task));
+  words.push_back(static_cast<vm::Word>(label));
+  words.push_back(static_cast<vm::Word>(model));
+  words.push_back(federated_rounds);
+  words.push_back(fnv1a(aggregate_field));
+  words.push_back(static_cast<vm::Word>(
+      static_cast<std::int64_t>(dp_epsilon * 1000.0)));
+  words.push_back(requested_schema.has_value()
+                      ? 1 + static_cast<vm::Word>(*requested_schema)
+                      : 0);
+  for (const auto& range : cohort.where) {
+    words.push_back(fnv1a(range.field));
+    // Quantize bounds to milli-units so the digest is exact.
+    words.push_back(static_cast<vm::Word>(
+        static_cast<std::int64_t>(range.min * 1000.0)));
+    words.push_back(static_cast<vm::Word>(
+        static_cast<std::int64_t>(range.max * 1000.0)));
+  }
+  for (const auto& field : cohort.select) words.push_back(fnv1a(field));
+  return words;
+}
+
+vm::Word QueryVector::digest() const {
+  ByteWriter w;
+  for (const vm::Word word : to_words()) w.u64(word);
+  return crypto::sha256(BytesView(w.data())).prefix_u64();
+}
+
+std::optional<QueryVector> parse_query(const std::string& text) {
+  const std::string q = lowered(text);
+  QueryVector qv;
+
+  // --- task ---
+  if (contains(q, "predict") || contains(q, "train")) {
+    qv.task = TaskKind::TrainModel;
+  } else if (contains(q, "count") || contains(q, "average") ||
+             contains(q, "mean of")) {
+    qv.task = TaskKind::AggregateStats;
+  } else if (contains(q, "retrieve") || contains(q, "list") ||
+             contains(q, "fetch")) {
+    qv.task = TaskKind::RetrieveData;
+  } else {
+    return std::nullopt;
+  }
+
+  // --- label / model ---
+  if (contains(q, "cancer")) qv.label = LabelKind::Cancer;
+  if (contains(q, "stroke")) qv.label = LabelKind::Stroke;
+  qv.model = contains(q, "mlp") || contains(q, "neural")
+                 ? ModelKind::Mlp
+                 : ModelKind::Logistic;
+  if (const auto rounds = number_after(q, "rounds"))
+    qv.federated_rounds = static_cast<std::size_t>(*rounds);
+
+  // --- privacy: "with privacy" (eps=1) or "epsilon N" ---
+  if (contains(q, "with privacy")) qv.dp_epsilon = 1.0;
+  if (const auto eps = number_after(q, "epsilon")) qv.dp_epsilon = *eps;
+
+  // --- requested output schema: "as <schema-name> schema" ---
+  for (const auto kind :
+       {med::SchemaKind::CommonV1, med::SchemaKind::HospitalLegacyA,
+        med::SchemaKind::HospitalLegacyB, med::SchemaKind::WearableVendor,
+        med::SchemaKind::GenomeLab}) {
+    if (contains(q, "as " + std::string(med::schema_def(kind).name)))
+      qv.requested_schema = kind;
+  }
+
+  // --- aggregate target: "average of <field>" / "mean of <field>" ---
+  for (std::string_view marker : {"average of ", "mean of "}) {
+    const auto pos = q.find(marker);
+    if (pos == std::string::npos) continue;
+    std::istringstream rest(q.substr(pos + marker.size()));
+    rest >> qv.aggregate_field;
+  }
+  if (qv.task == TaskKind::AggregateStats && qv.aggregate_field.empty())
+    qv.aggregate_field = "age";  // bare "count ..." aggregates the cohort
+
+  // --- cohort predicates ---
+  if (contains(q, "smoker")) {
+    qv.cohort.where.push_back(med::FieldRange{"smoker", 0.5, 1.5});
+  }
+  if (contains(q, "women") || contains(q, "female")) {
+    qv.cohort.where.push_back(med::FieldRange{"sex", -0.5, 0.5});
+  } else if (contains(q, "men") || contains(q, "male")) {
+    qv.cohort.where.push_back(med::FieldRange{"sex", 0.5, 1.5});
+  }
+  for (const auto field : kRangeableFields) {
+    const std::string name(field);
+    if (const auto over = number_after(q, name + " over "))
+      qv.cohort.where.push_back(med::FieldRange{name, *over, 1e300});
+    if (const auto over = number_after(q, name + " > "))
+      qv.cohort.where.push_back(med::FieldRange{name, *over, 1e300});
+    if (const auto under = number_after(q, name + " under "))
+      qv.cohort.where.push_back(med::FieldRange{name, -1e300, *under});
+    if (const auto under = number_after(q, name + " < "))
+      qv.cohort.where.push_back(med::FieldRange{name, -1e300, *under});
+    // "<field> between A and B"
+    const auto lo = number_after(q, name + " between ");
+    if (lo.has_value()) {
+      const auto and_pos = q.find(" and ", q.find(name + " between "));
+      if (and_pos != std::string::npos) {
+        double hi = 0;
+        const auto res = std::from_chars(q.data() + and_pos + 5,
+                                         q.data() + q.size(), hi);
+        if (res.ec == std::errc{})
+          qv.cohort.where.push_back(med::FieldRange{name, *lo, hi});
+      }
+    }
+  }
+
+  // --- projection for retrieval ---
+  if (qv.task == TaskKind::RetrieveData) {
+    for (const auto feature : med::kFeatureNames)
+      if (contains(q, feature)) qv.cohort.select.emplace_back(feature);
+    if (qv.cohort.select.empty())
+      qv.cohort.select = {"age", "sex", "systolic_bp"};
+  }
+  return qv;
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,63 @@
+// Query vectors: the paper's structured query representation.
+//
+// §IV: "Users can also submit the requests in the form of query vector
+// which consists of various parameters expressing the users' query
+// interest ... how to convert and map NLP to the query vector, ... how to
+// convert the query vector into smart contract."
+//
+// The parser is a keyword/rule front end (the paper explicitly allows
+// direct query-vector submission, so NLP depth is not load-bearing); the
+// vector then (a) filters cohorts, (b) selects the analytics tool and
+// label, and (c) digests into smart-contract calldata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "med/query.hpp"
+#include "med/schema.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::learn {
+
+enum class TaskKind : std::uint8_t {
+  RetrieveData = 0,   ///< return matching rows
+  AggregateStats = 1, ///< count/mean/variance of a field
+  TrainModel = 2,     ///< fit a model federated across sites
+};
+
+enum class ModelKind : std::uint8_t { Logistic = 0, Mlp = 1 };
+
+struct QueryVector {
+  TaskKind task = TaskKind::RetrieveData;
+  LabelKind label = LabelKind::Stroke;
+  ModelKind model = ModelKind::Logistic;
+  med::Query cohort;              ///< WHERE clauses + projection
+  std::string aggregate_field;    ///< for AggregateStats
+  std::size_t federated_rounds = 10;
+
+  /// Differential-privacy budget for aggregate releases; 0 = exact.
+  double dp_epsilon = 0;
+
+  /// Output vocabulary for retrieved rows (paper §IV: "the returned
+  /// data format will be based on users' requested schema").
+  std::optional<med::SchemaKind> requested_schema;
+
+  /// Fold into contract words (param digest for the analytics contract).
+  [[nodiscard]] std::vector<vm::Word> to_words() const;
+  [[nodiscard]] vm::Word digest() const;
+};
+
+/// Parse a natural-ish query. Recognized patterns (case-insensitive):
+///   "predict stroke|cancer"            -> TrainModel with that label
+///   "count ..." / "average of <field>" -> AggregateStats
+///   "retrieve|list ..."                -> RetrieveData
+///   "<field> > N", "<field> < N", "<field> between A and B"
+///   "using logistic|mlp", "rounds N", "smokers", "age over N"
+/// Returns nullopt when no task keyword is found.
+std::optional<QueryVector> parse_query(const std::string& text);
+
+}  // namespace mc::learn

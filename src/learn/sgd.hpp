@@ -1,0 +1,17 @@
+// Shared SGD hyperparameters for the trainable models.
+#pragma once
+
+#include <cstdint>
+
+namespace mc::learn {
+
+struct SgdConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.1;
+  double lr_decay = 0.98;  ///< multiplicative per-epoch decay
+  double l2 = 1e-4;
+  std::uint64_t seed = 99;
+};
+
+}  // namespace mc::learn

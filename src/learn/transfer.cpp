@@ -1,0 +1,41 @@
+#include "learn/transfer.hpp"
+
+#include "learn/metrics.hpp"
+
+namespace mc::learn {
+
+Mlp pretrain_core(const DataSet& core, const TransferConfig& config) {
+  Mlp model(core.dim(), config.hidden_dim, config.seed);
+  model.train(core, config.pretrain_sgd);
+  return model;
+}
+
+TransferOutcome run_transfer(const DataSet& core, const DataSet& target_train,
+                             const DataSet& target_test,
+                             const TransferConfig& config) {
+  TransferOutcome outcome;
+  outcome.target_samples = target_train.size();
+
+  // From scratch on the small target set.
+  Mlp scratch(target_train.dim(), config.hidden_dim, config.seed ^ 0x5c);
+  scratch.train(target_train, config.finetune_sgd);
+  {
+    const auto probabilities = scratch.predict(target_test.x);
+    outcome.scratch_accuracy = accuracy(probabilities, target_test.y);
+    outcome.scratch_auc = auc(probabilities, target_test.y);
+  }
+
+  // Pretrain on the core, adopt features, fine-tune.
+  const Mlp core_model = pretrain_core(core, config);
+  Mlp transferred(target_train.dim(), config.hidden_dim, config.seed ^ 0xfe);
+  transferred.adopt_hidden_layer(core_model);
+  transferred.train(target_train, config.finetune_sgd, config.freeze_hidden);
+  {
+    const auto probabilities = transferred.predict(target_test.x);
+    outcome.transfer_accuracy = accuracy(probabilities, target_test.y);
+    outcome.transfer_auc = auc(probabilities, target_test.y);
+  }
+  return outcome;
+}
+
+}  // namespace mc::learn

@@ -1,0 +1,45 @@
+// Transfer learning (paper §III.A / ref. [20]).
+//
+// The paper's argument: build a large integrated "core" medical dataset
+// (the ImageNet of the domain), learn core features once, then reuse
+// them to jump-start learning at small sites. Here: pretrain an MLP on
+// the core dataset, adopt its hidden layer at the target site, and
+// fine-tune (optionally frozen) on the target's small labeled set.
+#pragma once
+
+#include <cstdint>
+
+#include "learn/mlp.hpp"
+
+namespace mc::learn {
+
+struct TransferConfig {
+  std::size_t hidden_dim = 16;
+  SgdConfig pretrain_sgd{/*epochs=*/30, /*batch_size=*/32,
+                         /*learning_rate=*/0.05, /*lr_decay=*/0.99,
+                         /*l2=*/1e-4, /*seed=*/7};
+  SgdConfig finetune_sgd{/*epochs=*/30, /*batch_size=*/16,
+                         /*learning_rate=*/0.05, /*lr_decay=*/0.99,
+                         /*l2=*/1e-4, /*seed=*/8};
+  bool freeze_hidden = true;  ///< fine-tune the output layer only
+  std::uint64_t seed = 123;
+};
+
+struct TransferOutcome {
+  double scratch_accuracy = 0;  ///< target-only training
+  double scratch_auc = 0;
+  double transfer_accuracy = 0;  ///< pretrain + fine-tune
+  double transfer_auc = 0;
+  std::size_t target_samples = 0;
+};
+
+/// Pretrain on `core`, then compare scratch vs transfer on the target
+/// site's (small) training set, evaluated on `target_test`.
+TransferOutcome run_transfer(const DataSet& core, const DataSet& target_train,
+                             const DataSet& target_test,
+                             const TransferConfig& config);
+
+/// Pretrain only: returns the core model (callers fine-tune themselves).
+Mlp pretrain_core(const DataSet& core, const TransferConfig& config);
+
+}  // namespace mc::learn

@@ -1,0 +1,53 @@
+#include "med/anchor.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mc::med {
+
+Word dataset_word(const SiteDataset& dataset) {
+  return fnv1a(dataset.config().name);
+}
+
+Word digest_word(const Hash256& digest) { return digest.prefix_u64(); }
+
+bool anchor_dataset(contracts::RegistryContract& registry, Word owner,
+                    const SiteDataset& dataset) {
+  const Word schema_word =
+      static_cast<Word>(dataset.config().schema);
+  return registry.register_dataset(owner, dataset_word(dataset),
+                                   digest_word(dataset.content_digest()),
+                                   dataset.size(), schema_word);
+}
+
+bool refresh_anchor(contracts::RegistryContract& registry, Word owner,
+                    const SiteDataset& dataset) {
+  return registry.update_digest(owner, dataset_word(dataset),
+                                digest_word(dataset.content_digest()),
+                                dataset.size());
+}
+
+AuditResult audit_dataset(contracts::RegistryContract& registry,
+                          const SiteDataset& dataset) {
+  AuditResult result;
+  const Word onchain = registry.digest_of(dataset_word(dataset));
+  result.registered = onchain != 0;
+  if (!result.registered) return result;
+  result.digest_matches =
+      onchain == digest_word(dataset.content_digest());
+  return result;
+}
+
+bool verify_record_inclusion(contracts::RegistryContract& registry,
+                             const SiteDataset& dataset, std::size_t index) {
+  if (index >= dataset.size()) return false;
+  const crypto::MerkleTree tree = dataset.merkle_tree();
+  const Hash256 leaf = crypto::sha256(BytesView(dataset.record_blob(index)));
+  const auto proof = tree.prove(index);
+  if (!crypto::MerkleTree::verify(leaf, index, proof, tree.root()))
+    return false;
+  // The locally-proven root must also be the committed one.
+  return registry.digest_of(dataset_word(dataset)) ==
+         digest_word(tree.root());
+}
+
+}  // namespace mc::med

@@ -1,0 +1,52 @@
+// On-chain anchoring of off-chain datasets (Irving & Holden, §III.A).
+//
+// "Create a hash for the raw data set and ... store the hash value of raw
+// data in the created blockchain transaction. As such, the data
+// modification can be easily detected by any peer." We anchor the
+// Merkle root in the registry contract, so both whole-dataset audits and
+// record-level inclusion proofs work without moving any data.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "contracts/registry.hpp"
+#include "med/dataset.hpp"
+
+namespace mc::med {
+
+using contracts::Word;
+
+/// Stable on-chain id for a dataset (word domain).
+Word dataset_word(const SiteDataset& dataset);
+
+/// Digest folded to the contract word domain.
+Word digest_word(const Hash256& digest);
+
+/// Register the dataset's current Merkle root on-chain. False when the
+/// registry rejects (e.g. id already registered by someone else).
+bool anchor_dataset(contracts::RegistryContract& registry, Word owner,
+                    const SiteDataset& dataset);
+
+/// Owner refreshes the on-chain digest after appending records.
+bool refresh_anchor(contracts::RegistryContract& registry, Word owner,
+                    const SiteDataset& dataset);
+
+struct AuditResult {
+  bool registered = false;
+  bool digest_matches = false;  ///< live root == on-chain commitment
+
+  [[nodiscard]] bool clean() const { return registered && digest_matches; }
+};
+
+/// Recompute the live digest and compare to the on-chain commitment —
+/// the peer-side tamper check.
+AuditResult audit_dataset(contracts::RegistryContract& registry,
+                          const SiteDataset& dataset);
+
+/// Record-level proof: record `index` of `dataset` is included under the
+/// dataset's *live* Merkle root, and that root matches the chain.
+bool verify_record_inclusion(contracts::RegistryContract& registry,
+                             const SiteDataset& dataset, std::size_t index);
+
+}  // namespace mc::med

@@ -1,0 +1,170 @@
+#include "med/dataset.hpp"
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace mc::med {
+
+Bytes serialize_record(const PatientRecord& p) {
+  ByteWriter w;
+  w.u64(p.demographics.uid);
+  w.u32(p.demographics.birth_year);
+  w.u8(static_cast<std::uint8_t>(p.demographics.sex));
+  w.u8(p.demographics.ethnicity);
+  w.u8(p.demographics.region);
+
+  w.varint(p.encounters.size());
+  for (const auto& e : p.encounters) {
+    w.u32(e.day);
+    w.u16(e.icd_code);
+    w.u8(e.severity);
+  }
+  w.varint(p.labs.size());
+  for (const auto& lab : p.labs) {
+    w.u32(lab.day);
+    w.u16(lab.lab_code);
+    w.f64(lab.value);
+  }
+  w.varint(p.genome.size());
+  for (const auto& marker : p.genome) {
+    w.u16(marker.snp_id);
+    w.u8(marker.risk_alleles);
+  }
+  w.f64(p.wearable.mean_heart_rate);
+  w.f64(p.wearable.daily_activity_hours);
+  w.f64(p.wearable.sleep_hours);
+  w.u8(p.lifestyle.smoker ? 1 : 0);
+  w.f64(p.lifestyle.alcohol_units_per_week);
+  w.f64(p.lifestyle.exercise_hours_per_week);
+  w.f64(p.lifestyle.diet_quality);
+  w.u8(p.outcomes.stroke ? 1 : 0);
+  w.u8(p.outcomes.cancer ? 1 : 0);
+  return w.take();
+}
+
+SiteDataset::SiteDataset(SiteConfig config, std::vector<PatientRecord> records,
+                         Hash256 national_key)
+    : config_(std::move(config)),
+      records_(std::move(records)),
+      national_key_(national_key) {}
+
+void SiteDataset::append(PatientRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void SiteDataset::tamper(std::size_t index, double delta) {
+  PatientRecord& p = records_.at(index);
+  if (p.labs.empty())
+    throw std::logic_error("tamper target record has no labs");
+  p.labs.front().value += delta;
+}
+
+std::string SiteDataset::token_for(PatientUid uid) const {
+  ByteWriter w;
+  w.u64(uid);
+  const Hash256 mac =
+      crypto::hmac_sha256(BytesView(national_key_.data), BytesView(w.data()));
+  return to_hex(BytesView(mac.data.data(), 16));
+}
+
+std::vector<RawRow> SiteDataset::export_rows() const {
+  Rng rng(config_.seed ^ fnv1a(config_.name));
+  std::vector<RawRow> rows;
+  rows.reserve(records_.size());
+  for (const auto& record : records_) {
+    std::string token = rng.bernoulli(config_.token_missing_rate)
+                            ? std::string{}
+                            : token_for(record.demographics.uid);
+    rows.push_back(
+        denormalize(to_common(record), config_.schema, std::move(token)));
+  }
+  return rows;
+}
+
+crypto::MerkleTree SiteDataset::merkle_tree() const {
+  std::vector<Hash256> leaves;
+  leaves.reserve(records_.size());
+  for (const auto& record : records_)
+    leaves.push_back(crypto::sha256(BytesView(serialize_record(record))));
+  return crypto::MerkleTree(std::move(leaves));
+}
+
+Hash256 SiteDataset::content_digest() const { return merkle_tree().root(); }
+
+std::uint64_t SiteDataset::byte_size() const {
+  std::uint64_t total = 0;
+  for (const auto& record : records_) total += serialize_record(record).size();
+  return total;
+}
+
+Federation build_federation(const std::vector<PatientRecord>& cohort,
+                            const FederationConfig& config) {
+  if (config.hospital_count == 0)
+    throw std::invalid_argument("need at least one hospital");
+
+  Federation fed;
+  fed.hospital_count = config.hospital_count;
+  ByteWriter key_seed;
+  key_seed.u64(config.seed);
+  fed.national_key = crypto::sha256(BytesView(key_seed.data()));
+
+  Rng rng(config.seed);
+
+  // Hospitals alternate between the two legacy schemas and CommonV1.
+  std::vector<std::vector<PatientRecord>> hospital_records(
+      config.hospital_count);
+  std::vector<PatientRecord> wearable_records;
+  std::vector<PatientRecord> genome_records;
+
+  for (const auto& patient : cohort) {
+    const std::size_t home = rng.uniform(config.hospital_count);
+    hospital_records[home].push_back(patient);
+    if (config.hospital_count > 1 &&
+        rng.bernoulli(config.second_hospital_rate)) {
+      std::size_t second = rng.uniform(config.hospital_count);
+      if (second == home) second = (second + 1) % config.hospital_count;
+      hospital_records[second].push_back(patient);
+    }
+    if (rng.bernoulli(config.wearable_coverage))
+      wearable_records.push_back(patient);
+    if (rng.bernoulli(config.genome_coverage))
+      genome_records.push_back(patient);
+  }
+
+  static constexpr SchemaKind kHospitalSchemas[] = {
+      SchemaKind::CommonV1, SchemaKind::HospitalLegacyA,
+      SchemaKind::HospitalLegacyB};
+  for (std::size_t h = 0; h < config.hospital_count; ++h) {
+    SiteConfig sc;
+    sc.name = "hospital-" + std::to_string(h);
+    sc.schema = kHospitalSchemas[h % 3];
+    sc.token_missing_rate = config.token_missing_rate;
+    sc.seed = config.seed + h;
+    fed.sites.emplace_back(std::move(sc), std::move(hospital_records[h]),
+                           fed.national_key);
+  }
+  {
+    SiteConfig sc;
+    sc.name = "wearable-vendor";
+    sc.schema = SchemaKind::WearableVendor;
+    sc.token_missing_rate = config.token_missing_rate;
+    sc.seed = config.seed + 101;
+    fed.sites.emplace_back(std::move(sc), std::move(wearable_records),
+                           fed.national_key);
+  }
+  {
+    SiteConfig sc;
+    sc.name = "genome-lab";
+    sc.schema = SchemaKind::GenomeLab;
+    sc.token_missing_rate = config.token_missing_rate;
+    sc.seed = config.seed + 202;
+    fed.sites.emplace_back(std::move(sc), std::move(genome_records),
+                           fed.national_key);
+  }
+  return fed;
+}
+
+}  // namespace mc::med

@@ -1,0 +1,105 @@
+// Site-hosted medical dataset: the unit of ownership in the paper.
+//
+// "Data sets will be protected securely inside each secure infrastructure
+// of hosted sites" (§III). A SiteDataset never leaves its site; it exports
+// schema-local rows on request and commits to its contents with a Merkle
+// digest for on-chain anchoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "med/generator.hpp"
+#include "med/records.hpp"
+#include "med/schema.hpp"
+
+namespace mc::med {
+
+struct SiteConfig {
+  std::string name = "site";
+  SchemaKind schema = SchemaKind::CommonV1;
+  /// Probability a row's privacy-preserving link token is missing
+  /// (models legacy systems without the national token).
+  double token_missing_rate = 0.0;
+  std::uint64_t seed = 11;
+};
+
+/// Canonical byte serialization of one patient record (digest leaves).
+Bytes serialize_record(const PatientRecord& record);
+
+class SiteDataset {
+ public:
+  /// `national_key` drives the cross-site privacy-preserving patient
+  /// tokens: token = hex(HMAC(national_key, uid)) — equal across sites
+  /// for the same patient, unlinkable to the raw id without the key.
+  SiteDataset(SiteConfig config, std::vector<PatientRecord> records,
+              Hash256 national_key);
+
+  [[nodiscard]] const SiteConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<PatientRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Append a new record (invalidates the cached digest).
+  void append(PatientRecord record);
+
+  /// Tamper helper for integrity experiments: silently modify record
+  /// `index`'s first lab value by `delta` WITHOUT updating the digest
+  /// commitments (what a falsifying site would do).
+  void tamper(std::size_t index, double delta);
+
+  /// Rows in this site's local schema; tokens may be dropped according
+  /// to token_missing_rate (deterministic from the site seed).
+  [[nodiscard]] std::vector<RawRow> export_rows() const;
+
+  /// Privacy-preserving token for a uid under this dataset's national key.
+  [[nodiscard]] std::string token_for(PatientUid uid) const;
+
+  /// Merkle tree over serialized records (leaf i = record i).
+  [[nodiscard]] crypto::MerkleTree merkle_tree() const;
+
+  /// Content digest = Merkle root over record serializations.
+  [[nodiscard]] Hash256 content_digest() const;
+
+  /// Serialized bytes of record `index` (proof verification).
+  [[nodiscard]] Bytes record_blob(std::size_t index) const {
+    return serialize_record(records_.at(index));
+  }
+
+  /// Total serialized size in bytes (data-movement cost accounting).
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+ private:
+  SiteConfig config_;
+  std::vector<PatientRecord> records_;
+  Hash256 national_key_;
+};
+
+/// Split one global cohort across sites with realistic overlap: every
+/// patient's clinical record lands at a home hospital; a fraction also
+/// appears at a second hospital; wearable/genome sites hold the matching
+/// modality for subsets of the cohort.
+struct FederationConfig {
+  std::size_t hospital_count = 4;
+  double second_hospital_rate = 0.2;  ///< patients with records at 2 sites
+  double wearable_coverage = 0.5;     ///< fraction with wearable data
+  double genome_coverage = 0.35;      ///< fraction with genome data
+  double token_missing_rate = 0.05;
+  std::uint64_t seed = 23;
+};
+
+struct Federation {
+  std::vector<SiteDataset> sites;  ///< hospitals, then wearable, then genome
+  Hash256 national_key{};
+  std::size_t hospital_count = 0;
+};
+
+Federation build_federation(const std::vector<PatientRecord>& cohort,
+                            const FederationConfig& config);
+
+}  // namespace mc::med

@@ -1,0 +1,138 @@
+#include "med/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mc::med {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double RiskModel::probability(const CommonRecord& r) const {
+  double z = intercept;
+  z += age_per_year_over_50 * (r.age - 50.0);
+  z += male * r.sex;
+  z += smoker * r.smoker;
+  z += sbp_per_mmhg_over_120 * (r.systolic_bp - 120.0);
+  z += glucose_per_mgdl_over_100 * (r.glucose - 100.0);
+  z += hba1c_per_pct_over_55 * (r.hba1c - 5.5);
+  z += snp_per_allele * r.snp_burden;
+  z += activity_per_hour * r.activity_hours;
+  z += alcohol_per_unit * r.alcohol;
+  return sigmoid(z);
+}
+
+CommonRecord to_common(const PatientRecord& p, std::uint32_t year) {
+  CommonRecord r;
+  r.uid = p.demographics.uid;
+  r.age = static_cast<double>(year - p.demographics.birth_year);
+  r.sex = p.demographics.sex == Sex::Male ? 1.0 : 0.0;
+  r.smoker = p.lifestyle.smoker ? 1.0 : 0.0;
+  // Latest value per lab code.
+  for (const auto& lab : p.labs) {
+    switch (lab.lab_code) {
+      case kLabSystolicBp: r.systolic_bp = lab.value; break;
+      case kLabCholesterol: r.cholesterol = lab.value; break;
+      case kLabGlucose: r.glucose = lab.value; break;
+      case kLabHbA1c: r.hba1c = lab.value; break;
+      case kLabBmi: r.bmi = lab.value; break;
+      default: break;
+    }
+  }
+  r.heart_rate = p.wearable.mean_heart_rate;
+  r.activity_hours = p.wearable.daily_activity_hours;
+  double burden = 0;
+  for (const auto& marker : p.genome) burden += marker.risk_alleles;
+  r.snp_burden = burden;
+  r.alcohol = p.lifestyle.alcohol_units_per_week;
+  r.label_stroke = p.outcomes.stroke ? 1.0 : 0.0;
+  r.label_cancer = p.outcomes.cancer ? 1.0 : 0.0;
+  return r;
+}
+
+std::vector<PatientRecord> generate_cohort(const CohortConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PatientRecord> cohort;
+  cohort.reserve(config.patients);
+
+  for (std::size_t i = 0; i < config.patients; ++i) {
+    PatientRecord p;
+    p.demographics.uid = 1'000'000 + i;
+    const double age =
+        std::clamp(rng.normal(58.0 + config.age_shift_years, 14.0), 20.0, 95.0);
+    p.demographics.birth_year = static_cast<std::uint32_t>(2018.0 - age);
+    p.demographics.sex = rng.bernoulli(0.5) ? Sex::Male : Sex::Female;
+    p.demographics.ethnicity = static_cast<std::uint8_t>(rng.uniform(6));
+    p.demographics.region = static_cast<std::uint8_t>(rng.uniform(4));
+
+    p.lifestyle.smoker = rng.bernoulli(config.smoker_rate);
+    p.lifestyle.alcohol_units_per_week =
+        std::max(0.0, rng.normal(4.0, 4.0));
+    p.lifestyle.exercise_hours_per_week =
+        std::max(0.0, rng.normal(3.0, 2.0));
+    p.lifestyle.diet_quality = std::clamp(rng.normal(0.55, 0.2), 0.0, 1.0);
+
+    // Labs correlate with age / lifestyle so features are not independent.
+    const double sbp = std::clamp(
+        rng.normal(118.0 + 0.35 * (age - 50.0) +
+                       (p.lifestyle.smoker ? 6.0 : 0.0) + config.sbp_shift,
+                   12.0),
+        90.0, 210.0);
+    const double chol = std::clamp(
+        rng.normal(195.0 + 0.4 * (age - 50.0), 30.0), 110.0, 340.0);
+    const double glucose = std::clamp(
+        rng.normal(102.0 + 0.25 * (age - 50.0), 18.0), 60.0, 280.0);
+    const double hba1c =
+        std::clamp(rng.normal(5.5 + (glucose - 100.0) * 0.012, 0.4), 4.0, 12.0);
+    const double bmi = std::clamp(rng.normal(27.0, 4.5), 16.0, 50.0);
+    p.labs = {
+        {30, kLabSystolicBp, sbp},  {60, kLabCholesterol, chol},
+        {60, kLabGlucose, glucose}, {90, kLabHbA1c, hba1c},
+        {30, kLabBmi, bmi},
+    };
+
+    for (std::uint16_t snp = 0; snp < config.snp_panel_size; ++snp) {
+      // Hardy-Weinberg with minor allele frequency 0.3.
+      const double maf = 0.3;
+      const double u = rng.uniform01();
+      std::uint8_t alleles = 0;
+      if (u < maf * maf)
+        alleles = 2;
+      else if (u < maf * maf + 2 * maf * (1 - maf))
+        alleles = 1;
+      p.genome.push_back(GenomicMarker{snp, alleles});
+    }
+
+    p.wearable.mean_heart_rate = std::clamp(
+        rng.normal(72.0 - p.lifestyle.exercise_hours_per_week, 8.0), 45.0,
+        110.0);
+    p.wearable.daily_activity_hours = std::max(
+        0.1, p.lifestyle.exercise_hours_per_week / 7.0 + rng.normal(0.6, 0.3));
+    p.wearable.sleep_hours = std::clamp(rng.normal(7.0, 1.0), 4.0, 11.0);
+
+    const auto encounter_count =
+        static_cast<std::size_t>(rng.exponential(config.encounters_mean)) + 1;
+    for (std::size_t e = 0; e < encounter_count; ++e) {
+      Encounter enc;
+      enc.day = static_cast<std::uint32_t>(rng.uniform(365));
+      enc.icd_code = static_cast<std::uint16_t>(rng.uniform(200));
+      enc.severity = static_cast<std::uint8_t>(rng.uniform(5));
+      p.encounters.push_back(enc);
+    }
+    std::sort(p.encounters.begin(), p.encounters.end(),
+              [](const Encounter& a, const Encounter& b) {
+                return a.day < b.day;
+              });
+
+    // Ground-truth outcomes from the risk models.
+    const CommonRecord common = to_common(p);
+    p.outcomes.stroke_risk = config.stroke.probability(common);
+    p.outcomes.cancer_risk = config.cancer.probability(common);
+    p.outcomes.stroke = rng.bernoulli(p.outcomes.stroke_risk);
+    p.outcomes.cancer = rng.bernoulli(p.outcomes.cancer_risk);
+
+    cohort.push_back(std::move(p));
+  }
+  return cohort;
+}
+
+}  // namespace mc::med

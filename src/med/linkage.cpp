@@ -1,0 +1,128 @@
+#include "med/linkage.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace mc::med {
+namespace {
+
+/// Set one canonical field on a CommonRecord by name; labels excluded.
+void set_field(CommonRecord& r, const std::string& name, double value) {
+  auto features = features_of(r);
+  for (std::size_t i = 0; i < kFeatureNames.size(); ++i) {
+    if (kFeatureNames[i] == name) {
+      features[i] = value;
+      set_features(r, features);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void RecordLinker::add_site(const std::vector<RawRow>& rows,
+                            SchemaKind schema) {
+  partials_.reserve(partials_.size() + rows.size());
+  for (const auto& row : rows) partials_.push_back(normalize(row, schema));
+}
+
+std::vector<CommonRecord> RecordLinker::integrate(
+    IntegrationReport* report) const {
+  IntegrationReport local;
+  local.rows_in = partials_.size();
+
+  struct Accumulator {
+    std::map<std::string, std::pair<double, std::size_t>> sums;  // field -> (sum, n)
+    std::optional<double> label_stroke;
+    std::optional<double> label_cancer;
+    std::size_t source_rows = 0;
+    std::size_t conflicts = 0;
+  };
+
+  std::unordered_map<std::string, Accumulator> by_token;
+  for (const auto& partial : partials_) {
+    if (partial.link_token.empty()) {
+      ++local.rows_unlinkable;
+      continue;
+    }
+    Accumulator& acc = by_token[partial.link_token];
+    ++acc.source_rows;
+    for (const auto& [name, value] : partial.fields) {
+      auto& [sum, n] = acc.sums[name];
+      if (n > 0 && std::abs(sum / static_cast<double>(n) - value) > 1e-9)
+        ++acc.conflicts;
+      sum += value;
+      ++n;
+    }
+    if (partial.label_stroke.has_value()) acc.label_stroke = partial.label_stroke;
+    if (partial.label_cancer.has_value()) acc.label_cancer = partial.label_cancer;
+  }
+
+  // First pass: merged records with NaN for unobserved fields; track
+  // per-field cohort means for imputation.
+  std::map<std::string, std::pair<double, std::size_t>> cohort_sums;
+  std::vector<CommonRecord> merged;
+  std::vector<std::vector<bool>> observed;  // per record, per feature index
+  merged.reserve(by_token.size());
+
+  std::uint64_t uid_counter = 1;
+  double total_rows = 0;
+  for (const auto& [token, acc] : by_token) {
+    CommonRecord r;
+    r.uid = uid_counter++;
+    std::vector<bool> seen(kFeatureCount, false);
+    for (const auto& [name, sum_n] : acc.sums) {
+      const double value =
+          sum_n.first / static_cast<double>(sum_n.second);
+      set_field(r, name, value);
+      for (std::size_t i = 0; i < kFeatureNames.size(); ++i)
+        if (kFeatureNames[i] == name) seen[i] = true;
+      auto& [cs, cn] = cohort_sums[name];
+      cs += value;
+      ++cn;
+    }
+    r.label_stroke = acc.label_stroke.value_or(
+        std::numeric_limits<double>::quiet_NaN());
+    r.label_cancer = acc.label_cancer.value_or(
+        std::numeric_limits<double>::quiet_NaN());
+    if (acc.label_stroke.has_value() || acc.label_cancer.has_value())
+      ++local.labeled_patients;
+    local.field_conflicts += acc.conflicts;
+    total_rows += static_cast<double>(acc.source_rows);
+    merged.push_back(r);
+    observed.push_back(std::move(seen));
+  }
+  local.patients_merged = merged.size();
+  local.mean_modalities_per_patient =
+      merged.empty() ? 0 : total_rows / static_cast<double>(merged.size());
+
+  // Second pass: mean-impute unobserved features.
+  std::array<double, kFeatureCount> means{};
+  for (std::size_t i = 0; i < kFeatureNames.size(); ++i) {
+    auto it = cohort_sums.find(std::string(kFeatureNames[i]));
+    means[i] = (it != cohort_sums.end() && it->second.second > 0)
+                   ? it->second.first / static_cast<double>(it->second.second)
+                   : 0.0;
+  }
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    auto features = features_of(merged[k]);
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+      if (!observed[k][i]) {
+        features[i] = means[i];
+        ++local.imputed_fields;
+      }
+    }
+    set_features(merged[k], features);
+  }
+
+  if (report != nullptr) *report = local;
+  return merged;
+}
+
+}  // namespace mc::med

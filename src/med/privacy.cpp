@@ -1,0 +1,48 @@
+#include "med/privacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mc::med {
+
+double laplace_noise(Rng& rng, double scale) {
+  // Inverse-CDF sampling: u uniform in (-0.5, 0.5).
+  double u = rng.uniform01() - 0.5;
+  while (u == -0.5) u = rng.uniform01() - 0.5;
+  return -scale * (u < 0 ? -1.0 : 1.0) * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+FieldBounds bounds_for_field(std::string_view field) {
+  const auto& bounds = clinical_bounds();
+  for (std::size_t f = 0; f < kFeatureNames.size(); ++f)
+    if (kFeatureNames[f] == field) return bounds[f];
+  return FieldBounds{-1e6, 1e6, 0};  // unknown: wide envelope
+}
+
+NoisyAggregate privatize(const Aggregate& agg, const FieldBounds& bounds,
+                         const DpConfig& config) {
+  NoisyAggregate out;
+  out.epsilon = config.epsilon;
+  if (config.epsilon <= 0) {  // privacy off: exact release
+    out.count = static_cast<double>(agg.count);
+    out.mean = agg.mean;
+    return out;
+  }
+  Rng rng(config.seed);
+  const double half_epsilon = config.epsilon / 2.0;
+
+  // Count: sensitivity 1.
+  out.count =
+      static_cast<double>(agg.count) + laplace_noise(rng, 1.0 / half_epsilon);
+
+  // Mean: one record can shift the mean by at most range/n.
+  const double range = bounds.plausible_max - bounds.plausible_min;
+  const double n = std::max<double>(1.0, static_cast<double>(agg.count));
+  const double sensitivity = range / n;
+  out.mean = agg.mean + laplace_noise(rng, sensitivity / half_epsilon);
+  out.mean =
+      std::clamp(out.mean, bounds.plausible_min, bounds.plausible_max);
+  return out;
+}
+
+}  // namespace mc::med

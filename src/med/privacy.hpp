@@ -1,0 +1,45 @@
+// Differential privacy for federated aggregate releases.
+//
+// The paper's architecture protects raw records (they never move), but
+// released *aggregates* still leak: a count of "smokers over 60 at
+// hospital X" shifts by one when one patient joins. The standard fix is
+// epsilon-differential privacy: Laplace noise calibrated to the query's
+// sensitivity. This module privatizes the mergeable Aggregate the global
+// data service returns, using the clinical plausibility bounds as the
+// field sensitivity envelope.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "med/quality.hpp"
+#include "med/query.hpp"
+
+namespace mc::med {
+
+struct DpConfig {
+  double epsilon = 1.0;      ///< privacy budget for this release
+  std::uint64_t seed = 424;  ///< deterministic noise for reproducibility
+};
+
+/// A privatized aggregate release.
+struct NoisyAggregate {
+  double count = 0;  ///< noisy (can be fractional / slightly negative)
+  double mean = 0;   ///< noisy mean, clamped to the field bounds
+  double epsilon = 0;
+};
+
+/// One Laplace(0, scale) draw.
+double laplace_noise(Rng& rng, double scale);
+
+/// Privatize `agg` over a field with the given plausibility bounds.
+/// Budget is split evenly between the count and the mean; count
+/// sensitivity is 1, mean sensitivity is (max-min)/n.
+NoisyAggregate privatize(const Aggregate& agg, const FieldBounds& bounds,
+                         const DpConfig& config);
+
+/// Bounds for a canonical field by name; wide-open bounds for unknown
+/// fields (keeps the mechanism safe, at a utility cost).
+FieldBounds bounds_for_field(std::string_view field);
+
+}  // namespace mc::med

@@ -1,0 +1,134 @@
+#include "med/quality.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mc::med {
+
+const std::array<FieldBounds, kFeatureCount>& clinical_bounds() {
+  // Order matches kFeatureNames: age, sex, smoker, systolic_bp,
+  // cholesterol, glucose, hba1c, bmi, heart_rate, activity_hours,
+  // snp_burden, alcohol.
+  static const std::array<FieldBounds, kFeatureCount> kBounds{{
+      {0, 120, 0},          // age
+      {0, 1, 0},            // sex
+      {0, 1, 0},            // smoker
+      {60, 260, 0},         // systolic_bp
+      {80, 450, 38.67},     // cholesterol (mmol/L slipped through as mg/dL)
+      {40, 400, 18.02},     // glucose (mmol/L slipped through)
+      {3, 16, 0},           // hba1c
+      {10, 70, 0},          // bmi
+      {30, 220, 0},         // heart_rate
+      {0, 16, 0},           // activity_hours
+      {0, 40, 0},           // snp_burden
+      {0, 100, 0},          // alcohol units/week
+  }};
+  return kBounds;
+}
+
+double QualityReport::score() const {
+  if (records == 0 || fields.empty()) return 1.0;
+  double completeness = 0;
+  std::size_t issues = 0;
+  std::size_t observed = 0;
+  for (const auto& fq : fields) {
+    completeness += fq.completeness();
+    issues += fq.out_of_range + fq.outliers + fq.suspected_unit_errors;
+    observed += fq.observed;
+  }
+  completeness /= static_cast<double>(fields.size());
+  const double issue_rate =
+      observed == 0 ? 0.0
+                    : static_cast<double>(issues) /
+                          static_cast<double>(observed);
+  return completeness * (1.0 - std::min(1.0, issue_rate));
+}
+
+QualityReport assess_quality(std::span<const CommonRecord> records) {
+  QualityReport report;
+  report.records = records.size();
+  const auto& bounds = clinical_bounds();
+
+  // Pass 1: moments over in-range observed values.
+  std::array<double, kFeatureCount> sum{}, sumsq{};
+  std::array<std::size_t, kFeatureCount> count{};
+  for (const auto& record : records) {
+    const auto features = features_of(record);
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      const double v = features[f];
+      if (std::isnan(v)) continue;
+      if (v < bounds[f].plausible_min || v > bounds[f].plausible_max)
+        continue;
+      sum[f] += v;
+      sumsq[f] += v * v;
+      ++count[f];
+    }
+  }
+
+  report.fields.resize(kFeatureCount);
+  for (std::size_t f = 0; f < kFeatureCount; ++f) {
+    FieldQuality& fq = report.fields[f];
+    fq.field = std::string(kFeatureNames[f]);
+    if (count[f] > 0) {
+      fq.mean = sum[f] / static_cast<double>(count[f]);
+      const double var =
+          sumsq[f] / static_cast<double>(count[f]) - fq.mean * fq.mean;
+      fq.stddev = var > 0 ? std::sqrt(var) : 0.0;
+    }
+  }
+
+  // Pass 2: per-record classification.
+  std::vector<bool> record_clean(records.size(), true);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto features = features_of(records[i]);
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      FieldQuality& fq = report.fields[f];
+      const double v = features[f];
+      if (std::isnan(v)) {
+        ++fq.missing;
+        record_clean[i] = false;
+        continue;
+      }
+      ++fq.observed;
+      const FieldBounds& b = bounds[f];
+      if (v < b.plausible_min || v > b.plausible_max) {
+        ++fq.out_of_range;
+        record_clean[i] = false;
+        // Does a known unit-conversion fix it?
+        if (b.unit_error_factor > 0) {
+          const double fixed = v * b.unit_error_factor;
+          if (fixed >= b.plausible_min && fixed <= b.plausible_max)
+            ++fq.suspected_unit_errors;
+        }
+        continue;
+      }
+      if (fq.stddev > 1e-9 &&
+          std::abs(v - fq.mean) / fq.stddev > 4.0) {
+        ++fq.outliers;
+        record_clean[i] = false;
+      }
+    }
+  }
+  for (const bool clean : record_clean)
+    if (clean) ++report.clean_records;
+  return report;
+}
+
+void inject_unit_errors(std::vector<CommonRecord>& records,
+                        std::string_view field, double factor, double rate,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t index = kFeatureCount;
+  for (std::size_t f = 0; f < kFeatureCount; ++f)
+    if (kFeatureNames[f] == field) index = f;
+  if (index == kFeatureCount) return;
+  for (auto& record : records) {
+    if (!rng.bernoulli(rate)) continue;
+    auto features = features_of(record);
+    features[index] *= factor;
+    set_features(record, features);
+  }
+}
+
+}  // namespace mc::med

@@ -1,0 +1,69 @@
+// Data-quality service (paper §IV "Data Services").
+//
+// "The good analytics results of AI algorithms are from the quality of
+// the data, not the amount of data." The service scores a batch of
+// common-format records per field: missingness, out-of-range values
+// (clinical plausibility bounds), statistical outliers, and suspected
+// unit errors (values that become plausible under a known wrong-unit
+// factor — the classic mmol/L-as-mg/dL bug the schema zoo invites).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "med/records.hpp"
+
+namespace mc::med {
+
+/// Clinical plausibility bounds for one canonical field.
+struct FieldBounds {
+  double plausible_min = -1e300;
+  double plausible_max = 1e300;
+  /// A wrong-unit conversion factor this field is prone to (0 = none):
+  /// value*factor landing in-range while value itself is out-of-range
+  /// flags a suspected unit error.
+  double unit_error_factor = 0.0;
+};
+
+/// Bounds for the canonical feature set (kFeatureNames order).
+const std::array<FieldBounds, kFeatureCount>& clinical_bounds();
+
+struct FieldQuality {
+  std::string field;
+  std::size_t observed = 0;     ///< non-NaN values
+  std::size_t missing = 0;      ///< NaN values
+  std::size_t out_of_range = 0; ///< outside plausibility bounds
+  std::size_t outliers = 0;     ///< |z| > 4 among in-range values
+  std::size_t suspected_unit_errors = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  [[nodiscard]] double completeness() const {
+    const std::size_t total = observed + missing;
+    return total == 0 ? 1.0
+                      : static_cast<double>(observed) /
+                            static_cast<double>(total);
+  }
+};
+
+struct QualityReport {
+  std::vector<FieldQuality> fields;
+  std::size_t records = 0;
+  std::size_t clean_records = 0;  ///< no issue in any field
+
+  /// Overall score in [0,1]: completeness x (1 - issue rate).
+  [[nodiscard]] double score() const;
+};
+
+/// Score a batch of records (NaN = missing; call before imputation).
+QualityReport assess_quality(std::span<const CommonRecord> records);
+
+/// Inject field corruption for testing/benchmarks: with probability
+/// `rate`, multiply a record's `field` by `factor` (unit bug simulation).
+void inject_unit_errors(std::vector<CommonRecord>& records,
+                        std::string_view field, double factor, double rate,
+                        std::uint64_t seed);
+
+}  // namespace mc::med

@@ -1,0 +1,83 @@
+#include "med/query.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mc::med {
+
+std::optional<double> field_value(const CommonRecord& r,
+                                  std::string_view name) {
+  const auto features = features_of(r);
+  for (std::size_t i = 0; i < kFeatureNames.size(); ++i)
+    if (kFeatureNames[i] == name) return features[i];
+  if (name == "label_stroke") return r.label_stroke;
+  if (name == "label_cancer") return r.label_cancer;
+  if (name == "uid") return static_cast<double>(r.uid);
+  return std::nullopt;
+}
+
+bool matches(const CommonRecord& record, const Query& query) {
+  for (const auto& range : query.where) {
+    const auto value = field_value(record, range.field);
+    if (!value.has_value() || std::isnan(*value)) return false;
+    if (*value < range.min || *value > range.max) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<double>> run_query(
+    std::span<const CommonRecord> records, const Query& query,
+    QueryStats* stats) {
+  QueryStats local;
+  std::vector<std::vector<double>> out;
+  for (const auto& record : records) {
+    ++local.rows_scanned;
+    if (!matches(record, query)) continue;
+    ++local.rows_matched;
+    std::vector<double> row;
+    row.reserve(query.select.size());
+    for (const auto& field : query.select) {
+      const auto value = field_value(record, field);
+      row.push_back(value.value_or(std::numeric_limits<double>::quiet_NaN()));
+    }
+    out.push_back(std::move(row));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+void Aggregate::add(double value) {
+  if (std::isnan(value)) return;
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean - mean;
+  const auto n1 = static_cast<double>(count);
+  const auto n2 = static_cast<double>(other.count);
+  const double n = n1 + n2;
+  mean = (n1 * mean + n2 * other.mean) / n;
+  m2 += other.m2 + delta * delta * n1 * n2 / n;
+  count += other.count;
+}
+
+Aggregate aggregate_field(std::span<const CommonRecord> records,
+                          const Query& query, std::string_view field) {
+  Aggregate agg;
+  for (const auto& record : records) {
+    if (!matches(record, query)) continue;
+    const auto value = field_value(record, field);
+    if (value.has_value()) agg.add(*value);
+  }
+  return agg;
+}
+
+}  // namespace mc::med

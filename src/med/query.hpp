@@ -1,0 +1,72 @@
+// Virtual query engine over the common data format.
+//
+// Paper §IV: "If the users' submitted requests are retrieving data, the
+// system will return ... data retrieved and compiled from various
+// distributed data sets. The returned data format will be based on
+// users' requested schema." Queries run against CommonRecords at each
+// site; the same structures power the federated aggregates the global
+// data service composes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "med/records.hpp"
+
+namespace mc::med {
+
+/// Value of a canonical field (features or labels) by name.
+std::optional<double> field_value(const CommonRecord& record,
+                                  std::string_view name);
+
+/// Inclusive range predicate on one canonical field.
+struct FieldRange {
+  std::string field;
+  double min = -1e300;
+  double max = 1e300;
+};
+
+struct Query {
+  std::vector<FieldRange> where;
+  std::vector<std::string> select;  ///< projected fields, in order
+};
+
+struct QueryStats {
+  std::size_t rows_scanned = 0;
+  std::size_t rows_matched = 0;
+};
+
+/// True when `record` satisfies every predicate.
+bool matches(const CommonRecord& record, const Query& query);
+
+/// Filter + project. Rows with a missing selected field yield NaN there.
+std::vector<std::vector<double>> run_query(
+    std::span<const CommonRecord> records, const Query& query,
+    QueryStats* stats = nullptr);
+
+/// Streaming aggregate that composes across sites without moving rows:
+/// count, mean and variance merge exactly (Chan et al. parallel form),
+/// which is what lets the global data service combine per-site partials.
+struct Aggregate {
+  std::size_t count = 0;
+  double mean = 0;
+  double m2 = 0;  ///< sum of squared deviations
+
+  void add(double value);
+
+  /// Merge another partial aggregate (associative, order-insensitive).
+  void merge(const Aggregate& other);
+
+  [[nodiscard]] double variance() const {
+    return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+  }
+};
+
+/// Per-site aggregate of `field` over rows matching `query`.
+Aggregate aggregate_field(std::span<const CommonRecord> records,
+                          const Query& query, std::string_view field);
+
+}  // namespace mc::med

@@ -1,0 +1,27 @@
+#include "med/records.hpp"
+
+namespace mc::med {
+
+std::array<double, kFeatureCount> features_of(const CommonRecord& r) {
+  return {r.age,        r.sex,    r.smoker,        r.systolic_bp,
+          r.cholesterol, r.glucose, r.hba1c,       r.bmi,
+          r.heart_rate, r.activity_hours, r.snp_burden, r.alcohol};
+}
+
+void set_features(CommonRecord& r,
+                  const std::array<double, kFeatureCount>& v) {
+  r.age = v[0];
+  r.sex = v[1];
+  r.smoker = v[2];
+  r.systolic_bp = v[3];
+  r.cholesterol = v[4];
+  r.glucose = v[5];
+  r.hba1c = v[6];
+  r.bmi = v[7];
+  r.heart_rate = v[8];
+  r.activity_hours = v[9];
+  r.snp_burden = v[10];
+  r.alcohol = v[11];
+}
+
+}  // namespace mc::med

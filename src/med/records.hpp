@@ -1,0 +1,146 @@
+// Medical record domain model.
+//
+// SUBSTITUTION (DESIGN.md §5): real EMR/TCGA/wearable data is private and
+// regulated, so the cohort is synthetic. What matters to the paper's
+// architecture is preserved: multi-modal records (clinical, lab, genomic,
+// wearable, lifestyle), heterogeneous per-site availability, shared
+// patients scattered across sites, and a learnable outcome structure so
+// the federated/transfer-learning experiments have real signal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mc::med {
+
+using PatientUid = std::uint64_t;
+
+enum class Sex : std::uint8_t { Female = 0, Male = 1 };
+
+struct Demographics {
+  PatientUid uid = 0;
+  std::uint32_t birth_year = 1970;
+  Sex sex = Sex::Female;
+  std::uint8_t ethnicity = 0;  ///< coarse group code 0..5
+  std::uint8_t region = 0;     ///< geographic region code
+};
+
+/// One clinical encounter (diagnosis event).
+struct Encounter {
+  std::uint32_t day = 0;       ///< days since cohort epoch
+  std::uint16_t icd_code = 0;  ///< abstract diagnosis code
+  std::uint8_t severity = 0;   ///< 0..4
+};
+
+/// One laboratory measurement.
+struct LabResult {
+  std::uint32_t day = 0;
+  std::uint16_t lab_code = 0;  ///< kLab* codes below
+  double value = 0;            ///< canonical units
+};
+
+/// Lab codes used by the generator and schema mappers.
+inline constexpr std::uint16_t kLabSystolicBp = 1;   // mmHg
+inline constexpr std::uint16_t kLabCholesterol = 2;  // mg/dL
+inline constexpr std::uint16_t kLabGlucose = 3;      // mg/dL
+inline constexpr std::uint16_t kLabHbA1c = 4;        // %
+inline constexpr std::uint16_t kLabBmi = 5;          // kg/m^2
+
+/// One genomic risk marker (SNP) with 0/1/2 risk alleles.
+struct GenomicMarker {
+  std::uint16_t snp_id = 0;
+  std::uint8_t risk_alleles = 0;
+};
+
+/// Aggregated wearable-device summary over the observation window.
+struct WearableSummary {
+  double mean_heart_rate = 70;
+  double daily_activity_hours = 1.0;
+  double sleep_hours = 7.0;
+};
+
+struct Lifestyle {
+  bool smoker = false;
+  double alcohol_units_per_week = 0;
+  double exercise_hours_per_week = 2;
+  double diet_quality = 0.5;  ///< 0..1
+};
+
+/// Study outcomes (labels for the learning experiments).
+struct Outcomes {
+  bool stroke = false;
+  bool cancer = false;
+  double stroke_risk = 0;  ///< latent generating probability (oracle truth)
+  double cancer_risk = 0;
+};
+
+/// The complete per-patient record as the generator produces it.
+struct PatientRecord {
+  Demographics demographics;
+  std::vector<Encounter> encounters;
+  std::vector<LabResult> labs;
+  std::vector<GenomicMarker> genome;
+  WearableSummary wearable;
+  Lifestyle lifestyle;
+  Outcomes outcomes;
+};
+
+/// The common data format (CDF): the canonical flattened record every
+/// site's data maps into (paper §IV "utilize AI to optimize the common
+/// data format"). Missing modalities are NaN until imputed.
+struct CommonRecord {
+  PatientUid uid = 0;
+  double age = 0;
+  double sex = 0;  ///< 0 female, 1 male
+  double smoker = 0;
+  double systolic_bp = 0;
+  double cholesterol = 0;
+  double glucose = 0;
+  double hba1c = 0;
+  double bmi = 0;
+  double heart_rate = 0;
+  double activity_hours = 0;
+  double snp_burden = 0;  ///< sum of risk alleles across panel
+  double alcohol = 0;
+  double label_stroke = 0;  ///< 0/1, or NaN when the site lacks outcomes
+  double label_cancer = 0;
+};
+
+/// Feature ordering of the CDF when flattened for learning.
+inline constexpr std::array<std::string_view, 12> kFeatureNames{
+    "age",        "sex",        "smoker",   "systolic_bp",
+    "cholesterol", "glucose",   "hba1c",    "bmi",
+    "heart_rate", "activity_hours", "snp_burden", "alcohol"};
+
+inline constexpr std::size_t kFeatureCount = kFeatureNames.size();
+
+/// Fixed domain scales per feature (same order as kFeatureNames).
+/// Dividing by these puts every feature in O(1) range with *constant*
+/// (data-independent) factors — crucial for federated learning, where
+/// every site must embed its data into the identical parameter space
+/// without sharing statistics.
+inline constexpr std::array<double, kFeatureCount> kFeatureScales{
+    100.0,  // age
+    1.0,    // sex
+    1.0,    // smoker
+    200.0,  // systolic_bp
+    300.0,  // cholesterol
+    200.0,  // glucose
+    10.0,   // hba1c
+    50.0,   // bmi
+    100.0,  // heart_rate
+    5.0,    // activity_hours
+    16.0,   // snp_burden
+    20.0,   // alcohol
+};
+
+/// Flatten a CommonRecord's features in kFeatureNames order.
+std::array<double, kFeatureCount> features_of(const CommonRecord& record);
+
+/// Write features back (inverse of features_of; labels untouched).
+void set_features(CommonRecord& record,
+                  const std::array<double, kFeatureCount>& values);
+
+}  // namespace mc::med

@@ -1,0 +1,138 @@
+#include "med/schema.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace mc::med {
+namespace {
+
+// Unit conversions: cholesterol mg/dL = mmol/L * 38.67,
+// glucose mg/dL = mmol/L * 18.02.
+constexpr double kCholMgPerMmol = 38.67;
+constexpr double kGluMgPerMmol = 18.02;
+
+std::array<SchemaDef, kSchemaKindCount> build_table() {
+  std::array<SchemaDef, kSchemaKindCount> table;
+
+  SchemaDef common;
+  common.kind = SchemaKind::CommonV1;
+  common.name = "common-v1";
+  for (const auto feature : kFeatureNames)
+    common.rules.push_back(
+        FieldRule{std::string(feature), std::string(feature), 1.0, 0.0});
+  common.has_outcomes = true;
+  table[0] = common;
+
+  SchemaDef a;
+  a.kind = SchemaKind::HospitalLegacyA;
+  a.name = "hospital-legacy-a";
+  a.rules = {
+      {"age", "pat_age_yrs", 1.0, 0.0},
+      {"sex", "sex_code", 1.0, -1.0},  // site codes 1=female, 2=male
+      {"smoker", "smoking_status", 1.0, 0.0},
+      {"systolic_bp", "bp_sys_mmhg", 1.0, 0.0},
+      {"cholesterol", "chol_mmol", kCholMgPerMmol, 0.0},
+      {"glucose", "glu_mgdl", 1.0, 0.0},
+      {"hba1c", "a1c_pct", 1.0, 0.0},
+      {"bmi", "bmi_kgm2", 1.0, 0.0},
+      {"alcohol", "etoh_units_wk", 1.0, 0.0},
+  };
+  a.has_outcomes = true;
+  table[1] = a;
+
+  SchemaDef b;
+  b.kind = SchemaKind::HospitalLegacyB;
+  b.name = "hospital-legacy-b";
+  b.rules = {
+      {"age", "alter", 1.0, 0.0},
+      {"sex", "geschlecht", 1.0, 0.0},
+      {"smoker", "raucher", 1.0, 0.0},
+      {"systolic_bp", "rr_syst", 1.0, 0.0},
+      {"cholesterol", "cholesterin_mgdl", 1.0, 0.0},
+      {"glucose", "glukose_mmol", kGluMgPerMmol, 0.0},
+      {"bmi", "bmi", 1.0, 0.0},
+      {"alcohol", "alkohol", 1.0, 0.0},
+  };
+  b.has_outcomes = true;
+  table[2] = b;
+
+  SchemaDef w;
+  w.kind = SchemaKind::WearableVendor;
+  w.name = "wearable-vendor";
+  w.rules = {
+      {"heart_rate", "hr_avg_bpm", 1.0, 0.0},
+      {"activity_hours", "active_minutes_daily", 1.0 / 60.0, 0.0},
+  };
+  w.has_outcomes = false;
+  table[3] = w;
+
+  SchemaDef g;
+  g.kind = SchemaKind::GenomeLab;
+  g.name = "genome-lab";
+  g.rules = {
+      {"snp_burden", "risk_allele_total", 1.0, 0.0},
+      {"sex", "chr_sex", 1.0, 0.0},
+  };
+  g.has_outcomes = false;
+  table[4] = g;
+
+  return table;
+}
+
+const std::array<SchemaDef, kSchemaKindCount>& table() {
+  static const auto kTable = build_table();
+  return kTable;
+}
+
+double canonical_field(const CommonRecord& r, const std::string& name) {
+  const auto features = features_of(r);
+  for (std::size_t i = 0; i < kFeatureNames.size(); ++i)
+    if (kFeatureNames[i] == name) return features[i];
+  throw std::out_of_range("unknown canonical field: " + name);
+}
+
+}  // namespace
+
+const SchemaDef& schema_def(SchemaKind kind) {
+  return table()[static_cast<std::size_t>(kind)];
+}
+
+PartialRecord normalize(const RawRow& row, SchemaKind kind) {
+  const SchemaDef& def = schema_def(kind);
+  PartialRecord out;
+  out.link_token = row.link_token;
+  for (const auto& [local_name, local_value] : row.fields) {
+    for (const auto& rule : def.rules) {
+      if (rule.local == local_name) {
+        out.fields[rule.canonical] = local_value * rule.scale + rule.offset;
+        break;
+      }
+    }
+  }
+  if (def.has_outcomes) {
+    out.label_stroke = row.outcome_stroke;
+    out.label_cancer = row.outcome_cancer;
+  }
+  return out;
+}
+
+RawRow denormalize(const CommonRecord& record, SchemaKind kind,
+                   std::string link_token) {
+  const SchemaDef& def = schema_def(kind);
+  RawRow row;
+  row.link_token = std::move(link_token);
+  row.fields.reserve(def.rules.size());
+  for (const auto& rule : def.rules) {
+    const double canonical = canonical_field(record, rule.canonical);
+    row.fields.emplace_back(rule.local,
+                            (canonical - rule.offset) / rule.scale);
+  }
+  if (def.has_outcomes) {
+    row.outcome_stroke = record.label_stroke;
+    row.outcome_cancer = record.label_cancer;
+  }
+  return row;
+}
+
+}  // namespace mc::med

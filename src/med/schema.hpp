@@ -1,0 +1,74 @@
+// Heterogeneous site schemas and the common-data-format field rules.
+//
+// The paper's challenge (a): "lack of common data format". Each site
+// exports rows under its own legacy schema — different field names,
+// different units, different code conventions, missing modalities. The
+// SchemaDef table drives both export (site side) and normalization
+// (integration side), so round-trips are exact where a field exists.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "med/records.hpp"
+
+namespace mc::med {
+
+enum class SchemaKind : std::uint8_t {
+  CommonV1 = 0,        ///< the canonical CDF itself
+  HospitalLegacyA = 1, ///< 1/2 sex coding, cholesterol in mmol/L
+  HospitalLegacyB = 2, ///< glucose in mmol/L, no HbA1c
+  WearableVendor = 3,  ///< heart rate / activity only, no outcomes
+  GenomeLab = 4,       ///< SNP burden only, no outcomes
+};
+
+/// Number of defined schema kinds.
+inline constexpr std::size_t kSchemaKindCount = 5;
+
+/// One field's translation: canonical = local * scale + offset.
+struct FieldRule {
+  std::string canonical;  ///< name from kFeatureNames
+  std::string local;      ///< the site's own column name
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+struct SchemaDef {
+  SchemaKind kind = SchemaKind::CommonV1;
+  std::string name;
+  std::vector<FieldRule> rules;
+  bool has_outcomes = false;  ///< site records stroke/cancer outcomes
+};
+
+/// Static schema table.
+const SchemaDef& schema_def(SchemaKind kind);
+
+/// A row as exported by a site, in its local vocabulary.
+struct RawRow {
+  std::string link_token;  ///< privacy-preserving patient token ("" = lost)
+  std::vector<std::pair<std::string, double>> fields;
+  std::optional<double> outcome_stroke;
+  std::optional<double> outcome_cancer;
+};
+
+/// A normalized (canonical-vocabulary) partial record.
+struct PartialRecord {
+  std::string link_token;
+  std::map<std::string, double> fields;  ///< canonical name -> value
+  std::optional<double> label_stroke;
+  std::optional<double> label_cancer;
+};
+
+/// Normalize one raw row under its site schema. Unknown local fields are
+/// dropped (counted by the caller if desired).
+PartialRecord normalize(const RawRow& row, SchemaKind kind);
+
+/// Export one canonical record as a raw row under `kind` (inverse of
+/// normalize for the fields the schema carries).
+RawRow denormalize(const CommonRecord& record, SchemaKind kind,
+                   std::string link_token);
+
+}  // namespace mc::med

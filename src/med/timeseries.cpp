@@ -1,0 +1,89 @@
+#include "med/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mc::med {
+
+std::vector<WearableDay> generate_series(const WearableSummary& baseline,
+                                         const WearableSeriesConfig& config,
+                                         Rng& rng) {
+  std::vector<WearableDay> series;
+  series.reserve(config.days);
+  for (std::uint32_t d = 0; d < config.days; ++d) {
+    WearableDay day;
+    day.day = d;
+    if (rng.bernoulli(config.wear_dropout)) {
+      day.heart_rate = std::numeric_limits<double>::quiet_NaN();
+      series.push_back(day);
+      continue;
+    }
+    const bool weekend = (d % 7) >= 5;
+    const double drift = config.hr_drift_per_90d *
+                         (static_cast<double>(d) / 90.0);
+    day.heart_rate = baseline.mean_heart_rate + drift +
+                     rng.normal(0.0, config.hr_noise);
+    day.activity_hours = std::max(
+        0.0, baseline.daily_activity_hours +
+                 (weekend ? config.weekend_activity_boost : 0.0) +
+                 rng.normal(0.0, config.activity_noise));
+    day.sleep_hours =
+        std::clamp(baseline.sleep_hours + rng.normal(0.0, 0.7), 3.0, 12.0);
+    series.push_back(day);
+  }
+  return series;
+}
+
+WearableFeatures extract_features(const std::vector<WearableDay>& series) {
+  WearableFeatures features;
+  if (series.empty()) return features;
+
+  // Pass 1: means over worn days.
+  double hr_sum = 0, act_sum = 0, sleep_sum = 0;
+  std::size_t n = 0;
+  for (const auto& day : series) {
+    if (std::isnan(day.heart_rate)) continue;
+    hr_sum += day.heart_rate;
+    act_sum += day.activity_hours;
+    sleep_sum += day.sleep_hours;
+    ++n;
+  }
+  features.days_observed = n;
+  features.wear_fraction =
+      static_cast<double>(n) / static_cast<double>(series.size());
+  if (n == 0) return features;
+  features.mean_heart_rate = hr_sum / static_cast<double>(n);
+  features.mean_activity_hours = act_sum / static_cast<double>(n);
+  features.mean_sleep_hours = sleep_sum / static_cast<double>(n);
+
+  // Pass 2: activity variability + least-squares HR trend over days.
+  double act_sq = 0;
+  double sxx = 0, sxy = 0, x_sum = 0, x_sq = 0;
+  for (const auto& day : series) {
+    if (std::isnan(day.heart_rate)) continue;
+    const double a = day.activity_hours - features.mean_activity_hours;
+    act_sq += a * a;
+    x_sum += day.day;
+  }
+  const double x_mean = x_sum / static_cast<double>(n);
+  for (const auto& day : series) {
+    if (std::isnan(day.heart_rate)) continue;
+    const double dx = static_cast<double>(day.day) - x_mean;
+    sxx += dx * dx;
+    sxy += dx * (day.heart_rate - features.mean_heart_rate);
+    x_sq += dx * dx;
+  }
+  (void)x_sq;
+  features.activity_variability =
+      n > 1 ? std::sqrt(act_sq / static_cast<double>(n - 1)) : 0.0;
+  features.hr_trend_per_90d = sxx > 1e-9 ? (sxy / sxx) * 90.0 : 0.0;
+  return features;
+}
+
+void apply_features(CommonRecord& record, const WearableFeatures& features) {
+  record.heart_rate = features.mean_heart_rate;
+  record.activity_hours = features.mean_activity_hours;
+}
+
+}  // namespace mc::med

@@ -1,0 +1,60 @@
+// Longitudinal wearable-device time series (paper §II/§III.A: "wearable
+// device health data ... generated from various wearable devices and
+// hosted virtually everywhere").
+//
+// The cohort generator stores one WearableSummary per patient; real
+// vendors hold a daily stream. This module generates the stream with
+// patient-specific baselines, weekly rhythm, slow drift and sensor
+// noise/dropout, and extracts the summary features the common data
+// format ingests — so the pipeline from raw device data to learnable
+// features is end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "med/records.hpp"
+
+namespace mc::med {
+
+/// One day of device data.
+struct WearableDay {
+  std::uint32_t day = 0;
+  double heart_rate = 0;       ///< daily resting mean, bpm; NaN = no wear
+  double activity_hours = 0;   ///< active hours
+  double sleep_hours = 0;
+};
+
+struct WearableSeriesConfig {
+  std::uint32_t days = 180;
+  double wear_dropout = 0.08;       ///< fraction of unworn days
+  double hr_noise = 2.5;            ///< day-to-day bpm jitter
+  double activity_noise = 0.35;
+  double weekend_activity_boost = 0.4;
+  double hr_drift_per_90d = 1.5;    ///< slow upward drift (deconditioning)
+};
+
+/// Generate a patient's stream, anchored to their summary baselines.
+std::vector<WearableDay> generate_series(const WearableSummary& baseline,
+                                         const WearableSeriesConfig& config,
+                                         Rng& rng);
+
+/// Features extracted from a stream.
+struct WearableFeatures {
+  double mean_heart_rate = 0;
+  double mean_activity_hours = 0;
+  double mean_sleep_hours = 0;
+  double hr_trend_per_90d = 0;   ///< linear trend (deconditioning signal)
+  double activity_variability = 0;  ///< day-to-day stddev
+  double wear_fraction = 0;      ///< data completeness
+  std::size_t days_observed = 0;
+};
+
+/// Summarize a stream (unworn days excluded; least-squares HR trend).
+WearableFeatures extract_features(const std::vector<WearableDay>& series);
+
+/// Write extracted features back into a CommonRecord's wearable fields.
+void apply_features(CommonRecord& record, const WearableFeatures& features);
+
+}  // namespace mc::med

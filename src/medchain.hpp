@@ -1,0 +1,100 @@
+// medchain — umbrella header for the public API.
+//
+// A C++20 reproduction of "Transform Blockchain into Distributed Parallel
+// Computing Architecture for Precision Medicine" (Shae & Tsai, ICDCS
+// 2018). Include this for the full surface, or the per-module headers
+// for focused use. Start with core/transform.hpp (TransformedNetwork)
+// and examples/quickstart.cpp.
+#pragma once
+
+// Utilities
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+// Crypto substrate
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+// Simulation substrate
+#include "sim/energy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+// Blockchain substrate
+#include "chain/block.hpp"
+#include "chain/chainsim.hpp"
+#include "chain/codec.hpp"
+#include "chain/lightning.hpp"
+#include "chain/mempool.hpp"
+#include "chain/node.hpp"
+#include "chain/p2p.hpp"
+#include "chain/pbft.hpp"
+#include "chain/pos.hpp"
+#include "chain/pow.hpp"
+#include "chain/sharding.hpp"
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+#include "chain/vm_hook.hpp"
+#include "chain/wallet.hpp"
+
+// Contract VM and the on-chain contract suite
+#include "contracts/abi.hpp"
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/registry.hpp"
+#include "contracts/trial.hpp"
+#include "vm/assembler.hpp"
+#include "vm/contract_store.hpp"
+#include "vm/vm.hpp"
+
+// Oracle / monitor bridge
+#include "oracle/bridge.hpp"
+#include "oracle/monitor.hpp"
+#include "oracle/rpc.hpp"
+
+// Medical data substrate
+#include "med/anchor.hpp"
+#include "med/dataset.hpp"
+#include "med/generator.hpp"
+#include "med/linkage.hpp"
+#include "med/privacy.hpp"
+#include "med/quality.hpp"
+#include "med/query.hpp"
+#include "med/records.hpp"
+#include "med/schema.hpp"
+#include "med/timeseries.hpp"
+
+// Health information exchange
+#include "hie/audit.hpp"
+#include "hie/compare.hpp"
+#include "hie/consent.hpp"
+#include "hie/exchange.hpp"
+#include "hie/trial_registry.hpp"
+
+// Learning substrate
+#include "learn/dataset.hpp"
+#include "learn/distributed_transfer.hpp"
+#include "learn/federated.hpp"
+#include "learn/logistic.hpp"
+#include "learn/matrix.hpp"
+#include "learn/metrics.hpp"
+#include "learn/mlp.hpp"
+#include "learn/query_vector.hpp"
+#include "learn/transfer.hpp"
+
+// The transform (the paper's contribution)
+#include "core/baselines.hpp"
+#include "core/compose.hpp"
+#include "core/consortium.hpp"
+#include "core/global_query.hpp"
+#include "core/local_system.hpp"
+#include "core/scheduler.hpp"
+#include "core/transform.hpp"

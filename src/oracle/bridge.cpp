@@ -1,0 +1,61 @@
+#include "oracle/bridge.hpp"
+
+#include "contracts/abi.hpp"
+
+namespace mc::oracle {
+
+OffchainBridge::OffchainBridge(contracts::AnalyticsContract& analytics,
+                               contracts::PolicyContract& policy,
+                               MonitorNode& monitor, Word bridge_identity)
+    : analytics_(analytics),
+      policy_(policy),
+      monitor_(monitor),
+      identity_(bridge_identity) {
+  monitor_.subscribe(contracts::kEvAnalyticsRequested,
+                     [this](const vm::Event& event) {
+                       queued_.push_back(event);
+                     });
+}
+
+bool OffchainBridge::submit_request(Word requester, Word request_id, Word tool,
+                                    Word dataset, Word param_digest) {
+  const bool ok =
+      analytics_.request(requester, request_id, tool, dataset, param_digest);
+  if (ok)
+    ++stats_.requests_relayed;
+  else
+    ++stats_.requests_denied;
+  return ok;
+}
+
+std::size_t OffchainBridge::process_pending() {
+  monitor_.poll();
+  std::size_t executed = 0;
+  for (const auto& event : queued_) {
+    // Event args (from the contract): [request_id, tool, dataset].
+    if (event.args.size() != 3) continue;
+    const Word request_id = event.args[0];
+    const Word tool = event.args[1];
+    const Word dataset = event.args[2];
+    if (analytics_.status(request_id) != contracts::RequestStatus::Pending)
+      continue;  // already handled (e.g. by a peer bridge)
+
+    auto it = tools_.find(tool);
+    if (it == tools_.end()) {
+      ++stats_.tasks_unknown_tool;
+      continue;
+    }
+    auto request = analytics_.load(request_id);
+    const Word param_digest =
+        request.has_value() ? request->param_digest : 0;
+    const Word result = it->second(dataset, param_digest);
+    if (analytics_.complete(identity_, request_id, result)) {
+      ++stats_.tasks_executed;
+      ++executed;
+    }
+  }
+  queued_.clear();
+  return executed;
+}
+
+}  // namespace mc::oracle

@@ -1,0 +1,71 @@
+// Off-chain bridge: the per-node "control code" of paper Figure 1.
+//
+// One bridge runs beside each blockchain node. It relays user analytics
+// requests into the analytics contract (answering the contract's
+// permission oracle from the policy contract), watches for
+// AnalyticsRequested events through the monitor node, runs the named
+// off-chain tool against local data, and posts the result digest back.
+// This is the piece that makes the identical on-chain contract "behave
+// differently" per node — the transform from duplicated to distributed
+// parallel computing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "oracle/monitor.hpp"
+
+namespace mc::oracle {
+
+using contracts::Word;
+
+/// Executes one analytics tool off-chain: (dataset, param digest) ->
+/// result digest. Registered per tool id.
+using ToolRunner = std::function<Word(Word dataset, Word param_digest)>;
+
+struct BridgeStats {
+  std::uint64_t requests_relayed = 0;
+  std::uint64_t requests_denied = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_unknown_tool = 0;
+};
+
+class OffchainBridge {
+ public:
+  OffchainBridge(contracts::AnalyticsContract& analytics,
+                 contracts::PolicyContract& policy, MonitorNode& monitor,
+                 Word bridge_identity);
+
+  /// Register the off-chain implementation of a tool id.
+  void register_tool(Word tool, ToolRunner runner) {
+    tools_[tool] = std::move(runner);
+  }
+
+  /// Relay a user request on-chain; false when the analytics contract's
+  /// on-chain policy check (SXLOAD into the policy contract) denies it.
+  bool submit_request(Word requester, Word request_id, Word tool,
+                      Word dataset, Word param_digest);
+
+  /// Poll the monitor and execute any newly requested tasks, posting
+  /// results back on-chain. Returns tasks executed this round.
+  std::size_t process_pending();
+
+  [[nodiscard]] const BridgeStats& stats() const { return stats_; }
+  [[nodiscard]] Word identity() const { return identity_; }
+
+ private:
+  contracts::AnalyticsContract& analytics_;
+  contracts::PolicyContract& policy_;
+  MonitorNode& monitor_;
+  Word identity_;
+  std::unordered_map<Word, ToolRunner> tools_;
+  std::vector<vm::Event> queued_;
+  BridgeStats stats_;
+};
+
+}  // namespace mc::oracle

@@ -1,0 +1,20 @@
+#include "oracle/monitor.hpp"
+
+namespace mc::oracle {
+
+std::size_t MonitorNode::poll() {
+  const std::vector<vm::Event> fresh = store_.events_since(cursor_);
+  cursor_ += fresh.size();
+  events_seen_ += fresh.size();
+
+  std::size_t dispatched = 0;
+  for (const auto& event : fresh) {
+    auto it = handlers_.find(event.topic);
+    if (it == handlers_.end()) continue;
+    for (const auto& handler : it->second) handler(event);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace mc::oracle

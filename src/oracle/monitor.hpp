@@ -1,0 +1,45 @@
+// Monitor node (paper Fig. 3): watches smart-contract events and routes
+// them to off-chain handlers.
+//
+// "A monitor node is used to monitor all the related smart contract
+// events which would like to access the managed heterogeneous data sets.
+// The monitor node is a mechanism for our system to securely bridge the
+// smart contract and the external world."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/contract_store.hpp"
+
+namespace mc::oracle {
+
+class MonitorNode {
+ public:
+  using Handler = std::function<void(const vm::Event&)>;
+
+  explicit MonitorNode(const vm::ContractStore& store) : store_(store) {}
+
+  /// Register a handler for one event topic (kEv* in contracts/abi.hpp).
+  void subscribe(vm::Word topic, Handler handler) {
+    handlers_[topic].push_back(std::move(handler));
+  }
+
+  /// Drain new events since the last poll, dispatching each to its
+  /// topic's handlers. Returns the number of events dispatched to at
+  /// least one handler.
+  std::size_t poll();
+
+  /// Events seen so far (all topics, including unhandled ones).
+  [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  const vm::ContractStore& store_;
+  std::unordered_map<vm::Word, std::vector<Handler>> handlers_;
+  std::size_t cursor_ = 0;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace mc::oracle

@@ -1,0 +1,49 @@
+#include "oracle/rpc.hpp"
+
+#include "common/serial.hpp"
+
+namespace mc::oracle {
+
+Bytes RpcEnvelope::signed_bytes() const {
+  ByteWriter w;
+  w.u64(sequence);
+  w.str(method);
+  w.bytes(BytesView(payload));
+  return w.take();
+}
+
+Hash256 RpcChannel::tag_of(const RpcEnvelope& envelope) const {
+  return crypto::hmac_sha256(BytesView(key_.data),
+                             BytesView(envelope.signed_bytes()));
+}
+
+RpcEnvelope RpcChannel::make_call(std::string method, Bytes payload) {
+  RpcEnvelope envelope;
+  envelope.sequence = next_sequence_++;
+  envelope.method = std::move(method);
+  envelope.payload = std::move(payload);
+  envelope.tag = tag_of(envelope);
+  return envelope;
+}
+
+std::optional<Bytes> RpcChannel::dispatch(const RpcEnvelope& envelope) {
+  if (tag_of(envelope) != envelope.tag) {
+    ++calls_rejected_;
+    return std::nullopt;
+  }
+  if (any_seen_ && envelope.sequence <= last_seen_sequence_) {
+    ++calls_rejected_;  // replay or reorder
+    return std::nullopt;
+  }
+  auto it = methods_.find(envelope.method);
+  if (it == methods_.end()) {
+    ++calls_rejected_;
+    return std::nullopt;
+  }
+  any_seen_ = true;
+  last_seen_sequence_ = envelope.sequence;
+  ++calls_served_;
+  return it->second(BytesView(envelope.payload));
+}
+
+}  // namespace mc::oracle

@@ -1,0 +1,17 @@
+// Simulated-time primitives for the discrete-event substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace mc::sim {
+
+/// Simulated wall-clock time, in seconds from simulation start.
+using SimTime = double;
+
+/// Node identifier within one simulation; dense indices keep per-node
+/// state in flat vectors.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = ~NodeId{0};
+
+}  // namespace mc::sim

@@ -1,0 +1,50 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mc::sim {
+
+void EnergyMeter::grow(std::size_t node) {
+  if (node >= hash_j_.size()) {
+    hash_j_.resize(node + 1, 0.0);
+    vm_j_.resize(node + 1, 0.0);
+    net_j_.resize(node + 1, 0.0);
+    compute_j_.resize(node + 1, 0.0);
+    idle_j_.resize(node + 1, 0.0);
+  }
+}
+
+double EnergyMeter::sum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total;
+}
+
+double EnergyMeter::node_total(std::size_t node) const {
+  if (node >= hash_j_.size()) return 0.0;
+  return hash_j_[node] + vm_j_[node] + net_j_[node] + compute_j_[node] +
+         idle_j_[node];
+}
+
+double EnergyMeter::total() const {
+  return total_hash() + total_vm() + total_network() + total_compute() +
+         total_idle();
+}
+
+std::string format_joules(double joules) {
+  static constexpr const char* kUnits[] = {"J", "kJ", "MJ", "GJ", "TJ"};
+  int unit = 0;
+  double v = joules;
+  while (std::abs(v) >= 1000.0 && unit < 4) {
+    v /= 1000.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v << ' ' << kUnits[unit];
+  return os.str();
+}
+
+}  // namespace mc::sim

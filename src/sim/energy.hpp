@@ -1,0 +1,78 @@
+// Energy accounting for the duplicated-computing waste claims (paper §I).
+//
+// The paper cites Digiconomist's estimate that Bitcoin PoW mining burned
+// 30.14 TWh/year. We account energy in joules per primitive operation so
+// bench_c2_energy can compare: PoW duplicated hashing, PoS virtual mining,
+// duplicated smart-contract execution, and the transformed architecture
+// where each analytics task runs once, at the data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mc::sim {
+
+/// Per-operation energy costs (joules). Defaults are order-of-magnitude
+/// figures for commodity hardware; experiments report *ratios*, which are
+/// insensitive to the absolute calibration.
+struct EnergyCostModel {
+  double joules_per_hash = 5e-6;        ///< one SHA-256d attempt on ASIC-ish HW
+  double joules_per_vm_instr = 2e-8;    ///< one contract VM instruction
+  double joules_per_byte_sent = 1e-8;   ///< NIC + switch energy per byte
+  double joules_per_flop = 1e-9;        ///< analytics floating-point op
+  double idle_watts_per_node = 50.0;    ///< baseline node draw
+};
+
+/// Accumulates energy per node and per category.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyCostModel model = {}) : model_(model) {}
+
+  void charge_hashes(std::size_t node, std::uint64_t hashes) {
+    grow(node);
+    hash_j_[node] += model_.joules_per_hash * static_cast<double>(hashes);
+  }
+
+  void charge_vm(std::size_t node, std::uint64_t instructions) {
+    grow(node);
+    vm_j_[node] += model_.joules_per_vm_instr * static_cast<double>(instructions);
+  }
+
+  void charge_network(std::size_t node, std::uint64_t bytes) {
+    grow(node);
+    net_j_[node] += model_.joules_per_byte_sent * static_cast<double>(bytes);
+  }
+
+  void charge_flops(std::size_t node, std::uint64_t flops) {
+    grow(node);
+    compute_j_[node] += model_.joules_per_flop * static_cast<double>(flops);
+  }
+
+  void charge_idle(std::size_t node, double seconds) {
+    grow(node);
+    idle_j_[node] += model_.idle_watts_per_node * seconds;
+  }
+
+  [[nodiscard]] double node_total(std::size_t node) const;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double total_hash() const { return sum(hash_j_); }
+  [[nodiscard]] double total_vm() const { return sum(vm_j_); }
+  [[nodiscard]] double total_network() const { return sum(net_j_); }
+  [[nodiscard]] double total_compute() const { return sum(compute_j_); }
+  [[nodiscard]] double total_idle() const { return sum(idle_j_); }
+
+  [[nodiscard]] const EnergyCostModel& model() const { return model_; }
+
+ private:
+  void grow(std::size_t node);
+  static double sum(const std::vector<double>& v);
+
+  EnergyCostModel model_;
+  std::vector<double> hash_j_, vm_j_, net_j_, compute_j_, idle_j_;
+};
+
+/// Human-readable joules (e.g. "1.2 kJ", "3.4 MJ").
+std::string format_joules(double joules);
+
+}  // namespace mc::sim

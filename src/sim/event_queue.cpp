@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace mc::sim {
+
+void EventQueue::schedule_at(SimTime at, Handler fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at in the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the handler (handlers are cheap shared-state closures).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(SimTime limit) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().at <= limit) {
+    step();
+    ++count;
+  }
+  if (now_ < limit && heap_.empty()) now_ = now_;  // clock stays at last event
+  return count;
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
+}  // namespace mc::sim

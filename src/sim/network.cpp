@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mc::sim {
+
+NodeId Network::add_node(std::uint32_t region, double bandwidth) {
+  NodeLink link;
+  link.region = region;
+  link.uplink_bytes_per_sec =
+      bandwidth > 0 ? bandwidth : config_.default_bandwidth;
+  link.downlink_bytes_per_sec = link.uplink_bytes_per_sec;
+  nodes_.push_back(link);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Network Network::uniform(std::size_t n, std::uint32_t regions,
+                         NetworkConfig config) {
+  if (regions == 0) throw std::invalid_argument("regions must be > 0");
+  Network net(config);
+  for (std::size_t i = 0; i < n; ++i)
+    net.add_node(static_cast<std::uint32_t>(i % regions));
+  return net;
+}
+
+double Network::delay(NodeId src, NodeId dst, std::size_t bytes) const {
+  const NodeLink& s = nodes_.at(src);
+  const NodeLink& d = nodes_.at(dst);
+  if (src == dst) return 0.0;
+  const double propagation = (s.region == d.region) ? config_.lan_latency_s
+                                                    : config_.wan_latency_s;
+  const double serialize =
+      static_cast<double>(bytes) /
+      std::min(s.uplink_bytes_per_sec, d.downlink_bytes_per_sec);
+  return propagation + serialize;
+}
+
+double Network::delay_jittered(NodeId src, NodeId dst, std::size_t bytes,
+                               Rng& rng) const {
+  const double base = delay(src, dst, bytes);
+  const double jitter =
+      rng.uniform(-config_.jitter_frac, config_.jitter_frac);
+  return base * (1.0 + jitter);
+}
+
+double Network::broadcast_time(NodeId src, std::size_t bytes) const {
+  // Sends serialize on the uplink; completion is when the farthest
+  // receiver has the payload.
+  const NodeLink& s = nodes_.at(src);
+  const double per_send = static_cast<double>(bytes) / s.uplink_bytes_per_sec;
+  double worst = 0.0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (id == src) continue;
+    const double propagation = (s.region == nodes_[id].region)
+                                   ? config_.lan_latency_s
+                                   : config_.wan_latency_s;
+    worst = std::max(worst, propagation);
+  }
+  return per_send * static_cast<double>(nodes_.size() - 1) + worst;
+}
+
+}  // namespace mc::sim

@@ -1,0 +1,71 @@
+// Network model for the simulated blockchain / data-exchange fabric.
+//
+// Models point-to-point links with propagation latency plus
+// bandwidth-limited serialization delay, and classifies node pairs into
+// LAN (same region) and WAN (cross region). Deterministic jitter comes
+// from the caller's Rng so identical seeds reproduce identical runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+
+namespace mc::sim {
+
+/// Static description of one node's connectivity.
+struct NodeLink {
+  std::uint32_t region = 0;           ///< region id; same region => LAN
+  double uplink_bytes_per_sec = 0;    ///< serialization bandwidth out
+  double downlink_bytes_per_sec = 0;  ///< serialization bandwidth in
+};
+
+struct NetworkConfig {
+  double lan_latency_s = 0.0005;   ///< 0.5 ms intra-region propagation
+  double wan_latency_s = 0.040;    ///< 40 ms cross-region propagation
+  double jitter_frac = 0.10;       ///< +/- fraction of latency as jitter
+  double default_bandwidth = 125e6;  ///< 1 Gbit/s in bytes per second
+};
+
+/// Latency/bandwidth oracle over a set of nodes.
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {}) : config_(config) {}
+
+  /// Add a node in `region`; returns its NodeId. Bandwidth 0 selects the
+  /// config default.
+  NodeId add_node(std::uint32_t region, double bandwidth_bytes_per_sec = 0);
+
+  /// Convenience: n nodes spread round-robin over `regions` regions.
+  static Network uniform(std::size_t n, std::uint32_t regions,
+                         NetworkConfig config = {});
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const NodeLink& node(NodeId id) const { return nodes_.at(id); }
+
+  /// One-way message delay src -> dst for a payload of `bytes` bytes.
+  /// Deterministic (no jitter).
+  [[nodiscard]] double delay(NodeId src, NodeId dst, std::size_t bytes) const;
+
+  /// Delay with multiplicative jitter drawn from `rng`.
+  double delay_jittered(NodeId src, NodeId dst, std::size_t bytes,
+                        Rng& rng) const;
+
+  /// Time for `src` to send `bytes` to every other node, assuming the
+  /// sends share src's uplink serially (gossip fan-out upper bound).
+  [[nodiscard]] double broadcast_time(NodeId src, std::size_t bytes) const;
+
+  /// Total bytes placed on the wire by a full broadcast from `src`.
+  [[nodiscard]] std::uint64_t broadcast_bytes(std::size_t bytes) const {
+    return static_cast<std::uint64_t>(bytes) * (size() - 1);
+  }
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+  std::vector<NodeLink> nodes_;
+};
+
+}  // namespace mc::sim

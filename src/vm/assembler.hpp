@@ -1,0 +1,42 @@
+// Two-pass assembler for the contract VM.
+//
+// Syntax, one instruction per line:
+//   ; comment
+//   label:
+//   PUSH 42          ; decimal or 0x-hex immediate
+//   PUSH @label      ; label address as immediate (jump targets)
+//   DUP 1
+//   JUMPI @grant
+//
+// JUMP/JUMPI take their target from the stack, so jumps are written
+// `PUSH @label` + `JUMP`. The assembler accepts `JUMP @label` as sugar
+// and expands it to that pair.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace mc::vm {
+
+class AssembleError : public std::runtime_error {
+ public:
+  AssembleError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assemble source text to bytecode; throws AssembleError on bad input.
+Bytes assemble(std::string_view source);
+
+/// Disassemble bytecode to one-instruction-per-line text (debug aid).
+std::string disassemble(BytesView code);
+
+}  // namespace mc::vm

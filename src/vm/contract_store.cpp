@@ -1,0 +1,119 @@
+#include "vm/contract_store.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::vm {
+namespace {
+
+/// Forwards oracle calls to the outer host, logs events locally, and
+/// serves cross-contract reads from the store's committed state (so
+/// SXLOAD is deterministic on-chain data, never an off-chain call).
+class CapturingHost : public Host {
+ public:
+  CapturingHost(Host& inner, std::vector<Event>& sink,
+                const std::map<Word, DeployedContract>& contracts)
+      : inner_(inner), sink_(sink), contracts_(contracts) {}
+
+  std::optional<Word> oracle(Word request) override {
+    return inner_.oracle(request);
+  }
+
+  void on_event(const Event& event) override {
+    sink_.push_back(event);
+    inner_.on_event(event);
+  }
+
+  std::optional<Word> foreign_storage(Word contract_id, Word key) override {
+    auto it = contracts_.find(contract_id);
+    if (it == contracts_.end()) return 0;  // unknown contract reads as 0
+    auto slot = it->second.storage.find(key);
+    return slot == it->second.storage.end() ? 0 : slot->second;
+  }
+
+ private:
+  Host& inner_;
+  std::vector<Event>& sink_;
+  const std::map<Word, DeployedContract>& contracts_;
+};
+
+}  // namespace
+
+Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
+  ByteWriter w;
+  w.bytes(BytesView(code));
+  w.u64(deployer);
+  w.u64(nonce_++);
+  const Word id = crypto::sha256(BytesView(w.data())).prefix_u64();
+
+  DeployedContract dc;
+  dc.id = id;
+  dc.deployer = deployer;
+  dc.code = std::move(code);
+  dc.deployed_height = height;
+  contracts_[id] = std::move(dc);
+  return id;
+}
+
+const DeployedContract* ContractStore::contract(Word id) const {
+  auto it = contracts_.find(id);
+  return it == contracts_.end() ? nullptr : &it->second;
+}
+
+std::optional<ExecResult> ContractStore::call(Word id, ExecContext ctx,
+                                              Host& oracle_host) {
+  auto it = contracts_.find(id);
+  if (it == contracts_.end()) return std::nullopt;
+  ctx.contract_id = id;
+  CapturingHost host(oracle_host, events_, contracts_);
+  return execute(BytesView(it->second.code), it->second.storage, ctx, host);
+}
+
+std::optional<ExecResult> ContractStore::call(Word id, ExecContext ctx) {
+  NullHost null_host;
+  return call(id, std::move(ctx), null_host);
+}
+
+std::vector<Event> ContractStore::events_since(std::size_t from_index) const {
+  if (from_index >= events_.size()) return {};
+  return std::vector<Event>(events_.begin() +
+                                static_cast<std::ptrdiff_t>(from_index),
+                            events_.end());
+}
+
+void ContractStore::snapshot(std::uint64_t height) {
+  snapshots_[height] = Snapshot{contracts_, events_.size(), nonce_};
+}
+
+void ContractStore::rollback_to(std::uint64_t height) {
+  auto it = snapshots_.upper_bound(height);
+  if (it == snapshots_.begin()) {
+    contracts_.clear();
+    events_.clear();
+    nonce_ = 0;
+  } else {
+    --it;
+    contracts_ = it->second.contracts;
+    events_.resize(it->second.event_count);
+    nonce_ = it->second.nonce;
+  }
+  // Drop snapshots newer than the restore point.
+  snapshots_.erase(snapshots_.upper_bound(height), snapshots_.end());
+}
+
+Hash256 ContractStore::digest() const {
+  ByteWriter w;
+  for (const auto& [id, dc] : contracts_) {
+    w.u64(id);
+    w.u64(dc.deployer);
+    w.bytes(BytesView(dc.code));
+    for (const auto& [key, value] : dc.storage) {
+      w.u64(key);
+      w.u64(value);
+    }
+  }
+  w.u64(events_.size());
+  return crypto::sha256(BytesView(w.data()));
+}
+
+}  // namespace mc::vm

@@ -1,0 +1,76 @@
+// Deployed-contract registry: code, storage, event log, snapshots.
+//
+// One ContractStore exists per blockchain node; since contract execution
+// is deterministic, all honest nodes' stores stay identical — which the
+// duplicated-execution tests assert literally via digest().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::vm {
+
+struct DeployedContract {
+  Word id = 0;
+  Word deployer = 0;
+  Bytes code;
+  Storage storage;
+  std::uint64_t deployed_height = 0;
+};
+
+class ContractStore {
+ public:
+  /// Deploy code; the id is derived from (code, deployer, store nonce) so
+  /// repeated deployments get distinct ids deterministically.
+  Word deploy(Bytes code, Word deployer, std::uint64_t height);
+
+  [[nodiscard]] bool exists(Word id) const { return contracts_.count(id) > 0; }
+  [[nodiscard]] const DeployedContract* contract(Word id) const;
+
+  /// Execute a call into `id`. Events emitted by a successful run are
+  /// appended to the store's event log and forwarded to `oracle_host`.
+  /// Returns nullopt when the contract does not exist.
+  std::optional<ExecResult> call(Word id, ExecContext ctx, Host& oracle_host);
+
+  /// Convenience call with a NullHost (no oracle, events logged only).
+  std::optional<ExecResult> call(Word id, ExecContext ctx);
+
+  /// All events ever emitted, oldest first.
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Events with index >= `from_index` (monitor-node polling cursor).
+  [[nodiscard]] std::vector<Event> events_since(std::size_t from_index) const;
+
+  /// Capture a snapshot labeled with `height`.
+  void snapshot(std::uint64_t height);
+
+  /// Restore the newest snapshot labeled <= `height`; with none, resets
+  /// to empty (height 0 == fresh store).
+  void rollback_to(std::uint64_t height);
+
+  /// Canonical digest over all contracts and storage (cross-node
+  /// determinism checks).
+  [[nodiscard]] Hash256 digest() const;
+
+  [[nodiscard]] std::size_t size() const { return contracts_.size(); }
+
+ private:
+  struct Snapshot {
+    std::map<Word, DeployedContract> contracts;
+    std::size_t event_count = 0;
+    std::uint64_t nonce = 0;
+  };
+
+  std::map<Word, DeployedContract> contracts_;  // ordered => stable digest
+  std::vector<Event> events_;
+  std::uint64_t nonce_ = 0;
+  std::map<std::uint64_t, Snapshot> snapshots_;
+};
+
+}  // namespace mc::vm

@@ -1,0 +1,212 @@
+// Chain export/import and wearable time-series tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/codec.hpp"
+#include "chain/vm_hook.hpp"
+#include "chain/wallet.hpp"
+#include "med/generator.hpp"
+#include "med/schema.hpp"
+#include "med/timeseries.hpp"
+#include "vm/assembler.hpp"
+
+namespace mc {
+namespace {
+
+using namespace mc::chain;
+
+struct ChainFixture {
+  Wallet wallet = Wallet::from_seed("exporter");
+  ChainParams params;
+  Block genesis;
+
+  ChainFixture() {
+    params.consensus = ConsensusKind::Pbft;
+    params.premine = {{wallet.address(), 1'000'000'000}};
+    genesis = make_genesis("codec-chain", params.pow_target);
+  }
+
+  Node fresh(const std::string& who) const {
+    return Node(crypto::key_from_seed(who), params, genesis);
+  }
+};
+
+TEST(ChainCodec, ExportImportRoundTrip) {
+  ChainFixture fx;
+  Node source = fx.fresh("src");
+  for (int b = 0; b < 5; ++b) {
+    for (int t = 0; t < 3; ++t)
+      source.submit(fx.wallet.transfer(
+          crypto::address_of(crypto::key_from_seed("sink").pub), 10));
+    const Block block =
+        source.propose(1'000 * static_cast<std::uint64_t>(b + 1));
+    ASSERT_EQ(source.receive(block), BlockVerdict::Accepted);
+  }
+
+  const ChainFile file = export_chain(source);
+  EXPECT_EQ(file.blocks.size(), 6u);  // genesis + 5
+
+  const Bytes wire = file.encode();
+  const auto decoded = ChainFile::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.has_value());
+
+  Node replica = fx.fresh("replica");
+  const ImportResult result = import_chain(replica, *decoded);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.height, 5u);
+  EXPECT_EQ(result.blocks_applied, 5u);
+  EXPECT_EQ(replica.tip(), source.tip());
+  EXPECT_EQ(replica.state().digest(), source.state().digest());
+}
+
+TEST(ChainCodec, RejectsCorruptInput) {
+  EXPECT_FALSE(ChainFile::decode(str_bytes("not a chain")).has_value());
+  ChainFixture fx;
+  Node source = fx.fresh("src");
+  Bytes wire = export_chain(source).encode();
+  wire[0] ^= 0xff;  // break the magic
+  EXPECT_FALSE(ChainFile::decode(BytesView(wire)).has_value());
+  wire[0] ^= 0xff;
+  wire.pop_back();  // truncate
+  EXPECT_FALSE(ChainFile::decode(BytesView(wire)).has_value());
+}
+
+TEST(ChainCodec, ImportGuardsGenesisAndValidity) {
+  ChainFixture fx;
+  Node source = fx.fresh("src");
+  const Block b1 = source.propose(1'000);
+  ASSERT_EQ(source.receive(b1), BlockVerdict::Accepted);
+  ChainFile file = export_chain(source);
+
+  // Wrong genesis.
+  ChainParams other = fx.params;
+  Node stranger(crypto::key_from_seed("x"), other,
+                make_genesis("different-tag", other.pow_target));
+  EXPECT_FALSE(import_chain(stranger, file).ok);
+
+  // Corrupt interior block (height no longer parent+1 -> invalid).
+  file.blocks[1].header.height = 9;
+  Node replica = fx.fresh("replica");
+  const ImportResult bad = import_chain(replica, file);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(replica.height(), 0u);
+}
+
+TEST(ChainCodec, ImportReExecutesContracts) {
+  // An auditor replaying a chain with Deploy/Call transactions derives
+  // the identical contract state (the consortium_audit example, as CI).
+  ChainFixture fx;
+  vm::ContractStore src_store;
+  VmExecutionHook src_hook(src_store);
+  Node source(crypto::key_from_seed("src"), fx.params, fx.genesis,
+              &src_hook);
+
+  const Transaction deploy = fx.wallet.deploy(
+      vm::assemble("PUSH 1\nCALLDATALOAD\nPUSH 3\nSSTORE\nSTOP"));
+  ASSERT_TRUE(source.submit(deploy));
+  ASSERT_EQ(source.receive(source.propose(1'000)), BlockVerdict::Accepted);
+  const auto contract_id = *src_hook.contract_id_of(deploy.id());
+  ASSERT_TRUE(source.submit(fx.wallet.call(contract_id, {1, 42})));
+  ASSERT_EQ(source.receive(source.propose(2'000)), BlockVerdict::Accepted);
+
+  vm::ContractStore audit_store;
+  VmExecutionHook audit_hook(audit_store);
+  Node auditor(crypto::key_from_seed("aud"), fx.params, fx.genesis,
+               &audit_hook);
+  const ImportResult imported =
+      import_chain(auditor, export_chain(source));
+  ASSERT_TRUE(imported.ok) << imported.error;
+  EXPECT_EQ(audit_store.digest(), src_store.digest());
+  EXPECT_EQ(audit_store.contract(contract_id)->storage.at(3), 42u);
+}
+
+TEST(Wearable, SeriesMatchesBaselinesAndDropout) {
+  med::WearableSummary baseline;
+  baseline.mean_heart_rate = 68;
+  baseline.daily_activity_hours = 1.2;
+  baseline.sleep_hours = 7.2;
+  med::WearableSeriesConfig config;
+  config.days = 360;
+  config.wear_dropout = 0.1;
+  config.hr_drift_per_90d = 0.0;  // isolate the baseline check
+  Rng rng(4);
+  const auto series = med::generate_series(baseline, config, rng);
+  ASSERT_EQ(series.size(), 360u);
+
+  const auto features = med::extract_features(series);
+  EXPECT_NEAR(features.wear_fraction, 0.9, 0.05);
+  EXPECT_NEAR(features.mean_heart_rate, 68.0, 1.0);
+  EXPECT_NEAR(features.mean_sleep_hours, 7.2, 0.3);
+  EXPECT_GT(features.mean_activity_hours, baseline.daily_activity_hours);
+  EXPECT_GT(features.activity_variability, 0.0);
+}
+
+TEST(Wearable, TrendRecovered) {
+  med::WearableSummary baseline;
+  baseline.mean_heart_rate = 70;
+  med::WearableSeriesConfig config;
+  config.days = 360;
+  config.wear_dropout = 0.05;
+  config.hr_noise = 1.0;
+  config.hr_drift_per_90d = 2.0;
+  Rng rng(5);
+  const auto series = med::generate_series(baseline, config, rng);
+  const auto features = med::extract_features(series);
+  EXPECT_NEAR(features.hr_trend_per_90d, 2.0, 0.4);
+}
+
+TEST(Wearable, HandlesEmptyAndAllDropout) {
+  EXPECT_EQ(med::extract_features({}).days_observed, 0u);
+  med::WearableSeriesConfig config;
+  config.days = 30;
+  config.wear_dropout = 1.0;
+  Rng rng(6);
+  const auto series =
+      med::generate_series(med::WearableSummary{}, config, rng);
+  const auto features = med::extract_features(series);
+  EXPECT_EQ(features.days_observed, 0u);
+  EXPECT_DOUBLE_EQ(features.wear_fraction, 0.0);
+}
+
+TEST(Wearable, StreamPipelineFeedsTheFederation) {
+  // End-to-end: a wearable vendor's daily streams are summarized into
+  // features, written into CDF records, and those records survive the
+  // site's own schema round-trip (the full ingestion path).
+  const auto cohort = med::generate_cohort({.patients = 30, .seed = 9});
+  Rng rng(10);
+  med::WearableSeriesConfig config;
+  config.days = 120;
+
+  for (const auto& patient : cohort) {
+    const auto series =
+        med::generate_series(patient.wearable, config, rng);
+    const auto features = med::extract_features(series);
+    med::CommonRecord record = med::to_common(patient);
+    med::apply_features(record, features);
+
+    // The extracted means track the generator's baselines.
+    EXPECT_NEAR(record.heart_rate, patient.wearable.mean_heart_rate, 4.0);
+    // Vendor-schema round trip preserves the stream-derived features.
+    const med::RawRow row =
+        med::denormalize(record, med::SchemaKind::WearableVendor, "tok");
+    const med::PartialRecord back =
+        med::normalize(row, med::SchemaKind::WearableVendor);
+    EXPECT_NEAR(back.fields.at("heart_rate"), record.heart_rate, 1e-9);
+    EXPECT_NEAR(back.fields.at("activity_hours"), record.activity_hours,
+                1e-9);
+  }
+}
+
+TEST(Wearable, FeaturesFlowIntoCommonRecord) {
+  med::CommonRecord record;
+  med::WearableFeatures features;
+  features.mean_heart_rate = 64;
+  features.mean_activity_hours = 2.5;
+  med::apply_features(record, features);
+  EXPECT_DOUBLE_EQ(record.heart_rate, 64.0);
+  EXPECT_DOUBLE_EQ(record.activity_hours, 2.5);
+}
+
+}  // namespace
+}  // namespace mc

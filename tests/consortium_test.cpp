@@ -1,0 +1,210 @@
+// Consortium tests: replicated contract execution through real blocks.
+#include <gtest/gtest.h>
+
+#include "contracts/abi.hpp"
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/trial.hpp"
+#include "core/consortium.hpp"
+#include "vm/assembler.hpp"
+
+namespace mc::core {
+namespace {
+
+TEST(Consortium, StartsInConsensus) {
+  Consortium consortium({.members = 4});
+  EXPECT_EQ(consortium.size(), 4u);
+  EXPECT_EQ(consortium.height(), 0u);
+  EXPECT_TRUE(consortium.in_consensus());
+}
+
+TEST(Consortium, CommitsTransfersOnAllMembers) {
+  Consortium consortium({.members = 4});
+  const auto recipient = crypto::key_from_seed("recipient");
+  const chain::Transaction tx = chain::make_transfer(
+      consortium.admin(), crypto::address_of(recipient.pub), 12'345,
+      consortium.nonce_of(consortium.admin()));
+  const CommitResult result = consortium.commit({tx});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.height, 1u);
+  EXPECT_TRUE(consortium.in_consensus());
+  for (std::size_t i = 0; i < consortium.size(); ++i)
+    EXPECT_EQ(consortium.member(i).state().balance(
+                  crypto::address_of(recipient.pub)),
+              12'345u);
+  // 1 tx executed by 4 members = 4 executions (the duplication).
+  EXPECT_EQ(consortium.total_executions(), 4u);
+}
+
+TEST(Consortium, DeploysAndCallsPolicyContractEverywhere) {
+  Consortium consortium({.members = 5});
+  const auto deployed = consortium.deploy_contract(
+      consortium.admin(), contracts::PolicyContract::bytecode());
+  ASSERT_TRUE(deployed.has_value());
+
+  const vm::Word admin_word =
+      fnv1a(BytesView(crypto::address_of(consortium.admin().pub).data));
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *deployed,
+                                 contracts::encode_call(1, {0xd5}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(
+                      consortium.admin(), *deployed,
+                      contracts::encode_call(
+                          2, {0xd5, 0x20, contracts::kPermCompute}))
+                  .ok);
+  EXPECT_TRUE(consortium.in_consensus());
+
+  // Query the grant on every member's replica of the contract.
+  for (std::size_t i = 0; i < consortium.size(); ++i) {
+    contracts::PolicyContract policy(consortium.store(i), *deployed);
+    EXPECT_EQ(policy.owner_of(0xd5), admin_word);
+    EXPECT_TRUE(policy.check(0xd5, 0x20, contracts::kPermCompute));
+  }
+}
+
+TEST(Consortium, RejectsBlockWithTrappingCallAtomically) {
+  Consortium consortium({.members = 3});
+  const auto deployed = consortium.deploy_contract(
+      consortium.admin(), contracts::PolicyContract::bytecode());
+  ASSERT_TRUE(deployed.has_value());
+  const chain::Height before = consortium.height();
+
+  // Selector 99 reverts in the policy contract.
+  const CommitResult result = consortium.call_contract(
+      consortium.admin(), *deployed, contracts::encode_call(99, {}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(consortium.height(), before);
+  EXPECT_TRUE(consortium.in_consensus());
+}
+
+TEST(Consortium, ProposerRotationStillConverges) {
+  Consortium consortium({.members = 4});
+  // Ten blocks, each proposed by the next member in rotation.
+  for (int i = 0; i < 10; ++i) {
+    const auto target = crypto::key_from_seed("t" + std::to_string(i));
+    const chain::Transaction tx = chain::make_transfer(
+        consortium.admin(), crypto::address_of(target.pub), 10,
+        consortium.nonce_of(consortium.admin()));
+    ASSERT_TRUE(consortium.commit({tx}).ok);
+  }
+  EXPECT_EQ(consortium.height(), 10u);
+  EXPECT_TRUE(consortium.in_consensus());
+}
+
+TEST(Consortium, DuplicationScalesWithMembership) {
+  auto executions_for = [](std::size_t members) {
+    Consortium consortium({.members = members});
+    for (int i = 0; i < 5; ++i) {
+      const auto target = crypto::key_from_seed("t" + std::to_string(i));
+      const chain::Transaction tx = chain::make_transfer(
+          consortium.admin(), crypto::address_of(target.pub), 1,
+          consortium.nonce_of(consortium.admin()));
+      consortium.commit({tx});
+    }
+    return consortium.total_executions();
+  };
+  EXPECT_EQ(executions_for(2), 10u);   // 5 txs x 2 members
+  EXPECT_EQ(executions_for(8), 40u);   // 5 txs x 8 members
+}
+
+TEST(Consortium, AnalyticsLifecycleFullyOnChain) {
+  // The flagship integration: policy + analytics contracts both live on
+  // the replicated chain; the analytics request's permission check runs
+  // via SXLOAD against each member's replica of the policy contract —
+  // no off-chain oracle in the consensus path, all replicas agree.
+  Consortium consortium({.members = 4});
+  const auto policy_id = consortium.deploy_contract(
+      consortium.admin(), contracts::PolicyContract::bytecode());
+  const auto analytics_id = consortium.deploy_contract(
+      consortium.admin(), contracts::AnalyticsContract::bytecode());
+  ASSERT_TRUE(policy_id.has_value() && analytics_id.has_value());
+
+  const vm::Word admin_word =
+      fnv1a(BytesView(crypto::address_of(consortium.admin().pub).data));
+  constexpr vm::Word kBridge = 0xb1;
+  constexpr vm::Word kDataset = 0xd5;
+
+  // init(bridge, policy) + register dataset + grant admin compute.
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *analytics_id,
+                                 contracts::encode_call(
+                                     7, {kBridge, *policy_id}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *policy_id,
+                                 contracts::encode_call(1, {kDataset}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(
+                      consortium.admin(), *policy_id,
+                      contracts::encode_call(
+                          2, {kDataset, admin_word, contracts::kPermCompute}))
+                  .ok);
+
+  // The permitted request commits on-chain across all replicas.
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *analytics_id,
+                                 contracts::encode_call(
+                                     1, {0x9001, 0x7, kDataset, 0xfeed}))
+                  .ok);
+  EXPECT_TRUE(consortium.in_consensus());
+  for (std::size_t i = 0; i < consortium.size(); ++i) {
+    contracts::AnalyticsContract replica(consortium.store(i), *analytics_id);
+    EXPECT_EQ(replica.status(0x9001), contracts::RequestStatus::Pending);
+    const auto request = replica.load(0x9001);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->dataset, kDataset);
+  }
+
+  // Revoke, then a new request is rejected — the block never commits.
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *policy_id,
+                                 contracts::encode_call(
+                                     3, {kDataset, admin_word}))
+                  .ok);
+  const chain::Height before = consortium.height();
+  EXPECT_FALSE(consortium
+                   .call_contract(consortium.admin(), *analytics_id,
+                                  contracts::encode_call(
+                                      1, {0x9002, 0x7, kDataset, 0xfeed}))
+                   .ok);
+  EXPECT_EQ(consortium.height(), before);
+  EXPECT_TRUE(consortium.in_consensus());
+}
+
+TEST(Consortium, TrialContractWorkflowOnChain) {
+  Consortium consortium({.members = 4});
+  const auto trial_id = consortium.deploy_contract(
+      consortium.admin(), contracts::TrialContract::bytecode());
+  ASSERT_TRUE(trial_id.has_value());
+
+  // register(trial=0x7, digest=0xfe, primary=501); enroll two patients;
+  // report the committed outcome.
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *trial_id,
+                                 contracts::encode_call(1, {0x7, 0xfe, 501}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *trial_id,
+                                 contracts::encode_call(2, {0x7, 0xaa}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *trial_id,
+                                 contracts::encode_call(2, {0x7, 0xbb}))
+                  .ok);
+  ASSERT_TRUE(consortium
+                  .call_contract(consortium.admin(), *trial_id,
+                                 contracts::encode_call(3, {0x7, 501, 0x1}))
+                  .ok);
+
+  for (std::size_t i = 0; i < consortium.size(); ++i) {
+    contracts::TrialContract trial(consortium.store(i), *trial_id);
+    EXPECT_EQ(trial.enrollment(0x7), 2u);
+    EXPECT_TRUE(trial.verify_outcome(0x7));
+  }
+}
+
+}  // namespace
+}  // namespace mc::core

@@ -1,0 +1,280 @@
+// On-chain contract suite tests: policy, registry, trial, analytics.
+#include <gtest/gtest.h>
+
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/registry.hpp"
+#include "contracts/trial.hpp"
+
+namespace mc::contracts {
+namespace {
+
+constexpr Word kHospital = 0x1001;
+constexpr Word kResearcher = 0x2002;
+constexpr Word kMallory = 0x3003;
+constexpr Word kDataset = 0xd5;
+constexpr Word kBridge = 0xb1d;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  vm::ContractStore store_;
+  PolicyContract policy_{store_, /*deployer=*/1, /*height=*/1};
+};
+
+TEST_F(PolicyTest, RegisterGrantCheckRevoke) {
+  EXPECT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  EXPECT_EQ(policy_.owner_of(kDataset), kHospital);
+
+  EXPECT_FALSE(policy_.check(kDataset, kResearcher, kPermRead));
+  EXPECT_TRUE(policy_.grant(kHospital, kDataset, kResearcher,
+                            kPermRead | kPermCompute));
+  EXPECT_TRUE(policy_.check(kDataset, kResearcher, kPermRead));
+  EXPECT_TRUE(policy_.check(kDataset, kResearcher, kPermCompute));
+  EXPECT_TRUE(
+      policy_.check(kDataset, kResearcher, kPermRead | kPermCompute));
+  EXPECT_FALSE(policy_.check(kDataset, kResearcher, kPermShare));
+
+  EXPECT_TRUE(policy_.revoke(kHospital, kDataset, kResearcher));
+  EXPECT_FALSE(policy_.check(kDataset, kResearcher, kPermRead));
+}
+
+TEST_F(PolicyTest, DoubleRegistrationReverts) {
+  EXPECT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  EXPECT_FALSE(policy_.register_dataset(kMallory, kDataset));
+  EXPECT_EQ(policy_.owner_of(kDataset), kHospital);  // unchanged
+}
+
+TEST_F(PolicyTest, OnlyOwnerMayGrantOrRevoke) {
+  ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  EXPECT_FALSE(policy_.grant(kMallory, kDataset, kMallory, kPermRead));
+  EXPECT_FALSE(policy_.check(kDataset, kMallory, kPermRead));
+
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher, kPermRead));
+  EXPECT_FALSE(policy_.revoke(kMallory, kDataset, kResearcher));
+  EXPECT_TRUE(policy_.check(kDataset, kResearcher, kPermRead));
+}
+
+TEST_F(PolicyTest, PermissionsArePerDatasetAndGrantee) {
+  ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset + 1));
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher, kPermRead));
+  EXPECT_FALSE(policy_.check(kDataset + 1, kResearcher, kPermRead));
+  EXPECT_FALSE(policy_.check(kDataset, kMallory, kPermRead));
+}
+
+TEST_F(PolicyTest, EmitsEventsForMonitor) {
+  ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher, kPermRead));
+  const auto& events = store_.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].topic, kEvDatasetOwnerRegistered);
+  EXPECT_EQ(events[0].args, (std::vector<Word>{kDataset, kHospital}));
+  EXPECT_EQ(events[1].topic, kEvAccessGranted);
+  EXPECT_EQ(events[1].args,
+            (std::vector<Word>{kDataset, kResearcher, kPermRead}));
+}
+
+TEST_F(PolicyTest, CallsAreLightweight) {
+  // The paper's design goal: the policy control point is cheap. A grant
+  // costs a few hundred gas vs the 10M-gas block budget.
+  ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher, kPermRead));
+  EXPECT_LT(policy_.last_gas(), 1'000u);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  vm::ContractStore store_;
+  RegistryContract registry_{store_, 1, 1};
+};
+
+TEST_F(RegistryTest, DatasetLifecycle) {
+  EXPECT_EQ(registry_.digest_of(kDataset), 0u);
+  EXPECT_TRUE(
+      registry_.register_dataset(kHospital, kDataset, 0xabc, 500, 3));
+  EXPECT_EQ(registry_.digest_of(kDataset), 0xabcu);
+
+  const auto meta = registry_.meta_of(kDataset);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->owner, kHospital);
+  EXPECT_EQ(meta->digest, 0xabcu);
+  EXPECT_EQ(meta->record_count, 500u);
+  EXPECT_EQ(meta->schema_id, 3u);
+
+  EXPECT_TRUE(registry_.update_digest(kHospital, kDataset, 0xdef, 600));
+  EXPECT_EQ(registry_.digest_of(kDataset), 0xdefu);
+  EXPECT_EQ(registry_.meta_of(kDataset)->record_count, 600u);
+}
+
+TEST_F(RegistryTest, OwnershipEnforced) {
+  ASSERT_TRUE(registry_.register_dataset(kHospital, kDataset, 1, 1, 1));
+  EXPECT_FALSE(registry_.register_dataset(kMallory, kDataset, 2, 2, 2));
+  EXPECT_FALSE(registry_.update_digest(kMallory, kDataset, 0xbad, 1));
+  EXPECT_EQ(registry_.digest_of(kDataset), 1u);
+}
+
+TEST_F(RegistryTest, UnregisteredMetaIsNull) {
+  EXPECT_FALSE(registry_.meta_of(999).has_value());
+}
+
+TEST_F(RegistryTest, ToolRegistration) {
+  constexpr Word kTool = 0x700;
+  EXPECT_EQ(registry_.tool_digest(kTool), 0u);
+  EXPECT_TRUE(registry_.register_tool(kResearcher, kTool, 0x1234));
+  EXPECT_EQ(registry_.tool_digest(kTool), 0x1234u);
+  EXPECT_FALSE(registry_.register_tool(kMallory, kTool, 0x9999));
+  EXPECT_EQ(registry_.tool_digest(kTool), 0x1234u);
+}
+
+class TrialTest : public ::testing::Test {
+ protected:
+  vm::ContractStore store_;
+  TrialContract trial_{store_, 1, 1};
+  static constexpr Word kTrial = 0xc71a;
+  static constexpr Word kSponsor = 0x5b0;
+  static constexpr Word kOutcome = 501;
+};
+
+TEST_F(TrialTest, HonestTrialVerifies) {
+  EXPECT_TRUE(trial_.register_trial(kSponsor, kTrial, 0xfeed, kOutcome));
+  EXPECT_EQ(trial_.protocol_digest(kTrial), 0xfeedu);
+  EXPECT_FALSE(trial_.verify_outcome(kTrial));  // not yet reported
+  EXPECT_TRUE(trial_.report(kSponsor, kTrial, kOutcome, 0x1e5));
+  EXPECT_TRUE(trial_.verify_outcome(kTrial));
+}
+
+TEST_F(TrialTest, OutcomeSwitchingDetected) {
+  ASSERT_TRUE(trial_.register_trial(kSponsor, kTrial, 0xfeed, kOutcome));
+  ASSERT_TRUE(trial_.report(kSponsor, kTrial, kOutcome + 7, 0x1));
+  EXPECT_FALSE(trial_.verify_outcome(kTrial));  // switched!
+}
+
+TEST_F(TrialTest, EnrollmentCountsAndDeduplicates) {
+  ASSERT_TRUE(trial_.register_trial(kSponsor, kTrial, 1, kOutcome));
+  EXPECT_EQ(trial_.enrollment(kTrial), 0u);
+  EXPECT_TRUE(trial_.enroll(kSponsor, kTrial, 0xaa));
+  EXPECT_TRUE(trial_.enroll(kSponsor, kTrial, 0xbb));
+  EXPECT_FALSE(trial_.enroll(kSponsor, kTrial, 0xaa));  // duplicate
+  EXPECT_EQ(trial_.enrollment(kTrial), 2u);
+}
+
+TEST_F(TrialTest, GuardsAgainstUnregisteredAndImpostors) {
+  EXPECT_FALSE(trial_.enroll(kSponsor, kTrial, 0xaa));  // no trial yet
+  ASSERT_TRUE(trial_.register_trial(kSponsor, kTrial, 1, kOutcome));
+  EXPECT_FALSE(trial_.register_trial(kMallory, kTrial, 2, 2));
+  EXPECT_FALSE(trial_.report(kMallory, kTrial, kOutcome, 0x1));
+  EXPECT_FALSE(trial_.verify_outcome(kTrial));
+  EXPECT_FALSE(trial_.verify_outcome(0xdead));  // unknown trial -> 0
+}
+
+class AnalyticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(analytics_.init(1, kBridge, policy_.id()));
+    ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+  }
+
+  void grant_researcher() {
+    ASSERT_TRUE(
+        policy_.grant(kHospital, kDataset, kResearcher, kPermCompute));
+  }
+
+  vm::ContractStore store_;
+  PolicyContract policy_{store_, 1, 1};
+  AnalyticsContract analytics_{store_, 1, 1};
+  static constexpr Word kRequest = 0x42;
+  static constexpr Word kTool = 0x7;
+};
+
+TEST_F(AnalyticsTest, InitOnlyOnce) {
+  EXPECT_FALSE(analytics_.init(kMallory, kMallory, kMallory));
+}
+
+TEST_F(AnalyticsTest, PermittedRequestLifecycle) {
+  grant_researcher();
+  EXPECT_EQ(analytics_.status(kRequest), RequestStatus::None);
+  EXPECT_TRUE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0xdead));
+  EXPECT_EQ(analytics_.status(kRequest), RequestStatus::Pending);
+
+  const auto loaded = analytics_.load(kRequest);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->requester, kResearcher);
+  EXPECT_EQ(loaded->tool, kTool);
+  EXPECT_EQ(loaded->dataset, kDataset);
+  EXPECT_EQ(loaded->param_digest, 0xdeadu);
+
+  EXPECT_TRUE(analytics_.complete(kBridge, kRequest, 0xbeef));
+  EXPECT_EQ(analytics_.status(kRequest), RequestStatus::Done);
+  EXPECT_EQ(analytics_.result(kRequest), 0xbeefu);
+}
+
+TEST_F(AnalyticsTest, DeniedWithoutOnChainGrant) {
+  // No grant in the policy contract: the SXLOAD permission check fails
+  // and the whole request reverts, leaving no trace.
+  EXPECT_FALSE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+  EXPECT_EQ(analytics_.status(kRequest), RequestStatus::None);
+  EXPECT_FALSE(analytics_.load(kRequest).has_value());  // reverted fields
+}
+
+TEST_F(AnalyticsTest, ReadPermissionIsNotEnough) {
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher, kPermRead));
+  EXPECT_FALSE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+}
+
+TEST_F(AnalyticsTest, RevocationTakesImmediateEffect) {
+  grant_researcher();
+  ASSERT_TRUE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+  ASSERT_TRUE(policy_.revoke(kHospital, kDataset, kResearcher));
+  EXPECT_FALSE(
+      analytics_.request(kResearcher, kRequest + 1, kTool, kDataset, 0x1));
+}
+
+TEST_F(AnalyticsTest, DuplicateRequestIdReverts) {
+  grant_researcher();
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kMallory, kPermCompute));
+  ASSERT_TRUE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+  EXPECT_FALSE(analytics_.request(kMallory, kRequest, kTool, kDataset, 0x2));
+}
+
+TEST_F(AnalyticsTest, OnlyBridgeCompletes) {
+  grant_researcher();
+  ASSERT_TRUE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+  EXPECT_FALSE(analytics_.complete(kMallory, kRequest, 0x666));
+  EXPECT_EQ(analytics_.status(kRequest), RequestStatus::Pending);
+  EXPECT_TRUE(analytics_.complete(kBridge, kRequest, 0x1));
+  // Completing twice fails: no longer pending.
+  EXPECT_FALSE(analytics_.complete(kBridge, kRequest, 0x2));
+}
+
+TEST_F(AnalyticsTest, RequestEmitsMonitorEvent) {
+  grant_researcher();
+  const std::size_t before = store_.events().size();
+  ASSERT_TRUE(
+      analytics_.request(kResearcher, kRequest, kTool, kDataset, 0x1));
+  const auto events = store_.events_since(before);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].topic, kEvAnalyticsRequested);
+  EXPECT_EQ(events[0].args, (std::vector<Word>{kRequest, kTool, kDataset}));
+}
+
+TEST(ContractDeterminism, TwoStoresSameCallsSameDigest) {
+  auto run_scenario = [] {
+    vm::ContractStore store;
+    PolicyContract policy(store, 1, 1);
+    RegistryContract registry(store, 1, 1);
+    policy.register_dataset(kHospital, kDataset);
+    policy.grant(kHospital, kDataset, kResearcher, kPermCompute);
+    registry.register_dataset(kHospital, kDataset, 0xaa, 10, 1);
+    return store.digest();
+  };
+  EXPECT_EQ(run_scenario(), run_scenario());
+}
+
+}  // namespace
+}  // namespace mc::contracts

@@ -1,0 +1,276 @@
+// Crypto substrate tests: standard vectors plus protocol properties.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST vectors) ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  for (const std::size_t n : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 1000u}) {
+    const Bytes data = rng.bytes(n);
+    Sha256 ctx;
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t take = std::min<std::size_t>(17, data.size() - offset);
+      ctx.update(BytesView(data.data() + offset, take));
+      offset += take;
+    }
+    EXPECT_EQ(ctx.finalize(), sha256(BytesView(data))) << "n=" << n;
+  }
+}
+
+TEST(Sha256, DoubleHashAndPair) {
+  const Hash256 once = sha256("x");
+  EXPECT_EQ(sha256d(str_bytes("x")), sha256(BytesView(once.data)));
+  const Hash256 a = sha256("a"), b = sha256("b");
+  EXPECT_NE(sha256_pair(a, b), sha256_pair(b, a));
+}
+
+// --- HMAC-SHA256 (RFC 4231) ---
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(BytesView(key), str_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(str_bytes("Jefe"),
+                               str_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyHashedFirst) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          BytesView(key),
+          str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DeriveKeyStableAndDistinct) {
+  const Hash256 k1 = derive_key(str_bytes("master"), "session-1");
+  const Hash256 k2 = derive_key(str_bytes("master"), "session-2");
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(k1, derive_key(str_bytes("master"), "session-1"));
+}
+
+// --- Merkle trees ---
+
+TEST(Merkle, EmptyTreeZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_TRUE(tree.root().is_zero());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const Hash256 leaf = sha256("leaf");
+  MerkleTree tree({leaf});
+  EXPECT_EQ(tree.root(), leaf);
+  EXPECT_TRUE(MerkleTree::verify(leaf, 0, tree.prove(0), tree.root()));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  std::vector<Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i)
+    leaves.push_back(sha256("leaf-" + std::to_string(i)));
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], i, tree.prove(i), tree.root()))
+        << "leaf " << i << " of " << n;
+    // Wrong leaf must fail.
+    EXPECT_FALSE(MerkleTree::verify(sha256("evil"), i, tree.prove(i),
+                                    tree.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33,
+                                           100));
+
+TEST(Merkle, RootChangesOnAnyLeafChange) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 10; ++i) leaves.push_back(sha256(std::to_string(i)));
+  const Hash256 root = MerkleTree(leaves).root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i] = sha256("tampered");
+    EXPECT_NE(MerkleTree(tampered).root(), root);
+  }
+}
+
+TEST(Merkle, RootOfByteLeaves) {
+  const std::vector<Bytes> leaves = {to_bytes("a"), to_bytes("b")};
+  EXPECT_EQ(merkle_root_of(leaves),
+            sha256_pair(sha256("a"), sha256("b")));
+}
+
+// --- Schnorr ---
+
+TEST(Schnorr, GroupParametersAreValid) {
+  EXPECT_TRUE(is_prime_u64(SchnorrGroup::p));
+  EXPECT_TRUE(is_prime_u64(SchnorrGroup::q));
+  EXPECT_EQ(SchnorrGroup::p, 2 * SchnorrGroup::q + 1);
+  // g generates the order-q subgroup.
+  EXPECT_EQ(powmod(SchnorrGroup::g, SchnorrGroup::q, SchnorrGroup::p), 1u);
+  EXPECT_NE(powmod(SchnorrGroup::g, 2, SchnorrGroup::p), 1u);
+}
+
+TEST(Schnorr, MillerRabinKnownCases) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_TRUE(is_prime_u64(2'147'483'647));  // M31
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(561));     // Carmichael
+  EXPECT_FALSE(is_prime_u64(341'550'071'728'321ULL));  // strong pseudoprime
+}
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Rng rng(1);
+  const PrivateKey key = generate_key(rng);
+  const Bytes msg = to_bytes("attack at dawn");
+  const Signature sig = sign(key, BytesView(msg));
+  EXPECT_TRUE(verify(key.pub, BytesView(msg), sig));
+}
+
+TEST(Schnorr, RejectsWrongMessageKeyAndSig) {
+  Rng rng(2);
+  const PrivateKey key = generate_key(rng);
+  const PrivateKey other = generate_key(rng);
+  const Bytes msg = to_bytes("hello");
+  const Signature sig = sign(key, BytesView(msg));
+  EXPECT_FALSE(verify(key.pub, str_bytes("hellp"), sig));
+  EXPECT_FALSE(verify(other.pub, BytesView(msg), sig));
+  Signature bad = sig;
+  bad.s ^= 1;
+  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad));
+  Signature bad_e = sig;
+  bad_e.e = SchnorrGroup::q;  // out of range
+  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad_e));
+}
+
+TEST(Schnorr, DeterministicNonceSameSignature) {
+  const PrivateKey key = key_from_seed("stable-identity");
+  const Bytes msg = to_bytes("msg");
+  EXPECT_EQ(sign(key, BytesView(msg)), sign(key, BytesView(msg)));
+}
+
+TEST(Schnorr, SeededKeysStable) {
+  EXPECT_EQ(key_from_seed("hospital-0").pub, key_from_seed("hospital-0").pub);
+  EXPECT_NE(key_from_seed("hospital-0").pub.y,
+            key_from_seed("hospital-1").pub.y);
+}
+
+TEST(Schnorr, AddressDerivation) {
+  const PrivateKey key = key_from_seed("addr-test");
+  const Address a = address_of(key.pub);
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_EQ(a, address_of(key.pub));
+  EXPECT_EQ(to_hex(a).size(), 40u);
+}
+
+class SchnorrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrSweep, ManyKeysManyMessages) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const PrivateKey key = generate_key(rng);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes msg = rng.bytes(1 + rng.uniform(64));
+    const Signature sig = sign(key, BytesView(msg));
+    EXPECT_TRUE(verify(key.pub, BytesView(msg), sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrSweep, ::testing::Range(1, 9));
+
+// --- ChaCha20 ---
+
+TEST(ChaCha20, Rfc8439Vector) {
+  // RFC 8439 §2.4.2 test vector.
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{};
+  nonce[3] = 0x00;
+  nonce[7] = 0x4a;
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes ciphertext =
+      chacha20_xor(key, nonce, str_bytes(plaintext), 1);
+  EXPECT_EQ(mc::to_hex(BytesView(ciphertext.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  Rng rng(3);
+  const ChaChaKey key = key_from_hash(sha256("key"));
+  const ChaChaNonce nonce = nonce_from_counter(7);
+  const Bytes plaintext = rng.bytes(300);
+  const Bytes ciphertext = chacha20_xor(key, nonce, BytesView(plaintext));
+  EXPECT_NE(ciphertext, plaintext);
+  EXPECT_EQ(chacha20_xor(key, nonce, BytesView(ciphertext)), plaintext);
+}
+
+TEST(ChaCha20, SealOpenRoundTrip) {
+  const ChaChaKey key = key_from_hash(sha256("session"));
+  const Bytes msg = to_bytes("encrypted EMR payload");
+  const SealedBox box = seal(key, nonce_from_counter(1), BytesView(msg));
+  const auto opened = open(key, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(ChaCha20, TamperedCiphertextRejected) {
+  const ChaChaKey key = key_from_hash(sha256("session"));
+  SealedBox box = seal(key, nonce_from_counter(2), str_bytes("records"));
+  box.ciphertext[0] ^= 0x01;
+  EXPECT_FALSE(open(key, box).has_value());
+}
+
+TEST(ChaCha20, WrongKeyRejected) {
+  const ChaChaKey key = key_from_hash(sha256("right"));
+  const SealedBox box = seal(key, nonce_from_counter(3), str_bytes("data"));
+  EXPECT_FALSE(open(key_from_hash(sha256("wrong")), box).has_value());
+}
+
+}  // namespace
+}  // namespace mc::crypto

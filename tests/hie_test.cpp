@@ -1,0 +1,236 @@
+// HIE layer tests: consent, audit chain, encrypted exchange, trial
+// registry, misreport study.
+#include <gtest/gtest.h>
+
+#include "hie/audit.hpp"
+#include "hie/compare.hpp"
+#include "hie/consent.hpp"
+#include "hie/exchange.hpp"
+#include "hie/trial_registry.hpp"
+
+namespace mc::hie {
+namespace {
+
+TEST(Consent, GrantCheckRevokeExpiry) {
+  ConsentManager consent;
+  EXPECT_FALSE(consent.permitted("tok", "uni", kScopeResearch, 0));
+
+  consent.grant("tok", "uni", kScopeResearch, /*expires_day=*/100);
+  EXPECT_TRUE(consent.permitted("tok", "uni", kScopeResearch, 50));
+  EXPECT_FALSE(consent.permitted("tok", "uni", kScopeTreatment, 50));
+  EXPECT_FALSE(consent.permitted("tok", "other", kScopeResearch, 50));
+  EXPECT_FALSE(consent.permitted("tok", "uni", kScopeResearch, 101));
+
+  consent.revoke("tok", "uni");
+  EXPECT_FALSE(consent.permitted("tok", "uni", kScopeResearch, 50));
+}
+
+TEST(Consent, ScopesCombineAcrossGrants) {
+  ConsentManager consent;
+  consent.grant("tok", "uni", kScopeResearch);
+  consent.grant("tok", "uni", kScopeTreatment);
+  EXPECT_TRUE(
+      consent.permitted("tok", "uni", kScopeResearch | kScopeTreatment, 0));
+  EXPECT_FALSE(consent.permitted("tok", "uni", 0, 0));  // empty scope absurd
+  EXPECT_EQ(consent.grant_count(), 2u);
+  EXPECT_EQ(consent.grantees_of("tok", 0).size(), 1u);
+}
+
+TEST(Audit, ChainVerifiesAndDetectsTamper) {
+  AuditLog log;
+  EXPECT_TRUE(log.verify_chain());
+  log.append(1, AuditAction::RequestReceived, "uni", "tok-1");
+  log.append(2, AuditAction::ConsentChecked, "uni", "tok-1");
+  log.append(3, AuditAction::RecordsReleased, "hospital", "tok-1", "3 records");
+  EXPECT_TRUE(log.verify_chain());
+  const Hash256 head = log.head();
+
+  AuditLog tampered = log;
+  tampered.tamper_detail(1, "nothing to see");
+  EXPECT_FALSE(tampered.verify_chain());
+
+  AuditLog truncated = log;
+  truncated.truncate(2);
+  // Internally consistent after truncation...
+  EXPECT_TRUE(truncated.verify_chain());
+  // ...but the anchored head exposes it.
+  EXPECT_FALSE(truncated.verify_against(head));
+  EXPECT_TRUE(log.verify_against(head));
+}
+
+TEST(Audit, HeadChangesPerEntry) {
+  AuditLog log;
+  const Hash256 h0 = log.head();
+  log.append(1, AuditAction::RequestReceived, "a", "s");
+  const Hash256 h1 = log.head();
+  log.append(2, AuditAction::ConsentDenied, "a", "s");
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, log.head());
+}
+
+class ExchangeTest : public ::testing::Test {
+ protected:
+  ExchangeTest()
+      : cohort_(med::generate_cohort({.patients = 40, .seed = 5})),
+        dataset_({"hospital-e", med::SchemaKind::CommonV1, 0.0, 1},
+                 std::vector<med::PatientRecord>(cohort_.begin(),
+                                                 cohort_.begin() + 40),
+                 crypto::sha256("national")),
+        network_(sim::Network::uniform(4, 2)),
+        service_(dataset_, consent_, audit_, network_, /*site_node=*/0,
+                 /*hub_node=*/3) {}
+
+  [[nodiscard]] ExchangeRequest request_for(std::size_t patient) const {
+    ExchangeRequest req;
+    req.requester_org = "university";
+    req.patient_token = dataset_.token_for(
+        cohort_[patient].demographics.uid);
+    req.scopes = kScopeResearch;
+    req.today = 10;
+    req.requester_node = 1;
+    return req;
+  }
+
+  std::vector<med::PatientRecord> cohort_;
+  med::SiteDataset dataset_;
+  ConsentManager consent_;
+  AuditLog audit_;
+  sim::Network network_;
+  ExchangeService service_;
+  Hash256 requester_secret_ = crypto::sha256("uni-secret");
+};
+
+TEST_F(ExchangeTest, DeniedWithoutConsentAndAudited) {
+  const ExchangeResult result =
+      service_.serve(request_for(0), requester_secret_, 1'000);
+  EXPECT_FALSE(result.permitted);
+  EXPECT_EQ(result.records, 0u);
+  ASSERT_EQ(audit_.size(), 2u);
+  EXPECT_EQ(audit_.entries()[1].action, AuditAction::ConsentDenied);
+  EXPECT_TRUE(audit_.verify_chain());
+}
+
+TEST_F(ExchangeTest, ConsentedExchangeRoundTrips) {
+  const ExchangeRequest req = request_for(3);
+  consent_.grant(req.patient_token, "university", kScopeResearch);
+  const ExchangeResult result =
+      service_.serve(req, requester_secret_, 2'000);
+  ASSERT_TRUE(result.permitted);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_GT(result.payload_bytes, 0u);
+  EXPECT_GT(result.transfer_time_s, 0.0);
+
+  // Only the requester's secret opens the payload.
+  const auto opened =
+      ExchangeService::open_result(result, requester_secret_, 0);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_FALSE(ExchangeService::open_result(result, crypto::sha256("wrong"), 0)
+                   .has_value());
+
+  // Audit captured request, consent check, release.
+  ASSERT_EQ(audit_.size(), 3u);
+  EXPECT_EQ(audit_.entries()[2].action, AuditAction::RecordsReleased);
+}
+
+TEST_F(ExchangeTest, HubRouteCostsTwoHops) {
+  const ExchangeRequest p2p = request_for(5);
+  consent_.grant(p2p.patient_token, "university", kScopeResearch);
+  const double direct =
+      service_.serve(p2p, requester_secret_, 1).transfer_time_s;
+
+  ExchangeRequest hub = request_for(5);
+  hub.route = ExchangeRoute::ViaHub;
+  const double relayed =
+      service_.serve(hub, requester_secret_, 2).transfer_time_s;
+  EXPECT_GT(relayed, direct);
+}
+
+class TrialRegistryTest : public ::testing::Test {
+ protected:
+  vm::ContractStore store_;
+  contracts::TrialContract contract_{store_, 1, 1};
+  AuditLog audit_;
+  TrialRegistry registry_{contract_, audit_};
+  Word sponsor_ = fnv1a("pharma-co");
+};
+
+TEST_F(TrialRegistryTest, HonestWorkflow) {
+  TrialProtocol protocol;
+  protocol.trial_id = "NCT00784433";
+  protocol.sponsor = "pharma-co";
+  protocol.primary_outcome = 501;
+  protocol.secondary_outcomes = {601};
+  ASSERT_TRUE(registry_.register_trial(protocol, sponsor_, 1));
+  EXPECT_FALSE(registry_.register_trial(protocol, sponsor_, 2));  // dup
+
+  EXPECT_TRUE(registry_.enroll("NCT00784433", "patient-a", sponsor_, 3));
+  EXPECT_TRUE(registry_.enroll("NCT00784433", "patient-b", sponsor_, 4));
+  EXPECT_FALSE(registry_.enroll("NCT-unknown", "p", sponsor_, 5));
+  EXPECT_EQ(registry_.enrollment("NCT00784433"), 2u);
+
+  TrialReport report;
+  report.trial_id = "NCT00784433";
+  report.reported_outcome = 501;
+  const ReportVerdict verdict = registry_.file_report(report, sponsor_, 6);
+  EXPECT_TRUE(verdict.registered);
+  EXPECT_TRUE(verdict.outcome_matches);
+  EXPECT_TRUE(verdict.onchain_confirms);
+  EXPECT_TRUE(audit_.verify_chain());
+}
+
+TEST_F(TrialRegistryTest, OutcomeSwitchFlagged) {
+  TrialProtocol protocol;
+  protocol.trial_id = "NCT1";
+  protocol.sponsor = "pharma-co";
+  protocol.primary_outcome = 501;
+  protocol.secondary_outcomes = {601};
+  ASSERT_TRUE(registry_.register_trial(protocol, sponsor_, 1));
+
+  TrialReport switched;
+  switched.trial_id = "NCT1";
+  switched.reported_outcome = 601;  // secondary reported as primary
+  const ReportVerdict verdict = registry_.file_report(switched, sponsor_, 2);
+  EXPECT_TRUE(verdict.registered);
+  EXPECT_FALSE(verdict.outcome_matches);
+  EXPECT_FALSE(verdict.onchain_confirms);
+}
+
+TEST_F(TrialRegistryTest, UnregisteredReportRejected) {
+  TrialReport report;
+  report.trial_id = "NCT-ghost";
+  EXPECT_FALSE(registry_.file_report(report, sponsor_, 1).registered);
+}
+
+TEST(Compare, OnchainDetectionDominatesManualAudit) {
+  vm::ContractStore store;
+  contracts::TrialContract contract(store, 1, 1);
+  AuditLog audit;
+  TrialRegistry registry(contract, audit);
+
+  MisreportConfig config;  // COMPare-like rates
+  const DetectionReport report =
+      run_misreport_study(config, registry, fnv1a("sponsor"));
+  EXPECT_EQ(report.trials, 67u);
+  EXPECT_GT(report.dishonest, 0u);
+  EXPECT_DOUBLE_EQ(report.onchain_rate(), 1.0);   // mechanical check
+  EXPECT_LT(report.manual_rate(), 0.5);           // editorial sampling
+  EXPECT_EQ(report.false_positives_onchain, 0u);
+}
+
+TEST(Compare, HonestPopulationRaisesNoFlags) {
+  vm::ContractStore store;
+  contracts::TrialContract contract(store, 1, 1);
+  AuditLog audit;
+  TrialRegistry registry(contract, audit);
+
+  MisreportConfig config;
+  config.outcome_switch_rate = 0.0;
+  config.data_tamper_rate = 0.0;
+  const DetectionReport report =
+      run_misreport_study(config, registry, fnv1a("sponsor"));
+  EXPECT_EQ(report.dishonest, 0u);
+  EXPECT_EQ(report.false_positives_onchain, 0u);
+}
+
+}  // namespace
+}  // namespace mc::hie

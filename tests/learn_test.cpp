@@ -1,0 +1,402 @@
+// Learning substrate tests: matrix, metrics, models, federated,
+// transfer, query vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "learn/dataset.hpp"
+#include "learn/federated.hpp"
+#include "learn/logistic.hpp"
+#include "learn/matrix.hpp"
+#include "learn/metrics.hpp"
+#include "learn/mlp.hpp"
+#include "learn/query_vector.hpp"
+#include "learn/transfer.hpp"
+#include "med/generator.hpp"
+
+namespace mc::learn {
+namespace {
+
+/// Linearly separable synthetic binary dataset.
+DataSet separable(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  DataSet data;
+  data.x = Matrix(n, 2);
+  data.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal(0, 1), b = rng.normal(0, 1);
+    data.x(i, 0) = a;
+    data.x(i, 1) = b;
+    const double boundary = 2.0 * a - b + rng.normal(0, noise);
+    data.y.push_back(boundary > 0 ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+TEST(MatrixOps, MatmulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  const Matrix c = a.matmul(b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixOps, TransposeVariantsAgree) {
+  Rng rng(4);
+  Matrix a(4, 3), b(4, 5);
+  for (auto& x : a.data()) x = rng.normal();
+  for (auto& x : b.data()) x = rng.normal();
+  // a^T * b  == (manually transposed a) * b
+  Matrix at(3, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  const Matrix direct = at.matmul(b);
+  const Matrix fused = a.transpose_matmul(b);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(direct(i, j), fused(i, j), 1e-12);
+}
+
+TEST(MatrixOps, ShapeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3).matmul(Matrix(2, 3)), std::invalid_argument);
+  Matrix a(2, 2);
+  EXPECT_THROW(a.add_inplace(Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(MatrixOps, FlopCounterTracksWork) {
+  FlopCounter::reset();
+  const Matrix product = Matrix(8, 8).matmul(Matrix(8, 8));
+  (void)product;
+  EXPECT_EQ(FlopCounter::value(), 2u * 8 * 8 * 8);
+}
+
+TEST(Metrics, AucKnownCases) {
+  // Perfect ranking.
+  const std::vector<double> p1 = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<double> y1 = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auc(p1, y1), 1.0);
+  // Inverted ranking.
+  const std::vector<double> y2 = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(p1, y2), 0.0);
+  // All ties -> 0.5.
+  const std::vector<double> p3 = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(p3, y1), 0.5);
+  // Degenerate single-class input.
+  const std::vector<double> y4 = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(auc(p1, y4), 0.5);
+}
+
+TEST(Metrics, AccuracyAndConfusion) {
+  const std::vector<double> p = {0.9, 0.4, 0.6, 0.1};
+  const std::vector<double> y = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy(p, y), 0.5);
+  const Confusion c = confusion(p, y);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+}
+
+TEST(Metrics, LogLossBounds) {
+  const std::vector<double> perfect = {1.0, 0.0};
+  const std::vector<double> labels = {1, 0};
+  EXPECT_LT(log_loss(perfect, labels), 1e-9);
+  const std::vector<double> wrong = {0.0, 1.0};
+  EXPECT_GT(log_loss(wrong, labels), 10.0);
+}
+
+TEST(DataSetOps, SplitAndShuffle) {
+  DataSet data = separable(100, 1);
+  const auto [head, tail] = data.split(0.7);
+  EXPECT_EQ(head.size(), 70u);
+  EXPECT_EQ(tail.size(), 30u);
+
+  Rng rng(2);
+  const DataSet shuffled = data.shuffled(rng);
+  EXPECT_EQ(shuffled.size(), data.size());
+  double sum_orig = 0, sum_shuf = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sum_orig += data.x(i, 0);
+    sum_shuf += shuffled.x(i, 0);
+  }
+  EXPECT_NEAR(sum_orig, sum_shuf, 1e-9);  // permutation preserves content
+}
+
+TEST(DataSetOps, StandardizerNormalizes) {
+  DataSet data = separable(500, 3);
+  for (std::size_t i = 0; i < data.size(); ++i) data.x(i, 0) = data.x(i, 0) * 10 + 100;
+  const Standardizer s = Standardizer::fit(data.x);
+  s.apply(data.x);
+  double mean = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) mean += data.x(i, 0);
+  mean /= static_cast<double>(data.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(DataSetOps, FromRecordsSkipsUnlabeled) {
+  std::vector<med::CommonRecord> records(3);
+  records[0].label_stroke = 1.0;
+  records[1].label_stroke = std::numeric_limits<double>::quiet_NaN();
+  records[2].label_stroke = 0.0;
+  const DataSet data = dataset_from_records(records, LabelKind::Stroke);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_NEAR(prevalence(data), 0.5, 1e-12);
+}
+
+TEST(Logistic, LearnsSeparableBoundary) {
+  const DataSet train = separable(800, 5);
+  const DataSet test = separable(200, 6);
+  LogisticModel model(2);
+  SgdConfig sgd;
+  sgd.epochs = 30;
+  model.train(train, sgd);
+  EXPECT_GT(accuracy(model.predict(test.x), test.y), 0.95);
+  // Recovered weight signs match the generating boundary 2a - b.
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_LT(model.weights()[1], 0.0);
+}
+
+TEST(Logistic, ParameterRoundTrip) {
+  LogisticModel model(3);
+  const std::vector<double> params = {0.5, -1.0, 2.0, 0.25};
+  model.set_parameters(params);
+  EXPECT_EQ(model.parameters(), params);
+  EXPECT_THROW(model.set_parameters(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Mlp, LearnsNonlinearBoundary) {
+  // XOR-like quadrant problem a linear model cannot solve.
+  Rng rng(7);
+  auto quadrants = [&rng](std::size_t n) {
+    DataSet data;
+    data.x = Matrix(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = rng.normal(), b = rng.normal();
+      data.x(i, 0) = a;
+      data.x(i, 1) = b;
+      data.y.push_back((a > 0) != (b > 0) ? 1.0 : 0.0);
+    }
+    return data;
+  };
+  const DataSet train = quadrants(1'500);
+  const DataSet test = quadrants(300);
+
+  LogisticModel linear(2);
+  SgdConfig sgd;
+  sgd.epochs = 40;
+  linear.train(train, sgd);
+  const double linear_acc = accuracy(linear.predict(test.x), test.y);
+  EXPECT_LT(linear_acc, 0.65);  // linear cannot do XOR
+
+  Mlp mlp(2, 16, 11);
+  sgd.learning_rate = 0.3;
+  sgd.epochs = 60;
+  mlp.train(train, sgd);
+  EXPECT_GT(accuracy(mlp.predict(test.x), test.y), 0.9);
+}
+
+TEST(Mlp, ParametersRoundTripAndHiddenAdoption) {
+  Mlp a(4, 8, 1), b(4, 8, 2);
+  b.set_parameters(a.parameters());
+  EXPECT_EQ(a.parameters(), b.parameters());
+
+  Mlp c(4, 8, 3);
+  c.adopt_hidden_layer(a);
+  // Hidden layer equal, output layer still c's own.
+  const auto pa = a.parameters();
+  const auto pc = c.parameters();
+  const std::size_t hidden_span = 4 * 8 + 8;
+  for (std::size_t i = 0; i < hidden_span; ++i) EXPECT_EQ(pa[i], pc[i]);
+
+  EXPECT_THROW(c.adopt_hidden_layer(Mlp(4, 16)), std::invalid_argument);
+}
+
+TEST(Mlp, FreezeHiddenKeepsFirstLayerFixed) {
+  const DataSet train = separable(200, 9);
+  Mlp model(2, 8, 5);
+  const auto before = model.parameters();
+  SgdConfig sgd;
+  sgd.epochs = 5;
+  model.train(train, sgd, /*freeze_hidden=*/true);
+  const auto after = model.parameters();
+  const std::size_t hidden_span = 2 * 8 + 8;
+  for (std::size_t i = 0; i < hidden_span; ++i)
+    EXPECT_EQ(before[i], after[i]);  // frozen
+  bool output_changed = false;
+  for (std::size_t i = hidden_span; i < after.size(); ++i)
+    if (before[i] != after[i]) output_changed = true;
+  EXPECT_TRUE(output_changed);
+}
+
+TEST(Federated, FedAvgApproachesCentralized) {
+  // 6 clients with disjoint shards of one distribution.
+  std::vector<DataSet> clients;
+  for (int c = 0; c < 6; ++c)
+    clients.push_back(separable(150, 100 + c, 0.3));
+  const DataSet test = separable(400, 999, 0.3);
+
+  LogisticModel fed_model(2);
+  FederatedConfig config;
+  config.rounds = 15;
+  config.local_epochs = 2;
+  const FederatedResult fed = fed_avg(fed_model, clients, test, config);
+
+  LogisticModel central(2);
+  SgdConfig sgd;
+  sgd.epochs = 30;
+  const RoundMetrics central_metrics =
+      centralized_baseline(central, clients, test, sgd);
+
+  const double fed_acc = fed.history.back().test_accuracy;
+  EXPECT_GT(fed_acc, 0.85);
+  EXPECT_NEAR(fed_acc, central_metrics.test_accuracy, 0.06);
+
+  // Local-only baseline (one client's data) is worse or equal.
+  LogisticModel local(2);
+  local.train(clients[0], sgd);
+  EXPECT_LE(accuracy(local.predict(test.x), test.y), fed_acc + 0.02);
+}
+
+TEST(Federated, LossImprovesOverRounds) {
+  std::vector<DataSet> clients;
+  for (int c = 0; c < 4; ++c) clients.push_back(separable(100, 200 + c, 0.5));
+  const DataSet test = separable(300, 888, 0.5);
+  LogisticModel model(2);
+  FederatedConfig config;
+  config.rounds = 12;
+  config.local_epochs = 1;
+  config.local_sgd.learning_rate = 0.02;  // slow start: visible progress
+  const FederatedResult result = fed_avg(model, clients, test, config);
+  EXPECT_LT(result.history.back().test_loss,
+            result.history.front().test_loss);
+  EXPECT_GT(result.history.back().test_accuracy, 0.75);
+}
+
+TEST(Federated, CommunicationIsParametersNotData) {
+  std::vector<DataSet> clients;
+  for (int c = 0; c < 5; ++c) clients.push_back(separable(2'000, 300 + c));
+  const DataSet test = separable(100, 777);
+  LogisticModel model(2);
+  FederatedConfig config;
+  config.rounds = 10;
+  const FederatedResult fed = fed_avg(model, clients, test, config);
+
+  // Raw data movement (centralized) vs parameter movement (federated).
+  const std::uint64_t raw_bytes = 5ull * 2'000 * 3 * sizeof(double);
+  EXPECT_LT(fed.total_bytes, raw_bytes / 10);
+  // Exactly rounds * clients * params * 8 bytes each way.
+  EXPECT_EQ(fed.total_bytes, 2ull * 10 * 5 * 3 * sizeof(double));
+}
+
+TEST(Federated, ClientSamplingFraction) {
+  std::vector<DataSet> clients;
+  for (int c = 0; c < 10; ++c) clients.push_back(separable(50, 400 + c));
+  const DataSet test = separable(100, 555);
+  LogisticModel model(2);
+  FederatedConfig config;
+  config.rounds = 4;
+  config.client_fraction = 0.3;
+  const FederatedResult result = fed_avg(model, clients, test, config);
+  // 3 of 10 clients per round -> 4*3 uploads.
+  EXPECT_EQ(result.history.back().bytes_uploaded,
+            4ull * 3 * 3 * sizeof(double));
+}
+
+TEST(Transfer, CorePretrainingBeatsScratchOnSmallTarget) {
+  // Core: large cohort. Target: small shifted cohort.
+  med::CohortConfig core_config;
+  core_config.patients = 3'000;
+  core_config.seed = 42;
+  med::CohortConfig target_config;
+  target_config.patients = 260;
+  target_config.seed = 43;
+  target_config.age_shift_years = 5;
+
+  auto to_dataset = [](const std::vector<med::PatientRecord>& cohort) {
+    std::vector<med::CommonRecord> records;
+    for (const auto& p : cohort) records.push_back(med::to_common(p));
+    return dataset_from_records(records, LabelKind::Stroke);
+  };
+  DataSet core = to_dataset(med::generate_cohort(core_config));
+  DataSet target = to_dataset(med::generate_cohort(target_config));
+
+  // Standardize everything with core statistics (the shared featurizer).
+  const Standardizer standardizer = Standardizer::fit(core.x);
+  standardizer.apply(core.x);
+  standardizer.apply(target.x);
+
+  const auto [target_train, target_test] = target.split(0.3);
+  TransferConfig config;
+  const TransferOutcome outcome =
+      run_transfer(core, target_train, target_test, config);
+  EXPECT_GT(outcome.transfer_auc, 0.6);
+  EXPECT_GE(outcome.transfer_auc, outcome.scratch_auc - 0.03);
+}
+
+TEST(QueryVector, ParsesTrainingQuery) {
+  const auto qv = parse_query(
+      "predict stroke for smokers with age over 60 using logistic rounds 5");
+  ASSERT_TRUE(qv.has_value());
+  EXPECT_EQ(qv->task, TaskKind::TrainModel);
+  EXPECT_EQ(qv->label, LabelKind::Stroke);
+  EXPECT_EQ(qv->model, ModelKind::Logistic);
+  EXPECT_EQ(qv->federated_rounds, 5u);
+  bool has_smoker = false, has_age = false;
+  for (const auto& range : qv->cohort.where) {
+    if (range.field == "smoker") has_smoker = true;
+    if (range.field == "age") {
+      has_age = true;
+      EXPECT_DOUBLE_EQ(range.min, 60.0);
+    }
+  }
+  EXPECT_TRUE(has_smoker);
+  EXPECT_TRUE(has_age);
+}
+
+TEST(QueryVector, ParsesAggregateAndRetrieve) {
+  const auto agg = parse_query("average of systolic_bp for women");
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->task, TaskKind::AggregateStats);
+  EXPECT_EQ(agg->aggregate_field, "systolic_bp");
+
+  const auto ret = parse_query("retrieve age and glucose for bmi over 30");
+  ASSERT_TRUE(ret.has_value());
+  EXPECT_EQ(ret->task, TaskKind::RetrieveData);
+  EXPECT_FALSE(ret->cohort.select.empty());
+}
+
+TEST(QueryVector, RejectsTasklessText) {
+  EXPECT_FALSE(parse_query("hello world").has_value());
+}
+
+TEST(QueryVector, DigestSensitiveToContents) {
+  QueryVector a;
+  a.task = TaskKind::TrainModel;
+  QueryVector b = a;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.cohort.where.push_back(med::FieldRange{"age", 60, 100});
+  EXPECT_NE(a.digest(), b.digest());
+  b.federated_rounds = 77;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(QueryVector, MlpAndCancerRecognized) {
+  const auto qv = parse_query("train cancer model using mlp");
+  ASSERT_TRUE(qv.has_value());
+  EXPECT_EQ(qv->label, LabelKind::Cancer);
+  EXPECT_EQ(qv->model, ModelKind::Mlp);
+}
+
+}  // namespace
+}  // namespace mc::learn

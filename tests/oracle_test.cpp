@@ -1,0 +1,155 @@
+// Monitor node, RPC envelope, and off-chain bridge tests.
+#include <gtest/gtest.h>
+
+#include "contracts/abi.hpp"
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "crypto/sha256.hpp"
+#include "oracle/bridge.hpp"
+#include "oracle/monitor.hpp"
+#include "oracle/rpc.hpp"
+#include "vm/assembler.hpp"
+
+namespace mc::oracle {
+namespace {
+
+using contracts::Word;
+
+TEST(Monitor, DispatchesByTopicWithCursor) {
+  vm::ContractStore store;
+  const Word id = store.deploy(
+      vm::assemble("PUSH 5\nPUSH 100\nEMIT 0\nPUSH 6\nPUSH 200\nEMIT 0\nSTOP"),
+      1, 1);
+
+  MonitorNode monitor(store);
+  std::vector<vm::Word> seen_topics;
+  monitor.subscribe(100, [&](const vm::Event& e) {
+    seen_topics.push_back(e.topic);
+  });
+
+  store.call(id, vm::ExecContext{});
+  EXPECT_EQ(monitor.poll(), 1u);  // only topic 100 has a handler
+  EXPECT_EQ(monitor.events_seen(), 2u);
+  EXPECT_EQ(seen_topics, (std::vector<vm::Word>{100}));
+
+  // Second poll sees nothing new.
+  EXPECT_EQ(monitor.poll(), 0u);
+  store.call(id, vm::ExecContext{});
+  EXPECT_EQ(monitor.poll(), 1u);
+  EXPECT_EQ(monitor.events_seen(), 4u);
+}
+
+TEST(Rpc, AuthenticatedCallRoundTrip) {
+  RpcChannel channel(crypto::sha256("channel-key"));
+  channel.handle("echo", [](BytesView payload) {
+    return Bytes(payload.begin(), payload.end());
+  });
+  const RpcEnvelope call = channel.make_call("echo", to_bytes("ping"));
+  const auto reply = channel.dispatch(call);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(to_string(BytesView(*reply)), "ping");
+  EXPECT_EQ(channel.calls_served(), 1u);
+}
+
+TEST(Rpc, TamperedEnvelopeRejected) {
+  RpcChannel channel(crypto::sha256("key"));
+  channel.handle("m", [](BytesView) { return Bytes{}; });
+  RpcEnvelope call = channel.make_call("m", to_bytes("data"));
+  call.payload.push_back(0x99);
+  EXPECT_FALSE(channel.dispatch(call).has_value());
+  EXPECT_EQ(channel.calls_rejected(), 1u);
+}
+
+TEST(Rpc, ReplayRejected) {
+  RpcChannel channel(crypto::sha256("key"));
+  channel.handle("m", [](BytesView) { return Bytes{}; });
+  const RpcEnvelope call = channel.make_call("m", {});
+  EXPECT_TRUE(channel.dispatch(call).has_value());
+  EXPECT_FALSE(channel.dispatch(call).has_value());  // same sequence
+}
+
+TEST(Rpc, UnknownMethodRejected) {
+  RpcChannel channel(crypto::sha256("key"));
+  const RpcEnvelope call = channel.make_call("nope", {});
+  EXPECT_FALSE(channel.dispatch(call).has_value());
+}
+
+class BridgeTest : public ::testing::Test {
+ protected:
+  static constexpr Word kHospital = 0x10;
+  static constexpr Word kResearcher = 0x20;
+  static constexpr Word kDataset = 0xd0;
+  static constexpr Word kTool = 0x7;
+  static constexpr Word kBridgeId = 0xb1;
+
+  void SetUp() override {
+    ASSERT_TRUE(analytics_.init(1, kBridgeId, policy_.id()));
+    ASSERT_TRUE(policy_.register_dataset(kHospital, kDataset));
+    bridge_.register_tool(kTool, [this](Word dataset, Word params) {
+      ++tool_runs_;
+      return dataset ^ params;  // deterministic fake result digest
+    });
+  }
+
+  vm::ContractStore store_;
+  contracts::PolicyContract policy_{store_, 1, 1};
+  contracts::AnalyticsContract analytics_{store_, 1, 1};
+  MonitorNode monitor_{store_};
+  OffchainBridge bridge_{analytics_, policy_, monitor_, kBridgeId};
+  int tool_runs_ = 0;
+};
+
+TEST_F(BridgeTest, EndToEndPermittedFlow) {
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher,
+                            contracts::kPermCompute));
+  EXPECT_TRUE(bridge_.submit_request(kResearcher, 1, kTool, kDataset, 0x5));
+  EXPECT_EQ(analytics_.status(1), contracts::RequestStatus::Pending);
+
+  EXPECT_EQ(bridge_.process_pending(), 1u);
+  EXPECT_EQ(tool_runs_, 1);
+  EXPECT_EQ(analytics_.status(1), contracts::RequestStatus::Done);
+  EXPECT_EQ(analytics_.result(1), kDataset ^ 0x5u);
+  EXPECT_EQ(bridge_.stats().requests_relayed, 1u);
+  EXPECT_EQ(bridge_.stats().tasks_executed, 1u);
+}
+
+TEST_F(BridgeTest, DeniedWithoutComputePermission) {
+  // Read-only permission is not enough for analytics.
+  ASSERT_TRUE(
+      policy_.grant(kHospital, kDataset, kResearcher, contracts::kPermRead));
+  EXPECT_FALSE(bridge_.submit_request(kResearcher, 1, kTool, kDataset, 0x5));
+  EXPECT_EQ(analytics_.status(1), contracts::RequestStatus::None);
+  EXPECT_EQ(bridge_.process_pending(), 0u);
+  EXPECT_EQ(bridge_.stats().requests_denied, 1u);
+  EXPECT_EQ(tool_runs_, 0);
+}
+
+TEST_F(BridgeTest, RevocationCutsOffFutureRequests) {
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher,
+                            contracts::kPermCompute));
+  EXPECT_TRUE(bridge_.submit_request(kResearcher, 1, kTool, kDataset, 0x1));
+  ASSERT_TRUE(policy_.revoke(kHospital, kDataset, kResearcher));
+  EXPECT_FALSE(bridge_.submit_request(kResearcher, 2, kTool, kDataset, 0x2));
+}
+
+TEST_F(BridgeTest, UnknownToolCountedNotExecuted) {
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher,
+                            contracts::kPermCompute));
+  ASSERT_TRUE(
+      bridge_.submit_request(kResearcher, 1, /*tool=*/0x999, kDataset, 0x1));
+  EXPECT_EQ(bridge_.process_pending(), 0u);
+  EXPECT_EQ(bridge_.stats().tasks_unknown_tool, 1u);
+  EXPECT_EQ(analytics_.status(1), contracts::RequestStatus::Pending);
+}
+
+TEST_F(BridgeTest, ProcessPendingIdempotent) {
+  ASSERT_TRUE(policy_.grant(kHospital, kDataset, kResearcher,
+                            contracts::kPermCompute));
+  ASSERT_TRUE(bridge_.submit_request(kResearcher, 1, kTool, kDataset, 0x1));
+  EXPECT_EQ(bridge_.process_pending(), 1u);
+  EXPECT_EQ(bridge_.process_pending(), 0u);  // nothing left
+  EXPECT_EQ(tool_runs_, 1);
+}
+
+}  // namespace
+}  // namespace mc::oracle

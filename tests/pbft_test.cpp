@@ -1,0 +1,146 @@
+// PBFT consensus tests: commit path, quorums, faults, view change.
+#include <gtest/gtest.h>
+
+#include "chain/pbft.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+namespace {
+
+sim::Network net_of(std::size_t n) { return sim::Network::uniform(n, 2); }
+
+TEST(Pbft, RejectsTooSmallCluster) {
+  EXPECT_THROW(PbftCluster(net_of(3)), std::invalid_argument);
+}
+
+TEST(Pbft, RejectsTooManyFaults) {
+  EXPECT_THROW(PbftCluster(net_of(4), {}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Pbft, CommitsSingleRequest) {
+  PbftCluster cluster(net_of(4));
+  cluster.submit(crypto::sha256("block-1"));
+  cluster.run();
+  ASSERT_EQ(cluster.commits().size(), 1u);
+  EXPECT_GT(cluster.commits()[0].latency(), 0.0);
+  EXPECT_EQ(cluster.view(), 0u);
+}
+
+TEST(Pbft, QuorumIsTwoThirdsPlusOne) {
+  PbftCluster c4(net_of(4));
+  EXPECT_EQ(c4.max_faults(), 1u);
+  EXPECT_EQ(c4.quorum(), 3u);
+  PbftCluster c7(net_of(7));
+  EXPECT_EQ(c7.max_faults(), 2u);
+  EXPECT_EQ(c7.quorum(), 5u);
+  PbftCluster c10(net_of(10));
+  EXPECT_EQ(c10.max_faults(), 3u);
+}
+
+TEST(Pbft, MessageCountMatchesQuadraticFormula) {
+  for (const std::size_t n : {4u, 7u, 10u}) {
+    PbftCluster cluster(net_of(n));
+    cluster.submit(crypto::sha256("b"));
+    cluster.run();
+    ASSERT_EQ(cluster.commits().size(), 1u) << "n=" << n;
+    // All-honest, single view: exactly the textbook message pattern.
+    EXPECT_EQ(cluster.messages_sent(), PbftCluster::expected_messages(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Pbft, CommitsManySequentialRequests) {
+  PbftCluster cluster(net_of(7));
+  for (int i = 0; i < 20; ++i)
+    cluster.submit(crypto::sha256("block-" + std::to_string(i)));
+  cluster.run();
+  EXPECT_EQ(cluster.commits().size(), 20u);
+  // Sequence numbers are assigned in submission order.
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(cluster.commits()[i].seq, i + 1);
+}
+
+TEST(Pbft, ToleratesFaultyBackup) {
+  PbftCluster cluster(net_of(4), {}, /*faulty=*/{2});
+  cluster.submit(crypto::sha256("block"));
+  cluster.run();
+  EXPECT_EQ(cluster.commits().size(), 1u);
+  EXPECT_EQ(cluster.view(), 0u);  // no view change needed
+}
+
+TEST(Pbft, FaultyPrimaryTriggersViewChange) {
+  // Node 0 is the view-0 primary; crashing it forces rotation.
+  PbftCluster cluster(net_of(4), {}, /*faulty=*/{0});
+  cluster.submit(crypto::sha256("block"));
+  cluster.run();
+  ASSERT_EQ(cluster.commits().size(), 1u);
+  EXPECT_GE(cluster.view(), 1u);
+  // Commit latency includes the timeout that exposed the dead primary.
+  EXPECT_GT(cluster.commits()[0].latency(), 1.0);
+}
+
+TEST(Pbft, SevenNodesTolerateTwoFaults) {
+  PbftCluster cluster(net_of(7), {}, /*faulty=*/{1, 3});
+  for (int i = 0; i < 5; ++i)
+    cluster.submit(crypto::sha256("b" + std::to_string(i)));
+  cluster.run();
+  EXPECT_EQ(cluster.commits().size(), 5u);
+}
+
+TEST(Pbft, CheckpointsGarbageCollectSlots) {
+  PbftConfig config;
+  config.checkpoint_interval = 8;
+  PbftCluster cluster(net_of(4), config);
+  for (int i = 0; i < 40; ++i)
+    cluster.submit(crypto::sha256("req-" + std::to_string(i)));
+  cluster.run();
+  ASSERT_EQ(cluster.commits().size(), 40u);
+  for (sim::NodeId id = 0; id < 4; ++id) {
+    // The latest stable checkpoint covers at least seq 32 (40 rounded
+    // down to the interval), and collected slots stay bounded.
+    EXPECT_GE(cluster.stable_checkpoint(id), 32u) << "replica " << id;
+    EXPECT_LE(cluster.live_slots(id), 8u) << "replica " << id;
+  }
+}
+
+TEST(Pbft, NoCheckpointBelowInterval) {
+  PbftConfig config;
+  config.checkpoint_interval = 100;
+  PbftCluster cluster(net_of(4), config);
+  for (int i = 0; i < 10; ++i)
+    cluster.submit(crypto::sha256("r" + std::to_string(i)));
+  cluster.run();
+  EXPECT_EQ(cluster.stable_checkpoint(0), 0u);
+  EXPECT_EQ(cluster.live_slots(0), 10u);
+}
+
+class PbftScaling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PbftScaling, LatencyAndTrafficGrowWithN) {
+  const std::size_t n = GetParam();
+  PbftCluster cluster(net_of(n));
+  cluster.submit(crypto::sha256("block"));
+  cluster.run();
+  ASSERT_EQ(cluster.commits().size(), 1u);
+  EXPECT_EQ(cluster.messages_sent(), PbftCluster::expected_messages(n));
+  EXPECT_GT(cluster.bytes_sent(),
+            PbftCluster::expected_messages(n) * 100);  // >=100B/msg
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, PbftScaling,
+                         ::testing::Values(4, 7, 10, 13, 16, 31));
+
+TEST(Pbft, ThroughputDegradesWithClusterSize) {
+  // The paper's §I claim, measured: one request commits slower on a
+  // bigger cluster (quadratic traffic + farther quorum).
+  auto latency_of = [](std::size_t n) {
+    PbftCluster cluster(net_of(n));
+    cluster.submit(crypto::sha256("block"));
+    cluster.run();
+    return cluster.commits().at(0).latency();
+  };
+  EXPECT_LT(latency_of(4), latency_of(31));
+}
+
+}  // namespace
+}  // namespace mc::chain

@@ -1,0 +1,143 @@
+// Differential-privacy and requested-schema result tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/transform.hpp"
+#include "med/privacy.hpp"
+
+namespace mc {
+namespace {
+
+TEST(Laplace, NoiseMomentsMatchScale) {
+  Rng rng(5);
+  constexpr double kScale = 2.0;
+  double sum = 0, abs_sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = med::laplace_noise(rng, kScale);
+    sum += x;
+    abs_sum += std::abs(x);
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);          // zero-mean
+  EXPECT_NEAR(abs_sum / kN, kScale, 0.05);   // E|X| = scale
+}
+
+TEST(Privatize, NoiseShrinksWithEpsilonAndN) {
+  med::Aggregate big;
+  for (int i = 0; i < 10'000; ++i) big.add(130.0 + (i % 40));
+  const med::FieldBounds bounds{60, 260, 0};
+
+  // Tight budget -> visible noise; generous budget -> near-exact.
+  const auto loose = med::privatize(big, bounds, {0.01, 7});
+  const auto tight = med::privatize(big, bounds, {10.0, 7});
+  const double true_count = static_cast<double>(big.count);
+  EXPECT_LT(std::abs(tight.count - true_count),
+            std::abs(loose.count - true_count) + 1e-9);
+  EXPECT_NEAR(tight.mean, big.mean, 1.0);
+  // Mean stays inside the plausibility envelope even under heavy noise.
+  EXPECT_GE(loose.mean, bounds.plausible_min);
+  EXPECT_LE(loose.mean, bounds.plausible_max);
+}
+
+TEST(Privatize, DeterministicPerSeedAndEpsilonZeroExact) {
+  med::Aggregate agg;
+  agg.add(100);
+  agg.add(140);
+  const med::FieldBounds bounds{60, 260, 0};
+  const auto a = med::privatize(agg, bounds, {1.0, 42});
+  const auto b = med::privatize(agg, bounds, {1.0, 42});
+  EXPECT_DOUBLE_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+
+  const auto exact = med::privatize(agg, bounds, {0.0, 42});
+  EXPECT_DOUBLE_EQ(exact.count, 2.0);
+  EXPECT_DOUBLE_EQ(exact.mean, 120.0);
+}
+
+TEST(Privatize, UtilityAtRealisticScale) {
+  // A hospital-scale count with epsilon=1 should have ~2 absolute error.
+  med::Aggregate agg;
+  for (int i = 0; i < 5'000; ++i) agg.add(120.0);
+  const auto noisy =
+      med::privatize(agg, med::bounds_for_field("systolic_bp"), {1.0, 9});
+  EXPECT_NEAR(noisy.count, 5'000.0, 30.0);
+  EXPECT_NEAR(noisy.mean, 120.0, 1.0);
+}
+
+class NetworkPrivacy : public ::testing::Test {
+ protected:
+  NetworkPrivacy() {
+    core::TransformedNetworkConfig config;
+    config.cohort.patients = 600;
+    config.federation.hospital_count = 3;
+    net_ = std::make_unique<core::TransformedNetwork>(config);
+    net_->grant_researcher_everywhere();
+  }
+  std::unique_ptr<core::TransformedNetwork> net_;
+};
+
+TEST_F(NetworkPrivacy, PrivateAggregateQueryReturnsNoisyRelease) {
+  const auto exact = net_->query_text("average of systolic_bp for smokers");
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_FALSE(exact->noisy.has_value());
+
+  const auto priv =
+      net_->query_text("average of systolic_bp for smokers with privacy");
+  ASSERT_TRUE(priv.has_value());
+  ASSERT_TRUE(priv->noisy.has_value());
+  EXPECT_DOUBLE_EQ(priv->noisy->epsilon, 1.0);
+  // Noisy, but in the neighbourhood of the exact release.
+  EXPECT_NEAR(priv->noisy->count, static_cast<double>(exact->aggregate.count),
+              25.0);
+  EXPECT_NEAR(priv->noisy->mean, exact->aggregate.mean, 10.0);
+  // The exact value is still computed internally but the noisy release
+  // differs from it (noise was actually applied).
+  EXPECT_NE(priv->noisy->count,
+            static_cast<double>(priv->aggregate.count));
+}
+
+TEST_F(NetworkPrivacy, EpsilonParsedFromQueryText) {
+  const auto qv = learn::parse_query("count smokers epsilon 0.5");
+  ASSERT_TRUE(qv.has_value());
+  EXPECT_DOUBLE_EQ(qv->dp_epsilon, 0.5);
+}
+
+TEST_F(NetworkPrivacy, RequestedSchemaRowsUseLocalVocabulary) {
+  auto qv = learn::parse_query("retrieve age for age over 70");
+  ASSERT_TRUE(qv.has_value());
+  qv->requested_schema = med::SchemaKind::HospitalLegacyA;
+  const auto exec = net_->query(*qv);
+  ASSERT_FALSE(exec.schema_rows.empty());
+  // Rows carry legacy-A column names and units.
+  bool has_age_col = false, has_chol_mmol = false;
+  for (const auto& [name, value] : exec.schema_rows.front().fields) {
+    if (name == "pat_age_yrs") {
+      has_age_col = true;
+      EXPECT_GT(value, 70.0);
+    }
+    if (name == "chol_mmol") {
+      has_chol_mmol = true;
+      EXPECT_LT(value, 15.0);  // mmol/L scale, not mg/dL
+    }
+  }
+  EXPECT_TRUE(has_age_col);
+  EXPECT_TRUE(has_chol_mmol);
+  EXPECT_EQ(exec.schema_rows.size(),
+            static_cast<std::size_t>(exec.rows_matched));
+}
+
+TEST(QueryVectorDigest, PrivacyAndSchemaAffectDigest) {
+  learn::QueryVector a;
+  a.task = learn::TaskKind::AggregateStats;
+  a.aggregate_field = "age";
+  learn::QueryVector b = a;
+  b.dp_epsilon = 1.0;
+  EXPECT_NE(a.digest(), b.digest());
+  learn::QueryVector c = a;
+  c.requested_schema = med::SchemaKind::HospitalLegacyB;
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,272 @@
+// Property-based and fuzz-style tests across modules: VM robustness on
+// arbitrary bytecode, serialization canonicality, supply conservation,
+// mempool ordering invariants, PBFT liveness under random fault sets,
+// VM arithmetic vs native semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chain/mempool.hpp"
+#include "chain/pbft.hpp"
+#include "chain/transaction.hpp"
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "vm/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace mc {
+namespace {
+
+// --- VM never crashes on arbitrary bytecode ---------------------------
+
+class VmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmFuzz, ArbitraryBytecodeIsSafe) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const Bytes code = rng.bytes(1 + rng.uniform(256));
+    vm::Storage storage;
+    storage[7] = 42;  // pre-existing state to protect
+    const vm::Storage before = storage;
+
+    vm::ExecContext ctx;
+    ctx.gas_limit = 20'000;
+    ctx.step_limit = 5'000;
+    ctx.calldata = {1, 2, 3};
+    vm::NullHost host;
+    const vm::ExecResult result =
+        vm::execute(BytesView(code), storage, ctx, host);
+
+    EXPECT_LE(result.gas_used, ctx.gas_limit);
+    EXPECT_LE(result.steps, ctx.step_limit + 1);
+    // Failed executions must not leak partial writes.
+    if (!result.ok()) {
+      EXPECT_EQ(storage, before);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- VM arithmetic agrees with native semantics ------------------------
+
+class VmArithmetic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmArithmetic, MatchesNativeOps) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next() | 1;  // avoid div-by-zero traps
+
+    const struct {
+      const char* op;
+      std::uint64_t expected;
+    } cases[] = {
+        {"ADD", a + b},         {"SUB", a - b},
+        {"MUL", a * b},         {"DIV", a / b},
+        {"MOD", a % b},         {"AND", a & b},
+        {"OR", a | b},          {"XOR", a ^ b},
+        {"LT", a < b ? 1u : 0u}, {"GT", a > b ? 1u : 0u},
+        {"EQ", a == b ? 1u : 0u},
+    };
+    for (const auto& c : cases) {
+      const std::string source = "PUSH " + std::to_string(a) + "\nPUSH " +
+                                 std::to_string(b) + "\n" + c.op +
+                                 "\nRETURN 1";
+      vm::Storage storage;
+      vm::ExecContext ctx;
+      vm::NullHost host;
+      const auto result =
+          vm::execute(BytesView(vm::assemble(source)), storage, ctx, host);
+      ASSERT_TRUE(result.ok()) << c.op;
+      EXPECT_EQ(result.returned.at(0), c.expected)
+          << c.op << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmArithmetic,
+                         ::testing::Range<std::uint64_t>(10, 14));
+
+// --- Transaction encoding is canonical ---------------------------------
+
+class TxCanonical : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TxCanonical, DecodeEncodeIsIdentity) {
+  Rng rng(GetParam());
+  const auto key = crypto::key_from_seed("fuzz-" + std::to_string(GetParam()));
+  for (int round = 0; round < 100; ++round) {
+    chain::Transaction tx;
+    tx.kind = static_cast<chain::TxKind>(rng.uniform(4));
+    tx.nonce = rng.next();
+    tx.amount = rng.next();
+    tx.gas_limit = rng.next();
+    tx.gas_price = rng.next();
+    tx.payload = rng.bytes(rng.uniform(64));
+    tx.sign_with(key);
+
+    const Bytes wire = tx.encode();
+    const chain::Transaction decoded =
+        chain::Transaction::decode(BytesView(wire));
+    EXPECT_EQ(decoded.encode(), wire);
+    EXPECT_EQ(decoded.id(), tx.id());
+  }
+}
+
+TEST_P(TxCanonical, GarbageEitherThrowsOrRoundTrips) {
+  Rng rng(GetParam() + 100);
+  for (int round = 0; round < 300; ++round) {
+    const Bytes garbage = rng.bytes(1 + rng.uniform(128));
+    try {
+      const chain::Transaction tx =
+          chain::Transaction::decode(BytesView(garbage));
+      // If it decoded, it must re-encode to exactly the input bytes
+      // (canonical wire form admits no aliases).
+      EXPECT_EQ(tx.encode(), garbage);
+    } catch (const SerialError&) {
+      // Expected for almost all inputs.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxCanonical,
+                         ::testing::Range<std::uint64_t>(20, 24));
+
+// --- Ledger conservation ------------------------------------------------
+
+class SupplyConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupplyConservation, RandomTransfersConserveTotal) {
+  Rng rng(GetParam());
+  chain::ChainParams params;
+  chain::WorldState state;
+
+  std::vector<crypto::PrivateKey> keys;
+  std::vector<std::uint64_t> nonces(6, 0);
+  chain::Amount total = 0;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(crypto::key_from_seed("acct" + std::to_string(i)));
+    const chain::Amount funding = 1'000'000 + rng.uniform(1'000'000);
+    state.credit(crypto::address_of(keys.back().pub), funding);
+    total += funding;
+  }
+  const auto proposer = crypto::address_of(crypto::key_from_seed("prop").pub);
+
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t from = rng.uniform(6);
+    std::size_t to = rng.uniform(6);
+    if (to == from) to = (to + 1) % 6;
+    const chain::Transaction tx = chain::make_transfer(
+        keys[from], crypto::address_of(keys[to].pub), 1 + rng.uniform(500),
+        nonces[from]);
+    if (state.apply(tx, proposer, params).ok) ++nonces[from];
+  }
+
+  chain::Amount after = proposer == chain::Address{}
+                            ? 0
+                            : state.balance(proposer);
+  for (const auto& key : keys) after += state.balance(crypto::address_of(key.pub));
+  EXPECT_EQ(after, total);  // fees moved to the proposer, nothing minted
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupplyConservation,
+                         ::testing::Range<std::uint64_t>(30, 34));
+
+// --- Mempool selection invariants ----------------------------------------
+
+class MempoolInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MempoolInvariants, SelectionIsNonceOrderedAndAffordable) {
+  Rng rng(GetParam());
+  chain::ChainParams params;
+  chain::WorldState state;
+  chain::Mempool pool;
+
+  std::vector<crypto::PrivateKey> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(crypto::key_from_seed("m" + std::to_string(i)));
+    state.credit(crypto::address_of(keys.back().pub),
+                 500'000 + rng.uniform(100'000'000));
+  }
+  // Random txs, including nonce gaps and duplicates.
+  for (int round = 0; round < 150; ++round) {
+    const std::size_t who = rng.uniform(4);
+    pool.add(chain::make_transfer(
+        keys[who], crypto::address_of(keys[(who + 1) % 4].pub),
+        1 + rng.uniform(2'000), rng.uniform(12), 1 + rng.uniform(9)));
+  }
+
+  const auto selected = pool.select(state, params, 100);
+  std::unordered_map<chain::Address, std::uint64_t> expected_nonce;
+  std::unordered_map<chain::Address, chain::Amount> budget;
+  for (const auto& key : keys) {
+    const auto addr = crypto::address_of(key.pub);
+    expected_nonce[addr] = state.nonce(addr);
+    budget[addr] = state.balance(addr);
+  }
+  for (const auto& tx : selected) {
+    // Strict per-sender nonce sequence from the current state nonce.
+    EXPECT_EQ(tx.nonce, expected_nonce[tx.from]) << "sender nonce order";
+    ++expected_nonce[tx.from];
+    // Affordable under worst-case fees at selection time.
+    const chain::Amount cost = tx.amount + tx.gas_limit * tx.gas_price;
+    ASSERT_GE(budget[tx.from], cost);
+    budget[tx.from] -= cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MempoolInvariants,
+                         ::testing::Range<std::uint64_t>(40, 45));
+
+// --- PBFT liveness under random crash-fault sets -------------------------
+
+class PbftFaults : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftFaults, CommitsDespiteAnyFFaults) {
+  Rng rng(GetParam());
+  const std::size_t n = 7;  // f = 2
+  // Random fault set of size <= f.
+  std::set<sim::NodeId> faulty;
+  const std::size_t fault_count = rng.uniform(3);  // 0..2
+  while (faulty.size() < fault_count)
+    faulty.insert(static_cast<sim::NodeId>(rng.uniform(n)));
+
+  chain::PbftCluster cluster(sim::Network::uniform(n, 3), {}, faulty);
+  for (int i = 0; i < 5; ++i)
+    cluster.submit(crypto::sha256("req-" + std::to_string(i)));
+  cluster.run();
+  EXPECT_EQ(cluster.commits().size(), 5u)
+      << "faults=" << faulty.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftFaults,
+                         ::testing::Range<std::uint64_t>(50, 60));
+
+// --- Sealed-box round trips over random sizes ----------------------------
+
+class SealSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SealSweep, RandomPayloadsRoundTripAndRejectTamper) {
+  Rng rng(GetParam());
+  const auto key = crypto::key_from_hash(crypto::sha256("k"));
+  for (int round = 0; round < 50; ++round) {
+    const Bytes msg = rng.bytes(rng.uniform(2'000));
+    const auto box =
+        crypto::seal(key, crypto::nonce_from_counter(rng.next()), BytesView(msg));
+    const auto opened = crypto::open(key, box);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, msg);
+    if (!box.ciphertext.empty()) {
+      auto tampered = box;
+      tampered.ciphertext[rng.uniform(tampered.ciphertext.size())] ^= 0x80;
+      EXPECT_FALSE(crypto::open(key, tampered).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SealSweep,
+                         ::testing::Range<std::uint64_t>(70, 74));
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,155 @@
+// Simulation substrate tests: event queue, network model, energy meter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/energy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace mc::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule_in(1.0, chain);
+  queue.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, RunLimitStopsEarly) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(100.0, [&] { ++fired; });
+  queue.run(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ResetClearsState) {
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.reset();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(Network, LanFasterThanWan) {
+  Network net = Network::uniform(4, 2);  // nodes 0,2 region 0; 1,3 region 1
+  const double lan = net.delay(0, 2, 0);
+  const double wan = net.delay(0, 1, 0);
+  EXPECT_LT(lan, wan);
+  EXPECT_DOUBLE_EQ(net.delay(1, 1, 1000), 0.0);  // self-delivery free
+}
+
+TEST(Network, SerializationDelayScalesWithBytes) {
+  Network net = Network::uniform(2, 1);
+  const double small = net.delay(0, 1, 1'000);
+  const double big = net.delay(0, 1, 1'000'000);
+  EXPECT_GT(big, small);
+  // The marginal cost of the extra bytes is bytes/bandwidth.
+  EXPECT_NEAR(big - small, 999'000.0 / net.config().default_bandwidth, 1e-9);
+}
+
+TEST(Network, JitterBoundedAndDeterministic) {
+  Network net = Network::uniform(2, 2);
+  Rng rng_a(9), rng_b(9);
+  for (int i = 0; i < 100; ++i) {
+    const double base = net.delay(0, 1, 500);
+    const double jittered = net.delay_jittered(0, 1, 500, rng_a);
+    EXPECT_GE(jittered, base * (1.0 - net.config().jitter_frac) - 1e-12);
+    EXPECT_LE(jittered, base * (1.0 + net.config().jitter_frac) + 1e-12);
+    EXPECT_DOUBLE_EQ(jittered, net.delay_jittered(0, 1, 500, rng_b));
+  }
+}
+
+TEST(Network, BroadcastCostsScaleWithSize) {
+  Network small = Network::uniform(4, 2);
+  Network large = Network::uniform(32, 2);
+  EXPECT_LT(small.broadcast_time(0, 4096), large.broadcast_time(0, 4096));
+  EXPECT_EQ(small.broadcast_bytes(100), 300u);
+  EXPECT_EQ(large.broadcast_bytes(100), 3100u);
+}
+
+TEST(Network, CustomBandwidthNode) {
+  Network net;
+  const NodeId fast = net.add_node(0, 1e9);
+  const NodeId slow = net.add_node(0, 1e6);
+  // Bottleneck is the min of uplink/downlink.
+  EXPECT_NEAR(net.delay(fast, slow, 1'000'000) - net.config().lan_latency_s,
+              1.0, 1e-9);
+}
+
+TEST(Energy, ChargesAccumulatePerCategory) {
+  EnergyMeter meter;
+  meter.charge_hashes(0, 1'000'000);
+  meter.charge_vm(1, 500'000);
+  meter.charge_network(0, 1 << 20);
+  meter.charge_flops(2, 1'000'000'000);
+  meter.charge_idle(2, 10.0);
+
+  const auto& model = meter.model();
+  EXPECT_DOUBLE_EQ(meter.total_hash(), 1e6 * model.joules_per_hash);
+  EXPECT_DOUBLE_EQ(meter.total_vm(), 5e5 * model.joules_per_vm_instr);
+  EXPECT_DOUBLE_EQ(meter.total_network(),
+                   static_cast<double>(1 << 20) * model.joules_per_byte_sent);
+  EXPECT_DOUBLE_EQ(meter.total_compute(), 1e9 * model.joules_per_flop);
+  EXPECT_DOUBLE_EQ(meter.total_idle(), 10.0 * model.idle_watts_per_node);
+  EXPECT_DOUBLE_EQ(meter.total(),
+                   meter.total_hash() + meter.total_vm() +
+                       meter.total_network() + meter.total_compute() +
+                       meter.total_idle());
+}
+
+TEST(Energy, PerNodeAttribution) {
+  EnergyMeter meter;
+  meter.charge_hashes(3, 100);
+  EXPECT_GT(meter.node_total(3), 0.0);
+  EXPECT_DOUBLE_EQ(meter.node_total(0), 0.0);
+  EXPECT_DOUBLE_EQ(meter.node_total(99), 0.0);  // never charged
+}
+
+TEST(Energy, FormatJoulesUnits) {
+  EXPECT_EQ(format_joules(1.0), "1.00 J");
+  EXPECT_EQ(format_joules(1'500.0), "1.50 kJ");
+  EXPECT_EQ(format_joules(2.5e6), "2.50 MJ");
+  EXPECT_EQ(format_joules(3.0e9), "3.00 GJ");
+}
+
+}  // namespace
+}  // namespace mc::sim

@@ -1,0 +1,98 @@
+// Wallet and failure-injection tests (gossip loss, umbrella header).
+#include <gtest/gtest.h>
+
+#include "chain/chainsim.hpp"
+#include "chain/node.hpp"
+#include "chain/wallet.hpp"
+#include "medchain.hpp"  // umbrella header must compile standalone
+#include "vm/assembler.hpp"
+
+namespace mc::chain {
+namespace {
+
+TEST(Wallet, NonceTrackingAcrossKinds) {
+  Wallet wallet = Wallet::from_seed("alice");
+  EXPECT_EQ(wallet.next_nonce(), 0u);
+
+  const Transaction t0 =
+      wallet.transfer(crypto::address_of(crypto::key_from_seed("bob").pub), 5);
+  const Transaction t1 = wallet.deploy(vm::assemble("STOP"));
+  const Transaction t2 = wallet.call(0x123, {1, 2});
+  const Transaction t3 = wallet.anchor(crypto::sha256("dataset"));
+  EXPECT_EQ(t0.nonce, 0u);
+  EXPECT_EQ(t1.nonce, 1u);
+  EXPECT_EQ(t2.nonce, 2u);
+  EXPECT_EQ(t3.nonce, 3u);
+  for (const auto& tx : {t0, t1, t2, t3})
+    EXPECT_TRUE(tx.verify_signature());
+  EXPECT_EQ(t0.from, wallet.address());
+}
+
+TEST(Wallet, SyncFromState) {
+  Wallet wallet = Wallet::from_seed("alice");
+  WorldState state;
+  state.credit(wallet.address(), 1'000'000);
+  ChainParams params;
+  // Burn through three nonces on-chain.
+  for (int i = 0; i < 3; ++i) {
+    const Transaction tx = wallet.transfer(
+        crypto::address_of(crypto::key_from_seed("bob").pub), 1);
+    ASSERT_TRUE(state.apply(tx, {}, params).ok);
+  }
+  Wallet fresh = Wallet::from_seed("alice");
+  EXPECT_EQ(fresh.next_nonce(), 0u);
+  fresh.sync(state);
+  EXPECT_EQ(fresh.next_nonce(), 3u);
+}
+
+TEST(Wallet, EndToEndWithNode) {
+  Wallet wallet = Wallet::from_seed("alice");
+  ChainParams params;
+  params.consensus = ConsensusKind::Pbft;
+  params.premine = {{wallet.address(), 1'000'000'000}};
+  Node node(crypto::key_from_seed("n0"), params,
+            make_genesis("wallet-chain", ~0ULL));
+
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(node.submit(wallet.transfer(
+        crypto::address_of(crypto::key_from_seed("bob").pub), 100)));
+  const Block block = node.propose(1'000);
+  EXPECT_EQ(block.txs.size(), 5u);
+  EXPECT_EQ(node.receive(block), BlockVerdict::Accepted);
+}
+
+TEST(GossipLoss, FloodingToleratesModerateDrops) {
+  ChainSimConfig config;
+  config.node_count = 6;
+  config.client_count = 6;
+  config.tx_count = 80;
+  config.tx_rate_per_s = 100.0;
+  config.params.consensus = ConsensusKind::ProofOfStake;
+  config.params.block_interval_s = 0.5;
+  config.seed = 88;
+
+  const ChainSimReport clean = run_chain_sim(config);
+  config.gossip_drop_rate = 0.10;
+  const ChainSimReport lossy = run_chain_sim(config);
+
+  // Flooding has ~n redundant paths: 10% per-message loss should barely
+  // dent commitment (each node forwards to all peers).
+  EXPECT_GE(lossy.committed_txs, clean.committed_txs * 9 / 10);
+  EXPECT_GT(lossy.committed_txs, 0u);
+}
+
+TEST(GossipLoss, DropCounterAccounts) {
+  ChainSimConfig config;
+  config.node_count = 5;
+  config.tx_count = 40;
+  config.params.consensus = ConsensusKind::ProofOfStake;
+  config.params.block_interval_s = 0.5;
+  config.gossip_drop_rate = 0.25;
+  config.seed = 13;
+  const ChainSimReport report = run_chain_sim(config);
+  // A quarter of messages dropped still leaves a live network.
+  EXPECT_GT(report.committed_txs, 20u);
+}
+
+}  // namespace
+}  // namespace mc::chain
