@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "CMakeFiles/medchain.dir/src/chain/block.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/block.cpp.o.d"
+  "/root/repo/src/chain/chainsim.cpp" "CMakeFiles/medchain.dir/src/chain/chainsim.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/chainsim.cpp.o.d"
+  "/root/repo/src/chain/codec.cpp" "CMakeFiles/medchain.dir/src/chain/codec.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/codec.cpp.o.d"
+  "/root/repo/src/chain/lightning.cpp" "CMakeFiles/medchain.dir/src/chain/lightning.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/lightning.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "CMakeFiles/medchain.dir/src/chain/mempool.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/mempool.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "CMakeFiles/medchain.dir/src/chain/node.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/node.cpp.o.d"
+  "/root/repo/src/chain/p2p.cpp" "CMakeFiles/medchain.dir/src/chain/p2p.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/p2p.cpp.o.d"
+  "/root/repo/src/chain/pbft.cpp" "CMakeFiles/medchain.dir/src/chain/pbft.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/pbft.cpp.o.d"
+  "/root/repo/src/chain/pos.cpp" "CMakeFiles/medchain.dir/src/chain/pos.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/pos.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "CMakeFiles/medchain.dir/src/chain/pow.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/pow.cpp.o.d"
+  "/root/repo/src/chain/sharding.cpp" "CMakeFiles/medchain.dir/src/chain/sharding.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/sharding.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "CMakeFiles/medchain.dir/src/chain/state.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/state.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "CMakeFiles/medchain.dir/src/chain/transaction.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/transaction.cpp.o.d"
+  "/root/repo/src/chain/vm_hook.cpp" "CMakeFiles/medchain.dir/src/chain/vm_hook.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/chain/vm_hook.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "CMakeFiles/medchain.dir/src/common/hex.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/common/hex.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/medchain.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/contracts/analytics.cpp" "CMakeFiles/medchain.dir/src/contracts/analytics.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/contracts/analytics.cpp.o.d"
+  "/root/repo/src/contracts/policy.cpp" "CMakeFiles/medchain.dir/src/contracts/policy.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/contracts/policy.cpp.o.d"
+  "/root/repo/src/contracts/registry.cpp" "CMakeFiles/medchain.dir/src/contracts/registry.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/contracts/registry.cpp.o.d"
+  "/root/repo/src/contracts/trial.cpp" "CMakeFiles/medchain.dir/src/contracts/trial.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/contracts/trial.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "CMakeFiles/medchain.dir/src/core/baselines.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/baselines.cpp.o.d"
+  "/root/repo/src/core/compose.cpp" "CMakeFiles/medchain.dir/src/core/compose.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/compose.cpp.o.d"
+  "/root/repo/src/core/consortium.cpp" "CMakeFiles/medchain.dir/src/core/consortium.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/consortium.cpp.o.d"
+  "/root/repo/src/core/global_query.cpp" "CMakeFiles/medchain.dir/src/core/global_query.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/global_query.cpp.o.d"
+  "/root/repo/src/core/local_system.cpp" "CMakeFiles/medchain.dir/src/core/local_system.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/local_system.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/medchain.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "CMakeFiles/medchain.dir/src/core/transform.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/core/transform.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "CMakeFiles/medchain.dir/src/crypto/chacha20.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/medchain.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "CMakeFiles/medchain.dir/src/crypto/merkle.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "CMakeFiles/medchain.dir/src/crypto/schnorr.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/medchain.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/hie/audit.cpp" "CMakeFiles/medchain.dir/src/hie/audit.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/hie/audit.cpp.o.d"
+  "/root/repo/src/hie/compare.cpp" "CMakeFiles/medchain.dir/src/hie/compare.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/hie/compare.cpp.o.d"
+  "/root/repo/src/hie/consent.cpp" "CMakeFiles/medchain.dir/src/hie/consent.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/hie/consent.cpp.o.d"
+  "/root/repo/src/hie/exchange.cpp" "CMakeFiles/medchain.dir/src/hie/exchange.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/hie/exchange.cpp.o.d"
+  "/root/repo/src/hie/trial_registry.cpp" "CMakeFiles/medchain.dir/src/hie/trial_registry.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/hie/trial_registry.cpp.o.d"
+  "/root/repo/src/learn/dataset.cpp" "CMakeFiles/medchain.dir/src/learn/dataset.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/dataset.cpp.o.d"
+  "/root/repo/src/learn/distributed_transfer.cpp" "CMakeFiles/medchain.dir/src/learn/distributed_transfer.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/distributed_transfer.cpp.o.d"
+  "/root/repo/src/learn/logistic.cpp" "CMakeFiles/medchain.dir/src/learn/logistic.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/logistic.cpp.o.d"
+  "/root/repo/src/learn/matrix.cpp" "CMakeFiles/medchain.dir/src/learn/matrix.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/matrix.cpp.o.d"
+  "/root/repo/src/learn/metrics.cpp" "CMakeFiles/medchain.dir/src/learn/metrics.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/metrics.cpp.o.d"
+  "/root/repo/src/learn/mlp.cpp" "CMakeFiles/medchain.dir/src/learn/mlp.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/mlp.cpp.o.d"
+  "/root/repo/src/learn/query_vector.cpp" "CMakeFiles/medchain.dir/src/learn/query_vector.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/query_vector.cpp.o.d"
+  "/root/repo/src/learn/transfer.cpp" "CMakeFiles/medchain.dir/src/learn/transfer.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/learn/transfer.cpp.o.d"
+  "/root/repo/src/med/anchor.cpp" "CMakeFiles/medchain.dir/src/med/anchor.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/anchor.cpp.o.d"
+  "/root/repo/src/med/dataset.cpp" "CMakeFiles/medchain.dir/src/med/dataset.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/dataset.cpp.o.d"
+  "/root/repo/src/med/generator.cpp" "CMakeFiles/medchain.dir/src/med/generator.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/generator.cpp.o.d"
+  "/root/repo/src/med/linkage.cpp" "CMakeFiles/medchain.dir/src/med/linkage.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/linkage.cpp.o.d"
+  "/root/repo/src/med/privacy.cpp" "CMakeFiles/medchain.dir/src/med/privacy.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/privacy.cpp.o.d"
+  "/root/repo/src/med/quality.cpp" "CMakeFiles/medchain.dir/src/med/quality.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/quality.cpp.o.d"
+  "/root/repo/src/med/query.cpp" "CMakeFiles/medchain.dir/src/med/query.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/query.cpp.o.d"
+  "/root/repo/src/med/records.cpp" "CMakeFiles/medchain.dir/src/med/records.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/records.cpp.o.d"
+  "/root/repo/src/med/schema.cpp" "CMakeFiles/medchain.dir/src/med/schema.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/schema.cpp.o.d"
+  "/root/repo/src/med/timeseries.cpp" "CMakeFiles/medchain.dir/src/med/timeseries.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/med/timeseries.cpp.o.d"
+  "/root/repo/src/oracle/bridge.cpp" "CMakeFiles/medchain.dir/src/oracle/bridge.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/oracle/bridge.cpp.o.d"
+  "/root/repo/src/oracle/monitor.cpp" "CMakeFiles/medchain.dir/src/oracle/monitor.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/oracle/monitor.cpp.o.d"
+  "/root/repo/src/oracle/rpc.cpp" "CMakeFiles/medchain.dir/src/oracle/rpc.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/oracle/rpc.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "CMakeFiles/medchain.dir/src/sim/energy.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/sim/energy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/medchain.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/medchain.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/vm/assembler.cpp" "CMakeFiles/medchain.dir/src/vm/assembler.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/vm/assembler.cpp.o.d"
+  "/root/repo/src/vm/contract_store.cpp" "CMakeFiles/medchain.dir/src/vm/contract_store.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/vm/contract_store.cpp.o.d"
+  "/root/repo/src/vm/opcode.cpp" "CMakeFiles/medchain.dir/src/vm/opcode.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/vm/opcode.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "CMakeFiles/medchain.dir/src/vm/vm.cpp.o" "gcc" "CMakeFiles/medchain.dir/src/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

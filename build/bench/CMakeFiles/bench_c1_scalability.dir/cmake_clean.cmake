@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_scalability.dir/bench_c1_scalability.cpp.o"
+  "CMakeFiles/bench_c1_scalability.dir/bench_c1_scalability.cpp.o.d"
+  "bench_c1_scalability"
+  "bench_c1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

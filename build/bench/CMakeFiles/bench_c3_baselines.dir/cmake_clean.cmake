@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_baselines.dir/bench_c3_baselines.cpp.o"
+  "CMakeFiles/bench_c3_baselines.dir/bench_c3_baselines.cpp.o.d"
+  "bench_c3_baselines"
+  "bench_c3_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_federated.dir/bench_c4_federated.cpp.o"
+  "CMakeFiles/bench_c4_federated.dir/bench_c4_federated.cpp.o.d"
+  "bench_c4_federated"
+  "bench_c4_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

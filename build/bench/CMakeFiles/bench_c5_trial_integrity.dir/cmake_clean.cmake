@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_trial_integrity.dir/bench_c5_trial_integrity.cpp.o"
+  "CMakeFiles/bench_c5_trial_integrity.dir/bench_c5_trial_integrity.cpp.o.d"
+  "bench_c5_trial_integrity"
+  "bench_c5_trial_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_trial_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_core_dataset.dir/bench_c6_core_dataset.cpp.o"
+  "CMakeFiles/bench_c6_core_dataset.dir/bench_c6_core_dataset.cpp.o.d"
+  "bench_c6_core_dataset"
+  "bench_c6_core_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_core_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

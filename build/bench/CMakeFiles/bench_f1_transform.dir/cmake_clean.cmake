@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_transform.dir/bench_f1_transform.cpp.o"
+  "CMakeFiles/bench_f1_transform.dir/bench_f1_transform.cpp.o.d"
+  "bench_f1_transform"
+  "bench_f1_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_global_exchange.dir/bench_f2_global_exchange.cpp.o"
+  "CMakeFiles/bench_f2_global_exchange.dir/bench_f2_global_exchange.cpp.o.d"
+  "bench_f2_global_exchange"
+  "bench_f2_global_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_global_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

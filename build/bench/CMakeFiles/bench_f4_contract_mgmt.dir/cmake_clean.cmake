@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_contract_mgmt.dir/bench_f4_contract_mgmt.cpp.o"
+  "CMakeFiles/bench_f4_contract_mgmt.dir/bench_f4_contract_mgmt.cpp.o.d"
+  "bench_f4_contract_mgmt"
+  "bench_f4_contract_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_contract_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_decompose.dir/bench_f5_decompose.cpp.o"
+  "CMakeFiles/bench_f5_decompose.dir/bench_f5_decompose.cpp.o.d"
+  "bench_f5_decompose"
+  "bench_f5_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

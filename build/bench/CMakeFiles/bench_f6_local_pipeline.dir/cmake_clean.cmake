@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_local_pipeline.dir/bench_f6_local_pipeline.cpp.o"
+  "CMakeFiles/bench_f6_local_pipeline.dir/bench_f6_local_pipeline.cpp.o.d"
+  "bench_f6_local_pipeline"
+  "bench_f6_local_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_local_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_learn.dir/bench_micro_learn.cpp.o"
+  "CMakeFiles/bench_micro_learn.dir/bench_micro_learn.cpp.o.d"
+  "bench_micro_learn"
+  "bench_micro_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

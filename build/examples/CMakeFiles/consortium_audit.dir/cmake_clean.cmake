@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consortium_audit.dir/consortium_audit.cpp.o"
+  "CMakeFiles/consortium_audit.dir/consortium_audit.cpp.o.d"
+  "consortium_audit"
+  "consortium_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consortium_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_authoring.dir/contract_authoring.cpp.o"
+  "CMakeFiles/contract_authoring.dir/contract_authoring.cpp.o.d"
+  "contract_authoring"
+  "contract_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_stroke.dir/federated_stroke.cpp.o"
+  "CMakeFiles/federated_stroke.dir/federated_stroke.cpp.o.d"
+  "federated_stroke"
+  "federated_stroke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_stroke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

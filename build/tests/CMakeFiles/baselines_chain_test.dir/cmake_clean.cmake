@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_chain_test.dir/baselines_chain_test.cpp.o"
+  "CMakeFiles/baselines_chain_test.dir/baselines_chain_test.cpp.o.d"
+  "baselines_chain_test"
+  "baselines_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainsim_test.dir/chainsim_test.cpp.o"
+  "CMakeFiles/chainsim_test.dir/chainsim_test.cpp.o.d"
+  "chainsim_test"
+  "chainsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_timeseries_test.dir/codec_timeseries_test.cpp.o"
+  "CMakeFiles/codec_timeseries_test.dir/codec_timeseries_test.cpp.o.d"
+  "codec_timeseries_test"
+  "codec_timeseries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

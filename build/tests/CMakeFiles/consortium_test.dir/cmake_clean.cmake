@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consortium_test.dir/consortium_test.cpp.o"
+  "CMakeFiles/consortium_test.dir/consortium_test.cpp.o.d"
+  "consortium_test"
+  "consortium_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consortium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

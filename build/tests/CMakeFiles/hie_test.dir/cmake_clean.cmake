@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hie_test.dir/hie_test.cpp.o"
+  "CMakeFiles/hie_test.dir/hie_test.cpp.o.d"
+  "hie_test"
+  "hie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_test.dir/pbft_test.cpp.o"
+  "CMakeFiles/pbft_test.dir/pbft_test.cpp.o.d"
+  "pbft_test"
+  "pbft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_hook_test.dir/vm_hook_test.cpp.o"
+  "CMakeFiles/vm_hook_test.dir/vm_hook_test.cpp.o.d"
+  "vm_hook_test"
+  "vm_hook_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_hook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

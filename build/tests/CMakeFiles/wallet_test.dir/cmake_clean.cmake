@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallet_test.dir/wallet_test.cpp.o"
+  "CMakeFiles/wallet_test.dir/wallet_test.cpp.o.d"
+  "wallet_test"
+  "wallet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
