@@ -1,0 +1,102 @@
+// invariant_audit: run the ChainAuditor against a live chain.
+//
+// Grows a 300-block PoS chain with real transfers, audits it clean, then
+// plays the adversary: breaks a hash link, rewrites a height, cooks a
+// state root and forges a quorum certificate — and shows the structured
+// violation report catching each one. This is the offline-regulator
+// counterpart to examples/consortium_audit.cpp: instead of re-deriving
+// contract state, it checks the *chain's own invariants*.
+//
+// Build any preset, then:  ./build/examples/invariant_audit
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/chain_auditor.hpp"
+#include "chain/node.hpp"
+#include "chain/transaction.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+void show(const char* label, const mc::audit::AuditReport& report) {
+  std::printf("%-28s %s\n", label, report.summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mc;
+
+  // --- Grow a healthy chain: 4 premined clients, a transfer every 5th
+  // block, 300 blocks proposed and accepted by a single PoS node.
+  chain::ChainParams params;
+  params.consensus = chain::ConsensusKind::ProofOfStake;
+  std::vector<crypto::PrivateKey> clients;
+  std::vector<std::uint64_t> nonces;
+  for (int i = 0; i < 4; ++i) {
+    auto key = crypto::key_from_seed("audit-demo-" + std::to_string(i));
+    params.premine.emplace_back(crypto::address_of(key.pub),
+                                chain::Amount{1'000'000});
+    clients.push_back(key);
+    nonces.push_back(0);
+  }
+  chain::Node node(crypto::key_from_seed("audit-demo-proposer"), params,
+                   chain::make_genesis("audit-demo", ~0ULL));
+  for (std::uint64_t h = 1; h <= 300; ++h) {
+    if (h % 5 == 0) {
+      const std::size_t c = h % clients.size();
+      node.submit(chain::make_transfer(
+          clients[c], crypto::address_of(clients[(c + 1) % 4].pub),
+          /*amount=*/10 + h, nonces[c]++));
+    }
+    node.receive(node.propose(/*time_ms=*/h * 1'000));
+  }
+
+  const audit::ChainAuditor auditor(params);
+  show("healthy chain:", auditor.audit_node(node));
+
+  // --- Each corruption below tampers a fresh copy of the best chain and
+  // re-audits; every one must surface as a named violation.
+  std::vector<chain::Block> blocks;
+  for (const auto& id : node.best_chain()) blocks.push_back(*node.block(id));
+
+  {
+    auto bad = blocks;
+    bad[120].header.parent = crypto::sha256("severed link");
+    show("broken hash link:", auditor.audit_blocks(bad));
+  }
+  {
+    auto bad = blocks;
+    bad[200].header.height = 7;
+    show("rewritten height:", auditor.audit_blocks(bad));
+  }
+  {
+    auto bad = blocks;
+    bad[250].header.state_root = crypto::sha256("cooked books");
+    show("tampered state root:", auditor.audit_blocks(bad));
+  }
+  {
+    auto bad = blocks;
+    bad[60].txs.push_back(chain::make_transfer(
+        clients[0], crypto::address_of(clients[1].pub), 999, 999));
+    show("smuggled transaction:", auditor.audit_blocks(bad));
+  }
+  {
+    // Forged quorum certificate: 7-replica cluster needs 2f+1 = 5
+    // commits, the forger only controls 3 (and pads with a duplicate).
+    audit::QuorumCert forged;
+    forged.view = 0;
+    forged.seq = 42;
+    forged.digest = crypto::sha256("forged request");
+    forged.voters = {0, 1, 2, 2};
+    show("forged quorum cert:",
+         auditor.audit_quorum_certs({forged}, /*cluster_size=*/7));
+  }
+
+  std::printf(
+      "\nEvery tampered variant was caught; the healthy chain audits "
+      "clean.\n");
+  return 0;
+}

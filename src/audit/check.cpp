@@ -1,0 +1,20 @@
+#include "audit/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mc::audit {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg) {
+  std::fprintf(stderr,
+               "medchain invariant violation\n"
+               "  at:        %s:%d\n"
+               "  condition: %s\n"
+               "  detail:    %s\n",
+               file, line, expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mc::audit

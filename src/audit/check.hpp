@@ -1,0 +1,49 @@
+// Runtime invariant checking for medchain.
+//
+// Two tiers:
+//   MC_ASSERT(cond, msg)  — cheap, load-bearing invariants. Checked in any
+//                           non-NDEBUG build and in audit builds; compiled
+//                           out of plain Release.
+//   MC_DCHECK(cond, msg)  — hot-path invariants that are too expensive or
+//                           too numerous for production. Checked ONLY in
+//                           audit builds (-DMEDCHAIN_AUDIT=ON, which the
+//                           asan-ubsan and tsan presets switch on).
+//
+// A failed check prints file:line, the expression and the message, then
+// aborts — sanitizer runs therefore turn silent state divergence into a
+// hard stop with a stack trace. In builds where a tier is disabled the
+// condition is *not evaluated* (only type-checked via sizeof), so checks
+// cost nothing in Release.
+#pragma once
+
+namespace mc::audit {
+
+/// Print a fatal invariant-violation report and abort. Never returns.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const char* msg);
+
+}  // namespace mc::audit
+
+#define MC_CHECK_IMPL_(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::mc::audit::check_failed(__FILE__, __LINE__, #cond, msg); \
+  } while (false)
+
+// Type-check the condition without evaluating it (keeps disabled checks
+// from rotting while costing zero cycles and no unused warnings).
+#define MC_CHECK_NOOP_(cond, msg)  \
+  do {                             \
+    (void)sizeof(!(cond));         \
+  } while (false)
+
+#if defined(MEDCHAIN_AUDIT) || !defined(NDEBUG)
+#define MC_ASSERT(cond, msg) MC_CHECK_IMPL_(cond, msg)
+#else
+#define MC_ASSERT(cond, msg) MC_CHECK_NOOP_(cond, msg)
+#endif
+
+#if defined(MEDCHAIN_AUDIT)
+#define MC_DCHECK(cond, msg) MC_CHECK_IMPL_(cond, msg)
+#else
+#define MC_DCHECK(cond, msg) MC_CHECK_NOOP_(cond, msg)
+#endif

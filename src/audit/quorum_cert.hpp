@@ -1,0 +1,24 @@
+// PBFT quorum certificates, extracted for offline audit.
+//
+// A commit certificate is the evidence a replica holds for executing a
+// request: the set of replicas whose COMMIT votes reached quorum for a
+// (view, seq, digest) slot. ChainAuditor::audit_quorum_certs checks the
+// evidence against the cluster size — vote count, voter validity and
+// digest consistency across replicas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace mc::audit {
+
+struct QuorumCert {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Hash256 digest{};
+  std::vector<std::uint32_t> voters;  ///< replica ids that voted COMMIT
+};
+
+}  // namespace mc::audit

@@ -219,7 +219,9 @@ ChainSimReport run_chain_sim(const ChainSimConfig& config) {
     report.total_sig_verifications += c.sig_verifications;
     report.total_txs_executed += c.txs_executed;
     world.meter.charge_vm(i, c.gas_executed);
-    world.meter.charge_idle(i, world.queue.now());
+    // Idle is charged for the span the simulation was actually live, not
+    // the full sim_limit_s horizon run() fast-forwards the clock to.
+    world.meter.charge_idle(i, world.queue.last_event_at());
   }
   // Hash energy was charged during mining events; recover attempt count.
   report.total_hash_attempts = static_cast<std::uint64_t>(

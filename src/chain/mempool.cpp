@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <map>
 
+#include "audit/check.hpp"
+
 namespace mc::chain {
 
 bool Mempool::add(const Transaction& tx) {
-  if (!tx.verify_signature()) return false;
+  if (!tx.verify_signature()) return false;  // verify outside the lock
   const TxId id = tx.id();
+  std::lock_guard lock(mutex_);
   return by_id_.emplace(id, tx).second;
 }
 
 std::vector<Transaction> Mempool::select(const WorldState& state,
                                          const ChainParams& params,
                                          std::size_t max_txs) const {
+  std::lock_guard lock(mutex_);
   // Group by sender, sort each group by nonce, then greedily merge by
   // gas price while tracking simulated nonces and balances.
   std::unordered_map<Address, std::vector<const Transaction*>> by_sender;
@@ -61,17 +65,29 @@ std::vector<Transaction> Mempool::select(const WorldState& state,
     }
     if (best == nullptr) break;
     const Transaction* tx = (*best->list)[best->next];
+    MC_DCHECK(tx->gas_limit <= gas_budget,
+              "selected tx exceeds the remaining block gas budget");
     out.push_back(*tx);
     best->expected_nonce += 1;
     best->balance -= tx->amount + tx->gas_limit * tx->gas_price;
     best->next += 1;
     gas_budget -= tx->gas_limit;
   }
+  MC_DCHECK(out.size() <= max_txs, "selection overflowed max_txs");
   return out;
 }
 
 void Mempool::remove(const std::vector<Transaction>& txs) {
+  std::lock_guard lock(mutex_);
   for (const auto& tx : txs) by_id_.erase(tx.id());
+}
+
+std::vector<Transaction> Mempool::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Transaction> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, tx] : by_id_) out.push_back(tx);
+  return out;
 }
 
 }  // namespace mc::chain

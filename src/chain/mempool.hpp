@@ -2,9 +2,16 @@
 //
 // Selection is fee-priority with per-sender nonce ordering, mirroring
 // production node behaviour closely enough for the throughput experiments.
+//
+// Thread safety: all public methods are internally synchronized. The
+// transformed architecture ingests transactions from many concurrent
+// off-chain feeds while the consensus thread selects blocks, so the pool
+// is a shared-access structure (exercised under TSan by
+// tests/stress_concurrency_test.cpp).
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,12 +23,24 @@ namespace mc::chain {
 
 class Mempool {
  public:
+  Mempool() = default;
+  Mempool(const Mempool& other) : by_id_(other.copy_map()) {}
+  Mempool& operator=(const Mempool& other) {
+    if (this != &other) {
+      auto copied = other.copy_map();
+      std::lock_guard lock(mutex_);
+      by_id_ = std::move(copied);
+    }
+    return *this;
+  }
+
   /// Add a transaction; rejects duplicates and bad signatures.
   /// Returns true if accepted.
   bool add(const Transaction& tx);
 
   /// True if the pool already holds this transaction id.
   [[nodiscard]] bool contains(const TxId& id) const {
+    std::lock_guard lock(mutex_);
     return by_id_.count(id) > 0;
   }
 
@@ -34,13 +53,31 @@ class Mempool {
   /// Drop transactions included in a block (or otherwise finalized).
   void remove(const std::vector<Transaction>& txs);
 
-  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
-  [[nodiscard]] bool empty() const { return by_id_.empty(); }
+  /// Point-in-time copy of every pending transaction (auditing, tests).
+  [[nodiscard]] std::vector<Transaction> snapshot() const;
 
-  void clear() { by_id_.clear(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return by_id_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mutex_);
+    return by_id_.empty();
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    by_id_.clear();
+  }
 
  private:
-  std::unordered_map<TxId, Transaction> by_id_;
+  [[nodiscard]] std::unordered_map<TxId, Transaction> copy_map() const {
+    std::lock_guard lock(mutex_);
+    return by_id_;
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<TxId, Transaction> by_id_;  // guarded by mutex_
 };
 
 }  // namespace mc::chain

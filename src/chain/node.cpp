@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/check.hpp"
 #include "chain/pow.hpp"
 
 namespace mc::chain {
@@ -61,6 +62,9 @@ Block Node::propose(std::uint64_t time_ms) {
   }
   block.header.state_root = state_commitment(preview);
   if (hook_ != nullptr) hook_->rollback_to(tip_height_);
+  MC_DCHECK(block.tx_root_valid(), "proposed block with stale tx_root");
+  MC_DCHECK(block.txs.size() <= params_.max_block_txs,
+            "proposed block exceeds max_block_txs");
   return block;
 }
 
@@ -138,6 +142,10 @@ std::optional<WorldState> Node::replay(
 void Node::adopt(const BlockId& id, Height height, WorldState new_state,
                  const std::vector<const Block*>& path,
                  std::vector<TxReceipt> receipts) {
+  MC_DCHECK(!path.empty() && path.back()->id() == id,
+            "adopt path does not end at the new tip");
+  MC_DCHECK(path.size() == height + 1,
+            "adopt path length disagrees with the new tip height");
   tip_ = id;
   tip_height_ = height;
   state_ = std::move(new_state);
@@ -188,6 +196,8 @@ BlockVerdict Node::receive(const Block& block) {
         blocks_.erase(id);
         return BlockVerdict::Invalid;
       }
+      MC_DCHECK(height == tip_height_ + 1,
+                "direct extension must advance the tip by exactly one");
       tip_ = id;
       tip_height_ = height;
       state_ = std::move(next);

@@ -97,6 +97,7 @@ class Node {
   [[nodiscard]] const WorldState& state() const { return state_; }
   [[nodiscard]] WorldState& mutable_state() { return state_; }
   [[nodiscard]] Mempool& mempool() { return mempool_; }
+  [[nodiscard]] const Mempool& mempool() const { return mempool_; }
   [[nodiscard]] const NodeCounters& counters() const { return counters_; }
   [[nodiscard]] const ChainParams& params() const { return params_; }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "audit/check.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
 
@@ -156,6 +157,10 @@ void PbftCluster::try_commit(sim::NodeId id, std::uint64_t seq) {
   SlotState& slot = rep.slots[seq];
   if (slot.committed_local || !slot.prepared) return;
   if (slot.commits.size() < quorum()) return;
+  MC_DCHECK(slot.prepares.size() >= quorum(),
+            "slot committed without a prepare quorum");
+  MC_DCHECK(slot.commits.size() <= n_,
+            "more commit votes than replicas in the cluster");
   slot.committed_local = true;
 
   // Execute strictly in sequence order (PBFT total order): a committed
@@ -254,6 +259,22 @@ void PbftCluster::on_new_view(sim::NodeId id, const PbftMessage& msg) {
     // Drop per-slot votes from the old view; the new primary re-proposes.
     rep.slots.clear();
   }
+}
+
+std::vector<audit::QuorumCert> PbftCluster::commit_certs(
+    sim::NodeId id) const {
+  std::vector<audit::QuorumCert> certs;
+  const Replica& rep = replicas_.at(id);
+  for (const auto& [seq, slot] : rep.slots) {
+    if (!slot.committed_local) continue;
+    audit::QuorumCert cert;
+    cert.view = rep.view;
+    cert.seq = seq;
+    cert.digest = slot.digest;
+    cert.voters.assign(slot.commits.begin(), slot.commits.end());
+    certs.push_back(std::move(cert));
+  }
+  return certs;
 }
 
 void PbftCluster::run(sim::SimTime limit) { queue_.run(limit); }

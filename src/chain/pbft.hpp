@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/quorum_cert.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
@@ -79,7 +80,9 @@ class PbftCluster {
   void submit(const Hash256& request_digest);
 
   /// Drive the simulation until quiescent or `limit` simulated seconds.
-  void run(sim::SimTime limit = 1e9);
+  /// The default drains without advancing the clock past the last event,
+  /// so submit/run cycles compose.
+  void run(sim::SimTime limit = sim::kNoLimit);
 
   [[nodiscard]] const std::vector<PbftCommit>& commits() const {
     return commits_;
@@ -103,6 +106,12 @@ class PbftCluster {
   [[nodiscard]] std::size_t quorum() const { return 2 * f_ + 1; }
   [[nodiscard]] std::size_t max_faults() const { return f_; }
   [[nodiscard]] sim::SimTime now() const { return queue_.now(); }
+
+  /// Commit certificates held by replica `id` for its live (not yet
+  /// checkpoint-collected) locally-committed slots — the evidence
+  /// ChainAuditor::audit_quorum_certs validates.
+  [[nodiscard]] std::vector<audit::QuorumCert> commit_certs(
+      sim::NodeId id) const;
 
   /// Analytic per-request message count for an n-replica cluster:
   /// pre-prepare (n-1) + prepare (n-1)^2... computed exactly as the

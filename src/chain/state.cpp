@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/check.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
 
@@ -57,6 +58,9 @@ ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
   if (from.balance < tx.amount + fee)
     return {false, 0, "insufficient balance for fee"};
 
+  MC_DCHECK(gas <= tx.gas_limit, "charging more gas than the tx limit");
+  MC_DCHECK(from.nonce == tx.nonce,
+            "apply reached past validate with a mismatched nonce");
   from.balance -= tx.amount + fee;
   from.nonce += 1;
   if (tx.kind == TxKind::Transfer && credit_recipient)

@@ -2,12 +2,14 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace mc {
@@ -40,13 +42,34 @@ struct Hash256 {
   }
 };
 
-/// View a trivially-copyable object as bytes (serialization helpers only).
+/// Copy of a trivially-copyable object's representation (serialization
+/// helpers only). A copy rather than a reinterpreted view: strict-aliasing
+/// clean, and the object's lifetime cannot dangle behind the bytes.
 template <typename T>
   requires std::is_trivially_copyable_v<T>
-BytesView as_bytes_view(const T& v) {
-  return BytesView(reinterpret_cast<const std::uint8_t*>(&v), sizeof(T));
+std::array<std::uint8_t, sizeof(T)> object_bytes(const T& v) {
+  return std::bit_cast<std::array<std::uint8_t, sizeof(T)>>(v);
 }
 
+/// Load/store little-endian integers without type punning.
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_unsigned_v<T>)
+T load_le(const std::uint8_t* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(static_cast<T>(p[i]) << (8 * i));
+  return v;
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_unsigned_v<T>)
+void store_le(std::uint8_t* p, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// View a string's characters as bytes. The char -> unsigned char pointer
+/// cast is explicitly aliasing-safe ([basic.lval]); no object is punned.
 inline BytesView str_bytes(std::string_view s) {
   return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
@@ -56,7 +79,9 @@ inline Bytes to_bytes(std::string_view s) {
 }
 
 inline std::string to_string(BytesView b) {
-  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  std::string out(b.size(), '\0');
+  if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
+  return out;
 }
 
 /// FNV-1a 64-bit hash: *not* cryptographic; used for hash-map style

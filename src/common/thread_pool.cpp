@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace mc {
 
@@ -12,13 +13,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -27,10 +31,9 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      // Drain pending work even when stopping: tasks accepted by submit()
+      // must run so their futures resolve.
+      if (queue_.empty()) return;  // implies stopping_
       task = std::move(queue_.front());
       queue_.pop();
     }
@@ -40,11 +43,23 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();
+  // Wait for *every* task before (re)throwing: bailing on the first
+  // exception would destroy `futures` while straggler tasks still hold
+  // references to `fn`, a use-after-free under sanitizers and in prod.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace mc

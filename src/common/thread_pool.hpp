@@ -24,7 +24,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Stop accepting work, drain the queue and join the workers.
+  /// Idempotent; the destructor calls it. After stop(), submit() throws.
+  void stop();
+
   /// Schedule a task; the future resolves with its result or exception.
+  /// Throws std::runtime_error once the pool is stopping/stopped.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -41,18 +46,26 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Every task finishes (or is observed failed) before this returns; if
+  /// any body threw, the first exception is rethrown afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Tasks queued but not yet claimed by a worker (diagnostic).
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::queue<std::function<void()>> queue_;   // guarded by mutex_
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ = false;                     // guarded by mutex_
 };
 
 }  // namespace mc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "audit/check.hpp"
+
 namespace mc::core {
 
 Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
@@ -38,9 +40,15 @@ Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
       ++out.moved_to_hub;
       out.total_bytes_moved += task.data_bytes;
     }
+    MC_DCHECK(placement.finish_s >= placement.start_s,
+              "placement finishes before it starts");
+    MC_DCHECK(!task.hub_only || !placement.at_data,
+              "hub-only task placed at its data site");
     out.makespan_s = std::max(out.makespan_s, placement.finish_s);
     out.placements.push_back(std::move(placement));
   }
+  MC_DCHECK(out.placements.size() == tasks.size(),
+            "schedule dropped or duplicated tasks");
   return out;
 }
 

@@ -82,7 +82,7 @@ Signature sign(const PrivateKey& key, BytesView message) {
   // Deterministic nonce k = H(x || msg) mod q (RFC 6979 in spirit):
   // removes nonce-reuse hazards and keeps simulations reproducible.
   Sha256 nonce_ctx;
-  nonce_ctx.update(as_bytes_view(key.x));
+  nonce_ctx.update(BytesView(object_bytes(key.x)));
   nonce_ctx.update(message);
   std::uint64_t k = digest_mod_q(nonce_ctx.finalize());
   if (k == 0) k = 1;
@@ -90,7 +90,7 @@ Signature sign(const PrivateKey& key, BytesView message) {
   const std::uint64_t r = powmod(SchnorrGroup::g, k, SchnorrGroup::p);
 
   Sha256 chal_ctx;
-  chal_ctx.update(as_bytes_view(r));
+  chal_ctx.update(BytesView(object_bytes(r)));
   chal_ctx.update(message);
   const std::uint64_t e = digest_mod_q(chal_ctx.finalize());
 
@@ -110,13 +110,13 @@ bool verify(const PublicKey& key, BytesView message, const Signature& sig) {
   const std::uint64_t r = mulmod(gs, ye, SchnorrGroup::p);
 
   Sha256 chal_ctx;
-  chal_ctx.update(as_bytes_view(r));
+  chal_ctx.update(BytesView(object_bytes(r)));
   chal_ctx.update(message);
   return digest_mod_q(chal_ctx.finalize()) == sig.e;
 }
 
 Address address_of(const PublicKey& key) {
-  const Hash256 h = sha256(as_bytes_view(key.y));
+  const Hash256 h = sha256(BytesView(object_bytes(key.y)));
   Address a;
   std::memcpy(a.data.data(), h.data.data(), a.data.size());
   return a;

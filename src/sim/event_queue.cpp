@@ -1,23 +1,30 @@
 #include "sim/event_queue.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "audit/check.hpp"
 
 namespace mc::sim {
 
 void EventQueue::schedule_at(SimTime at, Handler fn) {
   if (at < now_) throw std::invalid_argument("schedule_at in the past");
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push(Event{at, next_seq_++, std::make_shared<Handler>(std::move(fn))});
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent,
-  // so copy the handler (handlers are cheap shared-state closures).
-  Event ev = heap_.top();
+  // Copy the shared handle out of the const top, then pop. The closure
+  // itself is not copied, and it stays alive through the call even if the
+  // handler mutates the queue (reschedules, resets).
+  const std::shared_ptr<Handler> fn = heap_.top().fn;
+  const SimTime at = heap_.top().at;
   heap_.pop();
-  now_ = ev.at;
+  MC_DCHECK(at >= now_, "event queue time went backwards");
+  now_ = at;
+  last_event_at_ = at;
   ++executed_;
-  ev.fn();
+  (*fn)();
   return true;
 }
 
@@ -27,13 +34,16 @@ std::size_t EventQueue::run(SimTime limit) {
     step();
     ++count;
   }
-  if (now_ < limit && heap_.empty()) now_ = now_;  // clock stays at last event
+  // Drained with simulated time left on the clock: advance to the horizon.
+  // (kNoLimit is infinite, so the "drain fully" case leaves now_ alone.)
+  if (heap_.empty() && std::isfinite(limit) && now_ < limit) now_ = limit;
   return count;
 }
 
 void EventQueue::reset() {
   heap_ = {};
   now_ = 0.0;
+  last_event_at_ = 0.0;
   next_seq_ = 0;
   executed_ = 0;
 }

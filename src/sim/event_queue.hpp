@@ -8,12 +8,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/clock.hpp"
 
 namespace mc::sim {
+
+/// Sentinel limit for run(): drain the queue, leave the clock at the last
+/// executed event.
+inline constexpr SimTime kNoLimit = std::numeric_limits<SimTime>::infinity();
 
 class EventQueue {
  public:
@@ -28,13 +34,19 @@ class EventQueue {
   }
 
   /// Run events until the queue drains or `limit` time is reached.
+  /// With a finite `limit`, a drained queue advances the clock to `limit`
+  /// (simulated time passes even when nothing is scheduled); with the
+  /// default kNoLimit, the clock stays at the last executed event.
   /// Returns the number of events executed.
-  std::size_t run(SimTime limit = 1e18);
+  std::size_t run(SimTime limit = kNoLimit);
 
   /// Execute exactly one event, if any; returns false when empty.
   bool step();
 
   [[nodiscard]] SimTime now() const { return now_; }
+  /// Time of the most recently executed event (0 if none ran yet) —
+  /// unlike now(), never advanced by a drained run(limit).
+  [[nodiscard]] SimTime last_event_at() const { return last_event_at_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::size_t executed() const { return executed_; }
@@ -43,10 +55,12 @@ class EventQueue {
   void reset();
 
  private:
+  // The handler is held behind a shared_ptr so reading priority_queue::top
+  // (which is const) copies one refcounted pointer, not the closure state.
   struct Event {
     SimTime at;
     std::uint64_t seq;
-    Handler fn;
+    std::shared_ptr<Handler> fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -57,6 +71,7 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   SimTime now_ = 0.0;
+  SimTime last_event_at_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/check.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
 
@@ -78,6 +79,8 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
   };
 
   while (pc < code.size()) {
+    MC_DCHECK(stack.size() <= kMaxStack, "VM stack exceeded its hard bound");
+    MC_DCHECK(gas <= ctx.gas_limit, "VM retired an instruction past its gas");
     if (!is_valid_op(code[pc])) return trap(Halt::BadOpcode);
     const Op op = static_cast<Op>(code[pc]);
     const int imm_width = immediate_width(op);

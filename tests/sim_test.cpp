@@ -52,6 +52,50 @@ TEST(EventQueue, RunLimitStopsEarly) {
   queue.run(10.0);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(queue.pending(), 1u);
+  // Events remain past the limit: the clock stays at the last event.
+  EXPECT_DOUBLE_EQ(queue.now(), 1.0);
+}
+
+TEST(EventQueue, FiniteLimitAdvancesClockWhenDrained) {
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.run(10.0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);          // horizon reached
+  EXPECT_DOUBLE_EQ(queue.last_event_at(), 1.0); // but nothing ran past 1.0
+  // Scheduling relative to the advanced clock works.
+  queue.schedule_in(5.0, [] {});
+  queue.run(20.0);
+  EXPECT_DOUBLE_EQ(queue.last_event_at(), 15.0);
+}
+
+TEST(EventQueue, DefaultRunLeavesClockAtLastEvent) {
+  EventQueue queue;
+  queue.schedule_at(7.0, [] {});
+  queue.run();  // kNoLimit: drain without fast-forwarding
+  EXPECT_DOUBLE_EQ(queue.now(), 7.0);
+  EXPECT_DOUBLE_EQ(queue.last_event_at(), 7.0);
+}
+
+TEST(EventQueue, StepDoesNotCopyHandlerState) {
+  // Handlers are held behind shared_ptr: executing the front event must
+  // not duplicate closure state. Observe via a copy-counting payload.
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& other) : copies(other.copies) {
+      ++*copies;
+    }
+    CopyCounter(CopyCounter&&) = default;
+    void operator()() const {}
+  };
+  int copies = 0;
+  EventQueue queue;
+  queue.schedule_at(1.0, std::function<void()>(CopyCounter(&copies)));
+  const int copies_after_schedule = copies;
+  queue.step();
+  EXPECT_EQ(copies, copies_after_schedule);  // step() added zero copies
+  EXPECT_EQ(queue.executed(), 1u);
 }
 
 TEST(EventQueue, SchedulingInPastThrows) {

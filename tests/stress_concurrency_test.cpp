@@ -1,0 +1,155 @@
+// TSan-targeted concurrency stress tests.
+//
+// Sized to keep the suite fast while still forcing real interleavings:
+// ThreadPool submit/shutdown races, concurrent mempool ingest from many
+// feeder threads against a selecting consensus thread, and parallel
+// off-chain analytics fanned out through the move-compute scheduler.
+// Run these under the `tsan` preset to get the actual race checking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chain/mempool.hpp"
+#include "chain/transaction.hpp"
+#include "common/thread_pool.hpp"
+#include "core/scheduler.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace mc {
+namespace {
+
+TEST(StressConcurrency, ThreadPoolSubmitShutdownRace) {
+  // Repeatedly tear pools down while feeder threads are mid-submit; every
+  // accepted task must run, every rejected submit must throw cleanly.
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> executed{0};
+    std::atomic<int> rejected{0};
+    auto pool = std::make_unique<ThreadPool>(2);
+
+    std::vector<std::thread> feeders;
+    std::atomic<bool> go{false};
+    for (int t = 0; t < 3; ++t) {
+      feeders.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) {
+          try {
+            pool->submit([&executed] { ++executed; });
+          } catch (const std::runtime_error&) {
+            ++rejected;
+          }
+        }
+      });
+    }
+    go = true;
+    std::this_thread::yield();
+    pool->stop();  // race the feeders; accepted work still drains
+    for (auto& f : feeders) f.join();
+    pool.reset();
+    EXPECT_EQ(executed.load() + rejected.load(), 3 * 50);
+  }
+}
+
+TEST(StressConcurrency, ParallelForFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 10; ++round)
+        pool.parallel_for(32, [&total](std::size_t i) { total += i + 1; });
+    });
+  }
+  for (auto& c : callers) c.join();
+  // 4 callers x 10 rounds x sum(1..32)
+  EXPECT_EQ(total.load(), 4u * 10u * (32u * 33u / 2u));
+}
+
+TEST(StressConcurrency, ConcurrentMempoolIngestAndSelect) {
+  chain::ChainParams params;
+  chain::WorldState state;
+
+  // Pre-sign everything; signing is deterministic and single-threaded.
+  const int kSenders = 4;
+  const int kTxPerSender = 25;
+  std::vector<std::vector<chain::Transaction>> txs(kSenders);
+  for (int s = 0; s < kSenders; ++s) {
+    auto key = crypto::key_from_seed("stress-sender-" + std::to_string(s));
+    state.credit(crypto::address_of(key.pub), 100'000'000);
+    for (int i = 0; i < kTxPerSender; ++i)
+      txs[s].push_back(chain::make_transfer(
+          key, crypto::address_of(key.pub), /*amount=*/1,
+          /*nonce=*/static_cast<std::uint64_t>(i)));
+  }
+
+  chain::Mempool pool;
+  std::atomic<bool> stop_selecting{false};
+  std::atomic<int> accepted{0};
+
+  // Consensus thread: continuously select + probe while feeders ingest.
+  std::thread selector([&] {
+    while (!stop_selecting.load()) {
+      const auto picked = pool.select(state, params, 64);
+      EXPECT_LE(picked.size(), 64u);
+      (void)pool.size();
+      (void)pool.contains(txs[0][0].id());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> feeders;
+  for (int s = 0; s < kSenders; ++s) {
+    feeders.emplace_back([&pool, &txs, s, &accepted] {
+      for (const auto& tx : txs[s])
+        if (pool.add(tx)) ++accepted;
+    });
+  }
+  for (auto& f : feeders) f.join();
+  stop_selecting = true;
+  selector.join();
+
+  EXPECT_EQ(accepted.load(), kSenders * kTxPerSender);
+  EXPECT_EQ(pool.size(), static_cast<std::size_t>(kSenders * kTxPerSender));
+
+  // Snapshot + remove race-free postcondition: removing every snapshotted
+  // tx empties the pool.
+  pool.remove(pool.snapshot());
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(StressConcurrency, ParallelOffchainAnalyticsViaScheduler) {
+  // Each worker runs an independent placement over its own site fleet
+  // (schedulers are single-owner by design) and publishes aggregate
+  // statistics through atomics — the fan-out pattern the transformed
+  // architecture uses for per-site analytics.
+  ThreadPool pool(4);
+  const std::size_t kWorkers = 8;
+  std::atomic<std::uint64_t> placements{0};
+  std::atomic<std::uint64_t> hub_moves{0};
+
+  pool.parallel_for(kWorkers, [&](std::size_t w) {
+    std::vector<core::SchedSite> sites(4, core::SchedSite{1e10, 0.0});
+    core::MoveComputeScheduler sched(sites, core::SchedSite{1e11, 0.0});
+    std::vector<core::SchedTask> tasks;
+    for (std::size_t i = 0; i < 32; ++i) {
+      core::SchedTask task;
+      task.id = "w" + std::to_string(w) + "-t" + std::to_string(i);
+      task.data_site = i % sites.size();
+      task.flops = 1e9 * static_cast<double>(1 + i % 7);
+      task.data_bytes = 1 << 16;
+      task.hub_only = (i % 11 == 0);
+      tasks.push_back(task);
+    }
+    const core::Schedule schedule = sched.schedule(tasks);
+    placements += schedule.placements.size();
+    hub_moves += schedule.moved_to_hub;
+  });
+
+  EXPECT_EQ(placements.load(), kWorkers * 32u);
+  EXPECT_GE(hub_moves.load(), kWorkers * 3u);  // the hub_only tasks at least
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,92 @@
+// ThreadPool edge cases: submit-after-stop, exception propagation through
+// futures, degenerate and throwing parallel_for bodies, destructor draining.
+// These run in every sanitizer preset (see CMakePresets.json).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace mc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(doubled.get(), 42);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterAllBodiesFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  const std::size_t n = 64;
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i % 8 == 3) throw std::runtime_error("body " + std::to_string(i));
+      ++completed;
+    });
+    FAIL() << "parallel_for swallowed the body exception";
+  } catch (const std::runtime_error&) {
+    // Every non-throwing body must have run to completion before the
+    // rethrow — parallel_for may not abandon stragglers.
+    EXPECT_EQ(completed.load(), static_cast<int>(n - n / 8));
+  }
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  auto before = pool.submit([] { return 1; });
+  EXPECT_EQ(before.get(), 1);
+  pool.stop();
+  EXPECT_THROW(pool.submit([] { return 2; }), std::runtime_error);
+  pool.stop();  // idempotent
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // Head task blocks the lone worker; the rest pile up in the queue and
+    // must still execute during destruction.
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SizeAndPendingReporting) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace mc
