@@ -1,7 +1,11 @@
 // Micro-benchmarks: crypto substrate hot paths (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "chain/block.hpp"
+#include "chain/block_validator.hpp"
+#include "chain/transaction.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/merkle.hpp"
@@ -93,6 +97,64 @@ void BM_ChaCha20Seal(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ChaCha20Seal)->Arg(1024)->Arg(65536);
+
+chain::Block make_bench_block(std::size_t txs) {
+  const PrivateKey sender = key_from_seed("bench-block-sender");
+  const Address to = address_of(key_from_seed("bench-block-recipient").pub);
+  chain::Block block;
+  for (std::size_t i = 0; i < txs; ++i)
+    block.txs.push_back(chain::make_transfer(sender, to, 1, i));
+  block.header.tx_root = block.compute_tx_root();
+  return block;
+}
+
+void BM_TxIdCold(benchmark::State& state) {
+  // Mutate the nonce every iteration so the fingerprint misses and the
+  // full streamed double-SHA-256 runs (the pre-memoization cost).
+  chain::Transaction tx =
+      chain::make_transfer(key_from_seed("bench-txid"), Address{}, 1, 0);
+  for (auto _ : state) {
+    ++tx.nonce;
+    benchmark::DoNotOptimize(tx.id());
+  }
+}
+BENCHMARK(BM_TxIdCold);
+
+void BM_TxIdWarm(benchmark::State& state) {
+  // Cache hit: one FNV pass over the encoding, no SHA-256.
+  const chain::Transaction tx =
+      chain::make_transfer(key_from_seed("bench-txid"), Address{}, 1, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(tx.id());
+}
+BENCHMARK(BM_TxIdWarm);
+
+void BM_TxWireSize(benchmark::State& state) {
+  const chain::Transaction tx =
+      chain::make_transfer(key_from_seed("bench-txid"), Address{}, 1, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(tx.wire_size());
+}
+BENCHMARK(BM_TxWireSize);
+
+void BM_BlockValidateSeq(benchmark::State& state) {
+  const chain::Block block =
+      make_bench_block(static_cast<std::size_t>(state.range(0)));
+  const chain::BlockValidator validator;  // no pool: sequential
+  for (auto _ : state) benchmark::DoNotOptimize(validator.validate(block));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlockValidateSeq)->Arg(64)->Arg(512);
+
+void BM_BlockValidatePool(benchmark::State& state) {
+  const chain::Block block =
+      make_bench_block(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool;
+  const chain::BlockValidator validator(&pool);
+  for (auto _ : state) benchmark::DoNotOptimize(validator.validate(block));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlockValidatePool)->Arg(64)->Arg(512);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "chain/block_validator.hpp"
 #include "chain/node.hpp"
 #include "chain/pow.hpp"
 #include "chain/state.hpp"
@@ -101,7 +102,10 @@ void ChainAuditor::audit_structure(const std::vector<chain::Block>& blocks,
           "timestamp " + std::to_string(b.header.time_ms) +
               "ms precedes parent at " + std::to_string(prev.header.time_ms) +
               "ms");
-    if (!b.tx_root_valid())
+    const Hash256 tx_root = validator_ != nullptr
+                                ? validator_->compute_tx_root(b)
+                                : b.compute_tx_root();
+    if (tx_root != b.header.tx_root)
       add(report, ViolationKind::BadTxRoot, h,
           "header tx_root does not match the contained transactions");
     if (b.txs.size() > params_.max_block_txs)

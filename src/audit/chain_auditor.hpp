@@ -22,6 +22,7 @@
 #include "chain/types.hpp"
 
 namespace mc::chain {
+class BlockValidator;
 class Node;
 }
 
@@ -81,6 +82,11 @@ class ChainAuditor {
       : params_(std::move(params)),
         contract_digest_(std::move(contract_digest)) {}
 
+  /// Optional parallel validator: the BadTxRoot recomputation fans
+  /// Merkle leaf hashing across its pool. Findings are identical with or
+  /// without one; audits over long chains just finish sooner.
+  void set_validator(const chain::BlockValidator* v) { validator_ = v; }
+
   /// Audit a best-chain block sequence, genesis first: structure plus a
   /// full ledger replay recomputing every state root.
   [[nodiscard]] AuditReport audit_blocks(
@@ -103,6 +109,7 @@ class ChainAuditor {
 
   chain::ChainParams params_;
   ContractDigestFn contract_digest_;
+  const chain::BlockValidator* validator_ = nullptr;
 };
 
 }  // namespace mc::audit

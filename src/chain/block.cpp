@@ -1,20 +1,20 @@
 #include "chain/block.hpp"
 
+#include "audit/check.hpp"
 #include "crypto/sha256.hpp"
 
 namespace mc::chain {
 
 Bytes BlockHeader::encode() const {
   ByteWriter w;
-  w.hash(parent);
-  w.hash(tx_root);
-  w.hash(state_root);
-  w.u64(height);
-  w.u64(time_ms);
-  w.u64(target);
-  w.u64(nonce);
-  w.raw(BytesView(proposer.data));
+  encode_to(w);
   return w.take();
+}
+
+std::size_t BlockHeader::encoded_size() const {
+  // parent + tx_root + state_root (3*32) + height/time_ms/target/nonce
+  // (4*8) + proposer (20): fixed-width, no varints.
+  return 3 * 32 + 4 * 8 + 20;
 }
 
 BlockHeader BlockHeader::decode(BytesView data) {
@@ -29,17 +29,49 @@ BlockHeader BlockHeader::decode(BytesView data) {
   h.nonce = r.u64();
   for (auto& b : h.proposer.data) b = r.u8();
   if (!r.done()) throw SerialError("trailing bytes after block header");
+  // The wire bytes are the canonical encoding: warm the id cache so decoded
+  // headers are read-only on the id() path.
+  h.cached_id_ = crypto::sha256d(data);
+  h.cached_fp_ = h.content_fingerprint();
+  h.id_cached_ = true;
   return h;
 }
 
-BlockId BlockHeader::id() const { return crypto::sha256d(BytesView(encode())); }
+BlockId BlockHeader::compute_id() const {
+  HashWriter w;
+  encode_to(w);
+  return w.digest_double();
+}
+
+std::uint64_t BlockHeader::content_fingerprint() const {
+  FnvWriter w;
+  encode_to(w);
+  return w.value();
+}
+
+BlockId BlockHeader::id() const {
+  const std::uint64_t fp = content_fingerprint();
+  if (id_cached_ && fp == cached_fp_) {
+    MC_DCHECK(cached_id_ == compute_id(),
+              "cached header id diverged from content");
+    return cached_id_;
+  }
+  cached_id_ = compute_id();
+  cached_fp_ = fp;
+  id_cached_ = true;
+  return cached_id_;
+}
 
 Bytes Block::encode() const {
   ByteWriter w;
-  w.bytes(BytesView(header.encode()));
-  w.varint(txs.size());
-  for (const auto& tx : txs) w.bytes(BytesView(tx.encode()));
+  encode_to(w);
   return w.take();
+}
+
+std::size_t Block::encoded_size() const {
+  SizeWriter w;
+  encode_to(w);
+  return w.size();
 }
 
 Block Block::decode(BytesView data) {

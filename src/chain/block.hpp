@@ -22,18 +22,67 @@ struct BlockHeader {
   std::uint64_t nonce = 0;    ///< PoW nonce / PoS VRF-ish draw
   Address proposer{};
 
+  /// Stream the canonical header encoding into any writer with the
+  /// ByteWriter surface. The nonce is deliberately the second-to-last
+  /// field: the PoW loop snapshots a SHA-256 midstate over everything
+  /// before it and re-hashes only the 28-byte tail per attempt.
+  template <class W>
+  void encode_to(W& w) const {
+    w.hash(parent);
+    w.hash(tx_root);
+    w.hash(state_root);
+    w.u64(height);
+    w.u64(time_ms);
+    w.u64(target);
+    w.u64(nonce);
+    w.raw(BytesView(proposer.data));
+  }
+
   [[nodiscard]] Bytes encode() const;
+
+  /// Exact size of encode() without producing it (headers are fixed-width).
+  [[nodiscard]] std::size_t encoded_size() const;
+
   static BlockHeader decode(BytesView data);
 
-  /// Block id: SHA-256d over the header encoding.
+  /// Block id: SHA-256d over the header encoding. Memoized with the same
+  /// fingerprint-guarded scheme as Transaction::id() — computed at most
+  /// once per distinct content; direct field mutation is detected by a
+  /// cheap FNV probe and forces a re-hash (audit builds cross-check every
+  /// cache hit against a full recomputation).
   [[nodiscard]] BlockId id() const;
+
+ private:
+  [[nodiscard]] BlockId compute_id() const;
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
+
+  mutable BlockId cached_id_{};
+  mutable std::uint64_t cached_fp_ = 0;
+  mutable bool id_cached_ = false;
 };
 
 struct Block {
   BlockHeader header;
   std::vector<Transaction> txs;
 
+  /// Stream the canonical block encoding (length-prefixed header, tx
+  /// count, length-prefixed transactions) into any writer.
+  template <class W>
+  void encode_to(W& w) const {
+    w.varint(header.encoded_size());
+    header.encode_to(w);
+    w.varint(txs.size());
+    for (const auto& tx : txs) {
+      w.varint(tx.encoded_size());
+      tx.encode_to(w);
+    }
+  }
+
   [[nodiscard]] Bytes encode() const;
+
+  /// Exact size of encode() without producing it (no allocation).
+  [[nodiscard]] std::size_t encoded_size() const;
+
   static Block decode(BytesView data);
 
   [[nodiscard]] BlockId id() const { return header.id(); }
@@ -46,7 +95,7 @@ struct Block {
     return header.tx_root == compute_tx_root();
   }
 
-  [[nodiscard]] std::size_t wire_size() const { return encode().size(); }
+  [[nodiscard]] std::size_t wire_size() const { return encoded_size(); }
 };
 
 /// Deterministic genesis block for a given chain tag.

@@ -1,0 +1,56 @@
+#include "chain/block_validator.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+
+namespace mc::chain {
+
+BlockValidation BlockValidator::validate(const Block& block) const {
+  const std::size_t n = block.txs.size();
+  BlockValidation out;
+
+  std::vector<Hash256> leaves(n);
+
+  if (!use_pool(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.first_invalid_tx < 0 && !block.txs[i].verify_signature())
+        out.first_invalid_tx = static_cast<std::ptrdiff_t>(i);
+      leaves[i] = block.txs[i].id();
+    }
+  } else {
+    // Workers race, but the verdict must not: fold failures through an
+    // atomic min so the reported index is the lowest regardless of
+    // completion order.
+    std::atomic<std::size_t> first_bad{n};
+    pool_->parallel_for(n, [&](std::size_t i) {
+      leaves[i] = block.txs[i].id();
+      if (!block.txs[i].verify_signature()) {
+        std::size_t cur = first_bad.load(std::memory_order_relaxed);
+        while (i < cur && !first_bad.compare_exchange_weak(
+                              cur, i, std::memory_order_relaxed)) {
+        }
+      }
+    });
+    const std::size_t bad = first_bad.load(std::memory_order_relaxed);
+    if (bad < n) out.first_invalid_tx = static_cast<std::ptrdiff_t>(bad);
+  }
+
+  out.computed_tx_root = crypto::MerkleTree(std::move(leaves)).root();
+  out.tx_root_ok = out.computed_tx_root == block.header.tx_root;
+  return out;
+}
+
+Hash256 BlockValidator::compute_tx_root(const Block& block) const {
+  const std::size_t n = block.txs.size();
+  std::vector<Hash256> leaves(n);
+  if (!use_pool(n)) {
+    for (std::size_t i = 0; i < n; ++i) leaves[i] = block.txs[i].id();
+  } else {
+    pool_->parallel_for(n, [&](std::size_t i) { leaves[i] = block.txs[i].id(); });
+  }
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+}  // namespace mc::chain

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "chain/block_validator.hpp"
 #include "chain/pow.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mc::chain {
 namespace {
@@ -19,6 +21,11 @@ struct SimWorld {
   Rng rng;
   sim::EnergyMeter meter;
   sim::EventQueue queue;
+  // One worker pool shared by every simulated node: block validation fans
+  // per-tx signature checks across it. Real deployments give each node
+  // its own cores; sharing one pool here keeps the sim single-process.
+  ThreadPool pool;
+  BlockValidator validator{&pool};
   std::vector<std::unique_ptr<Node>> nodes;
   std::unique_ptr<GossipNet> gossip;
   StakeRegistry stakes;
@@ -173,6 +180,7 @@ ChainSimReport run_chain_sim(const ChainSimConfig& config) {
     auto key = crypto::key_from_seed("node-" + std::to_string(i) + "-" +
                                      std::to_string(config.seed));
     world.nodes.push_back(std::make_unique<Node>(key, params, genesis));
+    world.nodes.back()->set_validator(&world.validator);
     world.stakes.bond(crypto::address_of(key.pub), 100);
   }
 

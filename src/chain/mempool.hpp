@@ -35,8 +35,10 @@ class Mempool {
   }
 
   /// Add a transaction; rejects duplicates and bad signatures.
-  /// Returns true if accepted.
-  bool add(const Transaction& tx);
+  /// Returns true if accepted. `assume_verified` skips the signature
+  /// check when the caller already verified it (avoids double Schnorr
+  /// work on the Node::submit path).
+  bool add(const Transaction& tx, bool assume_verified = false);
 
   /// True if the pool already holds this transaction id.
   [[nodiscard]] bool contains(const TxId& id) const {

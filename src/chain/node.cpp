@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "audit/check.hpp"
+#include "chain/block_validator.hpp"
 #include "chain/pow.hpp"
 
 namespace mc::chain {
@@ -24,7 +25,8 @@ bool Node::submit(const Transaction& tx) {
   ++counters_.sig_verifications;
   if (!tx.verify_signature()) return false;
   if (committed_txs_.count(tx.id()) > 0) return false;
-  return mempool_.add(tx);
+  // Just verified above — don't pay for the Schnorr check twice.
+  return mempool_.add(tx, /*assume_verified=*/true);
 }
 
 std::optional<Block> Node::produce_pow(std::uint64_t time_ms,
@@ -50,15 +52,19 @@ Block Node::propose(std::uint64_t time_ms) {
 
   // Preview pass: derive the post-block state commitment. A selected tx
   // that fails execution (e.g. a reverting contract call) is evicted and
-  // the block falls back to empty rather than proposing garbage.
+  // the block falls back to empty rather than proposing garbage. Every
+  // selected tx passed the mempool's signature check, so the preview
+  // skips re-verifying Schnorr.
   WorldState preview = state_;
-  if (!apply_block(preview, block, /*count=*/false)) {
+  if (!apply_block(preview, block, /*count=*/false, nullptr,
+                   /*sigs_prechecked=*/true)) {
     if (hook_ != nullptr) hook_->rollback_to(tip_height_);
     mempool_.remove(block.txs);
     block.txs.clear();
     block.header.tx_root = block.compute_tx_root();
     preview = state_;
-    apply_block(preview, block, /*count=*/false);  // reward only
+    apply_block(preview, block, /*count=*/false, nullptr,
+                /*sigs_prechecked=*/true);  // reward only
   }
   block.header.state_root = state_commitment(preview);
   if (hook_ != nullptr) hook_->rollback_to(tip_height_);
@@ -88,7 +94,8 @@ Hash256 Node::state_commitment(const WorldState& state) const {
 }
 
 bool Node::apply_block(WorldState& state, const Block& block, bool count,
-                       std::vector<TxReceipt>* receipts) {
+                       std::vector<TxReceipt>* receipts,
+                       bool sigs_prechecked) {
   std::uint32_t index = 0;
   for (const auto& tx : block.txs) {
     if (count) ++counters_.sig_verifications;
@@ -102,7 +109,8 @@ bool Node::apply_block(WorldState& state, const Block& block, bool count,
       }
     }
     const ApplyResult applied =
-        state.apply(tx, block.header.proposer, params_, exec_gas);
+        state.apply(tx, block.header.proposer, params_, exec_gas,
+                    /*credit_recipient=*/true, sigs_prechecked);
     if (!applied.ok) return false;
     if (count) {
       ++counters_.txs_executed;
@@ -131,7 +139,9 @@ std::optional<WorldState> Node::replay(
   if (hook_ != nullptr) hook_->rollback_to(0);
   for (const Block* b : path) {
     if (b->header.height == 0) continue;  // genesis carries no txs
-    if (!apply_block(fresh, *b, /*count=*/true, receipts))
+    // Every stored block passed the signature pre-check in receive().
+    if (!apply_block(fresh, *b, /*count=*/true, receipts,
+                     /*sigs_prechecked=*/true))
       return std::nullopt;
     if (state_commitment(fresh) != b->header.state_root)
       return std::nullopt;  // branch lies about its state
@@ -169,7 +179,14 @@ BlockVerdict Node::receive(const Block& block) {
   // Structural checks.
   if (block.header.height != parent_it->second.height + 1)
     return BlockVerdict::Invalid;
-  if (!block.tx_root_valid()) return BlockVerdict::Invalid;
+  // Transaction-set check: Merkle root + every signature, fanned across
+  // the attached validator's pool (sequential fallback gives identical
+  // verdicts). Signatures verified here are not re-verified during state
+  // application below.
+  static const BlockValidator seq_fallback;
+  const BlockValidation vr =
+      (validator_ != nullptr ? *validator_ : seq_fallback).validate(block);
+  if (!vr.ok()) return BlockVerdict::Invalid;
   if (block.txs.size() > params_.max_block_txs) return BlockVerdict::Invalid;
   if (params_.consensus == ConsensusKind::ProofOfWork &&
       !meets_target(id, block.header.target))
@@ -184,7 +201,8 @@ BlockVerdict Node::receive(const Block& block) {
       // Common case: direct extension — apply incrementally.
       WorldState next = state_;
       std::vector<TxReceipt> receipts;
-      if (!apply_block(next, block, /*count=*/true, &receipts)) {
+      if (!apply_block(next, block, /*count=*/true, &receipts,
+                       /*sigs_prechecked=*/true)) {
         // Contract effects of the partial application must not leak.
         if (hook_ != nullptr) hook_->rollback_to(tip_height_);
         blocks_.erase(id);

@@ -21,6 +21,8 @@
 
 namespace mc::chain {
 
+class BlockValidator;
+
 /// Contract execution hook: the node owns the ledger, the VM layer owns
 /// contract storage. The hook returns gas used and may throw to signal an
 /// invalid contract transaction. A null hook executes contracts as no-ops
@@ -76,6 +78,16 @@ class Node {
 
   /// Validate into the mempool; true if accepted.
   bool submit(const Transaction& tx);
+
+  /// Attach a (shared) parallel block validator. Unset, the node
+  /// validates sequentially; verdicts are identical either way.
+  void set_validator(const BlockValidator* v) { validator_ = v; }
+  [[nodiscard]] const BlockValidator* validator() const { return validator_; }
+
+  /// Explicit full-block ingestion entry (wallet/RPC/consensus surface):
+  /// pre-validates the transaction set — signatures and tx_root fanned
+  /// across the attached validator's pool — then connects the block.
+  BlockVerdict submit_block(const Block& block) { return receive(block); }
 
   /// PoW production: select txs, grind up to `max_attempts` nonces.
   /// Returns the block on success. Hash attempts are counted either way.
@@ -135,9 +147,13 @@ class Node {
   /// Apply one block's transactions to `state`; false if any tx fails.
   /// `count=false` applies without charging the node's work counters
   /// (used by propose()'s preview pass). When `receipts` is non-null, a
-  /// receipt is appended per applied transaction.
+  /// receipt is appended per applied transaction. `sigs_prechecked=true`
+  /// skips per-tx signature checks (the BlockValidator pre-pass or the
+  /// mempool already verified them); work counters are charged the same
+  /// either way so duplication accounting stays comparable.
   bool apply_block(WorldState& state, const Block& block, bool count = true,
-                   std::vector<TxReceipt>* receipts = nullptr);
+                   std::vector<TxReceipt>* receipts = nullptr,
+                   bool sigs_prechecked = false);
 
   /// Commitment over ledger + contract state (block header state_root).
   [[nodiscard]] Hash256 state_commitment(const WorldState& state) const;
@@ -158,6 +174,7 @@ class Node {
   Address address_;
   ChainParams params_;
   ExecutionHook* hook_;
+  const BlockValidator* validator_ = nullptr;
 
   std::unordered_map<BlockId, StoredBlock> blocks_;
   std::vector<Block> orphans_;

@@ -115,6 +115,10 @@ void PbftCluster::on_pre_prepare(sim::NodeId id, const PbftMessage& msg) {
   Replica& rep = replicas_[id];
   if (msg.view != rep.view) return;
   if (msg.from != primary_of(msg.view)) return;  // only primary may assign
+  // Replica-side request validation (paper-side: parallel block checks)
+  // happens before the replica endorses the slot with its PREPARE.
+  if (config_.preprepare_check && !config_.preprepare_check(msg.digest))
+    return;
   SlotState& slot = rep.slots[msg.seq];
   if (slot.pre_prepared && slot.digest != msg.digest) return;  // equivocation
   slot.pre_prepared = true;

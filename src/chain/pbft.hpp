@@ -65,6 +65,11 @@ struct PbftConfig {
   /// Checkpoint every k executed requests; a stable checkpoint (2f+1
   /// matching CHECKPOINT messages) garbage-collects older slot state.
   std::uint64_t checkpoint_interval = 16;
+  /// Replica-side pre-prepare validation hook: given the request digest,
+  /// return false to refuse PREPARE-ing the slot (e.g. the digest's block
+  /// fails BlockValidator checks). Unset accepts everything — digests in
+  /// this simulation are opaque.
+  std::function<bool(const Hash256&)> preprepare_check;
 };
 
 /// A full PBFT cluster simulation. Nodes are indices into the Network.

@@ -51,9 +51,13 @@ class WorldState {
   void credit(const Address& a, Amount amount);
 
   /// Validate a transaction against current state (signature, nonce,
-  /// balance, gas); does not mutate.
+  /// balance, gas); does not mutate. `assume_sig_valid` skips the
+  /// signature check when the caller has already verified it (e.g. a
+  /// BlockValidator pre-pass or the mempool's admission check) — state
+  /// rules are still enforced in full.
   [[nodiscard]] ApplyResult validate(const Transaction& tx,
-                                     const ChainParams& params) const;
+                                     const ChainParams& params,
+                                     bool assume_sig_valid = false) const;
 
   /// Validate then apply balance/nonce effects and fee transfer to
   /// `proposer`. Contract execution effects are applied by the caller
@@ -62,7 +66,8 @@ class WorldState {
   /// where the recipient account lives in a different shard's state.
   ApplyResult apply(const Transaction& tx, const Address& proposer,
                     const ChainParams& params, Gas execution_gas = 0,
-                    bool credit_recipient = true);
+                    bool credit_recipient = true,
+                    bool assume_sig_valid = false);
 
   /// Anchors recorded so far, newest last.
   [[nodiscard]] const std::vector<AnchorRecord>& anchors() const {

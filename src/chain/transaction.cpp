@@ -1,13 +1,10 @@
 #include "chain/transaction.hpp"
 
+#include "audit/check.hpp"
 #include "crypto/sha256.hpp"
 
 namespace mc::chain {
 namespace {
-
-void write_address(ByteWriter& w, const Address& a) {
-  w.raw(BytesView(a.data));
-}
 
 Address read_address(ByteReader& r) {
   Address a;
@@ -23,24 +20,20 @@ Address read_address(ByteReader& r) {
 
 Bytes Transaction::encode_unsigned() const {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(kind));
-  write_address(w, from);
-  write_address(w, to);
-  w.u64(from_pub.y);
-  w.u64(nonce);
-  w.u64(amount);
-  w.u64(gas_limit);
-  w.u64(gas_price);
-  w.bytes(BytesView(payload));
+  encode_unsigned_to(w);
   return w.take();
 }
 
 Bytes Transaction::encode() const {
   ByteWriter w;
-  w.raw(BytesView(encode_unsigned()));
-  w.u64(sig.e);
-  w.u64(sig.s);
+  encode_to(w);
   return w.take();
+}
+
+std::size_t Transaction::encoded_size() const {
+  SizeWriter w;
+  encode_to(w);
+  return w.size();
 }
 
 Transaction Transaction::decode(BytesView data) {
@@ -60,15 +53,50 @@ Transaction Transaction::decode(BytesView data) {
   tx.sig.e = r.u64();
   tx.sig.s = r.u64();
   if (!r.done()) throw SerialError("trailing bytes after transaction");
+  // Canonical encoding is the identity on decode, so the wire bytes ARE the
+  // hashed content: warm the id cache directly from the input. Decoded
+  // transactions are then read-only on the id() path, which makes concurrent
+  // id() calls on shared decoded transactions race-free.
+  tx.cached_id_ = crypto::sha256d(data);
+  tx.cached_fp_ = tx.content_fingerprint();
+  tx.id_cached_ = true;
   return tx;
 }
 
-TxId Transaction::id() const { return crypto::sha256d(BytesView(encode())); }
+TxId Transaction::compute_id() const {
+  HashWriter w;
+  encode_to(w);
+  return w.digest_double();
+}
+
+std::uint64_t Transaction::content_fingerprint() const {
+  FnvWriter w;
+  encode_to(w);
+  return w.value();
+}
+
+TxId Transaction::id() const {
+  const std::uint64_t fp = content_fingerprint();
+  if (id_cached_ && fp == cached_fp_) {
+    MC_DCHECK(cached_id_ == compute_id(),
+              "cached tx id diverged from content (fingerprint collision?)");
+    return cached_id_;
+  }
+  cached_id_ = compute_id();
+  cached_fp_ = fp;
+  id_cached_ = true;
+  return cached_id_;
+}
 
 void Transaction::sign_with(const crypto::PrivateKey& key) {
   from_pub = key.pub;
   from = crypto::address_of(key.pub);
   sig = crypto::sign(key, BytesView(encode_unsigned()));
+  // Warm the id cache so freshly signed transactions are read-only on the
+  // id() path (safe to share across threads without further writes).
+  cached_id_ = compute_id();
+  cached_fp_ = content_fingerprint();
+  id_cached_ = true;
 }
 
 bool Transaction::verify_signature() const {

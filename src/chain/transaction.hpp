@@ -35,25 +35,71 @@ struct Transaction {
   Bytes payload;
   crypto::Signature sig{};
 
+  /// Stream the unsigned canonical encoding (the signed message) into any
+  /// writer with the ByteWriter surface (ByteWriter/HashWriter/SizeWriter/
+  /// FnvWriter) — one definition serves wire I/O, hashing and sizing.
+  template <class W>
+  void encode_unsigned_to(W& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.raw(BytesView(from.data));
+    w.raw(BytesView(to.data));
+    w.u64(from_pub.y);
+    w.u64(nonce);
+    w.u64(amount);
+    w.u64(gas_limit);
+    w.u64(gas_price);
+    w.bytes(BytesView(payload));
+  }
+
+  /// Stream the full canonical wire encoding.
+  template <class W>
+  void encode_to(W& w) const {
+    encode_unsigned_to(w);
+    w.u64(sig.e);
+    w.u64(sig.s);
+  }
+
   /// Canonical encoding without the signature (the signed message).
   [[nodiscard]] Bytes encode_unsigned() const;
 
   /// Full canonical wire encoding.
   [[nodiscard]] Bytes encode() const;
 
+  /// Exact size of encode() without producing it (no allocation).
+  [[nodiscard]] std::size_t encoded_size() const;
+
   static Transaction decode(BytesView data);
 
-  /// Transaction id: SHA-256d over the full encoding.
+  /// Transaction id: SHA-256d over the full encoding. Memoized: the
+  /// digest is computed at most once per distinct content. A cheap
+  /// streamed FNV fingerprint detects field mutation and forces a
+  /// re-hash, so mutating a transaction always refreshes its id; audit
+  /// builds cross-check every cache hit against a full recomputation.
+  ///
+  /// Thread safety: concurrent id() calls are safe once the cache is
+  /// warm (any transaction produced by sign_with()/decode() is). After
+  /// direct field mutation the next id() call repopulates the cache and
+  /// needs the same external synchronization as the mutation itself.
   [[nodiscard]] TxId id() const;
 
-  /// Sign with `key`; also fills `from` and `from_pub` from the key.
+  /// Sign with `key`; also fills `from` and `from_pub` from the key and
+  /// refreshes the memoized id.
   void sign_with(const crypto::PrivateKey& key);
 
   /// Signature valid and `from` matches `from_pub`.
   [[nodiscard]] bool verify_signature() const;
 
-  /// Approximate wire size in bytes (for network cost accounting).
-  [[nodiscard]] std::size_t wire_size() const { return encode().size(); }
+  /// Exact wire size in bytes (network cost accounting); never encodes.
+  [[nodiscard]] std::size_t wire_size() const { return encoded_size(); }
+
+ private:
+  /// SHA-256d over the current content, ignoring the cache.
+  [[nodiscard]] TxId compute_id() const;
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
+
+  mutable TxId cached_id_{};
+  mutable std::uint64_t cached_fp_ = 0;
+  mutable bool id_cached_ = false;
 };
 
 /// Build an already-signed transfer (test/bench convenience).

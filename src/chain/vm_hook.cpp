@@ -37,6 +37,9 @@ Gas VmExecutionHook::execute(const Transaction& tx, Height height) {
       throw std::invalid_argument("malformed contract bytecode");
     const vm::Word id =
         store_.deploy(tx.payload, fnv1a(BytesView(tx.from.data)), height);
+    // tx.id() here is a cache hit: the id was memoized when the tx was
+    // signed/decoded, so indexing by it costs no re-hash even though every
+    // member re-executes the deployment.
     deployed_[tx.id()] = id;
     // Deployment gas: proportional to code size (storage rent analogue).
     return 200 * static_cast<Gas>(tx.payload.size());

@@ -3,6 +3,15 @@
 // Every on-chain structure (transaction, block, contract event) is hashed
 // over its canonical encoding, so encoding must be deterministic: fixed-width
 // little-endian integers, varint-prefixed containers, no padding.
+//
+// Four writers share one surface (u8/u16/u32/u64/i64/f64/varint/raw/bytes/
+// str/hash) so a single `encode_to(W&)` template serves every purpose:
+//   ByteWriter — materializes the encoding into an owned buffer (wire I/O),
+//   HashWriter — streams the encoding into an incremental SHA-256 context
+//                (content ids without an intermediate allocation),
+//   SizeWriter — counts bytes only (exact wire_size without encoding),
+//   FnvWriter  — folds the encoding into FNV-1a (cheap non-cryptographic
+//                content fingerprints for cache invalidation).
 #pragma once
 
 #include <algorithm>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
 
 namespace mc {
 
@@ -81,6 +91,165 @@ class ByteWriter {
   Bytes buf_;
 };
 
+/// Streams canonical encodings straight into an incremental SHA-256
+/// context — hashing an object costs zero heap allocations and never
+/// materializes the encoding. digest() finalizes; the writer must not be
+/// reused afterwards. context() exposes the running state so callers can
+/// snapshot a midstate (e.g. the PoW nonce loop re-hashes only the
+/// header tail per attempt).
+class HashWriter {
+ public:
+  void u8(std::uint8_t v) { ctx_.update(BytesView(&v, 1)); }
+
+  void u16(std::uint16_t v) { le_int(v); }
+  void u32(std::uint32_t v) { le_int(v); }
+  void u64(std::uint64_t v) { le_int(v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void varint(std::uint64_t v) {
+    std::uint8_t scratch[10];
+    std::size_t n = 0;
+    while (v >= 0x80) {
+      scratch[n++] = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    scratch[n++] = static_cast<std::uint8_t>(v);
+    ctx_.update(BytesView(scratch, n));
+  }
+
+  void raw(BytesView data) { ctx_.update(data); }
+
+  void bytes(BytesView data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  void str(std::string_view s) { bytes(str_bytes(s)); }
+
+  void hash(const Hash256& h) { raw(BytesView(h.data)); }
+
+  /// Running context (copyable midstate snapshot).
+  [[nodiscard]] const crypto::Sha256& context() const { return ctx_; }
+
+  /// SHA-256 of everything written so far (consumes the context).
+  [[nodiscard]] Hash256 digest() { return ctx_.finalize(); }
+
+  /// Double SHA-256 (Bitcoin-style content ids); consumes the context.
+  [[nodiscard]] Hash256 digest_double() {
+    const Hash256 first = ctx_.finalize();
+    return crypto::sha256(BytesView(first.data));
+  }
+
+ private:
+  template <typename T>
+  void le_int(T v) {
+    std::uint8_t scratch[sizeof(T)];
+    store_le(scratch, v);
+    ctx_.update(BytesView(scratch, sizeof(T)));
+  }
+
+  crypto::Sha256 ctx_;
+};
+
+/// Counts encoded bytes without producing them: `encoded_size()` in one
+/// pass, no allocation. Mirrors ByteWriter byte-for-byte by construction.
+class SizeWriter {
+ public:
+  void u8(std::uint8_t) { size_ += 1; }
+  void u16(std::uint16_t) { size_ += 2; }
+  void u32(std::uint32_t) { size_ += 4; }
+  void u64(std::uint64_t) { size_ += 8; }
+  void i64(std::int64_t) { size_ += 8; }
+  void f64(double) { size_ += 8; }
+
+  void varint(std::uint64_t v) {
+    ++size_;
+    while (v >= 0x80) {
+      ++size_;
+      v >>= 7;
+    }
+  }
+
+  void raw(BytesView data) { size_ += data.size(); }
+
+  void bytes(BytesView data) {
+    varint(data.size());
+    size_ += data.size();
+  }
+
+  void str(std::string_view s) { bytes(str_bytes(s)); }
+  void hash(const Hash256&) { size_ += 32; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+};
+
+/// Folds the encoding into a 64-bit FNV-1a fingerprint. NOT collision
+/// resistant — used only as a cheap staleness probe for memoized content
+/// ids (a mismatch always forces a real re-hash; audit builds cross-check
+/// fingerprint hits against a full digest recomputation).
+class FnvWriter {
+ public:
+  void u8(std::uint8_t v) { mix(v); }
+
+  void u16(std::uint16_t v) { le_int(v); }
+  void u32(std::uint32_t v) { le_int(v); }
+  void u64(std::uint64_t v) { le_int(v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      mix(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    mix(static_cast<std::uint8_t>(v));
+  }
+
+  void raw(BytesView data) {
+    for (const std::uint8_t b : data) mix(b);
+  }
+
+  void bytes(BytesView data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  void str(std::string_view s) { bytes(str_bytes(s)); }
+  void hash(const Hash256& h) { raw(BytesView(h.data)); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  void mix(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;
+  }
+
+  template <typename T>
+  void le_int(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      mix(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
 /// Checked reader over a byte view; throws SerialError on truncation.
 class ByteReader {
  public:
@@ -116,15 +285,25 @@ class ByteReader {
     return v;
   }
 
+  /// Canonical LEB128: overlong (zero-padded) encodings are rejected so
+  /// every value has exactly one wire form — two distinct byte strings
+  /// can never decode to the same value and re-encode to a single id.
   std::uint64_t varint() {
     std::uint64_t v = 0;
     int shift = 0;
     for (;;) {
-      if (shift >= 64) throw SerialError("varint overflow");
       const std::uint8_t b = u8();
+      // At shift 63 only the lowest payload bit still fits in 64 bits; a
+      // larger payload (or yet another continuation byte) overflows.
+      if (shift == 63 && b > 1) throw SerialError("varint overflow");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
+      if ((b & 0x80) == 0) {
+        if (b == 0 && shift != 0)
+          throw SerialError("non-canonical varint (overlong encoding)");
+        return v;
+      }
       shift += 7;
+      if (shift >= 64) throw SerialError("varint overflow");
     }
   }
 

@@ -44,20 +44,46 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  // Wait for *every* task before (re)throwing: bailing on the first
-  // exception would destroy `futures` while straggler tasks still hold
-  // references to `fn`, a use-after-free under sanitizers and in prod.
-  std::exception_ptr first;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (first == nullptr) first = std::current_exception();
+
+  // Chunked fan-out: one contiguous index range per worker plus one the
+  // calling thread runs inline. Queueing O(workers) tasks instead of O(n)
+  // keeps the per-item cost at ~zero for fine-grained bodies (per-tx
+  // signature checks), and caller participation means a 1-worker pool
+  // costs one enqueue, not a blocking round-trip per item. Every index is
+  // still attempted even when some bodies throw; the first exception (in
+  // index order) is rethrown after all chunks finish.
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  const auto run_range = [&fn](std::size_t begin,
+                               std::size_t end) -> std::exception_ptr {
+    std::exception_ptr first;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (first == nullptr) first = std::current_exception();
+      }
     }
+    return first;
+  };
+
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const auto chunk_begin = [&](std::size_t c) {
+    return c * base + std::min(c, extra);
+  };
+
+  std::vector<std::future<std::exception_ptr>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c)
+    futures.push_back(submit([&run_range, begin = chunk_begin(c),
+                              end = chunk_begin(c + 1)] {
+      return run_range(begin, end);
+    }));
+
+  std::exception_ptr first = run_range(chunk_begin(0), chunk_begin(1));
+  for (auto& f : futures) {
+    const std::exception_ptr chunk_first = f.get();
+    if (first == nullptr) first = chunk_first;
   }
   if (first != nullptr) std::rethrow_exception(first);
 }

@@ -25,6 +25,7 @@ Consortium::Consortium(ConsortiumConfig config)
         crypto::key_from_seed(config_.chain_tag + "-member-" +
                               std::to_string(i)),
         params, genesis, member->hook.get());
+    member->node->set_validator(&validator_);
     members_.push_back(std::move(member));
   }
 }
@@ -52,7 +53,7 @@ CommitResult Consortium::commit(const std::vector<chain::Transaction>& txs) {
   }
 
   for (auto& member : members_) {
-    const chain::BlockVerdict verdict = member->node->receive(block);
+    const chain::BlockVerdict verdict = member->node->submit_block(block);
     if (verdict != chain::BlockVerdict::Accepted) {
       result.error = "block rejected by a member";
       proposer.mempool().clear();

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "chain/block_validator.hpp"
 #include "chain/node.hpp"
 #include "chain/vm_hook.hpp"
+#include "common/thread_pool.hpp"
 #include "vm/contract_store.hpp"
 
 namespace mc::core {
@@ -86,6 +88,11 @@ class Consortium {
 
   ConsortiumConfig config_;
   crypto::PrivateKey admin_;
+  /// Shared worker pool: every member fans block validation (signatures +
+  /// Merkle leaves) across it. Members validate the same block serially
+  /// in commit(), so sharing one pool loses no parallelism.
+  ThreadPool pool_;
+  chain::BlockValidator validator_{&pool_};
   std::vector<std::unique_ptr<Member>> members_;
   std::size_t next_proposer_ = 0;
   std::uint64_t clock_ms_ = 0;

@@ -1,8 +1,19 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <cstring>
 
 namespace mc::crypto {
+namespace {
+
+std::atomic<std::uint64_t> g_digest_count{0};
+
+}  // namespace
+
+std::uint64_t Sha256::digest_count() noexcept {
+  return g_digest_count.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 constexpr std::uint32_t kK[64] = {
@@ -84,6 +95,9 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 Sha256& Sha256::update(BytesView data) {
+  // Empty views may carry a null pointer (e.g. a default Bytes streamed
+  // through HashWriter); memcpy forbids null even for length 0.
+  if (data.empty()) return *this;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -109,6 +123,7 @@ Sha256& Sha256::update(BytesView data) {
 }
 
 Hash256 Sha256::finalize() {
+  g_digest_count.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t bit_len = total_len_ * 8;
   const std::uint8_t pad = 0x80;
   update(BytesView(&pad, 1));

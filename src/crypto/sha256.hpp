@@ -23,6 +23,11 @@ class Sha256 {
   /// Finalizes and returns the digest; context must be reset() to reuse.
   [[nodiscard]] Hash256 finalize();
 
+  /// Test hook: process-wide count of digests finalized (relaxed atomic).
+  /// Lets tests prove a content id is computed at most once per distinct
+  /// content; costs one uncontended atomic add per digest.
+  [[nodiscard]] static std::uint64_t digest_count() noexcept;
+
  private:
   void process_block(const std::uint8_t* block);
 

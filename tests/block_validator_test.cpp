@@ -1,0 +1,213 @@
+// BlockValidator + memoized content-id tests: parallel/sequential verdict
+// equivalence, deterministic first-failure reporting, cache correctness
+// under mutation, and the at-most-one-digest guarantee.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/block_validator.hpp"
+#include "chain/transaction.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mc::chain {
+namespace {
+
+Block make_block(std::size_t txs, const std::string& tag = "bv") {
+  const auto sender = crypto::key_from_seed(tag + "-sender");
+  const auto to = crypto::address_of(crypto::key_from_seed(tag + "-to").pub);
+  Block block;
+  for (std::size_t i = 0; i < txs; ++i)
+    block.txs.push_back(make_transfer(sender, to, 1 + i, i));
+  block.header.tx_root = block.compute_tx_root();
+  return block;
+}
+
+TEST(BlockValidator, AcceptsValidBlockSeqAndParallel) {
+  const Block block = make_block(32);
+  ThreadPool pool(4);
+  const BlockValidator seq;
+  const BlockValidator par(&pool);
+
+  const BlockValidation a = seq.validate(block);
+  const BlockValidation b = par.validate(block);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(a.first_invalid_tx, -1);
+  EXPECT_EQ(b.first_invalid_tx, -1);
+  EXPECT_EQ(a.computed_tx_root, b.computed_tx_root);
+  EXPECT_EQ(a.computed_tx_root, block.header.tx_root);
+}
+
+TEST(BlockValidator, ReportsLowestFailingIndexDeterministically) {
+  ThreadPool pool(4);
+  const BlockValidator par(&pool, /*min_parallel_txs=*/1);
+  const BlockValidator seq;
+
+  Block block = make_block(64);
+  // Corrupt several signatures; the verdict must always be the lowest
+  // index regardless of worker completion order.
+  for (std::size_t bad : {41u, 17u, 58u}) block.txs[bad].sig.s ^= 1;
+  block.header.tx_root = block.compute_tx_root();  // root over corrupted txs
+
+  for (int round = 0; round < 10; ++round) {
+    const BlockValidation v = par.validate(block);
+    EXPECT_EQ(v.first_invalid_tx, 17);
+    EXPECT_TRUE(v.tx_root_ok);
+    EXPECT_FALSE(v.ok());
+  }
+  EXPECT_EQ(seq.validate(block).first_invalid_tx, 17);
+}
+
+TEST(BlockValidator, DetectsTxRootMismatch) {
+  Block block = make_block(8);
+  block.header.tx_root.data[0] ^= 0xff;
+  ThreadPool pool(2);
+  for (const BlockValidator& v :
+       {BlockValidator{}, BlockValidator{&pool, 1}}) {
+    const BlockValidation r = v.validate(block);
+    EXPECT_FALSE(r.tx_root_ok);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.first_invalid_tx, -1);  // signatures are all fine
+  }
+}
+
+TEST(BlockValidator, ComputeTxRootMatchesBlock) {
+  const Block block = make_block(100);
+  ThreadPool pool(4);
+  const BlockValidator par(&pool, 1);
+  EXPECT_EQ(par.compute_tx_root(block), block.compute_tx_root());
+}
+
+TEST(BlockValidator, SmallBlocksFallBackToSequential) {
+  // Below min_parallel_txs the pool is not used; verdicts identical.
+  const Block block = make_block(3);
+  ThreadPool pool(4);
+  const BlockValidator v(&pool, /*min_parallel_txs=*/8);
+  EXPECT_TRUE(v.validate(block).ok());
+}
+
+TEST(CachedId, MutatingDecodedTransactionChangesId) {
+  const auto alice = crypto::key_from_seed("cached-id-alice");
+  Transaction tx = make_transfer(
+      alice, crypto::address_of(crypto::key_from_seed("cid-bob").pub), 7, 0);
+  Transaction decoded = Transaction::decode(BytesView(tx.encode()));
+  const TxId before = decoded.id();
+  EXPECT_EQ(before, tx.id());
+
+  decoded.amount += 1;  // direct field mutation, no setter
+  const TxId after = decoded.id();
+  EXPECT_NE(before, after);
+  // And the refreshed id matches a from-scratch hash of the new content.
+  EXPECT_EQ(after, crypto::sha256d(BytesView(decoded.encode())));
+
+  decoded.amount -= 1;  // restore: id must return to the original
+  EXPECT_EQ(decoded.id(), before);
+}
+
+TEST(CachedId, MutatingDecodedHeaderChangesId) {
+  Block block = make_block(4, "cid-hdr");
+  block.header.height = 9;
+  BlockHeader decoded = BlockHeader::decode(BytesView(block.header.encode()));
+  const BlockId before = decoded.id();
+  EXPECT_EQ(before, block.header.id());
+
+  decoded.nonce ^= 0xdeadbeef;
+  const BlockId after = decoded.id();
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, crypto::sha256d(BytesView(decoded.encode())));
+}
+
+TEST(CachedId, SignWithRefreshesStaleCache) {
+  const auto alice = crypto::key_from_seed("cid-resign");
+  Transaction tx = make_transfer(alice, Address{}, 1, 0);
+  const TxId first = tx.id();
+  tx.nonce = 5;
+  tx.sign_with(alice);
+  EXPECT_NE(tx.id(), first);
+  EXPECT_EQ(tx.id(), crypto::sha256d(BytesView(tx.encode())));
+}
+
+#ifndef MEDCHAIN_AUDIT
+// Audit builds cross-check every cache hit with a full recomputation, so
+// the strict digest-count assertions only hold in plain builds.
+TEST(CachedId, DigestComputedAtMostOncePerContent) {
+  const auto alice = crypto::key_from_seed("cid-count");
+  const Transaction tx = make_transfer(alice, Address{}, 3, 0);
+
+  const TxId first = tx.id();  // cache warmed by sign_with already
+  const std::uint64_t digests_before = crypto::Sha256::digest_count();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(tx.id(), first);
+  EXPECT_EQ(crypto::Sha256::digest_count(), digests_before)
+      << "warm id() calls must not re-hash";
+}
+
+TEST(CachedId, DecodeWarmsTheCacheWithoutExtraDigests) {
+  const auto alice = crypto::key_from_seed("cid-decode-count");
+  const Transaction tx = make_transfer(alice, Address{}, 3, 0);
+  const Bytes wire = tx.encode();
+
+  const Transaction decoded = Transaction::decode(BytesView(wire));
+  const std::uint64_t digests_before = crypto::Sha256::digest_count();
+  EXPECT_EQ(decoded.id(), tx.id());
+  EXPECT_EQ(crypto::Sha256::digest_count(), digests_before)
+      << "id() of a freshly decoded tx must be a pure cache hit";
+}
+#endif  // MEDCHAIN_AUDIT
+
+TEST(EncodedSize, MatchesEncodeForRandomizedTransactions) {
+  Rng rng(0x5eed);
+  for (int i = 0; i < 200; ++i) {
+    Transaction tx;
+    tx.kind = static_cast<TxKind>(rng.uniform(4));
+    for (auto& b : tx.from.data) b = static_cast<std::uint8_t>(rng.uniform(256));
+    for (auto& b : tx.to.data) b = static_cast<std::uint8_t>(rng.uniform(256));
+    tx.from_pub.y = rng.next();
+    tx.nonce = rng.next();
+    tx.amount = rng.next();
+    tx.gas_limit = rng.next();
+    tx.gas_price = rng.next();
+    tx.payload = rng.bytes(rng.uniform(300));
+    tx.sig.e = rng.next();
+    tx.sig.s = rng.next();
+    EXPECT_EQ(tx.encoded_size(), tx.encode().size());
+    EXPECT_EQ(tx.wire_size(), tx.encode().size());
+  }
+}
+
+TEST(EncodedSize, MatchesEncodeForRandomizedBlocks) {
+  Rng rng(0xb10c);
+  for (int i = 0; i < 20; ++i) {
+    Block block = make_block(rng.uniform(10), "esz-" + std::to_string(i));
+    block.header.nonce = rng.next();
+    block.header.time_ms = rng.next();
+    EXPECT_EQ(block.encoded_size(), block.encode().size());
+    EXPECT_EQ(block.wire_size(), block.encode().size());
+    EXPECT_EQ(block.header.encoded_size(), block.header.encode().size());
+  }
+}
+
+TEST(EncodedSize, StreamedWritersAgreeWithByteWriter) {
+  // The four writers must encode identically: digest(HashWriter stream)
+  // == digest(ByteWriter buffer), size(SizeWriter) == buffer size.
+  const auto alice = crypto::key_from_seed("writer-agree");
+  const Transaction tx = make_transfer(alice, Address{}, 42, 7);
+
+  const Bytes buf = tx.encode();
+  HashWriter hw;
+  tx.encode_to(hw);
+  EXPECT_EQ(hw.digest(), crypto::sha256(BytesView(buf)));
+
+  SizeWriter sw;
+  tx.encode_to(sw);
+  EXPECT_EQ(sw.size(), buf.size());
+
+  FnvWriter fw;
+  tx.encode_to(fw);
+  EXPECT_EQ(fw.value(), fnv1a(BytesView(buf)));
+}
+
+}  // namespace
+}  // namespace mc::chain

@@ -157,6 +157,71 @@ TEST(Serial, VarintBoundaries) {
   }
 }
 
+TEST(Serial, VarintRejectsOverlongEncodings) {
+  // 0x80 0x00 decodes to the same value as plain 0x00 under a permissive
+  // reader; canonical decoding must reject the padded form so every value
+  // has exactly one wire representation (one content id).
+  for (const Bytes evil :
+       {Bytes{0x80, 0x00}, Bytes{0xff, 0x00}, Bytes{0x81, 0x80, 0x00}}) {
+    ByteReader r{BytesView(evil)};
+    EXPECT_THROW(r.varint(), SerialError) << "overlong varint accepted";
+  }
+  // A trailing zero continuation *payload* byte is only invalid as the
+  // final byte; 0x80 0x01 (value 128) is canonical and must pass.
+  Bytes ok{0x80, 0x01};
+  ByteReader r{BytesView(ok)};
+  EXPECT_EQ(r.varint(), 128u);
+}
+
+TEST(Serial, VarintRejectsOverflow) {
+  // 10 continuation bytes push past 64 bits.
+  Bytes evil(10, 0xff);
+  evil.push_back(0x01);
+  ByteReader r{BytesView(evil)};
+  EXPECT_THROW(r.varint(), SerialError);
+  // 2^64 - 1 is the largest encodable value: 9 x 0xff then 0x01.
+  Bytes max(9, 0xff);
+  max.push_back(0x01);
+  ByteReader ok{BytesView(max)};
+  EXPECT_EQ(ok.varint(), ~0ULL);
+  // Same length but a payload bit above 2^64: rejected.
+  Bytes over(9, 0xff);
+  over.push_back(0x02);
+  ByteReader bad{BytesView(over)};
+  EXPECT_THROW(bad.varint(), SerialError);
+}
+
+TEST(Serial, HashAndSizeWritersMirrorByteWriter) {
+  // Write the same mixed sequence through all four writers: the streamed
+  // digest, the counted size and the FNV fingerprint must all agree with
+  // the materialized buffer.
+  const auto script = [](auto& w) {
+    w.u8(7);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(2.71828);
+    w.varint(0);
+    w.varint(300);
+    w.varint(~0ULL);
+    w.bytes(Bytes{9, 8, 7});
+    w.str("writers agree");
+    w.hash(Hash256{});
+  };
+  ByteWriter bw;
+  script(bw);
+  HashWriter hw;
+  script(hw);
+  SizeWriter sw;
+  script(sw);
+  FnvWriter fw;
+  script(fw);
+  EXPECT_EQ(hw.digest(), crypto::sha256(BytesView(bw.data())));
+  EXPECT_EQ(sw.size(), bw.size());
+  EXPECT_EQ(fw.value(), fnv1a(BytesView(bw.data())));
+}
+
 TEST(Serial, BytesAndStrings) {
   ByteWriter w;
   w.str("hello medchain");

@@ -26,6 +26,33 @@ TEST(Pbft, CommitsSingleRequest) {
   EXPECT_EQ(cluster.view(), 0u);
 }
 
+TEST(Pbft, PrePrepareCheckVetoesBadDigests) {
+  // Replicas consult the validation hook before endorsing a pre-prepare
+  // (in the chain stack this is BlockValidator over the digest's block).
+  const Hash256 good = crypto::sha256("validated-block");
+  const Hash256 bad = crypto::sha256("invalid-block");
+
+  PbftConfig config;
+  config.preprepare_check = [&](const Hash256& digest) {
+    return digest == good;
+  };
+
+  // Execution is in-order by sequence number, so a vetoed request stalls
+  // everything behind it — exactly the point: the cluster must not build
+  // on an invalid block. Use separate clusters for the two directions.
+  PbftCluster vetoed(net_of(4), config);
+  vetoed.submit(bad);
+  vetoed.run(/*limit=*/10.0);
+  EXPECT_TRUE(vetoed.commits().empty()) << "vetoed digest still committed";
+  EXPECT_GT(vetoed.view(), 0u) << "replicas should have rotated the primary";
+
+  PbftCluster accepting(net_of(4), config);
+  accepting.submit(good);
+  accepting.run();
+  ASSERT_EQ(accepting.commits().size(), 1u);
+  EXPECT_EQ(accepting.commits()[0].digest, good);
+}
+
 TEST(Pbft, QuorumIsTwoThirdsPlusOne) {
   PbftCluster c4(net_of(4));
   EXPECT_EQ(c4.max_faults(), 1u);

@@ -133,6 +133,50 @@ TEST_P(TxCanonical, GarbageEitherThrowsOrRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TxCanonical,
                          ::testing::Range<std::uint64_t>(20, 24));
 
+// --- Varint encoding is canonical --------------------------------------
+
+class VarintCanonical : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintCanonical, EncodeDecodeIsIdentity) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 2000; ++round) {
+    // Bias toward boundary magnitudes: shift a random value so every
+    // encoded length 1..10 is exercised.
+    const std::uint64_t v = rng.next() >> rng.uniform(64);
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(BytesView(w.data()));
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST_P(VarintCanonical, GarbageEitherThrowsOrReencodesIdentically) {
+  // The anti-alias property behind content ids: any byte string that
+  // decodes must re-encode to exactly itself, so two distinct wire forms
+  // can never share a value (and thus an id).
+  Rng rng(GetParam() + 500);
+  for (int round = 0; round < 2000; ++round) {
+    const Bytes garbage = rng.bytes(1 + rng.uniform(12));
+    ByteReader r{BytesView(garbage)};
+    try {
+      const std::uint64_t v = r.varint();
+      ByteWriter w;
+      w.varint(v);
+      const Bytes consumed(garbage.begin(),
+                           garbage.begin() + static_cast<std::ptrdiff_t>(
+                                                 garbage.size() - r.remaining()));
+      EXPECT_EQ(w.data(), consumed)
+          << "two distinct byte strings decode to one value";
+    } catch (const SerialError&) {
+      // Overlong or overflowing forms are rejected — that's the point.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintCanonical,
+                         ::testing::Range<std::uint64_t>(30, 34));
+
 // --- Ledger conservation ------------------------------------------------
 
 class SupplyConservation : public ::testing::TestWithParam<std::uint64_t> {};

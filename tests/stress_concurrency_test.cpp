@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "chain/block.hpp"
+#include "chain/block_validator.hpp"
 #include "chain/mempool.hpp"
 #include "chain/transaction.hpp"
 #include "common/thread_pool.hpp"
@@ -149,6 +151,56 @@ TEST(StressConcurrency, ParallelOffchainAnalyticsViaScheduler) {
 
   EXPECT_EQ(placements.load(), kWorkers * 32u);
   EXPECT_GE(hub_moves.load(), kWorkers * 3u);  // the hub_only tasks at least
+}
+
+TEST(StressConcurrency, BlockValidatorHammeredFromManyThreads) {
+  // Many consensus threads validating the same decoded blocks through one
+  // shared pool-backed validator. Exercises (a) concurrent parallel_for
+  // fan-out on a shared ThreadPool and (b) concurrent id() cache hits on
+  // shared Transaction objects — both must be TSan-clean.
+  const auto sender = crypto::key_from_seed("stress-bv-sender");
+  const chain::Address to =
+      crypto::address_of(crypto::key_from_seed("stress-bv-to").pub);
+
+  chain::Block good;
+  for (std::size_t i = 0; i < 48; ++i)
+    good.txs.push_back(chain::make_transfer(sender, to, 1 + i, i));
+  good.header.tx_root = good.compute_tx_root();
+
+  chain::Block bad = good;
+  bad.txs[29].sig.s ^= 1;
+  bad.header.tx_root = bad.compute_tx_root();
+  // Re-warm ids on the mutated tx before sharing across threads (direct
+  // field mutation requires the first id() call to be single-threaded).
+  (void)bad.txs[29].id();
+
+  // Decoded copies share nothing with the originals; validate those too.
+  const chain::Block good_decoded =
+      chain::Block::decode(BytesView(good.encode()));
+
+  ThreadPool pool(4);
+  const chain::BlockValidator validator(&pool, /*min_parallel_txs=*/1);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 25;
+  std::atomic<std::size_t> ok_good{0}, ok_decoded{0}, bad_at_29{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (validator.validate(good).ok()) ++ok_good;
+        if (validator.validate(good_decoded).ok()) ++ok_decoded;
+        const chain::BlockValidation v = validator.validate(bad);
+        if (v.first_invalid_tx == 29 && v.tx_root_ok) ++bad_at_29;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok_good.load(), kThreads * kRounds);
+  EXPECT_EQ(ok_decoded.load(), kThreads * kRounds);
+  EXPECT_EQ(bad_at_29.load(), kThreads * kRounds);
 }
 
 }  // namespace
