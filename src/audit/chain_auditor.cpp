@@ -32,6 +32,7 @@ std::string_view violation_name(ViolationKind kind) {
     case ViolationKind::QuorumDuplicateVoter: return "quorum-duplicate-voter";
     case ViolationKind::QuorumConflictingDigest:
       return "quorum-conflicting-digest";
+    case ViolationKind::OrphanPoolOverflow: return "orphan-pool-overflow";
   }
   return "unknown";
 }
@@ -192,6 +193,13 @@ AuditReport ChainAuditor::audit_node(const chain::Node& node) const {
               " below account nonce " +
               std::to_string(node.state().nonce(tx.from)));
   }
+
+  // The orphan pool must respect its configured cap — an overflow means
+  // eviction is broken and a peer can grow the node's memory unboundedly.
+  if (node.orphan_count() > params_.max_orphans)
+    add(report, ViolationKind::OrphanPoolOverflow, node.height(),
+        std::to_string(node.orphan_count()) + " orphans held, cap is " +
+            std::to_string(params_.max_orphans));
   return report;
 }
 

@@ -45,6 +45,7 @@ enum class ViolationKind : std::uint8_t {
   QuorumUnknownVoter,    ///< vote from a replica id outside the cluster
   QuorumDuplicateVoter,  ///< the same replica counted twice in one cert
   QuorumConflictingDigest,  ///< two certs commit different digests at one seq
+  OrphanPoolOverflow,    ///< node holds more orphans than params.max_orphans
 };
 
 [[nodiscard]] std::string_view violation_name(ViolationKind kind);

@@ -1,0 +1,362 @@
+#include "chain/faultsim.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "chain/block_validator.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mc::chain {
+namespace {
+
+/// Mutable scenario state shared by the event handlers.
+struct FaultWorld {
+  explicit FaultWorld(const FaultSimConfig& config)
+      : cfg(config), rng(config.seed) {}
+
+  const FaultSimConfig& cfg;
+  Rng rng;
+  sim::EventQueue queue;
+  ThreadPool pool;
+  BlockValidator validator{&pool};
+  sim::Network network{sim::NetworkConfig{}};
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::unique_ptr<sim::FaultInjector> injector;
+  std::unique_ptr<PbftCluster> cluster;
+  std::unique_ptr<GossipNet> gossip;
+  std::unique_ptr<SyncManager> sync;
+
+  std::vector<crypto::PrivateKey> clients;
+  std::vector<std::uint64_t> client_nonces;
+  std::vector<TxId> injected;
+
+  struct Proposal {
+    Block block;
+    sim::NodeId builder = 0;
+  };
+  std::unordered_map<Hash256, Proposal> proposed;
+  std::optional<Hash256> awaiting;  ///< digest in flight through consensus
+  sim::SimTime awaiting_deadline = 0;
+
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t blocks_before = 0;
+  std::uint64_t blocks_during = 0;
+  std::uint64_t blocks_after = 0;
+  sim::SimTime last_commit_at = 0;
+
+  std::vector<RecoveryRecord> recoveries;
+  std::unordered_map<sim::NodeId, std::size_t> recovery_index;
+  /// Named so a failed sync can recursively re-enter itself after backoff.
+  std::function<void(sim::NodeId)> begin_recovery_sync;
+
+  /// Up and participating: eligible to build blocks or serve as the
+  /// report's canonical view.
+  [[nodiscard]] bool live(sim::NodeId id) const {
+    return !cluster->down(id) && !cluster->recovering(id);
+  }
+};
+
+void submit_next_tx(FaultWorld& world) {
+  if (world.injected.size() >= world.cfg.tx_count) return;
+
+  const std::size_t from_idx = world.rng.uniform(world.clients.size());
+  std::size_t to_idx = world.rng.uniform(world.clients.size());
+  if (to_idx == from_idx) to_idx = (to_idx + 1) % world.clients.size();
+  Transaction tx = make_transfer(
+      world.clients[from_idx],
+      crypto::address_of(world.clients[to_idx].pub),
+      /*amount=*/1 + world.rng.uniform(100),
+      world.client_nonces[from_idx]++,
+      /*gas_price=*/1 + world.rng.uniform(4));
+
+  // Clients submit to a live node; a crashed RPC endpoint means the
+  // client walks its node list.
+  sim::NodeId origin =
+      static_cast<sim::NodeId>(world.rng.uniform(world.nodes.size()));
+  for (std::size_t probe = 0; probe < world.nodes.size(); ++probe) {
+    if (!world.injector->is_down(origin)) break;
+    origin = static_cast<sim::NodeId>((origin + 1) % world.nodes.size());
+  }
+  if (!world.injector->is_down(origin)) {
+    world.injected.push_back(tx.id());
+    world.gossip->publish(origin, GossipKind::Transaction, tx.id(),
+                          tx.encode());
+  }
+
+  const double gap = world.rng.exponential(1.0 / world.cfg.tx_rate_per_s);
+  world.queue.schedule_in(gap, [&world] { submit_next_tx(world); });
+}
+
+/// Builder of the next block: the live, fully-synced node with the
+/// highest chain (lowest id breaks ties deterministically).
+std::optional<sim::NodeId> pick_builder(const FaultWorld& world) {
+  std::optional<sim::NodeId> best;
+  Height best_height = 0;
+  for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+    if (!world.live(i) || world.sync->syncing(i)) continue;
+    if (!best || world.nodes[i]->height() > best_height) {
+      best = i;
+      best_height = world.nodes[i]->height();
+    }
+  }
+  return best;
+}
+
+void tick(FaultWorld& world) {
+  const sim::SimTime now = world.queue.now();
+  if (now + world.cfg.params.block_interval_s <= world.cfg.sim_limit_s)
+    world.queue.schedule_in(world.cfg.params.block_interval_s,
+                            [&world] { tick(world); });
+
+  // One digest in consensus at a time; a stalled one (partitioned
+  // builder, view changes in progress) is given up on after a deadline
+  // and superseded by a fresh proposal.
+  if (world.awaiting && now < world.awaiting_deadline) return;
+  const auto builder = pick_builder(world);
+  if (!builder) return;
+
+  Block block =
+      world.nodes[*builder]->propose(static_cast<std::uint64_t>(now * 1000.0));
+  const Hash256 digest = block.id();
+  world.proposed[digest] = FaultWorld::Proposal{block, *builder};
+  world.awaiting = digest;
+  world.awaiting_deadline = now + 2 * world.cfg.pbft.request_timeout_s +
+                            world.cfg.params.block_interval_s;
+  world.cluster->submit(digest);
+}
+
+void on_block_committed(FaultWorld& world, const PbftCommit& commit) {
+  auto it = world.proposed.find(commit.digest);
+  if (it == world.proposed.end()) return;
+  const Block& block = it->second.block;
+  const sim::NodeId builder = it->second.builder;
+
+  ++world.blocks_committed;
+  world.last_commit_at = std::max(world.last_commit_at, commit.committed_at);
+  const sim::FaultPlan& plan = world.injector->plan();
+  if (plan.empty() || commit.committed_at < plan.first_fault_at())
+    ++world.blocks_before;
+  else if (commit.committed_at <= plan.last_heal_at())
+    ++world.blocks_during;
+  else
+    ++world.blocks_after;
+  if (world.awaiting && *world.awaiting == commit.digest)
+    world.awaiting.reset();
+
+  // Distribute the committed block: the builder connects it at once,
+  // every reachable peer after one network delay. Nodes that are down or
+  // across a partition miss it and catch up through SyncManager — new
+  // blocks arriving before the gap is filled land in the orphan pool.
+  world.nodes[builder]->submit_block(block);
+  for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+    if (i == builder) continue;
+    if (world.cluster->down(i)) continue;
+    if (!world.injector->connected(builder, i)) continue;
+    const double delay = world.network.delay_jittered(
+        builder, i, block.encoded_size(), world.rng);
+    world.queue.schedule_in(delay, [&world, i, block] {
+      if (world.cluster->down(i)) return;
+      const BlockVerdict verdict = world.nodes[i]->submit_block(block);
+      // A block that does not connect exposes a gap (e.g. the node
+      // resynced against a peer that was itself stale): go fetch the
+      // missing ancestors instead of hoarding orphans forever.
+      if (verdict == BlockVerdict::Orphan && world.live(i) &&
+          !world.sync->syncing(i))
+        world.sync->start_sync(i);
+    });
+  }
+}
+
+void wire_faults(FaultWorld& world) {
+  world.injector->on_crash = [&world](sim::NodeId id, sim::SimTime at) {
+    world.cluster->crash(id);
+    world.recovery_index[id] = world.recoveries.size();
+    RecoveryRecord rec;
+    rec.node = id;
+    rec.crashed_at = at;
+    world.recoveries.push_back(rec);
+  };
+
+  world.begin_recovery_sync = [&world](sim::NodeId nid) {
+    if (world.cluster->down(nid)) return;  // crashed again before syncing
+    world.sync->start_sync(
+        nid, [&world](sim::NodeId who, const SyncOutcome& outcome) {
+          RecoveryRecord* rec = nullptr;
+          auto idx = world.recovery_index.find(who);
+          if (idx != world.recovery_index.end())
+            rec = &world.recoveries[idx->second];
+          if (rec) {
+            rec->blocks_fetched += outcome.blocks_fetched;
+            rec->bytes_fetched += outcome.bytes_fetched;
+          }
+          if (outcome.ok) {
+            world.cluster->rejoin(who);
+            if (rec) {
+              rec->synced_at = outcome.completed_at;
+              rec->resynced = true;
+            }
+          } else if (!world.cluster->down(who)) {
+            // Every peer timed out — back off a full window and retry
+            // from scratch (peers may themselves be down or partitioned).
+            world.queue.schedule_in(
+                world.cfg.sync.backoff_max_s,
+                [&world, who] { world.begin_recovery_sync(who); });
+          }
+        });
+  };
+
+  world.injector->on_restart = [&world](sim::NodeId id, sim::SimTime at) {
+    world.cluster->restart(id);
+    auto idx = world.recovery_index.find(id);
+    if (idx != world.recovery_index.end())
+      world.recoveries[idx->second].restarted_at = at;
+    world.begin_recovery_sync(id);
+  };
+
+  world.injector->on_heal = [&world](sim::SimTime) {
+    // Nodes that sat out a partition resync to the longest live chain
+    // before proposing again; consensus view catch-up happens on the
+    // next pre-prepare they receive.
+    Height max_height = 0;
+    for (sim::NodeId i = 0; i < world.nodes.size(); ++i)
+      if (world.live(i))
+        max_height = std::max(max_height, world.nodes[i]->height());
+    for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+      if (!world.live(i) || world.sync->syncing(i)) continue;
+      if (world.nodes[i]->height() < max_height) world.sync->start_sync(i);
+    }
+  };
+}
+
+}  // namespace
+
+FaultSimReport run_fault_sim(const FaultSimConfig& config) {
+  if (config.node_count < 4)
+    throw std::invalid_argument("fault sim needs at least 4 PBFT nodes");
+  if (!config.region_of.empty() &&
+      config.region_of.size() != config.node_count)
+    throw std::invalid_argument("region_of does not match node_count");
+
+  FaultWorld world(config);
+
+  ChainParams params = config.params;
+  params.consensus = ConsensusKind::Pbft;
+  params.pow_target = ~0ULL;  // ordering comes from PBFT, not mining
+  for (std::size_t i = 0; i < config.client_count; ++i) {
+    auto key = crypto::key_from_seed("client-" + std::to_string(i) + "-" +
+                                     std::to_string(config.seed));
+    params.premine.emplace_back(crypto::address_of(key.pub),
+                                Amount{100'000'000});
+    world.clients.push_back(key);
+    world.client_nonces.push_back(0);
+  }
+
+  const Block genesis = make_genesis("medchain-faultsim", params.pow_target);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    auto key = crypto::key_from_seed("node-" + std::to_string(i) + "-" +
+                                     std::to_string(config.seed));
+    world.nodes.push_back(std::make_unique<Node>(key, params, genesis));
+    world.nodes.back()->set_validator(&world.validator);
+  }
+
+  if (config.region_of.empty()) {
+    world.network =
+        sim::Network::uniform(config.node_count, config.regions, config.net);
+  } else {
+    world.network = sim::Network(config.net);
+    for (std::uint32_t region : config.region_of)
+      world.network.add_node(region);
+  }
+
+  world.injector =
+      std::make_unique<sim::FaultInjector>(world.network, world.queue);
+
+  PbftConfig pbft = config.pbft;
+  pbft.on_commit = [&world](const PbftCommit& commit) {
+    on_block_committed(world, commit);
+  };
+  world.cluster = std::make_unique<PbftCluster>(
+      world.network, pbft, std::set<sim::NodeId>{}, &world.queue);
+  world.cluster->set_link_policy(world.injector->link_policy());
+
+  world.gossip = std::make_unique<GossipNet>(
+      world.network, world.queue,
+      [&world](sim::NodeId node, GossipKind kind, const Hash256& /*id*/,
+               const Bytes& payload, sim::SimTime /*at*/) {
+        if (kind != GossipKind::Transaction) return;
+        world.nodes[node]->submit(Transaction::decode(BytesView(payload)));
+      },
+      config.seed ^ 0x6055);
+  world.gossip->set_link_policy(world.injector->link_policy());
+
+  std::vector<Node*> node_ptrs;
+  for (auto& n : world.nodes) node_ptrs.push_back(n.get());
+  world.sync = std::make_unique<SyncManager>(world.queue, world.network,
+                                             std::move(node_ptrs), config.sync,
+                                             config.seed ^ 0x57ac);
+  world.sync->set_link_policy(world.injector->link_policy());
+
+  wire_faults(world);
+  world.injector->install(config.faults);
+
+  submit_next_tx(world);
+  world.queue.schedule_in(params.block_interval_s, [&world] { tick(world); });
+  world.queue.run(config.sim_limit_s);
+
+  // Aggregate the report around the best live node's view of the chain.
+  FaultSimReport report;
+  report.nodes = config.node_count;
+  report.submitted_txs = world.injected.size();
+  report.blocks_committed = world.blocks_committed;
+  report.blocks_before = world.blocks_before;
+  report.blocks_during = world.blocks_during;
+  report.blocks_after = world.blocks_after;
+  report.duration_s = world.last_commit_at;
+  report.view_changes = world.cluster->view_changes();
+  report.pbft_messages = world.cluster->messages_sent();
+  report.pbft_dropped = world.cluster->messages_dropped();
+  report.sync = world.sync->stats();
+  report.recoveries = world.recoveries;
+  report.gossip = world.gossip->stats();
+
+  for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+    NodeEndState end;
+    end.height = world.nodes[i]->height();
+    end.tip = world.nodes[i]->tip();
+    end.live = world.live(i);
+    end.syncing = world.sync->syncing(i);
+    report.node_ends.push_back(end);
+  }
+
+  const Node* best = nullptr;
+  for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+    if (!world.live(i) || world.sync->syncing(i)) continue;
+    if (!best || world.nodes[i]->height() > best->height())
+      best = world.nodes[i].get();
+  }
+  if (best) {
+    report.final_height = best->height();
+    report.final_tip = best->tip();
+    if (const Block* tip_block = best->block(best->tip()))
+      report.final_state_root = tip_block->header.state_root;
+    report.live_nodes_agree = true;
+    for (sim::NodeId i = 0; i < world.nodes.size(); ++i) {
+      if (!world.live(i) || world.sync->syncing(i)) continue;
+      if (world.nodes[i]->tip() != report.final_tip)
+        report.live_nodes_agree = false;
+    }
+    for (const TxId& txid : world.injected)
+      if (best->tx_committed(txid)) ++report.committed_txs;
+  }
+  report.throughput_tps =
+      report.duration_s > 0
+          ? static_cast<double>(report.committed_txs) / report.duration_s
+          : 0;
+  return report;
+}
+
+}  // namespace mc::chain

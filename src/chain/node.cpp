@@ -170,7 +170,18 @@ BlockVerdict Node::receive(const Block& block) {
 
   auto parent_it = blocks_.find(block.header.parent);
   if (parent_it == blocks_.end()) {
+    // Already parked? Re-announcements of an orphan are common while the
+    // gap before it is still being synced.
+    for (const Block& held : orphans_)
+      if (held.id() == id) return BlockVerdict::Orphan;
     orphans_.push_back(block);
+    // Bounded pool: evict oldest first. A real evicted block re-arrives
+    // via chain sync once its parent connects; an unbounded pool is a
+    // memory hole a malicious peer can feed forever.
+    while (orphans_.size() > params_.max_orphans) {
+      orphans_.erase(orphans_.begin());
+      ++counters_.orphans_evicted;
+    }
     return BlockVerdict::Orphan;
   }
 

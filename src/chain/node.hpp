@@ -52,6 +52,7 @@ struct NodeCounters {
   std::uint64_t sig_verifications = 0; ///< tx signature checks
   std::uint64_t txs_executed = 0;      ///< transactions applied to state
   std::uint64_t blocks_validated = 0;
+  std::uint64_t orphans_evicted = 0;   ///< dropped by the orphan-pool cap
   Gas gas_executed = 0;
 };
 
@@ -119,6 +120,9 @@ class Node {
   [[nodiscard]] bool has_block(const BlockId& id) const {
     return blocks_.count(id) > 0;
   }
+
+  /// Blocks parked while their parent is missing (<= params.max_orphans).
+  [[nodiscard]] std::size_t orphan_count() const { return orphans_.size(); }
   [[nodiscard]] const Block* block(const BlockId& id) const;
 
   /// Whether `txid` is included in the best chain.

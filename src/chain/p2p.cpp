@@ -1,5 +1,7 @@
 #include "chain/p2p.hpp"
 
+#include <algorithm>
+
 namespace mc::chain {
 
 GossipNet::GossipNet(sim::Network network, sim::EventQueue& queue,
@@ -9,11 +11,28 @@ GossipNet::GossipNet(sim::Network network, sim::EventQueue& queue,
       receiver_(std::move(receiver)),
       rng_(seed),
       drop_rate_(drop_rate),
-      seen_(network_.size()) {}
+      seen_(network_.size()) {
+  stats_.node_deliveries.assign(network_.size(), 0);
+}
+
+bool GossipNet::mark_seen(sim::NodeId node, const Hash256& id) {
+  SeenSet& seen = seen_[node];
+  if (!seen.ids.insert(id).second) return false;
+  seen.order.push_back(id);
+  if (seen_cap_ > 0) {
+    while (seen.order.size() > seen_cap_) {
+      seen.ids.erase(seen.order.front());
+      seen.order.pop_front();
+      ++stats_.seen_pruned;
+    }
+  }
+  return true;
+}
 
 void GossipNet::publish(sim::NodeId origin, GossipKind kind, const Hash256& id,
                         Bytes payload) {
-  if (!seen_[origin].insert(id).second) return;
+  if (!mark_seen(origin, id)) return;
+  ++stats_.node_deliveries[origin];
   receiver_(origin, kind, id, payload, queue_.now());
   forward(origin, kind, id, payload);
 }
@@ -22,14 +41,21 @@ void GossipNet::forward(sim::NodeId from, GossipKind kind, const Hash256& id,
                         const Bytes& payload) {
   for (sim::NodeId to = 0; to < network_.size(); ++to) {
     if (to == from) continue;
+    if (!policy_.up(from, to)) {
+      ++stats_.blocked;
+      continue;
+    }
     ++stats_.messages;
     stats_.bytes += payload.size();
-    if (drop_rate_ > 0 && rng_.bernoulli(drop_rate_)) {
+    const double loss =
+        std::min(1.0, drop_rate_ + policy_.loss_of(from, to));
+    if (loss > 0 && rng_.bernoulli(loss)) {
       ++stats_.dropped;
       continue;
     }
     const double delay =
-        network_.delay_jittered(from, to, payload.size(), rng_);
+        network_.delay_jittered(from, to, payload.size(), rng_) +
+        policy_.extra_delay(from, to);
     // Payload copies are intentional: each in-flight message owns its bytes.
     queue_.schedule_in(delay, [this, to, from, kind, id, payload] {
       deliver(to, from, kind, id, payload);
@@ -39,10 +65,17 @@ void GossipNet::forward(sim::NodeId from, GossipKind kind, const Hash256& id,
 
 void GossipNet::deliver(sim::NodeId to, sim::NodeId /*from*/, GossipKind kind,
                         const Hash256& id, const Bytes& payload) {
-  if (!seen_[to].insert(id).second) {
+  // up(to, to) is exactly "is the destination alive": a node is always in
+  // its own region, so only the crash half of the policy can cut it.
+  if (!policy_.up(to, to)) {
+    ++stats_.blocked;
+    return;
+  }
+  if (!mark_seen(to, id)) {
     ++stats_.duplicate_receives;
     return;
   }
+  ++stats_.node_deliveries[to];
   receiver_(to, kind, id, payload, queue_.now());
   forward(to, kind, id, payload);
 }

@@ -4,10 +4,13 @@
 // O(n) messages per transaction and per block (paper §I: "blockchain
 // broadcasts all the transactions of intent ledger modifications to all
 // participants"). Nodes forward unseen payloads to all peers; the seen-set
-// stops echo storms.
+// stops echo storms. A LinkPolicy (crashes, partitions, loss spikes from a
+// FaultInjector) can cut or degrade individual links, and per-node
+// delivery counters make the resulting starvation observable.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_set>
 #include <vector>
@@ -25,7 +28,13 @@ struct GossipStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t duplicate_receives = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;      ///< random loss (drop_rate + link loss)
+  std::uint64_t blocked = 0;      ///< hard-cut links: crashed/partitioned
+  std::uint64_t seen_pruned = 0;  ///< ids evicted by the seen-set cap
+  /// Payloads delivered to the receiver callback, per node. A starved
+  /// entry exposes a partitioned or crashed node at a glance instead of
+  /// the partition staying silent in aggregate counters.
+  std::vector<std::uint64_t> node_deliveries;
 };
 
 /// Gossip fabric: wires message ids to delivery callbacks on each node.
@@ -45,21 +54,46 @@ class GossipNet {
   void publish(sim::NodeId origin, GossipKind kind, const Hash256& id,
                Bytes payload);
 
+  /// Dynamic link conditions (fault injection). Messages over cut links
+  /// count as `blocked`; policy loss adds to drop_rate; policy latency
+  /// adds to the modeled delay. A message already in flight survives a
+  /// sender crash but is blocked if the *destination* is down on arrival.
+  void set_link_policy(sim::LinkPolicy policy) { policy_ = std::move(policy); }
+
+  /// Cap each node's seen-set at `cap` ids (FIFO retain-window eviction;
+  /// 0 = unbounded). Long simulations would otherwise grow seen-sets
+  /// without bound; an evicted id can be re-delivered, which flooding
+  /// tolerates by design.
+  void set_seen_cap(std::size_t cap) { seen_cap_ = cap; }
+
   [[nodiscard]] const GossipStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t size() const { return network_.size(); }
+  [[nodiscard]] std::size_t seen_size(sim::NodeId node) const {
+    return seen_.at(node).ids.size();
+  }
 
  private:
   void deliver(sim::NodeId to, sim::NodeId from, GossipKind kind,
                const Hash256& id, const Bytes& payload);
   void forward(sim::NodeId from, GossipKind kind, const Hash256& id,
                const Bytes& payload);
+  /// True when `id` was not in `node`'s seen-set (and is now); evicts the
+  /// oldest entries beyond the cap.
+  bool mark_seen(sim::NodeId node, const Hash256& id);
+
+  struct SeenSet {
+    std::unordered_set<Hash256> ids;
+    std::deque<Hash256> order;  ///< insertion order, oldest first
+  };
 
   sim::Network network_;
   sim::EventQueue& queue_;
   Receiver receiver_;
   Rng rng_;
   double drop_rate_;
-  std::vector<std::unordered_set<Hash256>> seen_;
+  std::size_t seen_cap_ = 0;
+  sim::LinkPolicy policy_;
+  std::vector<SeenSet> seen_;
   GossipStats stats_;
 };
 

@@ -9,11 +9,15 @@
 namespace mc::chain {
 
 PbftCluster::PbftCluster(sim::Network network, PbftConfig config,
-                         std::set<sim::NodeId> faulty)
+                         std::set<sim::NodeId> faulty,
+                         sim::EventQueue* external_queue)
     : network_(std::move(network)),
-      config_(config),
+      config_(std::move(config)),
       faulty_(std::move(faulty)),
-      n_(network_.size()) {
+      n_(network_.size()),
+      owned_queue_(external_queue ? nullptr
+                                  : std::make_unique<sim::EventQueue>()),
+      queue_(external_queue ? *external_queue : *owned_queue_) {
   if (n_ < 4) throw std::invalid_argument("PBFT needs at least 4 replicas");
   f_ = (n_ - 1) / 3;
   if (faulty_.size() > f_)
@@ -31,15 +35,27 @@ std::uint64_t PbftCluster::expected_messages(std::size_t n) {
 }
 
 void PbftCluster::send(sim::NodeId from, sim::NodeId to, PbftMessage msg) {
-  if (is_faulty(from)) return;  // crash-faulty nodes send nothing
+  if (offline(from)) return;  // crashed/recovering nodes send nothing
   msg.from = from;
+  if (!policy_.up(from, to)) {  // link cut: never reaches the wire
+    ++messages_dropped_;
+    return;
+  }
   ++messages_sent_;
   bytes_sent_ += PbftMessage::wire_size();
-  const double delay = network_.delay_jittered(
-      from, to, PbftMessage::wire_size() + (msg.type == PbftMsgType::PrePrepare
-                                                ? config_.payload_bytes
-                                                : 0),
-      rng_);
+  const double loss = policy_.loss_of(from, to);
+  if (loss > 0 && rng_.bernoulli(loss)) {  // sent, then lost in flight
+    ++messages_dropped_;
+    return;
+  }
+  const double delay =
+      network_.delay_jittered(
+          from, to,
+          PbftMessage::wire_size() +
+              (msg.type == PbftMsgType::PrePrepare ? config_.payload_bytes
+                                                   : 0),
+          rng_) +
+      policy_.extra_delay(from, to);
   queue_.schedule_in(delay, [this, to, msg] { deliver(to, msg); });
 }
 
@@ -51,7 +67,7 @@ void PbftCluster::broadcast(sim::NodeId from, PbftMessage msg) {
 }
 
 void PbftCluster::deliver(sim::NodeId to, const PbftMessage& msg) {
-  if (is_faulty(to)) return;  // crashed nodes process nothing
+  if (offline(to)) return;  // crashed/recovering nodes process nothing
   switch (msg.type) {
     case PbftMsgType::PrePrepare:
       on_pre_prepare(to, msg);
@@ -80,8 +96,9 @@ void PbftCluster::submit(const Hash256& request_digest) {
       PendingRequest{request_digest, queue_.now(), {}, false};
 
   const sim::NodeId primary = primary_of(view_);
-  // The primary assigns the sequence number and pre-prepares.
-  if (!is_faulty(primary)) {
+  // The primary assigns the sequence number and pre-prepares. A crashed
+  // primary proposes nothing; the request timeout rotates the view.
+  if (!offline(primary)) {
     Replica& rep = replicas_[primary];
     SlotState& slot = rep.slots[seq];
     slot.pre_prepared = true;
@@ -101,7 +118,7 @@ void PbftCluster::arm_timeout(std::uint64_t seq) {
     // Request not committed in time: correct replicas vote to change view.
     const std::uint64_t new_view = view_ + 1;
     for (sim::NodeId id = 0; id < n_; ++id) {
-      if (is_faulty(id)) continue;
+      if (offline(id)) continue;
       replicas_[id].view_changing = true;
       PbftMessage msg{PbftMsgType::ViewChange, new_view, seq, {}, id};
       broadcast(id, msg);
@@ -113,6 +130,18 @@ void PbftCluster::arm_timeout(std::uint64_t seq) {
 
 void PbftCluster::on_pre_prepare(sim::NodeId id, const PbftMessage& msg) {
   Replica& rep = replicas_[id];
+  // View catch-up (crash-fault model): a replica that slept through view
+  // changes — healed partition, rejoined crash — adopts a higher view on
+  // the word of that view's primary, instead of ignoring it forever. Old
+  // per-slot votes are stale across views, and execution resumes at the
+  // re-proposed sequence (earlier sequences were learned via chain sync).
+  if (msg.view > rep.view && msg.from == primary_of(msg.view)) {
+    rep.view = msg.view;
+    rep.view_changing = false;
+    rep.view_change_votes.clear();
+    rep.slots.clear();
+    rep.next_exec = std::max(rep.next_exec, msg.seq);
+  }
   if (msg.view != rep.view) return;
   if (msg.from != primary_of(msg.view)) return;  // only primary may assign
   // Replica-side request validation (paper-side: parallel block checks)
@@ -185,6 +214,7 @@ void PbftCluster::try_commit(sim::NodeId id, std::uint64_t seq) {
       it->second.done = true;
       commits_.push_back(PbftCommit{exec_seq, it->second.digest,
                                     it->second.submitted_at, queue_.now()});
+      if (config_.on_commit) config_.on_commit(commits_.back());
     }
   }
   maybe_checkpoint(id);
@@ -235,6 +265,7 @@ void PbftCluster::on_view_change(sim::NodeId id, const PbftMessage& msg) {
     rep.view_change_votes.clear();
     if (id == primary_of(msg.view)) {
       view_ = msg.view;
+      ++view_changes_;
       PbftMessage nv{PbftMsgType::NewView, msg.view, 0, {}, id};
       broadcast(id, nv);
       for (auto& [seq, req] : pending_) {
@@ -279,6 +310,28 @@ std::vector<audit::QuorumCert> PbftCluster::commit_certs(
     certs.push_back(std::move(cert));
   }
   return certs;
+}
+
+void PbftCluster::crash(sim::NodeId id) {
+  recovering_.erase(id);
+  down_.insert(id);
+}
+
+void PbftCluster::restart(sim::NodeId id) {
+  down_.erase(id);
+  recovering_.insert(id);
+  replicas_[id] = Replica{};  // volatile consensus state did not survive
+}
+
+void PbftCluster::rejoin(sim::NodeId id) {
+  recovering_.erase(id);
+  down_.erase(id);
+  Replica fresh;
+  fresh.view = view_;
+  // Sequences below next_seq_ were learned through chain sync; voting
+  // resumes with whatever the cluster assigns next.
+  fresh.next_exec = next_seq_;
+  replicas_[id] = std::move(fresh);
 }
 
 void PbftCluster::run(sim::SimTime limit) { queue_.run(limit); }

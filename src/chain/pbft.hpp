@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -70,15 +71,22 @@ struct PbftConfig {
   /// fails BlockValidator checks). Unset accepts everything — digests in
   /// this simulation are opaque.
   std::function<bool(const Hash256&)> preprepare_check;
+  /// Invoked the moment a request reaches a commit quorum — lets a
+  /// scenario driver (faultsim) apply the committed block in-line with
+  /// the simulated clock instead of polling commits() afterwards.
+  std::function<void(const PbftCommit&)> on_commit;
 };
 
 /// A full PBFT cluster simulation. Nodes are indices into the Network.
 class PbftCluster {
  public:
   /// `n` must satisfy n >= 3f+1 for the cluster to tolerate `f` faults;
-  /// nodes listed in `faulty` stay silent (crash faults).
+  /// nodes listed in `faulty` stay silent (crash faults). Passing
+  /// `external_queue` runs consensus on a shared EventQueue so PBFT,
+  /// gossip, sync and fault injection advance one common clock.
   PbftCluster(sim::Network network, PbftConfig config = {},
-              std::set<sim::NodeId> faulty = {});
+              std::set<sim::NodeId> faulty = {},
+              sim::EventQueue* external_queue = nullptr);
 
   /// Submit a request digest at simulated time now; commits are recorded
   /// once a quorum of correct replicas commits.
@@ -89,11 +97,39 @@ class PbftCluster {
   /// so submit/run cycles compose.
   void run(sim::SimTime limit = sim::kNoLimit);
 
+  // --- crash-recovery (dynamic faults, unlike the static `faulty` set) --
+  /// Take `id` offline: it stops sending and processing. Unlike `faulty`,
+  /// a crashed replica may come back. Keeping crashes within f is the
+  /// scenario's responsibility.
+  void crash(sim::NodeId id);
+  /// Bring `id` back up with volatile consensus state wiped. The replica
+  /// stays silent (`recovering`) until rejoin() — real recovery first
+  /// replays the chain through SyncManager.
+  void restart(sim::NodeId id);
+  /// Re-enter the quorum after state transfer: adopt the current view,
+  /// skip past already-executed sequences, resume voting.
+  void rejoin(sim::NodeId id);
+  [[nodiscard]] bool down(sim::NodeId id) const {
+    return down_.count(id) > 0;
+  }
+  [[nodiscard]] bool recovering(sim::NodeId id) const {
+    return recovering_.count(id) > 0;
+  }
+
+  /// Dynamic link conditions (fault injection): cut links count as
+  /// dropped before they hit the wire, policy loss drops sent messages,
+  /// policy latency stretches delivery.
+  void set_link_policy(sim::LinkPolicy policy) { policy_ = std::move(policy); }
+
   [[nodiscard]] const std::vector<PbftCommit>& commits() const {
     return commits_;
   }
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
+  [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
   [[nodiscard]] std::uint64_t view() const { return view_; }
 
   /// Highest sequence covered by a stable checkpoint on replica `id`
@@ -150,6 +186,11 @@ class PbftCluster {
   [[nodiscard]] bool is_faulty(sim::NodeId id) const {
     return faulty_.count(id) > 0;
   }
+  /// Silent for any reason: permanently faulty, crashed, or restarted but
+  /// not yet resynced.
+  [[nodiscard]] bool offline(sim::NodeId id) const {
+    return is_faulty(id) || down_.count(id) > 0 || recovering_.count(id) > 0;
+  }
 
   void send(sim::NodeId from, sim::NodeId to, PbftMessage msg);
   void broadcast(sim::NodeId from, PbftMessage msg);
@@ -167,10 +208,14 @@ class PbftCluster {
   sim::Network network_;
   PbftConfig config_;
   std::set<sim::NodeId> faulty_;
+  std::set<sim::NodeId> down_;
+  std::set<sim::NodeId> recovering_;
+  sim::LinkPolicy policy_;
   std::size_t n_;
   std::size_t f_;
 
-  sim::EventQueue queue_;
+  std::unique_ptr<sim::EventQueue> owned_queue_;  ///< null when external
+  sim::EventQueue& queue_;
   Rng rng_{0xb347};
   std::vector<Replica> replicas_;
   std::uint64_t view_ = 0;
@@ -187,6 +232,8 @@ class PbftCluster {
   std::vector<PbftCommit> commits_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t view_changes_ = 0;
 };
 
 }  // namespace mc::chain

@@ -1,0 +1,211 @@
+#include "chain/sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "audit/check.hpp"
+
+namespace mc::chain {
+
+namespace {
+// Request/response framing overhead on top of ids / block bodies.
+constexpr std::size_t kRequestOverhead = 16;
+constexpr std::size_t kResponseOverhead = 64;
+}  // namespace
+
+SyncManager::SyncManager(sim::EventQueue& queue, sim::Network network,
+                         std::vector<Node*> nodes, SyncConfig config,
+                         std::uint64_t seed)
+    : queue_(queue),
+      network_(std::move(network)),
+      nodes_(std::move(nodes)),
+      config_(config),
+      rng_(seed) {
+  if (nodes_.size() != network_.size())
+    throw std::invalid_argument("sync: node list does not match network");
+  if (nodes_.size() < 2)
+    throw std::invalid_argument("sync needs at least two nodes");
+}
+
+bool SyncManager::syncing(sim::NodeId who) const {
+  auto it = sessions_.find(who);
+  return it != sessions_.end() && it->second.active;
+}
+
+void SyncManager::start_sync(sim::NodeId who, CompletionFn on_done) {
+  Session& s = sessions_[who];
+  if (s.active) return;
+  const std::uint64_t token = s.token;  // survives the session reset
+  s = Session{};
+  s.active = true;
+  s.token = token;
+  s.peer_cursor = static_cast<std::size_t>(rng_.uniform(nodes_.size() - 1));
+  s.on_done = std::move(on_done);
+  s.started_at = queue_.now();
+  ++stats_.sessions_started;
+  send_request(who);
+}
+
+sim::NodeId SyncManager::pick_peer(sim::NodeId who) const {
+  const Session& s = sessions_.at(who);
+  // Cursor indexes the peer set with `who` removed, so rotation visits
+  // every other node before repeating.
+  const std::size_t slot = s.peer_cursor % (nodes_.size() - 1);
+  const std::size_t raw = slot < who ? slot : slot + 1;
+  return static_cast<sim::NodeId>(raw);
+}
+
+void SyncManager::send_request(sim::NodeId who) {
+  Session& s = sessions_.at(who);
+  ++s.token;  // a new request supersedes any in-flight timeout/response
+  const std::uint64_t token = s.token;
+  const sim::NodeId peer = pick_peer(who);
+
+  // Block locator: up to locator_blocks ids of the requester's best
+  // chain, tip first. The peer finds the fork point and serves forward.
+  std::vector<BlockId> locator;
+  const std::vector<BlockId> chain = nodes_[who]->best_chain();
+  for (auto it = chain.rbegin();
+       it != chain.rend() && locator.size() < config_.locator_blocks; ++it)
+    locator.push_back(*it);
+
+  ++stats_.requests_sent;
+  const std::size_t req_bytes =
+      locator.size() * sizeof(BlockId) + kRequestOverhead;
+  const bool up = policy_.up(who, peer);
+  const bool lost =
+      !up || (policy_.loss_of(who, peer) > 0 &&
+              rng_.bernoulli(policy_.loss_of(who, peer)));
+  if (!lost) {
+    const double delay = network_.delay_jittered(who, peer, req_bytes, rng_) +
+                         policy_.extra_delay(who, peer);
+    queue_.schedule_in(delay,
+                       [this, who, peer, locator = std::move(locator), token] {
+                         serve_request(who, peer, locator, token);
+                       });
+  }
+  // The timeout is armed unconditionally: a lost request and a slow
+  // response look identical to the requester.
+  queue_.schedule_in(config_.request_timeout_s,
+                     [this, who, token] { handle_timeout(who, token); });
+}
+
+void SyncManager::serve_request(sim::NodeId who, sim::NodeId peer,
+                                std::vector<BlockId> locator,
+                                std::uint64_t token) {
+  const Node& server = *nodes_[peer];
+  const std::vector<BlockId> chain = server.best_chain();
+  std::unordered_map<BlockId, std::size_t> index;
+  index.reserve(chain.size());
+  for (std::size_t h = 0; h < chain.size(); ++h) index[chain[h]] = h;
+
+  // Fork point: first locator id (tip-first) on the server's best chain.
+  // No match anchors at genesis, which every node shares by construction.
+  std::size_t start = 1;
+  for (const BlockId& id : locator) {
+    auto it = index.find(id);
+    if (it != index.end()) {
+      start = it->second + 1;
+      break;
+    }
+  }
+
+  std::vector<Block> blocks;
+  std::uint64_t bytes = kResponseOverhead;
+  for (std::size_t h = start;
+       h < chain.size() && blocks.size() < config_.batch_blocks; ++h) {
+    const Block* b = server.block(chain[h]);
+    MC_DCHECK(b != nullptr, "best-chain id missing from block store");
+    blocks.push_back(*b);
+    bytes += b->encoded_size();
+  }
+  const Height peer_tip = server.height();
+
+  // Response transit: the peer may have died or the link may have been
+  // cut since the request was sent.
+  if (!policy_.up(peer, who)) return;
+  const double loss = policy_.loss_of(peer, who);
+  if (loss > 0 && rng_.bernoulli(loss)) return;
+  const double delay =
+      network_.delay_jittered(peer, who, static_cast<std::size_t>(bytes),
+                              rng_) +
+      policy_.extra_delay(peer, who);
+  queue_.schedule_in(
+      delay, [this, who, blocks = std::move(blocks), peer_tip, bytes, token] {
+        handle_response(who, blocks, peer_tip, bytes, token);
+      });
+}
+
+void SyncManager::handle_response(sim::NodeId who, std::vector<Block> blocks,
+                                  Height peer_tip, std::uint64_t bytes,
+                                  std::uint64_t token) {
+  Session& s = sessions_.at(who);
+  if (!s.active || token != s.token) return;  // superseded by a retry
+  ++stats_.responses_received;
+  s.blocks += blocks.size();
+  s.bytes += bytes;
+  stats_.blocks_fetched += blocks.size();
+  stats_.bytes_fetched += bytes;
+
+  for (const Block& b : blocks) nodes_[who]->submit_block(b);
+
+  if (nodes_[who]->height() >= peer_tip) {
+    finish(who, true);
+  } else if (!blocks.empty()) {
+    s.attempt = 0;  // forward progress resets the failure streak
+    send_request(who);
+  } else {
+    retry(who);  // peer had nothing new for us: rotate and back off
+  }
+}
+
+void SyncManager::handle_timeout(sim::NodeId who, std::uint64_t token) {
+  Session& s = sessions_.at(who);
+  if (!s.active || token != s.token) return;  // request already answered
+  ++stats_.timeouts;
+  retry(who);
+}
+
+void SyncManager::retry(sim::NodeId who) {
+  Session& s = sessions_.at(who);
+  ++s.attempt;
+  if (s.attempt > config_.max_retries) {
+    finish(who, false);
+    return;
+  }
+  ++s.retries;
+  ++stats_.retries;
+  ++s.peer_cursor;  // a dead or useless peer is not asked twice in a row
+  const double backoff =
+      std::min(config_.backoff_base_s *
+                   std::pow(config_.backoff_multiplier,
+                            static_cast<double>(s.attempt - 1)),
+               config_.backoff_max_s) *
+      (1.0 + config_.jitter_frac * rng_.uniform01());
+  ++s.token;  // invalidate the timed-out request's leftovers
+  const std::uint64_t token = s.token;
+  queue_.schedule_in(backoff, [this, who, token] {
+    Session& cur = sessions_.at(who);
+    if (!cur.active || token != cur.token) return;
+    send_request(who);
+  });
+}
+
+void SyncManager::finish(sim::NodeId who, bool ok) {
+  Session& s = sessions_.at(who);
+  s.active = false;
+  ++s.token;  // kill any still-scheduled timeout or resend
+  if (ok)
+    ++stats_.sessions_completed;
+  else
+    ++stats_.sessions_failed;
+  SyncOutcome outcome{ok, queue_.now(), s.blocks, s.bytes, s.retries};
+  CompletionFn done = std::move(s.on_done);
+  s.on_done = nullptr;
+  if (done) done(who, outcome);  // may start a new session for `who`
+}
+
+}  // namespace mc::chain

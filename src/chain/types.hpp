@@ -49,6 +49,11 @@ struct ChainParams {
   /// Reward minted to the proposer of each block.
   Amount block_reward = 50;
 
+  /// Cap on blocks held while their parent is missing (crash recovery,
+  /// partition heal). Oldest orphans are evicted first; an evicted block
+  /// is re-fetched by chain sync if it was real.
+  std::size_t max_orphans = 64;
+
   /// Genesis allocation: balances credited before block 1. Applied on
   /// every state replay, so reorgs preserve funding.
   std::vector<std::pair<Address, Amount>> premine;

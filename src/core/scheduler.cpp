@@ -12,27 +12,74 @@ Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
   for (const auto& task : tasks) {
     if (task.data_site >= sites_.size())
       throw std::out_of_range("task names unknown data site");
-    SchedSite& local = sites_[task.data_site];
-
-    // Option A: run at the data (no transfer).
-    const double local_start = local.busy_until_s;
-    const double local_finish = local_start + task.flops / local.flops_per_s;
-
-    // Option B: ship to the hub, then compute there.
-    const double transfer = static_cast<double>(task.data_bytes) / wan_bps_;
-    const double hub_start = std::max(hub_.busy_until_s, transfer);
-    const double hub_finish = hub_start + task.flops / hub_.flops_per_s;
 
     Placement placement;
     placement.task_id = task.id;
-    const bool choose_local = !task.hub_only && local_finish <= hub_finish;
+
+    // Where can this task run locally? The primary data site when it is
+    // up; otherwise the first live replica within the retry budget.
+    std::size_t local_site = task.data_site;
+    bool have_local = sites_[task.data_site].alive;
+    std::size_t budget = retry_budget_;
+    if (!have_local) {
+      placement.rescheduled = true;
+      for (std::size_t replica : task.replica_sites) {
+        if (budget == 0) break;
+        --budget;  // each probe of a candidate site spends budget
+        if (replica < sites_.size() && sites_[replica].alive) {
+          local_site = replica;
+          have_local = true;
+          break;
+        }
+      }
+    }
+    // The hub remains an option while it is alive and, for a rescheduled
+    // task, while the budget is not exhausted.
+    const bool have_hub = hub_.alive && (!placement.rescheduled || budget > 0);
+
+    if (!have_local && !have_hub) {
+      placement.failed = true;
+      ++out.failed_tasks;
+      ++out.reschedules;
+      out.placements.push_back(std::move(placement));
+      continue;
+    }
+
+    // Option A: run where (a copy of) the data lives — no transfer.
+    double local_start = 0, local_finish = 0;
+    if (have_local) {
+      const SchedSite& local = sites_[local_site];
+      local_start = local.busy_until_s;
+      local_finish = local_start + task.flops / local.flops_per_s;
+    }
+
+    // Option B: ship to the hub, then compute there.
+    double hub_start = 0, hub_finish = 0;
+    if (have_hub) {
+      const double transfer = static_cast<double>(task.data_bytes) / wan_bps_;
+      hub_start = std::max(hub_.busy_until_s, transfer);
+      hub_finish = hub_start + task.flops / hub_.flops_per_s;
+    }
+
+    const bool choose_local =
+        have_local && !task.hub_only && (!have_hub || local_finish <= hub_finish);
+    if (!choose_local && !have_hub) {
+      // hub-only task with a dead hub: nowhere legal to run it.
+      placement.failed = true;
+      ++out.failed_tasks;
+      out.placements.push_back(std::move(placement));
+      continue;
+    }
+
     if (choose_local) {
       placement.at_data = true;
+      placement.site = local_site;
       placement.start_s = local_start;
       placement.finish_s = local_finish;
-      local.busy_until_s = local_finish;
+      sites_[local_site].busy_until_s = local_finish;
     } else {
       placement.at_data = false;
+      placement.site = kHubSite;
       placement.start_s = hub_start;
       placement.finish_s = hub_finish;
       placement.bytes_moved = task.data_bytes;
@@ -40,10 +87,17 @@ Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
       ++out.moved_to_hub;
       out.total_bytes_moved += task.data_bytes;
     }
+    if (placement.rescheduled) ++out.reschedules;
+    if (task.deadline_s > 0 && placement.finish_s > task.deadline_s) {
+      placement.deadline_missed = true;
+      ++out.deadline_misses;
+    }
     MC_DCHECK(placement.finish_s >= placement.start_s,
               "placement finishes before it starts");
     MC_DCHECK(!task.hub_only || !placement.at_data,
               "hub-only task placed at its data site");
+    MC_DCHECK(placement.at_data || placement.site == kHubSite,
+              "hub placement recorded against a data site");
     out.makespan_s = std::max(out.makespan_s, placement.finish_s);
     out.placements.push_back(std::move(placement));
   }

@@ -7,13 +7,23 @@
 // back to shipping data to the trusted hub when the local engine is
 // overloaded or the task is explicitly hub-only (the paper's "too
 // expensive to be deployed in all individual data hosted sites" case).
+//
+// Sites fail: a hospital engine can be down when the plan is built. A
+// task whose data site is dead is rescheduled — replicas probed in
+// order, then the hub — within a per-task retry budget, and the schedule
+// reports the resulting degradation (reschedules, deadline misses,
+// outright failures).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace mc::core {
+
+/// Placement::site value meaning "ran at the hub".
+inline constexpr std::size_t kHubSite = std::numeric_limits<std::size_t>::max();
 
 struct SchedTask {
   std::string id;
@@ -21,19 +31,28 @@ struct SchedTask {
   double flops = 1e9;
   std::uint64_t data_bytes = 1 << 20;
   bool hub_only = false;           ///< requires the hub's big engine
+  /// Sites holding a replica of this task's data, probed in order when
+  /// the primary site is down.
+  std::vector<std::size_t> replica_sites;
+  double deadline_s = 0;           ///< 0 = no deadline
 };
 
 struct SchedSite {
   double flops_per_s = 1e10;
   double busy_until_s = 0;  ///< earliest free time (greedy list schedule)
+  bool alive = true;        ///< dead sites accept no work
 };
 
 struct Placement {
   std::string task_id;
-  bool at_data = false;  ///< true = ran at its data site, false = at hub
+  bool at_data = false;  ///< true = ran where a copy of the data lives
+  std::size_t site = 0;  ///< executing site index, or kHubSite
   double start_s = 0;
   double finish_s = 0;
   std::uint64_t bytes_moved = 0;
+  bool rescheduled = false;      ///< primary site dead, ran elsewhere
+  bool failed = false;           ///< no live site within the retry budget
+  bool deadline_missed = false;  ///< finished after the task's deadline
 };
 
 struct Schedule {
@@ -41,6 +60,10 @@ struct Schedule {
   double makespan_s = 0;
   std::uint64_t total_bytes_moved = 0;
   std::size_t moved_to_hub = 0;
+  // Degradation under site failure.
+  std::size_t reschedules = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t failed_tasks = 0;
 
   [[nodiscard]] double locality() const {
     return placements.empty()
@@ -52,17 +75,29 @@ struct Schedule {
 
 class MoveComputeScheduler {
  public:
+  /// `retry_budget` bounds how many fallback probes (replica sites, then
+  /// the hub) one task may spend when its data site is down.
   MoveComputeScheduler(std::vector<SchedSite> sites, SchedSite hub,
-                       double wan_bytes_per_s = 125e6)
-      : sites_(std::move(sites)), hub_(hub), wan_bps_(wan_bytes_per_s) {}
+                       double wan_bytes_per_s = 125e6,
+                       std::size_t retry_budget = 2)
+      : sites_(std::move(sites)),
+        hub_(hub),
+        wan_bps_(wan_bytes_per_s),
+        retry_budget_(retry_budget) {}
 
   /// Greedy earliest-finish-time placement of `tasks` (in order).
   Schedule schedule(const std::vector<SchedTask>& tasks);
+
+  void set_site_alive(std::size_t site, bool alive) {
+    sites_.at(site).alive = alive;
+  }
+  void set_hub_alive(bool alive) { hub_.alive = alive; }
 
  private:
   std::vector<SchedSite> sites_;
   SchedSite hub_;
   double wan_bps_;
+  std::size_t retry_budget_;
 };
 
 }  // namespace mc::core

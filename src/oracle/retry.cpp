@@ -1,0 +1,101 @@
+#include "oracle/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mc::oracle {
+
+double RetryPolicy::backoff(std::size_t retry) const {
+  if (retry == 0) return 0.0;
+  const double raw =
+      config_.backoff_base_s *
+      std::pow(config_.backoff_multiplier, static_cast<double>(retry - 1));
+  return std::min(raw, config_.backoff_max_s);
+}
+
+double RetryPolicy::backoff_jittered(std::size_t retry, Rng& rng) const {
+  return backoff(retry) * (1.0 + config_.jitter_frac * rng.uniform01());
+}
+
+bool CircuitBreaker::allow(double now_s) {
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::HalfOpen:
+      return true;  // the probe is in flight; let it through
+    case BreakerState::Open:
+      if (now_s - opened_at_ >= cooldown_s_) {
+        state_ = BreakerState::HalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::on_success() {
+  state_ = BreakerState::Closed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::on_failure(double now_s) {
+  ++consecutive_failures_;
+  if (state_ == BreakerState::HalfOpen ||
+      consecutive_failures_ >= threshold_) {
+    if (state_ != BreakerState::Open) ++opens_;
+    state_ = BreakerState::Open;
+    opened_at_ = now_s;
+  }
+}
+
+RetryingClient::RetryingClient(RpcChannel& channel, Transport transport,
+                               RetryConfig config, std::uint64_t seed)
+    : channel_(channel),
+      transport_(std::move(transport)),
+      policy_(config),
+      breaker_(config.breaker_threshold, config.breaker_cooldown_s),
+      rng_(seed) {}
+
+std::optional<Bytes> RetryingClient::call(std::string method, Bytes payload) {
+  ++stats_.calls;
+  if (!breaker_.allow(now_s_)) {
+    ++stats_.breaker_fastfails;
+    ++stats_.failed;
+    return std::nullopt;
+  }
+
+  // One envelope for the whole call: the sequence number is burned on the
+  // first send, and retries repeat it so the server side stays idempotent.
+  const RpcEnvelope envelope =
+      channel_.make_call(std::move(method), std::move(payload));
+  const double deadline = now_s_ + policy_.config().deadline_s;
+
+  for (std::size_t attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    std::optional<Bytes> reply = transport_(envelope);
+    if (reply) {
+      breaker_.on_success();
+      ++stats_.succeeded;
+      return reply;
+    }
+    breaker_.on_failure(now_s_);
+
+    if (attempt >= policy_.config().max_attempts) break;
+    if (!breaker_.allow(now_s_)) {
+      ++stats_.breaker_fastfails;
+      break;
+    }
+    const double wait = policy_.backoff_jittered(attempt, rng_);
+    if (now_s_ + wait > deadline) {
+      ++stats_.deadline_giveups;
+      break;
+    }
+    now_s_ += wait;  // virtual sleep
+    ++stats_.retries;
+  }
+  ++stats_.failed;
+  return std::nullopt;
+}
+
+}  // namespace mc::oracle

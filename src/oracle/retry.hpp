@@ -1,0 +1,127 @@
+// Retry, backoff and circuit breaking for the off-chain bridge.
+//
+// The oracle RPC path crosses real networks (hospital gateways, cloud
+// compute sites), so the bridge must survive lost requests and lost
+// replies without double-executing calls and without hammering a dead
+// service. RetryPolicy computes capped exponential backoff with jitter,
+// CircuitBreaker fast-fails while a service is down and probes it
+// half-open after a cooldown, and RetryingClient composes both around an
+// RpcChannel: it retries the *same* authenticated envelope, which the
+// channel's idempotent replay cache makes safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "oracle/rpc.hpp"
+
+namespace mc::oracle {
+
+struct RetryConfig {
+  std::size_t max_attempts = 5;    ///< total tries, first call included
+  double backoff_base_s = 0.05;    ///< wait before the second try
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 2.0;
+  double jitter_frac = 0.25;       ///< backoff stretched by up to this
+  double deadline_s = 30.0;        ///< per-call budget across all tries
+  std::size_t breaker_threshold = 4;  ///< consecutive failures to open
+  double breaker_cooldown_s = 1.0;    ///< open -> half-open probe delay
+};
+
+/// Pure backoff schedule — shared by the RPC client and chain sync tests.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryConfig config = {}) : config_(config) {}
+
+  /// Deterministic wait before retry number `retry` (1-based).
+  [[nodiscard]] double backoff(std::size_t retry) const;
+
+  /// backoff() stretched by up to jitter_frac, drawn from `rng` —
+  /// desynchronizes clients that failed at the same instant.
+  double backoff_jittered(std::size_t retry, Rng& rng) const;
+
+  [[nodiscard]] const RetryConfig& config() const { return config_; }
+
+ private:
+  RetryConfig config_;
+};
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+/// Classic three-state circuit breaker over consecutive failures.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(std::size_t threshold, double cooldown_s)
+      : threshold_(threshold), cooldown_s_(cooldown_s) {}
+
+  /// May a call proceed at `now_s`? Open flips to HalfOpen (one probe
+  /// allowed) once the cooldown has elapsed.
+  bool allow(double now_s);
+  /// The protected call succeeded: close and reset the failure streak.
+  void on_success();
+  /// The protected call failed at `now_s`: a HalfOpen probe or a streak
+  /// reaching the threshold re-opens the breaker.
+  void on_failure(double now_s);
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] std::uint64_t opens() const { return opens_; }
+
+ private:
+  std::size_t threshold_;
+  double cooldown_s_;
+  BreakerState state_ = BreakerState::Closed;
+  std::size_t consecutive_failures_ = 0;
+  double opened_at_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+struct RetryStats {
+  std::uint64_t calls = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t attempts = 0;  ///< transport sends, first tries included
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_giveups = 0;
+  std::uint64_t breaker_fastfails = 0;
+};
+
+/// Client wrapper: one logical call() = one envelope, retried over a
+/// lossy transport until a reply arrives, attempts run out, the deadline
+/// passes, or the breaker fast-fails. Time is a virtual clock advanced by
+/// the backoffs themselves, keeping the component deterministic and
+/// sim-friendly.
+class RetryingClient {
+ public:
+  /// Transport: deliver `envelope` to the server and return its reply,
+  /// or nullopt when the request or the reply was lost.
+  using Transport =
+      std::function<std::optional<Bytes>(const RpcEnvelope& envelope)>;
+
+  RetryingClient(RpcChannel& channel, Transport transport,
+                 RetryConfig config = {}, std::uint64_t seed = 0x8e7c);
+
+  /// Issue `method(payload)` with retries; nullopt when every attempt
+  /// failed. The same envelope (same sequence, same tag) is re-sent on
+  /// retry, so a server that already executed it replays its cached
+  /// reply instead of running the method twice.
+  std::optional<Bytes> call(std::string method, Bytes payload);
+
+  [[nodiscard]] const RetryStats& stats() const { return stats_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
+  [[nodiscard]] double now_s() const { return now_s_; }
+
+ private:
+  RpcChannel& channel_;
+  Transport transport_;
+  RetryPolicy policy_;
+  CircuitBreaker breaker_;
+  Rng rng_;
+  double now_s_ = 0;
+  RetryStats stats_;
+};
+
+}  // namespace mc::oracle

@@ -31,6 +31,13 @@ std::optional<Bytes> RpcChannel::dispatch(const RpcEnvelope& envelope) {
     ++calls_rejected_;
     return std::nullopt;
   }
+  if (any_seen_ && envelope.sequence == last_seen_sequence_ &&
+      envelope.tag == last_tag_) {
+    // Exact re-send of the last served call: the client lost our reply.
+    // Serve the cached one without re-running the method.
+    ++calls_replayed_;
+    return last_reply_;
+  }
   if (any_seen_ && envelope.sequence <= last_seen_sequence_) {
     ++calls_rejected_;  // replay or reorder
     return std::nullopt;
@@ -42,8 +49,10 @@ std::optional<Bytes> RpcChannel::dispatch(const RpcEnvelope& envelope) {
   }
   any_seen_ = true;
   last_seen_sequence_ = envelope.sequence;
+  last_tag_ = envelope.tag;
+  last_reply_ = it->second(BytesView(envelope.payload));
   ++calls_served_;
-  return it->second(BytesView(envelope.payload));
+  return last_reply_;
 }
 
 }  // namespace mc::oracle

@@ -29,7 +29,11 @@ struct RpcEnvelope {
 };
 
 /// A point-to-point authenticated channel between the monitor node and
-/// one off-chain service. Replay (non-monotone sequence) is rejected.
+/// one off-chain service. Replay (non-monotone sequence) is rejected,
+/// with one deliberate exception: re-sending the *last served* envelope
+/// unchanged returns the cached reply instead. A client whose reply was
+/// lost in transit can therefore retry the same sequence safely — the
+/// method body runs at most once per sequence (idempotent retry).
 class RpcChannel {
  public:
   explicit RpcChannel(Hash256 channel_key) : key_(channel_key) {}
@@ -52,6 +56,9 @@ class RpcChannel {
   [[nodiscard]] std::uint64_t calls_rejected() const {
     return calls_rejected_;
   }
+  [[nodiscard]] std::uint64_t calls_replayed() const {
+    return calls_replayed_;
+  }
 
  private:
   [[nodiscard]] Hash256 tag_of(const RpcEnvelope& envelope) const;
@@ -63,6 +70,9 @@ class RpcChannel {
   bool any_seen_ = false;
   std::uint64_t calls_served_ = 0;
   std::uint64_t calls_rejected_ = 0;
+  std::uint64_t calls_replayed_ = 0;
+  Hash256 last_tag_{};   ///< tag of the last served envelope
+  Bytes last_reply_;     ///< its reply, for idempotent re-sends
 };
 
 }  // namespace mc::oracle

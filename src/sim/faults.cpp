@@ -1,0 +1,200 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mc::sim {
+
+bool PartitionWindow::isolates(std::uint32_t region) const {
+  return std::find(minority_regions.begin(), minority_regions.end(),
+                   region) != minority_regions.end();
+}
+
+FaultPlan& FaultPlan::crash(NodeId node, SimTime at, SimTime until) {
+  if (until < at) throw std::invalid_argument("crash window ends before it starts");
+  crashes_.push_back(CrashWindow{node, at, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<std::uint32_t> minority_regions,
+                                SimTime at, SimTime until) {
+  if (until < at)
+    throw std::invalid_argument("partition window ends before it starts");
+  if (minority_regions.empty())
+    throw std::invalid_argument("partition needs at least one region");
+  partitions_.push_back(
+      PartitionWindow{std::move(minority_regions), at, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(std::uint32_t region_a, std::uint32_t region_b,
+                              SimTime at, SimTime until, double extra_loss,
+                              double extra_latency_s) {
+  if (until < at)
+    throw std::invalid_argument("degrade window ends before it starts");
+  degrades_.push_back(DegradeWindow{region_a, region_b, at, until, extra_loss,
+                                    extra_latency_s});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t regions,
+                            std::size_t nodes, SimTime horizon,
+                            double crash_rate_per_node_s,
+                            double mean_downtime_s,
+                            double partition_rate_per_s,
+                            double mean_partition_s) {
+  FaultPlan plan;
+  Rng rng(seed);
+  if (crash_rate_per_node_s > 0 && mean_downtime_s > 0) {
+    for (NodeId node = 0; node < nodes; ++node) {
+      Rng stream = rng.fork("crash-" + std::to_string(node));
+      SimTime t = stream.exponential(1.0 / crash_rate_per_node_s);
+      while (t < horizon) {
+        const SimTime down = stream.exponential(mean_downtime_s);
+        plan.crash(node, t, t + down);
+        t += down + stream.exponential(1.0 / crash_rate_per_node_s);
+      }
+    }
+  }
+  if (partition_rate_per_s > 0 && mean_partition_s > 0 && regions > 1) {
+    Rng stream = rng.fork("partition");
+    SimTime t = stream.exponential(1.0 / partition_rate_per_s);
+    while (t < horizon) {
+      const auto region =
+          static_cast<std::uint32_t>(stream.uniform(regions));
+      const SimTime span = stream.exponential(mean_partition_s);
+      plan.partition({region}, t, t + span);
+      t += span + stream.exponential(1.0 / partition_rate_per_s);
+    }
+  }
+  return plan;
+}
+
+SimTime FaultPlan::first_fault_at() const {
+  SimTime first = kNoLimit;
+  for (const auto& w : crashes_) first = std::min(first, w.at);
+  for (const auto& w : partitions_) first = std::min(first, w.at);
+  for (const auto& w : degrades_) first = std::min(first, w.at);
+  return first == kNoLimit ? 0.0 : first;
+}
+
+SimTime FaultPlan::last_heal_at() const {
+  SimTime last = 0.0;
+  for (const auto& w : crashes_)
+    if (std::isfinite(w.until)) last = std::max(last, w.until);
+  for (const auto& w : partitions_)
+    if (std::isfinite(w.until)) last = std::max(last, w.until);
+  for (const auto& w : degrades_)
+    if (std::isfinite(w.until)) last = std::max(last, w.until);
+  return last;
+}
+
+void FaultInjector::record(FaultEvent::Kind kind, NodeId node) {
+  trace_.push_back(FaultEvent{kind, queue_.now(), node});
+}
+
+void FaultInjector::install(FaultPlan plan) {
+  plan_ = std::move(plan);
+  const SimTime now = queue_.now();
+  for (const auto& w : plan_.crashes()) {
+    if (w.at >= now) {
+      queue_.schedule_at(w.at, [this, node = w.node] {
+        record(FaultEvent::Kind::Crash, node);
+        if (on_crash) on_crash(node, queue_.now());
+      });
+    }
+    if (std::isfinite(w.until) && w.until >= now) {
+      queue_.schedule_at(w.until, [this, node = w.node] {
+        record(FaultEvent::Kind::Restart, node);
+        if (on_restart) on_restart(node, queue_.now());
+      });
+    }
+  }
+  for (const auto& w : plan_.partitions()) {
+    if (w.at >= now) {
+      queue_.schedule_at(w.at, [this] {
+        record(FaultEvent::Kind::PartitionStart, kNoNode);
+        if (on_partition) on_partition(queue_.now());
+      });
+    }
+    if (std::isfinite(w.until) && w.until >= now) {
+      queue_.schedule_at(w.until, [this] {
+        record(FaultEvent::Kind::PartitionHeal, kNoNode);
+        if (on_heal) on_heal(queue_.now());
+      });
+    }
+  }
+  for (const auto& w : plan_.degrades()) {
+    if (w.at >= now) {
+      queue_.schedule_at(w.at, [this] {
+        record(FaultEvent::Kind::DegradeStart, kNoNode);
+      });
+    }
+    if (std::isfinite(w.until) && w.until >= now) {
+      queue_.schedule_at(w.until, [this] {
+        record(FaultEvent::Kind::DegradeEnd, kNoNode);
+      });
+    }
+  }
+}
+
+namespace {
+/// Active means at <= now < until: a window's end boundary is already up.
+inline bool active(SimTime at, SimTime until, SimTime now) {
+  return at <= now && now < until;
+}
+}  // namespace
+
+bool FaultInjector::is_down(NodeId node) const {
+  const SimTime now = queue_.now();
+  for (const auto& w : plan_.crashes())
+    if (w.node == node && active(w.at, w.until, now)) return true;
+  return false;
+}
+
+bool FaultInjector::connected(NodeId a, NodeId b) const {
+  const SimTime now = queue_.now();
+  const std::uint32_t ra = network_.node(a).region;
+  const std::uint32_t rb = network_.node(b).region;
+  for (const auto& w : plan_.partitions())
+    if (active(w.at, w.until, now) && w.isolates(ra) != w.isolates(rb))
+      return false;
+  return true;
+}
+
+double FaultInjector::loss(NodeId a, NodeId b) const {
+  const SimTime now = queue_.now();
+  const std::uint32_t ra = network_.node(a).region;
+  const std::uint32_t rb = network_.node(b).region;
+  double total = 0.0;
+  for (const auto& w : plan_.degrades())
+    if (active(w.at, w.until, now) && w.covers(ra, rb)) total += w.extra_loss;
+  return std::min(total, 1.0);
+}
+
+double FaultInjector::extra_latency(NodeId a, NodeId b) const {
+  const SimTime now = queue_.now();
+  const std::uint32_t ra = network_.node(a).region;
+  const std::uint32_t rb = network_.node(b).region;
+  double total = 0.0;
+  for (const auto& w : plan_.degrades())
+    if (active(w.at, w.until, now) && w.covers(ra, rb))
+      total += w.extra_latency_s;
+  return total;
+}
+
+LinkPolicy FaultInjector::link_policy() const {
+  LinkPolicy policy;
+  policy.connected = [this](NodeId from, NodeId to) {
+    return !is_down(from) && !is_down(to) && connected(from, to);
+  };
+  policy.loss = [this](NodeId from, NodeId to) { return loss(from, to); };
+  policy.extra_latency_s = [this](NodeId from, NodeId to) {
+    return extra_latency(from, to);
+  };
+  return policy;
+}
+
+}  // namespace mc::sim

@@ -1,0 +1,167 @@
+// Deterministic fault injection for the discrete-event simulator.
+//
+// The paper's consortium only works if hospital nodes survive crashes,
+// lossy WANs and regional partitions — availability the architecture
+// asserts but never measures. A FaultPlan is a declarative set of node
+// crash/restart windows, region partitions with heal times, and per-link
+// loss/latency spikes; the FaultInjector evaluates the plan against the
+// simulated clock and schedules boundary callbacks onto the EventQueue,
+// so any fault scenario replays byte-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace mc::sim {
+
+/// `node` is down for [at, until); kNoLimit means it never restarts —
+/// today's PbftConfig::faulty semantics, now just one point on a spectrum.
+struct CrashWindow {
+  NodeId node = 0;
+  SimTime at = 0;
+  SimTime until = kNoLimit;
+};
+
+/// Every link between `minority_regions` and the rest is cut for
+/// [at, until). Links within each side keep working.
+struct PartitionWindow {
+  std::vector<std::uint32_t> minority_regions;
+  SimTime at = 0;
+  SimTime until = kNoLimit;
+
+  [[nodiscard]] bool isolates(std::uint32_t region) const;
+};
+
+/// Quality spike on links between two regions for [at, until);
+/// region_a == region_b degrades intra-region traffic.
+struct DegradeWindow {
+  std::uint32_t region_a = 0;
+  std::uint32_t region_b = 0;
+  SimTime at = 0;
+  SimTime until = kNoLimit;
+  double extra_loss = 0.0;       ///< added drop probability per message
+  double extra_latency_s = 0.0;  ///< added one-way delay
+
+  [[nodiscard]] bool covers(std::uint32_t ra, std::uint32_t rb) const {
+    return (region_a == ra && region_b == rb) ||
+           (region_a == rb && region_b == ra);
+  }
+};
+
+/// Declarative fault scenario. Windows may overlap freely; builders
+/// return *this so scenarios read as one chained expression.
+class FaultPlan {
+ public:
+  FaultPlan& crash(NodeId node, SimTime at, SimTime until = kNoLimit);
+  FaultPlan& partition(std::vector<std::uint32_t> minority_regions,
+                       SimTime at, SimTime until);
+  FaultPlan& degrade(std::uint32_t region_a, std::uint32_t region_b,
+                     SimTime at, SimTime until, double extra_loss,
+                     double extra_latency_s);
+
+  /// Seeded random scenario over [0, horizon): per-node crashes arrive
+  /// Poisson at `crash_rate_per_node_s` with exponential mean-`mean_downtime_s`
+  /// outages; partitions arrive Poisson at `partition_rate_per_s`, each
+  /// isolating one random region for an exponential `mean_partition_s`.
+  /// The same seed always yields the same plan.
+  static FaultPlan random(std::uint64_t seed, std::uint32_t regions,
+                          std::size_t nodes, SimTime horizon,
+                          double crash_rate_per_node_s,
+                          double mean_downtime_s,
+                          double partition_rate_per_s = 0.0,
+                          double mean_partition_s = 0.0);
+
+  [[nodiscard]] const std::vector<CrashWindow>& crashes() const {
+    return crashes_;
+  }
+  [[nodiscard]] const std::vector<PartitionWindow>& partitions() const {
+    return partitions_;
+  }
+  [[nodiscard]] const std::vector<DegradeWindow>& degrades() const {
+    return degrades_;
+  }
+  [[nodiscard]] bool empty() const {
+    return crashes_.empty() && partitions_.empty() && degrades_.empty();
+  }
+
+  /// Earliest fault start (0 when the plan is empty) — benches and the
+  /// faultsim bucket commits into before/during/after around these.
+  [[nodiscard]] SimTime first_fault_at() const;
+  /// Latest *finite* fault end (0 when none heals).
+  [[nodiscard]] SimTime last_heal_at() const;
+
+ private:
+  std::vector<CrashWindow> crashes_;
+  std::vector<PartitionWindow> partitions_;
+  std::vector<DegradeWindow> degrades_;
+};
+
+/// One fault transition, recorded when its boundary event fires.
+/// Comparing two runs' traces is the determinism assertion.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    Crash,
+    Restart,
+    PartitionStart,
+    PartitionHeal,
+    DegradeStart,
+    DegradeEnd,
+  };
+  Kind kind = Kind::Crash;
+  SimTime at = 0;
+  NodeId node = kNoNode;  ///< kNoNode for partition/degrade transitions
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Evaluates an installed FaultPlan against the queue's clock and fires
+/// transition hooks at window boundaries. Queries are pure functions of
+/// (plan, now), so there is no mutable fault state to drift.
+class FaultInjector {
+ public:
+  FaultInjector(const Network& network, EventQueue& queue)
+      : network_(network), queue_(queue) {}
+
+  /// Install the plan's windows: every finite boundary at or after now
+  /// schedules an event that records the transition and fires the
+  /// matching hook. Call once per injector.
+  void install(FaultPlan plan);
+
+  // --- live queries at the queue's current time -------------------------
+  [[nodiscard]] bool is_down(NodeId node) const;
+  /// Partition check only — crashed endpoints are is_down's business.
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+  [[nodiscard]] double loss(NodeId a, NodeId b) const;
+  [[nodiscard]] double extra_latency(NodeId a, NodeId b) const;
+
+  /// LinkPolicy treating crashed endpoints and cut regions as down —
+  /// plug into GossipNet / PbftCluster / SyncManager. Captures `this`.
+  [[nodiscard]] LinkPolicy link_policy() const;
+
+  // --- transition hooks (invoked from scheduled boundary events) --------
+  std::function<void(NodeId, SimTime)> on_crash;
+  std::function<void(NodeId, SimTime)> on_restart;
+  std::function<void(SimTime)> on_partition;
+  std::function<void(SimTime)> on_heal;
+
+  [[nodiscard]] const std::vector<FaultEvent>& trace() const {
+    return trace_;
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void record(FaultEvent::Kind kind, NodeId node);
+
+  const Network& network_;
+  EventQueue& queue_;
+  FaultPlan plan_;
+  std::vector<FaultEvent> trace_;
+};
+
+}  // namespace mc::sim

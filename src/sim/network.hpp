@@ -7,12 +7,35 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "sim/clock.hpp"
 
 namespace mc::sim {
+
+/// Dynamic link conditions layered over the static Network, typically
+/// bound to a FaultInjector: hard cuts (crashes, partitions), extra
+/// per-link loss probability, and extra one-way latency. Unset members
+/// mean "no effect", so a default LinkPolicy is a perfect network.
+/// GossipNet, PbftCluster and SyncManager all consult the same policy, so
+/// one fault plan degrades every protocol consistently.
+struct LinkPolicy {
+  std::function<bool(NodeId from, NodeId to)> connected;  ///< false = cut
+  std::function<double(NodeId from, NodeId to)> loss;     ///< extra drop prob
+  std::function<double(NodeId from, NodeId to)> extra_latency_s;
+
+  [[nodiscard]] bool up(NodeId from, NodeId to) const {
+    return !connected || connected(from, to);
+  }
+  [[nodiscard]] double loss_of(NodeId from, NodeId to) const {
+    return loss ? loss(from, to) : 0.0;
+  }
+  [[nodiscard]] double extra_delay(NodeId from, NodeId to) const {
+    return extra_latency_s ? extra_latency_s(from, to) : 0.0;
+  }
+};
 
 /// Static description of one node's connectivity.
 struct NodeLink {

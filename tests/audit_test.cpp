@@ -151,6 +151,34 @@ TEST(ChainAuditor, MempoolConsistencyChecks) {
       << report.summary();
 }
 
+TEST(ChainAuditor, FlagsOrphanPoolOverflow) {
+  TestChain tc = build_chain(5);
+
+  // Grow a divergent fork and feed its non-connecting blocks in: each one
+  // lands in the orphan pool.
+  Node fork(crypto::key_from_seed("audit-forker"), tc.params,
+            chain::make_genesis("audit-chain", ~0ULL));
+  std::vector<Block> fork_blocks;
+  for (std::uint64_t h = 1; h <= 4; ++h) {
+    fork_blocks.push_back(fork.propose(h * 7'000));
+    ASSERT_EQ(fork.receive(fork_blocks.back()), chain::BlockVerdict::Accepted);
+  }
+  for (std::size_t i = 1; i < fork_blocks.size(); ++i)
+    ASSERT_EQ(tc.node->receive(fork_blocks[i]), chain::BlockVerdict::Orphan);
+  ASSERT_EQ(tc.node->orphan_count(), 3u);
+
+  // An auditor holding a stricter cap than the node enforced flags the
+  // pool; one matching the node's own cap stays clean.
+  ChainParams strict = tc.params;
+  strict.max_orphans = 2;
+  const AuditReport flagged = ChainAuditor(strict).audit_node(*tc.node);
+  EXPECT_TRUE(flagged.has(ViolationKind::OrphanPoolOverflow))
+      << flagged.summary();
+  const AuditReport clean = ChainAuditor(tc.params).audit_node(*tc.node);
+  EXPECT_FALSE(clean.has(ViolationKind::OrphanPoolOverflow))
+      << clean.summary();
+}
+
 TEST(ChainAuditor, QuorumCertsFromHealthyPbftClusterPass) {
   chain::PbftCluster cluster(sim::Network::uniform(4, 2));
   for (int i = 0; i < 8; ++i)

@@ -261,6 +261,81 @@ TEST(Scheduler, HubOnlyTasksAlwaysShip) {
   EXPECT_EQ(schedule.moved_to_hub, 1u);
 }
 
+TEST(Scheduler, DeadSiteReschedulesToReplica) {
+  MoveComputeScheduler scheduler({{1e10, 0}, {1e10, 0}, {1e10, 0}},
+                                 /*hub=*/{1e10, 0}, /*wan=*/125e6);
+  scheduler.set_site_alive(0, false);
+  SchedTask task{"t0", /*data_site=*/0, 1e9, 1 << 20, false};
+  task.replica_sites = {1};
+  const Schedule schedule = scheduler.schedule({task});
+  ASSERT_EQ(schedule.placements.size(), 1u);
+  const Placement& p = schedule.placements[0];
+  EXPECT_TRUE(p.rescheduled);
+  EXPECT_FALSE(p.failed);
+  EXPECT_TRUE(p.at_data);            // a replica still counts as local
+  EXPECT_EQ(p.site, 1u);
+  EXPECT_EQ(p.bytes_moved, 0u);
+  EXPECT_EQ(schedule.reschedules, 1u);
+  EXPECT_EQ(schedule.failed_tasks, 0u);
+}
+
+TEST(Scheduler, DeadSiteWithoutReplicasShipsToHub) {
+  MoveComputeScheduler scheduler({{1e10, 0}}, {1e10, 0}, 125e6);
+  scheduler.set_site_alive(0, false);
+  const Schedule schedule =
+      scheduler.schedule({{"t0", 0, 1e9, 1 << 20, false}});
+  const Placement& p = schedule.placements[0];
+  EXPECT_TRUE(p.rescheduled);
+  EXPECT_FALSE(p.failed);
+  EXPECT_EQ(p.site, kHubSite);
+  EXPECT_GT(p.bytes_moved, 0u);
+  EXPECT_EQ(schedule.moved_to_hub, 1u);
+}
+
+TEST(Scheduler, RetryBudgetExhaustionFailsTask) {
+  // Site 0 and both replicas are dead; the two probes burn the whole
+  // budget, so the hub is no longer reachable either.
+  MoveComputeScheduler scheduler({{1e10, 0}, {1e10, 0}, {1e10, 0}},
+                                 {1e10, 0}, 125e6, /*retry_budget=*/2);
+  scheduler.set_site_alive(0, false);
+  scheduler.set_site_alive(1, false);
+  scheduler.set_site_alive(2, false);
+  SchedTask task{"t0", 0, 1e9, 1 << 20, false};
+  task.replica_sites = {1, 2};
+  const Schedule schedule = scheduler.schedule({task});
+  EXPECT_TRUE(schedule.placements[0].failed);
+  EXPECT_EQ(schedule.failed_tasks, 1u);
+
+  // A wider budget leaves one probe for the hub: the task survives.
+  MoveComputeScheduler generous({{1e10, 0}, {1e10, 0}, {1e10, 0}},
+                                {1e10, 0}, 125e6, /*retry_budget=*/3);
+  generous.set_site_alive(0, false);
+  generous.set_site_alive(1, false);
+  generous.set_site_alive(2, false);
+  const Schedule rescued = generous.schedule({task});
+  EXPECT_FALSE(rescued.placements[0].failed);
+  EXPECT_EQ(rescued.placements[0].site, kHubSite);
+}
+
+TEST(Scheduler, HubOnlyTaskFailsWhenHubIsDown) {
+  MoveComputeScheduler scheduler({{1e10, 0}}, {1e12, 0}, 125e6);
+  scheduler.set_hub_alive(false);
+  const Schedule schedule =
+      scheduler.schedule({{"big", 0, 1e9, 1 << 20, /*hub_only=*/true}});
+  EXPECT_TRUE(schedule.placements[0].failed);
+  EXPECT_EQ(schedule.failed_tasks, 1u);
+}
+
+TEST(Scheduler, DeadlineMissesAreReported) {
+  MoveComputeScheduler scheduler({{1e9, 0}}, {1e9, 0}, /*wan=*/1e6);
+  SchedTask task{"slow", 0, /*flops=*/5e9, 1 << 20, false};
+  task.deadline_s = 1.0;  // the 5s compute cannot make this
+  const Schedule schedule = scheduler.schedule({task});
+  EXPECT_FALSE(schedule.placements[0].failed);
+  EXPECT_TRUE(schedule.placements[0].deadline_missed);
+  EXPECT_EQ(schedule.deadline_misses, 1u);
+}
+
 TEST(Baselines, TransformedDominates) {
   ArchWorkload w;
   const ArchReport duplicated = run_duplicated(w);

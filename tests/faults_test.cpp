@@ -1,0 +1,190 @@
+// Fault-injection subsystem tests: plans, injector queries, event traces,
+// and the LinkPolicy plumbing through the gossip fabric.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chain/p2p.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace mc::sim {
+namespace {
+
+Hash256 id_of(const std::string& label) { return crypto::sha256(label); }
+
+TEST(FaultPlan, BuildersValidateWindows) {
+  FaultPlan plan;
+  plan.crash(0, 1.0, 2.0).partition({1}, 3.0, 4.0).degrade(0, 1, 0.0, 5.0,
+                                                           0.2, 0.01);
+  EXPECT_EQ(plan.crashes().size(), 1u);
+  EXPECT_EQ(plan.partitions().size(), 1u);
+  EXPECT_EQ(plan.degrades().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.first_fault_at(), 0.0);  // degrade starts at 0
+  EXPECT_DOUBLE_EQ(plan.last_heal_at(), 5.0);
+  EXPECT_THROW(plan.crash(0, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan.partition({}, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(FaultPlan, RandomPlanIsSeedDeterministic) {
+  const FaultPlan a = FaultPlan::random(7, 2, 8, 100.0, 0.01, 5.0, 0.02, 8.0);
+  const FaultPlan b = FaultPlan::random(7, 2, 8, 100.0, 0.01, 5.0, 0.02, 8.0);
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].node, b.crashes()[i].node);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].at, b.crashes()[i].at);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].until, b.crashes()[i].until);
+  }
+  ASSERT_EQ(a.partitions().size(), b.partitions().size());
+  for (std::size_t i = 0; i < a.partitions().size(); ++i) {
+    EXPECT_EQ(a.partitions()[i].minority_regions,
+              b.partitions()[i].minority_regions);
+    EXPECT_DOUBLE_EQ(a.partitions()[i].at, b.partitions()[i].at);
+  }
+  // A different seed produces a different scenario.
+  const FaultPlan c = FaultPlan::random(8, 2, 8, 100.0, 0.01, 5.0, 0.02, 8.0);
+  const bool differs = c.crashes().size() != a.crashes().size() ||
+                       (!c.crashes().empty() && !a.crashes().empty() &&
+                        c.crashes()[0].at != a.crashes()[0].at);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, QueriesTrackTheClock) {
+  Network net = Network::uniform(4, 2);  // nodes 0,2 region 0; 1,3 region 1
+  EventQueue queue;
+  FaultInjector injector(net, queue);
+  FaultPlan plan;
+  plan.crash(2, 1.0, 3.0).partition({1}, 2.0, 4.0);
+  injector.install(std::move(plan));
+
+  EXPECT_FALSE(injector.is_down(2));
+  EXPECT_TRUE(injector.connected(0, 1));
+
+  queue.run(1.5);  // inside the crash window only
+  EXPECT_TRUE(injector.is_down(2));
+  EXPECT_TRUE(injector.connected(0, 1));
+
+  queue.run(2.5);  // crash and partition both active
+  EXPECT_TRUE(injector.is_down(2));
+  EXPECT_FALSE(injector.connected(0, 1));   // cross-region cut
+  EXPECT_TRUE(injector.connected(0, 2));    // same side stays up
+  EXPECT_TRUE(injector.connected(1, 3));    // minority side internal
+  EXPECT_FALSE(injector.link_policy().up(0, 2));  // ...but 2 is crashed
+
+  queue.run(3.5);  // crash healed, partition still on
+  EXPECT_FALSE(injector.is_down(2));
+  EXPECT_FALSE(injector.connected(0, 1));
+
+  queue.run(5.0);  // everything healed
+  EXPECT_TRUE(injector.connected(0, 1));
+  EXPECT_TRUE(injector.link_policy().up(0, 2));
+}
+
+TEST(FaultInjector, DegradeAddsLossAndLatency) {
+  Network net = Network::uniform(4, 2);
+  EventQueue queue;
+  FaultInjector injector(net, queue);
+  FaultPlan plan;
+  plan.degrade(0, 1, 1.0, 2.0, 0.25, 0.05);
+  injector.install(std::move(plan));
+
+  EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.0);
+  queue.run(1.5);
+  EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.25);      // cross-region pair
+  EXPECT_DOUBLE_EQ(injector.extra_latency(1, 0), 0.05);
+  EXPECT_DOUBLE_EQ(injector.loss(0, 2), 0.0);       // same-region pair
+  queue.run(2.5);
+  EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.0);
+}
+
+TEST(FaultInjector, TraceIsSeedDeterministic) {
+  const FaultPlan plan =
+      FaultPlan::random(11, 2, 6, 50.0, 0.05, 2.0, 0.05, 3.0);
+  ASSERT_FALSE(plan.empty());
+
+  auto run_once = [&plan] {
+    Network net = Network::uniform(6, 2);
+    EventQueue queue;
+    FaultInjector injector(net, queue);
+    injector.install(plan);
+    queue.run(60.0);
+    return injector.trace();
+  };
+  const std::vector<FaultEvent> first = run_once();
+  const std::vector<FaultEvent> second = run_once();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(GossipFaults, PartitionStarvesMinorityUntilHeal) {
+  Network net = Network::uniform(4, 2);
+  EventQueue queue;
+  FaultInjector injector(net, queue);
+  FaultPlan plan;
+  plan.partition({1}, 0.0, 10.0);
+  injector.install(std::move(plan));
+
+  std::vector<int> delivered(4, 0);
+  chain::GossipNet gossip(
+      net, queue,
+      [&delivered](NodeId node, chain::GossipKind, const Hash256&,
+                   const Bytes&, SimTime) { ++delivered[node]; });
+  gossip.set_link_policy(injector.link_policy());
+
+  gossip.publish(0, chain::GossipKind::Transaction, id_of("t1"), {1, 2, 3});
+  queue.run(5.0);
+  EXPECT_EQ(delivered[0], 1);
+  EXPECT_EQ(delivered[2], 1);  // same side of the cut
+  EXPECT_EQ(delivered[1], 0);  // minority region starved
+  EXPECT_EQ(delivered[3], 0);
+  EXPECT_GT(gossip.stats().blocked, 0u);
+  EXPECT_EQ(gossip.stats().node_deliveries[1], 0u);
+
+  queue.run(11.0);  // heal
+  gossip.publish(0, chain::GossipKind::Transaction, id_of("t2"), {4, 5, 6});
+  queue.run(20.0);
+  EXPECT_EQ(delivered[1], 1);
+  EXPECT_EQ(delivered[3], 1);
+  EXPECT_EQ(gossip.stats().node_deliveries[3], 1u);
+}
+
+TEST(GossipFaults, SeenCapPrunesOldestIds) {
+  Network net = Network::uniform(3, 1);
+  EventQueue queue;
+  chain::GossipNet gossip(
+      net, queue,
+      [](NodeId, chain::GossipKind, const Hash256&, const Bytes&, SimTime) {});
+  gossip.set_seen_cap(4);
+  for (int i = 0; i < 10; ++i) {
+    gossip.publish(0, chain::GossipKind::Transaction,
+                   id_of("tx-" + std::to_string(i)), {0x01});
+    queue.run();
+  }
+  EXPECT_LE(gossip.seen_size(0), 4u);
+  EXPECT_LE(gossip.seen_size(1), 4u);
+  EXPECT_GT(gossip.stats().seen_pruned, 0u);
+  // All ten payloads still reached every node exactly once.
+  EXPECT_EQ(gossip.stats().node_deliveries[1], 10u);
+  EXPECT_EQ(gossip.stats().node_deliveries[2], 10u);
+}
+
+TEST(GossipFaults, UncappedSeenSetKeepsEverything) {
+  Network net = Network::uniform(2, 1);
+  EventQueue queue;
+  chain::GossipNet gossip(
+      net, queue,
+      [](NodeId, chain::GossipKind, const Hash256&, const Bytes&, SimTime) {});
+  for (int i = 0; i < 8; ++i) {
+    gossip.publish(0, chain::GossipKind::Transaction,
+                   id_of("u-" + std::to_string(i)), {0x02});
+    queue.run();
+  }
+  EXPECT_EQ(gossip.seen_size(0), 8u);
+  EXPECT_EQ(gossip.stats().seen_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace mc::sim

@@ -111,6 +111,49 @@ TEST(Node, OrphanHeldUntilParentArrives) {
   EXPECT_EQ(late.tip(), b2.id());
 }
 
+TEST(Node, OrphanPoolEvictsOldestAtCap) {
+  Harness h;
+  h.params.max_orphans = 3;
+  Node producer = h.make_node("producer");
+  Node late = h.make_node("late");
+
+  std::vector<Block> blocks;
+  for (int i = 1; i <= 6; ++i) {
+    blocks.push_back(producer.propose(i * 1'000));
+    ASSERT_EQ(producer.receive(blocks.back()), BlockVerdict::Accepted);
+  }
+
+  // Feed blocks 2..6 (parents missing): the pool caps at 3, evicting the
+  // oldest arrivals first.
+  for (std::size_t i = 1; i < blocks.size(); ++i)
+    EXPECT_EQ(late.receive(blocks[i]), BlockVerdict::Orphan);
+  EXPECT_EQ(late.orphan_count(), 3u);
+  EXPECT_EQ(late.counters().orphans_evicted, 2u);
+
+  // Block 1 connects only the survivors (4,5,6): blocks 2 and 3 were
+  // evicted, so the chain stops at height 1 until they are re-fetched —
+  // exactly the gap SyncManager exists to fill.
+  EXPECT_EQ(late.receive(blocks[0]), BlockVerdict::Accepted);
+  EXPECT_EQ(late.height(), 1u);
+  EXPECT_EQ(late.receive(blocks[1]), BlockVerdict::Accepted);
+  EXPECT_EQ(late.receive(blocks[2]), BlockVerdict::Accepted);
+  EXPECT_EQ(late.height(), 6u);  // cached orphans 4..6 retried through
+  EXPECT_EQ(late.orphan_count(), 0u);
+}
+
+TEST(Node, DuplicateOrphanNotStoredTwice) {
+  Harness h;
+  Node producer = h.make_node("producer");
+  Node late = h.make_node("late");
+  ASSERT_EQ(producer.receive(producer.propose(1'000)), BlockVerdict::Accepted);
+  const Block b2 = producer.propose(2'000);
+
+  EXPECT_EQ(late.receive(b2), BlockVerdict::Orphan);
+  EXPECT_EQ(late.receive(b2), BlockVerdict::Orphan);  // gossip duplicate
+  EXPECT_EQ(late.orphan_count(), 1u);
+  EXPECT_EQ(late.counters().orphans_evicted, 0u);
+}
+
 TEST(Node, LongerForkWinsReorg) {
   Harness h;
   Node node = h.make_node("n0");

@@ -60,12 +60,50 @@ TEST(Rpc, TamperedEnvelopeRejected) {
   EXPECT_EQ(channel.calls_rejected(), 1u);
 }
 
-TEST(Rpc, ReplayRejected) {
+TEST(Rpc, ExactResendReplaysCachedReply) {
   RpcChannel channel(crypto::sha256("key"));
-  channel.handle("m", [](BytesView) { return Bytes{}; });
+  int runs = 0;
+  channel.handle("m", [&runs](BytesView) {
+    ++runs;
+    return to_bytes("result");
+  });
   const RpcEnvelope call = channel.make_call("m", {});
   EXPECT_TRUE(channel.dispatch(call).has_value());
-  EXPECT_FALSE(channel.dispatch(call).has_value());  // same sequence
+  // Same envelope again: the client lost the reply and retried. The
+  // cached reply is served and the method body does NOT run twice.
+  const auto again = channel.dispatch(call);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(to_string(BytesView(*again)), "result");
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(channel.calls_served(), 1u);
+  EXPECT_EQ(channel.calls_replayed(), 1u);
+  EXPECT_EQ(channel.calls_rejected(), 0u);
+}
+
+TEST(Rpc, OlderSequenceStillRejected) {
+  RpcChannel channel(crypto::sha256("key"));
+  channel.handle("m", [](BytesView) { return Bytes{}; });
+  const RpcEnvelope first = channel.make_call("m", to_bytes("a"));
+  const RpcEnvelope second = channel.make_call("m", to_bytes("b"));
+  EXPECT_TRUE(channel.dispatch(first).has_value());
+  EXPECT_TRUE(channel.dispatch(second).has_value());
+  // `first` is now strictly older than the last served sequence: a true
+  // replay, not an idempotent retry.
+  EXPECT_FALSE(channel.dispatch(first).has_value());
+  EXPECT_EQ(channel.calls_rejected(), 1u);
+  EXPECT_EQ(channel.calls_replayed(), 0u);
+}
+
+TEST(Rpc, TamperedResendOfLastSequenceRejected) {
+  RpcChannel channel(crypto::sha256("key"));
+  channel.handle("m", [](BytesView) { return to_bytes("ok"); });
+  RpcEnvelope call = channel.make_call("m", to_bytes("data"));
+  EXPECT_TRUE(channel.dispatch(call).has_value());
+  // Same sequence but altered payload: the tag no longer verifies, so it
+  // must not hit the replay cache.
+  call.payload.push_back(0x01);
+  EXPECT_FALSE(channel.dispatch(call).has_value());
+  EXPECT_EQ(channel.calls_replayed(), 0u);
 }
 
 TEST(Rpc, UnknownMethodRejected) {

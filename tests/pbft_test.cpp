@@ -157,6 +157,69 @@ TEST_P(PbftScaling, LatencyAndTrafficGrowWithN) {
 INSTANTIATE_TEST_SUITE_P(Ns, PbftScaling,
                          ::testing::Values(4, 7, 10, 13, 16, 31));
 
+TEST(Pbft, CrashedLeaderForcesViewChangeThenCommit) {
+  PbftCluster cluster(net_of(4));
+  cluster.crash(0);  // the view-0 primary goes down mid-run
+  EXPECT_TRUE(cluster.down(0));
+  cluster.submit(crypto::sha256("block"));
+  cluster.run(/*limit=*/30.0);
+  ASSERT_EQ(cluster.commits().size(), 1u);
+  EXPECT_GE(cluster.view_changes(), 1u);
+  EXPECT_GE(cluster.view(), 1u);
+}
+
+TEST(Pbft, RestartedReplicaStaysSilentUntilRejoin) {
+  PbftCluster cluster(net_of(4));
+  cluster.crash(0);
+  cluster.restart(0);
+  EXPECT_FALSE(cluster.down(0));
+  EXPECT_TRUE(cluster.recovering(0));
+  // Recovering replicas don't vote: with node 3 also down, only 2 of the
+  // required 3 quorum members are live, so nothing can commit.
+  cluster.crash(3);
+  cluster.submit(crypto::sha256("stalled"));
+  cluster.run(/*limit=*/20.0);
+  EXPECT_TRUE(cluster.commits().empty());
+}
+
+TEST(Pbft, HealedLeaderRejoinsAndCompletesQuorum) {
+  // Full crash-recovery round trip: the leader crashes (view change
+  // commits without it), restarts, rejoins after "state transfer" — and
+  // then a second fault makes the quorum depend on the healed node.
+  PbftCluster cluster(net_of(4));
+  cluster.crash(0);
+  cluster.submit(crypto::sha256("b1"));
+  cluster.run(/*limit=*/30.0);
+  ASSERT_EQ(cluster.commits().size(), 1u);
+
+  cluster.restart(0);
+  cluster.rejoin(0);  // chain sync has replayed seq 1 for it
+  EXPECT_FALSE(cluster.down(0));
+  EXPECT_FALSE(cluster.recovering(0));
+
+  cluster.crash(3);  // live set {0,1,2} — exactly the quorum of 3
+  cluster.submit(crypto::sha256("b2"));
+  cluster.run(/*limit=*/60.0);  // past the first run()'s clock
+  ASSERT_EQ(cluster.commits().size(), 2u)
+      << "commit required the healed ex-leader's vote";
+  EXPECT_EQ(cluster.commits()[1].digest, crypto::sha256("b2"));
+}
+
+TEST(Pbft, CutLinksAreCountedAndToleratedWithinQuorum) {
+  PbftCluster cluster(net_of(4));
+  sim::LinkPolicy policy;
+  // Node 3 is unreachable in both directions; the other three still form
+  // a quorum and every blocked send is accounted for.
+  policy.connected = [](sim::NodeId from, sim::NodeId to) {
+    return from != 3 && to != 3;
+  };
+  cluster.set_link_policy(policy);
+  cluster.submit(crypto::sha256("block"));
+  cluster.run(/*limit=*/30.0);
+  ASSERT_EQ(cluster.commits().size(), 1u);
+  EXPECT_GT(cluster.messages_dropped(), 0u);
+}
+
 TEST(Pbft, ThroughputDegradesWithClusterSize) {
   // The paper's §I claim, measured: one request commits slower on a
   // bigger cluster (quadratic traffic + farther quorum).

@@ -1,0 +1,188 @@
+// RetryPolicy / CircuitBreaker / RetryingClient tests: backoff schedule,
+// breaker state machine, and end-to-end idempotent retry over a lossy
+// transport in front of an RpcChannel.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "oracle/retry.hpp"
+#include "oracle/rpc.hpp"
+
+namespace mc::oracle {
+namespace {
+
+TEST(RetryPolicy, CappedExponentialSchedule) {
+  RetryConfig cfg;
+  cfg.backoff_base_s = 0.05;
+  cfg.backoff_multiplier = 2.0;
+  cfg.backoff_max_s = 0.3;
+  RetryPolicy policy(cfg);
+
+  EXPECT_DOUBLE_EQ(policy.backoff(0), 0.0);  // the first try never waits
+  EXPECT_DOUBLE_EQ(policy.backoff(1), 0.05);
+  EXPECT_DOUBLE_EQ(policy.backoff(2), 0.10);
+  EXPECT_DOUBLE_EQ(policy.backoff(3), 0.20);
+  EXPECT_DOUBLE_EQ(policy.backoff(4), 0.30);  // capped
+  EXPECT_DOUBLE_EQ(policy.backoff(9), 0.30);
+}
+
+TEST(RetryPolicy, JitterStaysWithinConfiguredBand) {
+  RetryConfig cfg;
+  cfg.jitter_frac = 0.25;
+  RetryPolicy policy(cfg);
+  Rng rng(99);
+  for (std::size_t retry = 1; retry <= 6; ++retry) {
+    const double base = policy.backoff(retry);
+    for (int draw = 0; draw < 50; ++draw) {
+      const double jittered = policy.backoff_jittered(retry, rng);
+      EXPECT_GE(jittered, base);
+      EXPECT_LE(jittered, base * 1.25 + 1e-12);
+    }
+  }
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdAndProbesHalfOpen) {
+  CircuitBreaker breaker(/*threshold=*/3, /*cooldown_s=*/1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow(0.0));
+
+  breaker.on_failure(0.0);
+  breaker.on_failure(0.1);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);  // streak of 2 < 3
+  breaker.on_failure(0.2);
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  EXPECT_FALSE(breaker.allow(0.5));   // still cooling down
+  EXPECT_TRUE(breaker.allow(1.3));    // cooldown elapsed: one probe
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+
+  breaker.on_failure(1.3);            // probe failed: straight back to Open
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 2u);
+
+  EXPECT_TRUE(breaker.allow(2.5));
+  breaker.on_success();               // probe succeeded: closed, streak reset
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  breaker.on_failure(2.6);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+struct ClientHarness {
+  RpcChannel channel{crypto::sha256("bridge-key")};
+  int method_runs = 0;
+
+  ClientHarness() {
+    channel.handle("compute", [this](BytesView payload) {
+      ++method_runs;
+      Bytes reply(payload.begin(), payload.end());
+      reply.push_back(0xAA);
+      return reply;
+    });
+  }
+};
+
+TEST(RetryingClient, SucceedsAfterTransientLosses) {
+  ClientHarness h;
+  int sends = 0;
+  // Requests 1 and 2 vanish on the wire; the third reaches the server.
+  RetryingClient client(h.channel,
+                        [&](const RpcEnvelope& env) -> std::optional<Bytes> {
+                          if (++sends < 3) return std::nullopt;
+                          return h.channel.dispatch(env);
+                        });
+  const auto reply = client.call("compute", {0x01});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(h.method_runs, 1);
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().succeeded, 1u);
+  EXPECT_GT(client.now_s(), 0.0);  // backoffs advanced the virtual clock
+}
+
+TEST(RetryingClient, LostReplyIsReplayedNotReExecuted) {
+  ClientHarness h;
+  bool reply_dropped = false;
+  // The server EXECUTES the first attempt but its reply is lost in
+  // transit. The retry re-sends the identical envelope, so the channel's
+  // replay cache answers without running the method a second time.
+  RetryingClient client(h.channel,
+                        [&](const RpcEnvelope& env) -> std::optional<Bytes> {
+                          auto reply = h.channel.dispatch(env);
+                          if (!reply_dropped) {
+                            reply_dropped = true;
+                            return std::nullopt;
+                          }
+                          return reply;
+                        });
+  const auto reply = client.call("compute", {0x07});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->back(), 0xAA);
+  EXPECT_EQ(h.method_runs, 1);  // exactly-once execution
+  EXPECT_EQ(h.channel.calls_served(), 1u);
+  EXPECT_EQ(h.channel.calls_replayed(), 1u);
+  EXPECT_EQ(client.stats().retries, 1u);
+}
+
+TEST(RetryingClient, GivesUpAfterMaxAttempts) {
+  ClientHarness h;
+  RetryConfig cfg;
+  cfg.max_attempts = 3;
+  int sends = 0;
+  RetryingClient client(h.channel,
+                        [&](const RpcEnvelope&) -> std::optional<Bytes> {
+                          ++sends;
+                          return std::nullopt;
+                        },
+                        cfg);
+  EXPECT_FALSE(client.call("compute", {}).has_value());
+  EXPECT_EQ(sends, 3);
+  EXPECT_EQ(client.stats().failed, 1u);
+  EXPECT_EQ(h.method_runs, 0);
+}
+
+TEST(RetryingClient, DeadlineCutsRetriesShort) {
+  ClientHarness h;
+  RetryConfig cfg;
+  cfg.max_attempts = 50;
+  cfg.backoff_base_s = 1.0;
+  cfg.backoff_max_s = 8.0;
+  cfg.deadline_s = 2.5;  // admits the 1s wait, not the following 2s one
+  cfg.jitter_frac = 0.0;
+  cfg.breaker_threshold = 100;  // keep the breaker out of this test
+  RetryingClient client(h.channel,
+                        [](const RpcEnvelope&) { return std::nullopt; }, cfg);
+  EXPECT_FALSE(client.call("compute", {}).has_value());
+  EXPECT_EQ(client.stats().deadline_giveups, 1u);
+  EXPECT_LT(client.stats().attempts, 5u);
+  EXPECT_LE(client.now_s(), cfg.deadline_s);
+}
+
+TEST(RetryingClient, BreakerFastFailsWhileServiceIsDown) {
+  ClientHarness h;
+  RetryConfig cfg;
+  cfg.max_attempts = 2;
+  cfg.breaker_threshold = 3;
+  cfg.breaker_cooldown_s = 100.0;  // longer than any backoff here
+  bool service_up = false;
+  RetryingClient client(h.channel,
+                        [&](const RpcEnvelope& env) -> std::optional<Bytes> {
+                          if (!service_up) return std::nullopt;
+                          return h.channel.dispatch(env);
+                        },
+                        cfg);
+
+  EXPECT_FALSE(client.call("compute", {}).has_value());  // 2 failures
+  EXPECT_FALSE(client.call("compute", {}).has_value());  // 3rd opens it
+  EXPECT_EQ(client.breaker().state(), BreakerState::Open);
+
+  service_up = true;  // too late: the breaker is open and cooling down
+  EXPECT_FALSE(client.call("compute", {}).has_value());
+  EXPECT_GE(client.stats().breaker_fastfails, 1u);
+  EXPECT_EQ(h.method_runs, 0);
+}
+
+}  // namespace
+}  // namespace mc::oracle

@@ -14,6 +14,7 @@
 
 #include "chain/block.hpp"
 #include "chain/block_validator.hpp"
+#include "chain/faultsim.hpp"
 #include "chain/mempool.hpp"
 #include "chain/transaction.hpp"
 #include "common/thread_pool.hpp"
@@ -201,6 +202,30 @@ TEST(StressConcurrency, BlockValidatorHammeredFromManyThreads) {
   EXPECT_EQ(ok_good.load(), kThreads * kRounds);
   EXPECT_EQ(ok_decoded.load(), kThreads * kRounds);
   EXPECT_EQ(bad_at_29.load(), kThreads * kRounds);
+}
+
+TEST(StressConcurrency, FaultSimUnderRandomCrashesStaysConsistent) {
+  // The whole fault stack — injector, PBFT crash-recovery, gossip, chain
+  // sync — on top of the pool-backed BlockValidator. The event loop is
+  // single-threaded; the races TSan should probe are in the validator
+  // fan-out under a randomized crash/partition schedule.
+  chain::FaultSimConfig config;
+  config.node_count = 8;
+  config.regions = 2;
+  config.client_count = 4;
+  config.tx_count = 40;
+  config.tx_rate_per_s = 20.0;
+  config.sim_limit_s = 60.0;
+  config.seed = 7;
+  config.faults = sim::FaultPlan::random(
+      /*seed=*/7, /*regions=*/2, /*nodes=*/8, /*horizon_s=*/40.0,
+      /*crash_rate_per_node_s=*/0.01, /*mean_downtime_s=*/4.0,
+      /*partition_rate_per_s=*/0.02, /*mean_partition_s=*/5.0);
+
+  const chain::FaultSimReport report = chain::run_fault_sim(config);
+  EXPECT_GT(report.blocks_committed, 0u);
+  EXPECT_TRUE(report.live_nodes_agree);
+  EXPECT_LE(report.committed_txs, report.submitted_txs);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Crash-recovery chain sync tests: catch-up, retry/backoff under loss and
+// dead peers, and the end-to-end fault scenario the architecture must
+// survive (leader crash + regional partition, deterministic replay).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/faultsim.hpp"
+#include "chain/node.hpp"
+#include "chain/sync.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace mc::chain {
+namespace {
+
+struct SyncHarness {
+  ChainParams params;
+  Block genesis;
+  std::vector<std::unique_ptr<Node>> nodes;
+  sim::EventQueue queue;
+  sim::Network network{sim::NetworkConfig{}};
+
+  explicit SyncHarness(std::size_t n, std::size_t chain_len) {
+    params.consensus = ConsensusKind::Pbft;
+    genesis = make_genesis("sync-test", params.pow_target);
+    for (std::size_t i = 0; i < n; ++i)
+      nodes.push_back(std::make_unique<Node>(
+          crypto::key_from_seed("sync-node-" + std::to_string(i)), params,
+          genesis));
+    network = sim::Network::uniform(n, 1);
+
+    // Everyone except the last node already has the chain.
+    for (std::size_t h = 1; h <= chain_len; ++h) {
+      const Block block = nodes[0]->propose(h * 1'000);
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+        EXPECT_EQ(nodes[i]->receive(block), BlockVerdict::Accepted)
+            << "node " << i << " height " << h;
+    }
+  }
+
+  [[nodiscard]] std::vector<Node*> ptrs() const {
+    std::vector<Node*> out;
+    for (const auto& n : nodes) out.push_back(n.get());
+    return out;
+  }
+};
+
+TEST(ChainSync, BehindNodeCatchesUpToPeerTip) {
+  SyncHarness h(3, 20);
+  const sim::NodeId behind = 2;
+  ASSERT_EQ(h.nodes[behind]->height(), 0u);
+
+  SyncManager sync(h.queue, h.network, h.ptrs());
+  SyncOutcome result;
+  bool done = false;
+  sync.start_sync(behind, [&](sim::NodeId who, const SyncOutcome& outcome) {
+    EXPECT_EQ(who, behind);
+    result = outcome;
+    done = true;
+  });
+  EXPECT_TRUE(sync.syncing(behind));
+  h.queue.run(30.0);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.blocks_fetched, 20u);
+  EXPECT_GT(result.bytes_fetched, 0u);
+  EXPECT_EQ(h.nodes[behind]->height(), 20u);
+  EXPECT_EQ(h.nodes[behind]->tip(), h.nodes[0]->tip());
+  EXPECT_FALSE(sync.syncing(behind));
+  EXPECT_EQ(sync.stats().sessions_completed, 1u);
+  // 20 blocks at the default batch of 16 need at least two requests.
+  EXPECT_GE(sync.stats().requests_sent, 2u);
+}
+
+TEST(ChainSync, ConvergesUnderTwentyPercentLoss) {
+  SyncHarness h(4, 30);
+  const sim::NodeId behind = 3;
+
+  SyncConfig cfg;
+  cfg.batch_blocks = 4;  // many round trips => many loss draws
+  SyncManager sync(h.queue, h.network, h.ptrs(), cfg);
+  sim::LinkPolicy lossy;
+  lossy.loss = [](sim::NodeId, sim::NodeId) { return 0.20; };
+  sync.set_link_policy(lossy);
+
+  bool ok = false;
+  sync.start_sync(behind,
+                  [&](sim::NodeId, const SyncOutcome& o) { ok = o.ok; });
+  h.queue.run(120.0);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(h.nodes[behind]->height(), 30u);
+  EXPECT_EQ(h.nodes[behind]->tip(), h.nodes[0]->tip());
+  // Loss must have cost something, and retries must have recovered it.
+  EXPECT_GT(sync.stats().timeouts + sync.stats().retries, 0u);
+}
+
+TEST(ChainSync, RotatesAwayFromDeadPeer) {
+  SyncHarness h(3, 10);
+  const sim::NodeId behind = 2;
+  const sim::NodeId dead = 1;
+
+  SyncManager sync(h.queue, h.network, h.ptrs());
+  sim::LinkPolicy policy;
+  policy.connected = [dead](sim::NodeId from, sim::NodeId to) {
+    return from != dead && to != dead;
+  };
+  sync.set_link_policy(policy);
+
+  bool ok = false;
+  sync.start_sync(behind,
+                  [&](sim::NodeId, const SyncOutcome& o) { ok = o.ok; });
+  h.queue.run(60.0);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(h.nodes[behind]->height(), 10u);
+}
+
+TEST(ChainSync, GivesUpWhenEveryPeerIsDead) {
+  SyncHarness h(3, 5);
+  const sim::NodeId behind = 2;
+
+  SyncConfig cfg;
+  cfg.max_retries = 3;
+  SyncManager sync(h.queue, h.network, h.ptrs(), cfg);
+  sim::LinkPolicy cut;
+  cut.connected = [behind](sim::NodeId from, sim::NodeId to) {
+    return from == to || (from != behind && to != behind);
+  };
+  sync.set_link_policy(cut);
+
+  bool done = false, ok = true;
+  sync.start_sync(behind, [&](sim::NodeId, const SyncOutcome& o) {
+    done = true;
+    ok = o.ok;
+  });
+  h.queue.run(60.0);
+
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(h.nodes[behind]->height(), 0u);
+  EXPECT_EQ(sync.stats().sessions_failed, 1u);
+  EXPECT_GE(sync.stats().timeouts, cfg.max_retries);
+}
+
+// The ISSUE acceptance scenario: 16 PBFT nodes, the leader crashes and
+// recovers, then a 5-node region is partitioned away. The 11-node
+// majority equals the quorum exactly, so every block committed during
+// the partition REQUIRES the recovered ex-leader's vote — committing
+// during the window proves the healed node rejoined consensus. The same
+// seed must reproduce the identical final state root.
+FaultSimConfig acceptance_config() {
+  FaultSimConfig config;
+  config.node_count = 16;  // f = 5, quorum = 11
+  config.region_of = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  config.tx_count = 80;
+  config.tx_rate_per_s = 10.0;
+  config.pbft.request_timeout_s = 0.5;
+  config.sim_limit_s = 80.0;
+  config.seed = 1234;
+  config.faults.crash(/*node=*/0, /*at=*/6.0, /*until=*/11.0)
+      .partition({1}, /*at=*/20.0, /*until=*/40.0);
+  return config;
+}
+
+TEST(FaultScenario, LeaderCrashAndPartitionStayAvailable) {
+  const FaultSimReport report = run_fault_sim(acceptance_config());
+
+  // Consensus stayed live in all three phases of the fault window.
+  EXPECT_GT(report.blocks_before, 0u);
+  EXPECT_GT(report.blocks_during, 0u);
+  EXPECT_GT(report.blocks_after, 0u);
+  EXPECT_GT(report.committed_txs, 0u);
+  EXPECT_GT(report.view_changes, 0u);   // leader crash forced rotation
+  EXPECT_GT(report.pbft_dropped, 0u);   // partition cut real messages
+
+  // The crashed leader came back, fetched the blocks it missed, and its
+  // recovery is on the record.
+  ASSERT_FALSE(report.recoveries.empty());
+  const RecoveryRecord& rec = report.recoveries.front();
+  EXPECT_EQ(rec.node, 0u);
+  EXPECT_TRUE(rec.resynced);
+  EXPECT_GT(rec.blocks_fetched, 0u);
+  EXPECT_GT(rec.bytes_fetched, 0u);
+  EXPECT_GT(rec.recovery_time(), 0.0);
+  EXPECT_GT(report.sync.sessions_completed, 0u);
+
+  // Every live node — the ex-leader and the healed minority included —
+  // converged on one canonical tip.
+  EXPECT_TRUE(report.live_nodes_agree);
+  EXPECT_GT(report.final_height, 0u);
+}
+
+TEST(FaultScenario, SameSeedReproducesIdenticalFinalState) {
+  const FaultSimReport a = run_fault_sim(acceptance_config());
+  const FaultSimReport b = run_fault_sim(acceptance_config());
+
+  EXPECT_EQ(a.final_state_root, b.final_state_root);
+  EXPECT_EQ(a.final_tip, b.final_tip);
+  EXPECT_EQ(a.final_height, b.final_height);
+  EXPECT_EQ(a.blocks_committed, b.blocks_committed);
+  EXPECT_EQ(a.blocks_before, b.blocks_before);
+  EXPECT_EQ(a.blocks_during, b.blocks_during);
+  EXPECT_EQ(a.blocks_after, b.blocks_after);
+  EXPECT_EQ(a.committed_txs, b.committed_txs);
+  EXPECT_EQ(a.view_changes, b.view_changes);
+  EXPECT_EQ(a.pbft_messages, b.pbft_messages);
+  EXPECT_EQ(a.sync.requests_sent, b.sync.requests_sent);
+  EXPECT_EQ(a.sync.blocks_fetched, b.sync.blocks_fetched);
+  ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+  for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
+    EXPECT_EQ(a.recoveries[i].node, b.recoveries[i].node);
+    EXPECT_DOUBLE_EQ(a.recoveries[i].synced_at, b.recoveries[i].synced_at);
+    EXPECT_EQ(a.recoveries[i].blocks_fetched, b.recoveries[i].blocks_fetched);
+  }
+}
+
+}  // namespace
+}  // namespace mc::chain
