@@ -1,0 +1,164 @@
+// Seed-corpus generator: writes one file per interesting input under
+// fuzz/corpus/<target>/. Seeds are deterministic (fixed keys, fixed
+// field values) so regenerating the corpus is reproducible; regression
+// inputs for fixed bugs are listed explicitly with the bug they pin.
+//
+//   fuzz_gen_corpus <corpus-dir>
+//
+// Run after changing wire formats, then commit the refreshed files —
+// the fuzz_regression test replays everything committed here.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "chain/block.hpp"
+#include "chain/codec.hpp"
+#include "chain/transaction.hpp"
+#include "common/serial.hpp"
+#include "contracts/policy.hpp"
+#include "crypto/schnorr.hpp"
+#include "vm/assembler.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_seed(const fs::path& dir, const std::string& name,
+                mc::BytesView data) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  if (!data.empty())
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  std::printf("  %s/%s (%zu bytes)\n", dir.string().c_str(), name.c_str(),
+              data.size());
+}
+
+void write_seed(const fs::path& dir, const std::string& name,
+                const std::string& text) {
+  write_seed(dir, name, mc::str_bytes(text));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+
+  using namespace mc;
+
+  // Deterministic signed transaction (a real accept-path seed).
+  const crypto::PrivateKey key = crypto::key_from_seed("fuzz-corpus-from");
+  const crypto::PrivateKey to_key = crypto::key_from_seed("fuzz-corpus-to");
+  chain::Transaction tx = chain::make_transfer(
+      key, crypto::address_of(to_key.pub), /*amount=*/1000, /*nonce=*/1);
+  tx.payload = to_bytes("seed-payload");
+  tx.sign_with(key);
+
+  write_seed(root / "tx_decode", "signed_transfer", BytesView(tx.encode()));
+  {
+    chain::Transaction anchor = tx;
+    anchor.kind = chain::TxKind::Anchor;
+    anchor.sign_with(key);
+    write_seed(root / "tx_decode", "anchor_tx", BytesView(anchor.encode()));
+  }
+
+  // Block seeds: genesis header, a block carrying the tx above.
+  chain::Block genesis = chain::make_genesis("medchain-fuzz", 0);
+  write_seed(root / "block_decode", "genesis_header",
+             BytesView(genesis.header.encode()));
+  write_seed(root / "block_decode", "genesis_block",
+             BytesView(genesis.encode()));
+  chain::Block block;
+  block.header.parent = genesis.id();
+  block.header.height = 1;
+  block.txs.push_back(tx);
+  block.header.tx_root = block.compute_tx_root();
+  write_seed(root / "block_decode", "one_tx_block", BytesView(block.encode()));
+  // Regression (PR 4): a forged tx count must be rejected before any
+  // count-proportional allocation, not OOM/length_error.
+  {
+    ByteWriter w;
+    w.varint(genesis.header.encoded_size());
+    genesis.header.encode_to(w);
+    w.varint(0xffff'ffff'ffffULL);  // forged count, no tx bytes follow
+    write_seed(root / "block_decode", "forged_txcount_bomb",
+               BytesView(w.data()));
+  }
+
+  // Chain-file seeds.
+  chain::ChainFile file;
+  file.blocks.push_back(genesis);
+  file.blocks.push_back(block);
+  write_seed(root / "chainfile_decode", "two_block_chain",
+             BytesView(file.encode()));
+  {
+    ByteWriter w;
+    w.u32(chain::ChainFile::kMagic);
+    w.varint(0x7fff'ffff'ffff'ffffULL);  // regression: forged block count
+    write_seed(root / "chainfile_decode", "forged_blockcount_bomb",
+               BytesView(w.data()));
+  }
+
+  // Serial-reader seeds: primitive soup with the op-select prefix byte.
+  {
+    ByteWriter w;
+    w.u8(5);  // op stream selector
+    w.varint(0);
+    w.varint(127);
+    w.varint(128);
+    w.varint(0xffff'ffff'ffff'ffffULL);
+    w.bytes(str_bytes("nested"));
+    w.u64(0x0123456789abcdefULL);
+    write_seed(root / "serial_reader", "varint_edges", BytesView(w.data()));
+    write_seed(root / "serial_reader", "hex_text",
+               std::string("00ff7fDEADbeef"));
+    // Regression (PR 2): overlong varint encodings must be rejected.
+    const std::uint8_t overlong[] = {6, 0x80, 0x00};
+    write_seed(root / "serial_reader", "overlong_varint",
+               BytesView(overlong, sizeof overlong));
+  }
+
+  // VM seeds: the real policy-contract bytecode plus crafted regressions.
+  write_seed(root / "vm_execute", "policy_bytecode",
+             BytesView(mc::contracts::PolicyContract::bytecode()));
+  {
+    // Regression (PR 4): PUSH with a truncated immediate used to make the
+    // disassembler read past the end of the code blob.
+    const std::uint8_t trunc_push[] = {0x01, 0x2a};
+    write_seed(root / "vm_execute", "trunc_push_imm",
+               BytesView(trunc_push, sizeof trunc_push));
+    // Regression (PR 4): a CALLER flood must trap StackOverflow at the
+    // stack cap instead of growing past it.
+    Bytes flood(1100, 0x60);  // Op::Caller
+    write_seed(root / "vm_execute", "caller_flood", BytesView(flood));
+  }
+
+  // Contract-input seeds: policy source text and dispatcher calldata.
+  write_seed(root / "contracts_input", "policy_source",
+             std::string(mc::contracts::PolicyContract::source()));
+  write_seed(root / "contracts_input", "tiny_program",
+             std::string("PUSH 1\nPUSH 2\nADD\nRETURN 1\n"));
+  {
+    ByteWriter w;
+    for (std::uint64_t v : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) w.u64(v);
+    write_seed(root / "contracts_input", "selector_words",
+               BytesView(w.data()));
+  }
+
+  // Round-trip seeds: arbitrary field streams (content is structural).
+  {
+    ByteWriter w;
+    for (int i = 0; i < 64; ++i) w.u64(0x9e3779b97f4a7c15ULL * (i + 1));
+    write_seed(root / "roundtrip", "field_stream", BytesView(w.data()));
+    write_seed(root / "roundtrip", "empty", BytesView());
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

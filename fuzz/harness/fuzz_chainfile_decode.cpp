@@ -1,0 +1,27 @@
+// Fuzz target: chain::ChainFile::decode (export/import container).
+//
+// Chain files come from cold-start sync peers and backups — a hostile
+// file must fail closed (nullopt), never crash, and never allocate
+// proportionally to a forged block count rather than to the bytes
+// actually present.
+
+#include "fuzz/harness/fuzz_common.hpp"
+#include "fuzz/harness/fuzz_targets.hpp"
+
+#include "chain/codec.hpp"
+
+namespace mc::fuzz {
+
+int chainfile_decode(const std::uint8_t* data, std::size_t size) {
+  const auto file = chain::ChainFile::decode(view(data, size));
+  if (file.has_value()) {
+    MC_FUZZ_EXPECT(file->encode() == Bytes(data, data + size),
+                   "chain file decode accepted a non-canonical encoding");
+    // Every contained block must be internally consistent enough to
+    // re-derive ids without crashing.
+    for (const auto& block : file->blocks) (void)block.id();
+  }
+  return 0;
+}
+
+}  // namespace mc::fuzz

@@ -1,0 +1,27 @@
+// Shared helpers for fuzz targets.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bytes.hpp"
+
+namespace mc::fuzz {
+
+/// Fuzz-side invariant: prints and aborts so both libFuzzer and the
+/// standalone driver report the failing property with a stack trace.
+/// (Not MC_ASSERT: fuzz properties must fire in every build mode.)
+#define MC_FUZZ_EXPECT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "fuzz property violated at %s:%d: %s\n  %s\n", \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+inline BytesView view(const std::uint8_t* data, std::size_t size) {
+  return {data, size};
+}
+
+}  // namespace mc::fuzz

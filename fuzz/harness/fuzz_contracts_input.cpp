@@ -1,0 +1,96 @@
+// Fuzz target: contract-suite input surfaces.
+//
+// Two hostile channels feed the contract layer: calldata words (any
+// caller can invoke the deployed policy contract with arbitrary words)
+// and assembly source text (operator-supplied contract definitions).
+// Properties:
+//   * the policy contract's dispatcher must run any calldata to a clean
+//     halt within its gas budget, and the permission model must hold —
+//     a dataset registered by caller A is owned by A afterwards,
+//   * vm::assemble on arbitrary text either throws AssembleError or
+//     yields bytecode that code_well_formed() accepts and the
+//     disassembler can walk — the assembler must never emit garbage.
+
+#include "fuzz/harness/fuzz_common.hpp"
+#include "fuzz/harness/fuzz_targets.hpp"
+
+#include <string>
+#include <vector>
+
+#include "contracts/abi.hpp"
+#include "contracts/policy.hpp"
+#include "vm/assembler.hpp"
+#include "vm/contract_store.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::fuzz {
+namespace {
+
+std::uint64_t word_at(const std::uint8_t* data, std::size_t size,
+                      std::size_t index) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t at = index * 8 + i;
+    v |= static_cast<std::uint64_t>(at < size ? data[at] : 0) << (8 * i);
+  }
+  return v;
+}
+
+void drive_policy(const std::uint8_t* data, std::size_t size) {
+  vm::ContractStore store;
+  contracts::PolicyContract policy(store, /*deployer=*/1, /*height=*/1);
+
+  // Raw dispatch: arbitrary calldata words straight into the contract.
+  vm::ExecContext ctx;
+  ctx.caller = word_at(data, size, 0);
+  ctx.gas_limit = contracts::kDefaultCallGas;
+  const std::size_t n_words = std::min<std::size_t>(1 + size / 8, 8);
+  for (std::size_t i = 0; i < n_words; ++i)
+    ctx.calldata.push_back(word_at(data, size, i + 1));
+  const auto raw = store.call(policy.id(), std::move(ctx));
+  MC_FUZZ_EXPECT(raw.has_value(), "deployed contract vanished from store");
+  MC_FUZZ_EXPECT(raw->gas_used <= contracts::kDefaultCallGas,
+                 "policy dispatch exceeded its gas budget");
+
+  // Permission-model invariant on the typed surface.
+  const vm::Word caller = word_at(data, size, 1) | 1;  // nonzero
+  const vm::Word dataset = word_at(data, size, 2) | 1;
+  const vm::Word grantee = word_at(data, size, 3) | 1;
+  if (policy.register_dataset(caller, dataset)) {
+    MC_FUZZ_EXPECT(policy.owner_of(dataset) == caller,
+                   "registered dataset not owned by its registrant");
+    const vm::Word perm = contracts::kPermRead | contracts::kPermCompute;
+    if (policy.grant(caller, dataset, grantee, perm)) {
+      MC_FUZZ_EXPECT(policy.check(dataset, grantee, contracts::kPermRead),
+                     "granted permission bit not visible to check()");
+      MC_FUZZ_EXPECT(policy.revoke(caller, dataset, grantee),
+                     "owner revoke failed after a successful grant");
+      MC_FUZZ_EXPECT(!policy.check(dataset, grantee, contracts::kPermRead),
+                     "revoked grantee still passes check()");
+    }
+  }
+}
+
+void drive_assembler(const std::uint8_t* data, std::size_t size) {
+  const std::string source(reinterpret_cast<const char*>(data), size);
+  try {
+    const Bytes code = vm::assemble(source);
+    MC_FUZZ_EXPECT(code.size() <= vm::kMaxCodeBytes,
+                   "assembler emitted more than its size cap");
+    MC_FUZZ_EXPECT(vm::code_well_formed(BytesView(code)),
+                   "assembler emitted ill-formed bytecode");
+    (void)vm::disassemble(BytesView(code));
+  } catch (const vm::AssembleError&) {
+    // The expected rejection path for malformed source.
+  }
+}
+
+}  // namespace
+
+int contracts_input(const std::uint8_t* data, std::size_t size) {
+  drive_policy(data, size);
+  drive_assembler(data, size);
+  return 0;
+}
+
+}  // namespace mc::fuzz

@@ -1,0 +1,100 @@
+// Fuzz target: ByteReader primitives, canonical varints, and hex codec.
+//
+// The first input byte seeds an operation stream; the reader then
+// consumes the remainder through a randomized sequence of primitive
+// reads. Properties checked:
+//   * every read either succeeds inside bounds or throws SerialError —
+//     no read may run past the end of the view,
+//   * a successfully decoded varint re-encodes to exactly the bytes it
+//     consumed (canonical, one wire form per value),
+//   * from_hex accepts exactly the even-length hex strings and inverts
+//     to_hex bit-perfectly.
+
+#include "fuzz/harness/fuzz_common.hpp"
+#include "fuzz/harness/fuzz_targets.hpp"
+
+#include <string>
+
+#include "common/hex.hpp"
+#include "common/serial.hpp"
+
+namespace mc::fuzz {
+namespace {
+
+void drive_reader(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  // Derive the op sequence from the input itself so libFuzzer can steer
+  // both the schedule and the payload.
+  std::uint64_t op_state = 0x9e3779b97f4a7c15ULL ^ data[0];
+  ByteReader r(BytesView(data + 1, size - 1));
+  const std::size_t total = size - 1;
+
+  try {
+    while (!r.done()) {
+      op_state = op_state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::size_t before = total - r.remaining();
+      switch ((op_state >> 33) % 9) {
+        case 0: (void)r.u8(); break;
+        case 1: (void)r.u16(); break;
+        case 2: (void)r.u32(); break;
+        case 3: (void)r.u64(); break;
+        case 4: (void)r.f64(); break;
+        case 5: {
+          const std::uint64_t v = r.varint();
+          const std::size_t consumed = (total - r.remaining()) - before;
+          ByteWriter w;
+          w.varint(v);
+          MC_FUZZ_EXPECT(w.size() == consumed,
+                         "varint re-encode width != bytes consumed");
+          MC_FUZZ_EXPECT(
+              Bytes(data + 1 + before, data + 1 + before + consumed) ==
+                  w.data(),
+              "varint is not canonical: re-encode differs from wire bytes");
+          break;
+        }
+        case 6: (void)r.bytes(); break;
+        case 7: (void)r.str(); break;
+        case 8: (void)r.hash(); break;
+      }
+      const std::size_t after = total - r.remaining();
+      MC_FUZZ_EXPECT(after > before && after <= total,
+                     "reader position did not advance inside bounds");
+    }
+  } catch (const SerialError&) {
+    // Truncation / overlong varint: the expected rejection path.
+  }
+}
+
+void drive_hex(const std::uint8_t* data, std::size_t size) {
+  // to_hex must always be invertible.
+  const Bytes raw(data, data + size);
+  const std::string encoded = to_hex(BytesView(raw));
+  const auto back = from_hex(encoded);
+  MC_FUZZ_EXPECT(back.has_value() && *back == raw,
+                 "from_hex(to_hex(x)) != x");
+
+  // Arbitrary text through from_hex: accepting implies exact inversion.
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto decoded = from_hex(text);
+  if (decoded.has_value()) {
+    MC_FUZZ_EXPECT(text.size() % 2 == 0,
+                   "from_hex accepted an odd-length string");
+    MC_FUZZ_EXPECT(decoded->size() == text.size() / 2,
+                   "from_hex output size mismatch");
+    std::string lowered = text;
+    for (char& c : lowered)
+      if (c >= 'A' && c <= 'F') c = static_cast<char>(c - 'A' + 'a');
+    MC_FUZZ_EXPECT(to_hex(BytesView(*decoded)) == lowered,
+                   "to_hex(from_hex(s)) != lowercase(s)");
+  }
+}
+
+}  // namespace
+
+int serial_reader(const std::uint8_t* data, std::size_t size) {
+  drive_reader(data, size);
+  drive_hex(data, size);
+  return 0;
+}
+
+}  // namespace mc::fuzz

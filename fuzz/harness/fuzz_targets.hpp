@@ -1,0 +1,60 @@
+// Fuzz-target entry points for every untrusted-input surface.
+//
+// Each target has the libFuzzer signature semantics: consume arbitrary
+// bytes, return 0, and NEVER crash / trip a sanitizer on any input —
+// malformed data must surface as SerialError / AssembleError / nullopt /
+// a trap verdict, not as UB. The same functions serve three binaries:
+//
+//   * real libFuzzer executables (clang, -fsanitize=fuzzer,address,
+//     undefined) under the `fuzz` CMake preset,
+//   * a standalone replay/random driver (fuzz/driver_main.cpp) for
+//     toolchains without libFuzzer (gcc), and
+//   * the `fuzz_regression` gtest, which replays the committed corpus in
+//     every ordinary preset so past findings stay fixed forever.
+//
+// On top of crash-freedom the targets assert the canonical-encoding
+// contract wherever a decode succeeds: decode(encode(x)) == x,
+// encode(decode(bytes)) == bytes, and encoded_size() exactness. A decoder
+// that silently mangles data is as much a finding as one that crashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mc::fuzz {
+
+/// chain::Transaction::decode over raw bytes (+ canonical round-trip).
+int tx_decode(const std::uint8_t* data, std::size_t size);
+
+/// chain::BlockHeader::decode and chain::Block::decode over raw bytes.
+int block_decode(const std::uint8_t* data, std::size_t size);
+
+/// chain::ChainFile::decode (chain export/import container).
+int chainfile_decode(const std::uint8_t* data, std::size_t size);
+
+/// ByteReader primitive soup + canonical varint + hex codec properties.
+int serial_reader(const std::uint8_t* data, std::size_t size);
+
+/// vm::execute over arbitrary bytecode with tight gas/step caps, plus
+/// code_well_formed and disassemble crash-freedom and determinism.
+int vm_execute(const std::uint8_t* data, std::size_t size);
+
+/// contracts/abi surfaces: call-payload decoding, policy-contract
+/// dispatch on hostile calldata, and the VM assembler on arbitrary text.
+int contracts_input(const std::uint8_t* data, std::size_t size);
+
+/// Structure-aware round-trip: build Transaction/Block/ChainFile values
+/// from the input bytes, then assert decode(encode(x)) == x and
+/// encoded_size() exactness.
+int roundtrip(const std::uint8_t* data, std::size_t size);
+
+/// Number of registered targets (driver + regression suite iterate this).
+struct TargetInfo {
+  const char* name;  ///< corpus subdirectory name
+  int (*fn)(const std::uint8_t*, std::size_t);
+};
+
+/// All targets, terminated by a {nullptr, nullptr} sentinel.
+const TargetInfo* targets();
+
+}  // namespace mc::fuzz

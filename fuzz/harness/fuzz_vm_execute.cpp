@@ -1,0 +1,109 @@
+// Fuzz target: vm::execute over arbitrary bytecode.
+//
+// Contract bytecode arrives on-chain through Deploy transactions, so the
+// VM must run ANY byte string to a clean halt under tight gas/step caps:
+// no sanitizer findings, no unbounded allocation, no crash. Because the
+// chain replays contracts on every node, execution must also be
+// perfectly deterministic — the same code, context and storage must
+// yield the same halt, gas, return values, events and post-storage every
+// time. Both properties are asserted here, plus crash-freedom of the
+// static checker and the disassembler over the same bytes.
+
+#include "fuzz/harness/fuzz_common.hpp"
+#include "fuzz/harness/fuzz_targets.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vm/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::fuzz {
+namespace {
+
+/// Deterministic host: answers most oracle requests with a pure function
+/// of the request word and fails the rest, so both the success and the
+/// OracleFailure paths are exercised reproducibly.
+class RecordingHost : public vm::Host {
+ public:
+  std::optional<vm::Word> oracle(vm::Word request) override {
+    if ((request & 7) == 0) return std::nullopt;
+    return request * 2654435761ULL + 1;
+  }
+  void on_event(const vm::Event& event) override {
+    event_words_ += 1 + event.args.size();
+  }
+  [[nodiscard]] std::uint64_t event_words() const { return event_words_; }
+
+ private:
+  std::uint64_t event_words_ = 0;
+};
+
+struct RunOutcome {
+  vm::ExecResult result;
+  vm::Storage storage;
+  std::uint64_t event_words = 0;
+};
+
+RunOutcome run_once(BytesView code) {
+  RunOutcome out;
+  // Pre-seeded storage so SLOAD/SSTORE interact with existing keys.
+  out.storage[1] = 7;
+  out.storage[42] = 9;
+  vm::ExecContext ctx;
+  ctx.contract_id = 11;
+  ctx.caller = 22;
+  ctx.call_value = 33;
+  ctx.height = 44;
+  ctx.time_ms = 55;
+  ctx.gas_limit = 100'000;   // tight: bounds work per input
+  ctx.step_limit = 50'000;   // hard bound beyond gas
+  ctx.calldata = {1, 2, 3, 0xdeadbeefULL};
+  RecordingHost host;
+  out.result = vm::execute(code, out.storage, ctx, host);
+  out.event_words = host.event_words();
+  return out;
+}
+
+}  // namespace
+
+int vm_execute(const std::uint8_t* data, std::size_t size) {
+  const BytesView code = view(data, size);
+
+  // Static checks must never crash on arbitrary bytes.
+  const bool well_formed = vm::code_well_formed(code);
+  const std::string listing = vm::disassemble(code);
+  MC_FUZZ_EXPECT(vm::disassemble(code) == listing,
+                 "disassemble is not deterministic");
+
+  const RunOutcome a = run_once(code);
+  MC_FUZZ_EXPECT(a.result.gas_used <= 100'000, "gas accounting exceeded cap");
+  MC_FUZZ_EXPECT(a.result.steps <= 50'001, "step count exceeded its limit");
+  if (!a.result.ok()) {
+    // Failed runs are all-or-nothing: storage must be untouched.
+    vm::Storage pristine;
+    pristine[1] = 7;
+    pristine[42] = 9;
+    MC_FUZZ_EXPECT(a.storage == pristine,
+                   "failed execution leaked storage writes");
+  }
+
+  // Replay determinism: a second run must agree bit-for-bit.
+  const RunOutcome b = run_once(code);
+  MC_FUZZ_EXPECT(a.result.halt == b.result.halt, "halt diverged on replay");
+  MC_FUZZ_EXPECT(a.result.gas_used == b.result.gas_used,
+                 "gas diverged on replay");
+  MC_FUZZ_EXPECT(a.result.steps == b.result.steps, "steps diverged on replay");
+  MC_FUZZ_EXPECT(a.result.returned == b.result.returned,
+                 "return values diverged on replay");
+  MC_FUZZ_EXPECT(a.storage == b.storage, "post-storage diverged on replay");
+  MC_FUZZ_EXPECT(a.event_words == b.event_words, "events diverged on replay");
+
+  // A program the static checker accepts must still halt cleanly — the
+  // checker is a pre-filter, never a substitute for runtime traps.
+  (void)well_formed;
+  return 0;
+}
+
+}  // namespace mc::fuzz

@@ -1,0 +1,26 @@
+// Registry of all fuzz targets.
+//
+// The standalone driver and the fuzz_regression gtest iterate this table
+// so adding a target here automatically adds a corpus directory, a
+// driver sub-command, and regression-replay coverage in every preset.
+// The libFuzzer executables bind one entry each at compile time.
+
+#include "fuzz/harness/fuzz_targets.hpp"
+
+namespace mc::fuzz {
+
+const TargetInfo* targets() {
+  static constexpr TargetInfo kTargets[] = {
+      {"tx_decode", &tx_decode},
+      {"block_decode", &block_decode},
+      {"chainfile_decode", &chainfile_decode},
+      {"serial_reader", &serial_reader},
+      {"vm_execute", &vm_execute},
+      {"contracts_input", &contracts_input},
+      {"roundtrip", &roundtrip},
+      {nullptr, nullptr},
+  };
+  return kTargets;
+}
+
+}  // namespace mc::fuzz

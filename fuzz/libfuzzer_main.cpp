@@ -1,0 +1,17 @@
+// libFuzzer entry point: each fuzz executable compiles this file with
+// -DMEDCHAIN_FUZZ_TARGET=<target> (a function from fuzz_targets.hpp) and
+// links -fsanitize=fuzzer, giving one coverage-guided binary per target.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness/fuzz_targets.hpp"
+
+#ifndef MEDCHAIN_FUZZ_TARGET
+#error "compile with -DMEDCHAIN_FUZZ_TARGET=<target function name>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return mc::fuzz::MEDCHAIN_FUZZ_TARGET(data, size);
+}

@@ -80,6 +80,12 @@ Block Block::decode(BytesView data) {
   const Bytes header_bytes = r.bytes();
   b.header = BlockHeader::decode(BytesView(header_bytes));
   const std::uint64_t n = r.varint();
+  // A forged count must never drive the allocation: every transaction
+  // costs at least its one-byte length prefix plus the fixed fields, so
+  // any count the remaining bytes cannot possibly carry is rejected
+  // before reserve() (an attacker-chosen reserve is an allocation bomb).
+  if (n > r.remaining() / kMinTxWireBytes)
+    throw SerialError("block tx count exceeds remaining input");
   b.txs.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     const Bytes tx_bytes = r.bytes();

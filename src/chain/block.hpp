@@ -43,7 +43,7 @@ struct BlockHeader {
   /// Exact size of encode() without producing it (headers are fixed-width).
   [[nodiscard]] std::size_t encoded_size() const;
 
-  static BlockHeader decode(BytesView data);
+  [[nodiscard]] static BlockHeader decode(BytesView data);
 
   /// Block id: SHA-256d over the header encoding. Memoized with the same
   /// fingerprint-guarded scheme as Transaction::id() — computed at most
@@ -60,6 +60,11 @@ struct BlockHeader {
   mutable std::uint64_t cached_fp_ = 0;
   mutable bool id_cached_ = false;
 };
+
+/// Smallest possible canonical block encoding: two-byte varint header
+/// length prefix + the 148-byte fixed-width header + one tx-count byte.
+/// Container decoders use this to bound forged block counts.
+constexpr std::size_t kMinBlockEncodedBytes = 2 + 148 + 1;
 
 struct Block {
   BlockHeader header;
@@ -83,7 +88,7 @@ struct Block {
   /// Exact size of encode() without producing it (no allocation).
   [[nodiscard]] std::size_t encoded_size() const;
 
-  static Block decode(BytesView data);
+  [[nodiscard]] static Block decode(BytesView data);
 
   [[nodiscard]] BlockId id() const { return header.id(); }
 

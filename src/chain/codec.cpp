@@ -18,6 +18,10 @@ std::optional<ChainFile> ChainFile::decode(BytesView data) {
     if (r.u32() != kMagic) return std::nullopt;
     ChainFile file;
     const std::uint64_t n = r.varint();
+    // Bound the forged-count allocation bomb: each block costs at least
+    // its length prefix plus the minimal block encoding, so a count the
+    // remaining input cannot carry is rejected before reserve().
+    if (n > r.remaining() / (kMinBlockEncodedBytes + 1)) return std::nullopt;
     file.blocks.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
       const Bytes block_bytes = r.bytes();

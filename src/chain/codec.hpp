@@ -19,7 +19,7 @@ struct ChainFile {
   [[nodiscard]] Bytes encode() const;
 
   /// Decode; nullopt on bad magic, truncation, or corrupt blocks.
-  static std::optional<ChainFile> decode(BytesView data);
+  [[nodiscard]] static std::optional<ChainFile> decode(BytesView data);
 };
 
 /// Export `node`'s best chain (genesis included).

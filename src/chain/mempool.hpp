@@ -78,7 +78,10 @@ class Mempool {
     return by_id_;
   }
 
-  mutable std::mutex mutex_;
+  // Justification: the mempool IS a shared concurrent container — the
+  // one place per node where gossip/validator threads meet; its lock is
+  // the abstraction the rest of the chain layer builds on.
+  mutable std::mutex mutex_;  // medchain-lint: allow(concurrency-primitives)
   std::unordered_map<TxId, Transaction> by_id_;  // guarded by mutex_
 };
 

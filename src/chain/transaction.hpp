@@ -23,6 +23,16 @@ enum class TxKind : std::uint8_t {
   Anchor = 3,    ///< record an off-chain dataset digest; payload = digest
 };
 
+/// Smallest possible canonical transaction encoding (empty payload):
+/// kind(1) + from(20) + to(20) + pub(8) + nonce/amount/gas_limit/
+/// gas_price (4*8) + payload varint(1) + sig(16). Decoders use this to
+/// bound attacker-supplied element counts before allocating.
+constexpr std::size_t kMinTxEncodedBytes = 98;
+
+/// Per-transaction floor inside a length-prefixed container stream
+/// (one varint length byte + the minimal encoding).
+constexpr std::size_t kMinTxWireBytes = kMinTxEncodedBytes + 1;
+
 struct Transaction {
   TxKind kind = TxKind::Transfer;
   Address from{};
@@ -68,7 +78,7 @@ struct Transaction {
   /// Exact size of encode() without producing it (no allocation).
   [[nodiscard]] std::size_t encoded_size() const;
 
-  static Transaction decode(BytesView data);
+  [[nodiscard]] static Transaction decode(BytesView data);
 
   /// Transaction id: SHA-256d over the full encoding. Memoized: the
   /// digest is computed at most once per distinct content. A cheap

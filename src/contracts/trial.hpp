@@ -38,7 +38,7 @@ class TrialContract {
 
   /// 1 when the reported outcome matches the pre-registered primary
   /// outcome (no outcome switching); 0 otherwise or before reporting.
-  bool verify_outcome(Word trial);
+  [[nodiscard]] bool verify_outcome(Word trial);
 
   /// Number of enrolled patients.
   Word enrollment(Word trial);

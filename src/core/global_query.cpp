@@ -74,7 +74,10 @@ QueryExecution GlobalQueryService::submit(const learn::QueryVector& qv) {
   std::vector<double> global_params;  // grows across federated rounds
 
   for (std::size_t round = 0; round < rounds; ++round) {
-    std::mutex results_mutex;
+    // Justification: guards result aggregation inside a ThreadPool
+    // parallel_for — the pool owns the threads; this is only the
+    // reduction lock for its worker callbacks.
+    std::mutex results_mutex;  // medchain-lint: allow(concurrency-primitives)
     learn::SgdConfig sgd = config_.local_sgd;
     sgd.seed = config_.local_sgd.seed + round * 7919;
     pool_.parallel_for(permitted.size(), [&](std::size_t i) {

@@ -34,7 +34,7 @@ class MerkleTree {
   [[nodiscard]] MerkleProof prove(std::size_t index) const;
 
   /// Verify that `leaf` at `index` is included under `root`.
-  static bool verify(const Hash256& leaf, std::size_t index,
+  [[nodiscard]] static bool verify(const Hash256& leaf, std::size_t index,
                      const MerkleProof& proof, const Hash256& root);
 
  private:

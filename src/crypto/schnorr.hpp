@@ -65,7 +65,8 @@ PrivateKey key_from_seed(std::string_view seed);
 Signature sign(const PrivateKey& key, BytesView message);
 
 /// Verify a signature against a public key.
-bool verify(const PublicKey& key, BytesView message, const Signature& sig);
+[[nodiscard]] bool verify(const PublicKey& key, BytesView message,
+                          const Signature& sig);
 
 /// Compact 20-byte account address derived from the public key.
 struct Address {

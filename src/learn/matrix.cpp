@@ -1,6 +1,6 @@
 #include "learn/matrix.hpp"
 
-#include <cassert>
+#include "audit/check.hpp"
 #include <stdexcept>
 
 namespace mc::learn {
@@ -73,13 +73,13 @@ void Matrix::scale_inplace(double factor) {
 }
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
-  assert(x.size() == y.size());
+  MC_ASSERT(x.size() == y.size(), "vector lengths must match");
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
   FlopCounter::add(2ULL * x.size());
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+  MC_ASSERT(x.size() == y.size(), "vector lengths must match");
   double sum = 0;
   for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
   FlopCounter::add(2ULL * x.size());

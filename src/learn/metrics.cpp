@@ -1,7 +1,7 @@
 #include "learn/metrics.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "audit/check.hpp"
 #include <cmath>
 #include <numeric>
 
@@ -9,7 +9,8 @@ namespace mc::learn {
 
 double accuracy(std::span<const double> probabilities,
                 std::span<const double> labels) {
-  assert(probabilities.size() == labels.size());
+  MC_ASSERT(probabilities.size() == labels.size(),
+            "metric inputs must be parallel arrays");
   if (probabilities.empty()) return 0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < probabilities.size(); ++i) {
@@ -22,7 +23,8 @@ double accuracy(std::span<const double> probabilities,
 
 double auc(std::span<const double> probabilities,
            std::span<const double> labels) {
-  assert(probabilities.size() == labels.size());
+  MC_ASSERT(probabilities.size() == labels.size(),
+            "metric inputs must be parallel arrays");
   const std::size_t n = probabilities.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -60,7 +62,8 @@ double auc(std::span<const double> probabilities,
 
 double log_loss(std::span<const double> probabilities,
                 std::span<const double> labels) {
-  assert(probabilities.size() == labels.size());
+  MC_ASSERT(probabilities.size() == labels.size(),
+            "metric inputs must be parallel arrays");
   if (probabilities.empty()) return 0;
   double total = 0;
   for (std::size_t i = 0; i < probabilities.size(); ++i) {

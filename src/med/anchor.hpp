@@ -46,7 +46,7 @@ AuditResult audit_dataset(contracts::RegistryContract& registry,
 
 /// Record-level proof: record `index` of `dataset` is included under the
 /// dataset's *live* Merkle root, and that root matches the chain.
-bool verify_record_inclusion(contracts::RegistryContract& registry,
+[[nodiscard]] bool verify_record_inclusion(contracts::RegistryContract& registry,
                              const SiteDataset& dataset, std::size_t index);
 
 }  // namespace mc::med

@@ -99,6 +99,10 @@ Bytes assemble(std::string_view source) {
 
     tokens.push_back(tok);
     offset += 1 + static_cast<std::size_t>(width);
+    if (offset > kMaxCodeBytes)
+      throw AssembleError(line_no, "program exceeds " +
+                                       std::to_string(kMaxCodeBytes) +
+                                       " bytecode bytes");
   }
 
   // Pass 2: encode with labels resolved.
@@ -139,8 +143,14 @@ std::string disassemble(BytesView code) {
       break;
     }
     const Op op = static_cast<Op>(code[pc]);
-    out << mnemonic(op);
     const int width = immediate_width(op);
+    // A truncated immediate must not read past the blob (untrusted
+    // bytecode reaches the disassembler via debug tooling too).
+    if (pc + 1 + static_cast<std::size_t>(width) > code.size()) {
+      out << "<truncated " << mnemonic(op) << ">\n";
+      break;
+    }
+    out << mnemonic(op);
     if (width > 0) {
       std::uint64_t imm = 0;
       for (int i = 0; i < width; ++i)

@@ -33,7 +33,13 @@ class AssembleError : public std::runtime_error {
   std::size_t line_;
 };
 
-/// Assemble source text to bytecode; throws AssembleError on bad input.
+/// Hard cap on assembled bytecode size. Contracts are deliberately tiny
+/// (the paper keeps on-chain logic to access control); the cap bounds the
+/// allocation an adversarial source text can force out of the assembler.
+constexpr std::size_t kMaxCodeBytes = 64 * 1024;
+
+/// Assemble source text to bytecode; throws AssembleError on bad input
+/// or when the program would exceed kMaxCodeBytes.
 Bytes assemble(std::string_view source);
 
 /// Disassemble bytecode to one-instruction-per-line text (debug aid).

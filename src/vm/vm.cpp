@@ -246,11 +246,26 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
         break;
       }
 
-      case Op::Caller: stack.push_back(ctx.caller); break;
-      case Op::CallValue: stack.push_back(ctx.call_value); break;
-      case Op::Height: stack.push_back(ctx.height); break;
-      case Op::Timestamp: stack.push_back(ctx.time_ms); break;
-      case Op::GasLeft: stack.push_back(ctx.gas_limit - gas); break;
+      case Op::Caller:
+      case Op::CallValue:
+      case Op::Height:
+      case Op::Timestamp:
+      case Op::GasLeft: {
+        // Environment reads grow the stack like PUSH and need the same
+        // overflow trap (a CALLER-flood program must not blow the cap).
+        if (stack.size() >= kMaxStack) return trap(Halt::StackOverflow);
+        Word v = 0;
+        switch (op) {
+          case Op::Caller: v = ctx.caller; break;
+          case Op::CallValue: v = ctx.call_value; break;
+          case Op::Height: v = ctx.height; break;
+          case Op::Timestamp: v = ctx.time_ms; break;
+          case Op::GasLeft: v = ctx.gas_limit - gas; break;
+          default: break;
+        }
+        stack.push_back(v);
+        break;
+      }
 
       case Op::Emit: {
         const std::size_t n = static_cast<std::size_t>(imm);

@@ -30,6 +30,40 @@ TEST(Hex, RejectsOddLengthAndBadChars) {
   EXPECT_TRUE(from_hex("").has_value());
 }
 
+// Characters adjacent to the accepted ASCII ranges must be rejected —
+// an off-by-one in the nibble table would admit them silently.
+TEST(Hex, RejectsRangeBoundaryNeighbours) {
+  for (const char* bad : {"/0", ":0", "@0", "G0", "`0", "g0",
+                          "0/", "0:", "0@", "0G", "0`", "0g"}) {
+    EXPECT_FALSE(from_hex(bad).has_value()) << bad;
+  }
+  // Whitespace and embedded NUL are data errors, not separators.
+  EXPECT_FALSE(from_hex(" 0").has_value());
+  EXPECT_FALSE(from_hex("0 ").has_value());
+  EXPECT_FALSE(from_hex(std::string_view("\0" "0", 2)).has_value());
+  // High-bit bytes (e.g. UTF-8 continuation bytes) must not map.
+  EXPECT_FALSE(from_hex("\xc3\xa9").has_value());
+}
+
+TEST(Hex, AllByteValuesRoundTrip) {
+  Bytes all(256);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    all[i] = static_cast<std::uint8_t>(i);
+  const std::string hex = to_hex(BytesView(all));
+  ASSERT_EQ(hex.size(), 512u);
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, all);
+}
+
+TEST(Hex, MixedCaseDecodesToSameBytes) {
+  const auto lower = from_hex("deadbeef");
+  const auto mixed = from_hex("DeAdBeEf");
+  ASSERT_TRUE(lower.has_value());
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(*lower, *mixed);
+}
+
 TEST(Hex, UppercaseAccepted) {
   const auto decoded = from_hex("DEADBEEF");
   ASSERT_TRUE(decoded.has_value());

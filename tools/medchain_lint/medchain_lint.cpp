@@ -1,0 +1,526 @@
+// medchain-lint: project-invariant checker for rules clang-tidy cannot
+// express (see DESIGN.md "Adversarial inputs & determinism lint").
+//
+// Rules:
+//   determinism-random       std::random_device / rand() / srand() are
+//                            banned outside common/rng.hpp — every
+//                            stochastic component takes a seeded mc::Rng
+//                            so runs replay from a single seed.
+//   determinism-time         system_clock / time() / gettimeofday / ...
+//                            are banned outside sim/clock.hpp — protocol
+//                            code reads simulated time, never the wall.
+//   concurrency-primitives   naked std::mutex / std::thread / condition
+//                            variables are banned outside common/ and
+//                            sim/ — concurrency goes through ThreadPool
+//                            and EventQueue so TSan coverage and replay
+//                            stay centralized.
+//   raw-assert               assert() is banned everywhere — invariants
+//                            use MC_ASSERT / MC_DCHECK, which stay alive
+//                            in audit builds and compile to nothing in
+//                            Release without evaluating the condition.
+//   nodiscard-decode         public decode*/verify* declarations in
+//                            headers must be [[nodiscard]] — a dropped
+//                            verdict on an untrusted-input path is a
+//                            vulnerability, not a style issue.
+//
+// Escape hatch: `// medchain-lint: allow(<rule>[, <rule>...])` on the
+// offending line or the line directly above it; `allow-file(<rule>)`
+// anywhere in a file suppresses the rule file-wide. Every allow is
+// expected to carry a justification comment next to it.
+//
+// Usage:
+//   medchain_lint <dir-or-file>...                 walk and lint
+//   medchain_lint --compile-commands <json> [...]  lint the "file" list
+//   medchain_lint --self-test <dir>...             verify against
+//                                                  `expect(<rule>)` markers
+//   medchain_lint --list-rules
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  std::string_view name;
+  std::string_view why;
+};
+
+constexpr Rule kRules[] = {
+    {"determinism-random",
+     "seeded mc::Rng only (common/rng.hpp) - replay needs one seed"},
+    {"determinism-time",
+     "simulated sim::Clock time only (sim/clock.hpp) - no wall clock"},
+    {"concurrency-primitives",
+     "ThreadPool/EventQueue only - raw mutex/thread outside common/, sim/"},
+    {"raw-assert", "use MC_ASSERT / MC_DCHECK instead of assert()"},
+    {"nodiscard-decode",
+     "public decode*/verify* header declarations must be [[nodiscard]]"},
+};
+
+bool is_known_rule(std::string_view name) {
+  for (const Rule& r : kRules)
+    if (r.name == name) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Path tail relative to the last "src/" component (rules are written
+/// against src-relative paths); the generic full path when absent.
+std::string src_relative(const fs::path& path) {
+  const std::string p = path.generic_string();
+  const auto at = p.rfind("src/");
+  return at == std::string::npos ? p : p.substr(at + 4);
+}
+
+bool in_dir(const std::string& rel, std::string_view dir) {
+  return rel.rfind(dir, 0) == 0;  // rel starts with "common/" etc.
+}
+
+/// Occurrences of `token` in `line` that start and end on word
+/// boundaries (the trailing '(' of tokens like "rand(" anchors the end).
+bool has_token(std::string_view line, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = line.find(token, at)) != std::string_view::npos) {
+    const bool left_ok = at == 0 || !is_word(line[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= line.size() || !is_word(line[end]) ||
+                          token.back() == '(';
+    if (left_ok && right_ok) return true;
+    ++at;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping (so tokens in comments and literals never
+// fire). Handles //, /*...*/ across lines, "..." and '...' literals, and
+// raw strings R"delim(...)delim".
+// ---------------------------------------------------------------------------
+
+class Stripper {
+ public:
+  /// Returns `line` with comment and literal bytes blanked to spaces.
+  std::string strip(const std::string& line) {
+    std::string out(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (mode_ == Mode::BlockComment) {
+        const auto end = line.find("*/", i);
+        if (end == std::string::npos) return out;
+        i = end + 2;
+        mode_ = Mode::Code;
+        continue;
+      }
+      if (mode_ == Mode::RawString) {
+        const std::string close = ")" + raw_delim_ + "\"";
+        const auto end = line.find(close, i);
+        if (end == std::string::npos) return out;
+        i = end + close.size();
+        mode_ = Mode::Code;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') return out;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        mode_ = Mode::BlockComment;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+          (i == 0 || !is_word(line[i - 1]))) {
+        const auto open = line.find('(', i + 2);
+        if (open != std::string::npos) {
+          raw_delim_ = line.substr(i + 2, open - (i + 2));
+          mode_ = Mode::RawString;
+          i = open + 1;
+          continue;
+        }
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        ++i;  // past closing quote (or end of line: unterminated)
+        continue;
+      }
+      out[i] = c;
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  enum class Mode { Code, BlockComment, RawString };
+  Mode mode_ = Mode::Code;
+  std::string raw_delim_;
+};
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+/// Parses `marker(<rule>[, <rule>...])` occurrences in a raw line.
+std::vector<std::string> parse_marker(const std::string& line,
+                                      std::string_view marker) {
+  std::vector<std::string> rules;
+  std::size_t at = line.find(marker);
+  if (at == std::string::npos) return rules;
+  at = line.find('(', at);
+  const auto close = line.find(')', at);
+  if (at == std::string::npos || close == std::string::npos) return rules;
+  std::string inner = line.substr(at + 1, close - at - 1);
+  std::size_t start = 0;
+  while (start <= inner.size()) {
+    auto comma = inner.find(',', start);
+    if (comma == std::string::npos) comma = inner.size();
+    std::string rule = inner.substr(start, comma - start);
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](char c) { return std::isspace(
+                                    static_cast<unsigned char>(c)) != 0; }),
+               rule.end());
+    if (!rule.empty()) rules.push_back(rule);
+    start = comma + 1;
+  }
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule line checks (on stripped lines)
+// ---------------------------------------------------------------------------
+
+const char* check_determinism_random(std::string_view line) {
+  for (const char* tok : {"std::random_device", "rand(", "srand(",
+                          "random_shuffle"})
+    if (has_token(line, tok)) return tok;
+  return nullptr;
+}
+
+const char* check_determinism_time(std::string_view line) {
+  for (const char* tok : {"system_clock", "time(", "gettimeofday",
+                          "clock_gettime", "localtime", "gmtime("})
+    if (has_token(line, tok)) return tok;
+  return nullptr;
+}
+
+const char* check_concurrency(std::string_view line) {
+  for (const char* tok : {"std::mutex", "std::shared_mutex",
+                          "std::recursive_mutex", "std::timed_mutex",
+                          "std::condition_variable", "std::thread",
+                          "std::jthread"})
+    if (has_token(line, tok)) return tok;
+  return nullptr;
+}
+
+const char* check_raw_assert(std::string_view line) {
+  return has_token(line, "assert(") ? "assert(" : nullptr;
+}
+
+/// Heuristic declaration finder for decode*/verify* in headers. A match
+/// is a declaration when the name is preceded by a type-ish token on the
+/// same line (identifier/`>`/`&`/`*` that is not `return`), not reached
+/// through `.` `->` `::` `(` `,` `=` `!` (those are calls), and neither
+/// this line nor the one above carries [[nodiscard]].
+const char* check_nodiscard(std::string_view line, std::string_view prev) {
+  if (line.find("nodiscard") != std::string_view::npos ||
+      prev.find("nodiscard") != std::string_view::npos)
+    return nullptr;
+  for (std::string_view name : {"decode", "verify"}) {
+    std::size_t at = 0;
+    while ((at = line.find(name, at)) != std::string_view::npos) {
+      const std::size_t start = at;
+      at += name.size();
+      if (start > 0 && is_word(line[start - 1])) continue;  // mid-word
+      // Extend over verify_signature-style suffixes.
+      std::size_t end = start + name.size();
+      while (end < line.size() && is_word(line[end])) ++end;
+      if (end >= line.size() || line[end] != '(') continue;  // not a call/decl
+      // Walk back to the previous non-space character.
+      std::size_t back = start;
+      while (back > 0 && line[back - 1] == ' ') --back;
+      if (back == 0) continue;  // nothing before: continuation line, skip
+      const char before = line[back - 1];
+      if (before == '.' || before == ':' || before == '(' || before == ',' ||
+          before == '=' || before == '!' || before == '>')
+        continue;  // member call / qualified call / argument
+      if (!is_word(before) && before != '&' && before != '*') continue;
+      // Previous token must be a type, not a keyword that precedes calls.
+      std::size_t tok_end = back;
+      std::size_t tok_start = tok_end;
+      while (tok_start > 0 && is_word(line[tok_start - 1])) --tok_start;
+      const std::string_view tok = line.substr(tok_start, tok_end - tok_start);
+      if (tok == "return" || tok == "if" || tok == "while" || tok == "case")
+        continue;
+      return name == "decode" ? "decode" : "verify*";
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// File scanning
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string file;  // src-relative for readability
+  std::size_t line = 0;
+  std::string rule;
+  std::string token;
+};
+
+struct Expectation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+
+  auto operator<=>(const Expectation&) const = default;
+};
+
+struct ScanResult {
+  std::vector<Violation> violations;
+  std::vector<Expectation> expectations;  // only in --self-test mode
+  std::size_t files_scanned = 0;
+  bool bad_annotation = false;
+};
+
+bool rule_applies(std::string_view rule, const std::string& rel,
+                  bool is_header) {
+  if (rule == "determinism-random") return rel != "common/rng.hpp";
+  if (rule == "determinism-time") return rel != "sim/clock.hpp";
+  if (rule == "concurrency-primitives")
+    return !in_dir(rel, "common/") && !in_dir(rel, "sim/");
+  if (rule == "raw-assert") return true;
+  if (rule == "nodiscard-decode") return is_header;
+  return false;
+}
+
+void scan_file(const fs::path& path, bool self_test, ScanResult& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "medchain_lint: cannot read %s\n",
+                 path.string().c_str());
+    out.bad_annotation = true;
+    return;
+  }
+  ++out.files_scanned;
+  const std::string rel = src_relative(path);
+  const std::string ext = path.extension().string();
+  const bool is_header = ext == ".hpp" || ext == ".h";
+
+  Stripper stripper;
+  std::set<std::string> file_allows;
+  std::vector<std::string> prev_allows;
+  std::string prev_stripped;
+  std::string raw;
+  std::size_t line_no = 0;
+
+  // File-wide allows can appear anywhere; gather them first.
+  {
+    std::ifstream pre(path);
+    std::string l;
+    while (std::getline(pre, l))
+      for (const auto& rule : parse_marker(l, "medchain-lint: allow-file"))
+        file_allows.insert(rule);
+  }
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::vector<std::string> line_allows =
+        parse_marker(raw, "medchain-lint: allow");
+    for (const auto& rule : line_allows)
+      if (!is_known_rule(rule)) {
+        std::fprintf(stderr, "%s:%zu: unknown rule '%s' in allow()\n",
+                     rel.c_str(), line_no, rule.c_str());
+        out.bad_annotation = true;
+      }
+    if (self_test)
+      for (const auto& rule : parse_marker(raw, "expect"))
+        if (is_known_rule(rule))
+          out.expectations.push_back({rel, line_no, rule});
+
+    const std::string stripped = stripper.strip(raw);
+
+    const auto allowed = [&](std::string_view rule) {
+      const auto match = [&](const std::vector<std::string>& list) {
+        return std::find(list.begin(), list.end(), rule) != list.end();
+      };
+      return file_allows.count(std::string(rule)) > 0 ||
+             match(line_allows) || match(prev_allows);
+    };
+    const auto report = [&](std::string_view rule, const char* token) {
+      if (token == nullptr) return;
+      if (!rule_applies(rule, rel, is_header)) return;
+      if (allowed(rule)) return;
+      out.violations.push_back(
+          {rel, line_no, std::string(rule), std::string(token)});
+    };
+
+    report("determinism-random", check_determinism_random(stripped));
+    report("determinism-time", check_determinism_time(stripped));
+    report("concurrency-primitives", check_concurrency(stripped));
+    report("raw-assert", check_raw_assert(stripped));
+    report("nodiscard-decode", check_nodiscard(stripped, prev_stripped));
+
+    prev_allows = line_allows;
+    prev_stripped = stripped;
+  }
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc")
+          files.push_back(entry.path());
+      }
+    } else if (fs::exists(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "medchain_lint: no such path: %s\n", root.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Extract "file" entries from a compile_commands.json (string scan — the
+/// format is machine-generated and flat, so a parser is overkill).
+std::vector<std::string> compile_commands_files(const std::string& json_path) {
+  std::vector<std::string> files;
+  std::ifstream in(json_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key = line.find("\"file\"");
+    if (key == std::string::npos) continue;
+    const auto open = line.find('"', line.find(':', key));
+    const auto close = line.find('"', open + 1);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    files.push_back(line.substr(open + 1, close - open - 1));
+  }
+  return files;
+}
+
+int run_self_test(ScanResult& result) {
+  std::set<Expectation> expected(result.expectations.begin(),
+                                 result.expectations.end());
+  std::set<Expectation> actual;
+  for (const auto& v : result.violations)
+    actual.insert({v.file, v.line, v.rule});
+
+  bool ok = true;
+  for (const auto& e : expected)
+    if (actual.count(e) == 0) {
+      std::fprintf(stderr,
+                   "self-test FAIL: expected %s at %s:%zu, not reported\n",
+                   e.rule.c_str(), e.file.c_str(), e.line);
+      ok = false;
+    }
+  for (const auto& a : actual)
+    if (expected.count(a) == 0) {
+      std::fprintf(stderr,
+                   "self-test FAIL: unexpected %s at %s:%zu\n",
+                   a.rule.c_str(), a.file.c_str(), a.line);
+      ok = false;
+    }
+  // Every rule must be exercised at least once by the testdata, so a
+  // rule that silently stops matching cannot pass the gate.
+  for (const Rule& rule : kRules) {
+    const bool seen = std::any_of(
+        expected.begin(), expected.end(),
+        [&](const Expectation& e) { return e.rule == rule.name; });
+    if (!seen) {
+      std::fprintf(stderr, "self-test FAIL: rule %.*s has no expect() case\n",
+                   static_cast<int>(rule.name.size()), rule.name.data());
+      ok = false;
+    }
+  }
+  std::fprintf(stderr, "medchain_lint self-test: %zu expectation(s), %s\n",
+               expected.size(), ok ? "all matched" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const Rule& r : kRules)
+        std::printf("%-24.*s %.*s\n", static_cast<int>(r.name.size()),
+                    r.name.data(), static_cast<int>(r.why.size()),
+                    r.why.data());
+      return 0;
+    }
+    if (arg == "--self-test") {
+      self_test = true;
+      continue;
+    }
+    if (arg == "--compile-commands") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "medchain_lint: --compile-commands needs a path\n");
+        return 2;
+      }
+      for (auto& f : compile_commands_files(argv[i])) roots.push_back(f);
+      continue;
+    }
+    roots.push_back(std::string(arg));
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: medchain_lint [--self-test] [--compile-commands "
+                 "<json>] <dir-or-file>...\n");
+    return 2;
+  }
+
+  ScanResult result;
+  for (const fs::path& file : collect_files(roots))
+    scan_file(file, self_test, result);
+
+  if (self_test) return run_self_test(result);
+
+  for (const auto& v : result.violations)
+    std::printf("%s:%zu: [%s] forbidden '%s' (see --list-rules; suppress "
+                "with // medchain-lint: allow(%s))\n",
+                v.file.c_str(), v.line, v.rule.c_str(), v.token.c_str(),
+                v.rule.c_str());
+  std::fprintf(stderr, "medchain_lint: %zu violation(s) across %zu file(s)\n",
+               result.violations.size(), result.files_scanned);
+  if (result.bad_annotation) return 2;
+  return result.violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// Self-test fixture: a file-wide allow suppresses every match of the
+// rule, so none of the raw asserts below may be reported.
+// Justification (fixture): exercises the allow-file escape hatch.
+// medchain-lint: allow-file(raw-assert)
+
+void lots_of_asserts(int x) {
+  assert(x > 0);
+  assert(x < 100);
+}

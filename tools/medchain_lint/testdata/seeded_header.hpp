@@ -1,0 +1,13 @@
+// Self-test fixture for header-only rules (see seeded_violations.cpp).
+#pragma once
+
+struct WireThing {
+  static WireThing decode(const char* data);  // expect(nodiscard-decode)
+  bool verify_payload() const;                // expect(nodiscard-decode)
+
+  [[nodiscard]] static WireThing decode_ok(const char* data);
+  [[nodiscard]] bool verify_ok() const;
+
+  // Call sites and returns must not fire:
+  bool check() const { return verify_ok(); }
+};

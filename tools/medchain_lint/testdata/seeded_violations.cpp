@@ -1,0 +1,41 @@
+// Self-test fixture: every lint rule must fire exactly on the lines
+// marked `expect(<rule>)` and nowhere else. `medchain_lint --self-test`
+// cross-checks the reported set against these markers, so a rule that
+// silently stops matching (or starts over-matching) fails CI.
+//
+// This file is never compiled — it only needs to look like C++.
+
+#include <cstdint>
+
+void determinism_violations() {
+  std::random_device rd;                  // expect(determinism-random)
+  int r = rand();                         // expect(determinism-random)
+  std::uint64_t t = time(nullptr);        // expect(determinism-time)
+  auto now = std::chrono::system_clock::now();  // expect(determinism-time)
+  (void)rd; (void)r; (void)t; (void)now;
+}
+
+void concurrency_violations() {
+  std::mutex m;                           // expect(concurrency-primitives)
+  std::thread worker([] {});              // expect(concurrency-primitives)
+  worker.join();
+}
+
+void assert_violation(int x) {
+  assert(x > 0);                          // expect(raw-assert)
+}
+
+void suppressed_lines() {
+  // Justification: fixture proves the escape hatch suppresses a match.
+  int r = rand();  // medchain-lint: allow(determinism-random)
+  // medchain-lint: allow(concurrency-primitives) — annotation-above form
+  std::mutex guarded;
+  (void)r; (void)guarded;
+}
+
+void non_violations() {
+  // Comments and strings must never fire: rand() time() std::mutex
+  const char* text = "std::random_device in a string literal";
+  static_assert(sizeof(text) > 0, "static_assert is not assert");
+  (void)text;
+}
