@@ -6,6 +6,7 @@
 // public chain over the gossip fabric (full simulation), and the PBFT
 // consortium (message-driven state machine).
 #include <cstdio>
+#include <cstring>
 
 #include "chain/chainsim.hpp"
 #include "chain/pbft.hpp"
@@ -17,8 +18,13 @@ namespace {
 using namespace mc;
 using namespace mc::chain;
 
+/// --no-batch switches BlockValidator to per-tx signature verification
+/// (A/B wall-clock comparison; the simulated chain metrics are identical).
+bool g_batch_verify = true;
+
 ChainSimConfig base_config(ConsensusKind consensus, std::size_t nodes) {
   ChainSimConfig config;
+  config.batch_verify = g_batch_verify;
   config.node_count = nodes;
   config.regions = 4;
   config.client_count = 8;
@@ -129,8 +135,17 @@ void pbft_fault_latency() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-batch") == 0) {
+      g_batch_verify = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--no-batch]\n", argv[0]);
+      return 2;
+    }
+  }
   std::puts("== bench_c1_scalability: paper §I scalability claim ==");
+  if (!g_batch_verify) std::puts("(batch signature verification OFF)");
   public_chain_sweep(ConsensusKind::ProofOfWork, "proof-of-work");
   public_chain_sweep(ConsensusKind::ProofOfStake, "proof-of-stake");
   pbft_sweep();

@@ -85,6 +85,48 @@ void BM_SchnorrVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_SchnorrVerify);
 
+struct BatchBench {
+  std::vector<PrivateKey> keys;
+  std::vector<Bytes> msgs;
+  std::vector<BatchItem> items;
+
+  explicit BatchBench(std::size_t n) {
+    Rng rng(0xba7c4);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(generate_key(rng));
+      msgs.push_back(rng.bytes(40));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back({keys[i].pub, BytesView(msgs[i]),
+                       sign(keys[i], BytesView(msgs[i]))});
+  }
+};
+
+void BM_SchnorrVerifyN(benchmark::State& state) {
+  // Baseline: N independent per-sig verifications (what batching replaces).
+  const BatchBench b(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = true;
+    for (const BatchItem& it : b.items)
+      ok &= verify(it.key, it.message, it.sig);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SchnorrVerifyN)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SchnorrBatchVerify(benchmark::State& state) {
+  // One aggregated random-linear-combination check over the same N.
+  const BatchBench b(static_cast<std::size_t>(state.range(0)));
+  Rng rng(0x5a17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(batch_verify(b.items, rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SchnorrBatchVerify)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_ChaCha20Seal(benchmark::State& state) {
   Rng rng(4);
   const ChaChaKey key = key_from_hash(sha256("k"));
@@ -136,14 +178,26 @@ void BM_TxWireSize(benchmark::State& state) {
 BENCHMARK(BM_TxWireSize);
 
 void BM_BlockValidateSeq(benchmark::State& state) {
+  // No pool, batch verification on (the default).
   const chain::Block block =
       make_bench_block(static_cast<std::size_t>(state.range(0)));
-  const chain::BlockValidator validator;  // no pool: sequential
+  const chain::BlockValidator validator;
   for (auto _ : state) benchmark::DoNotOptimize(validator.validate(block));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
 BENCHMARK(BM_BlockValidateSeq)->Arg(64)->Arg(512);
+
+void BM_BlockValidateSeqPerTx(benchmark::State& state) {
+  // No pool, batching off: the pre-batch per-tx verify path.
+  const chain::Block block =
+      make_bench_block(static_cast<std::size_t>(state.range(0)));
+  const chain::BlockValidator validator(nullptr, 8, /*batch_verify=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(validator.validate(block));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlockValidateSeqPerTx)->Arg(64)->Arg(512);
 
 void BM_BlockValidatePool(benchmark::State& state) {
   const chain::Block block =
@@ -155,6 +209,17 @@ void BM_BlockValidatePool(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_BlockValidatePool)->Arg(64)->Arg(512);
+
+void BM_BlockValidatePoolPerTx(benchmark::State& state) {
+  const chain::Block block =
+      make_bench_block(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool;
+  const chain::BlockValidator validator(&pool, 8, /*batch_verify=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(validator.validate(block));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlockValidatePoolPerTx)->Arg(64)->Arg(512);
 
 }  // namespace
 

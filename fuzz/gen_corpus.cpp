@@ -159,6 +159,46 @@ int main(int argc, char** argv) {
     write_seed(root / "roundtrip", "empty", BytesView());
   }
 
+  // Batch-verify seeds: op streams for the structure-aware sig_batch
+  // target (8 seed bytes, then per-item: key byte, msg-len byte, msg
+  // bytes, corruption-op byte). One all-valid batch, one per corruption
+  // class, one cancellation pair.
+  {
+    ByteWriter w;
+    w.u64(0x5eedULL);
+    for (std::uint8_t i = 0; i < 12; ++i) {
+      w.u8(i);        // key selector
+      w.u8(1);        // one message byte
+      w.u8(i);        // message
+      w.u8(0);        // op 0: leave valid
+    }
+    write_seed(root / "sig_batch", "all_valid", BytesView(w.data()));
+  }
+  {
+    ByteWriter w;
+    w.u64(0xc0ffeeULL);
+    for (std::uint8_t op = 0; op < 12; ++op) {
+      w.u8(op);
+      w.u8(2);
+      w.u8(op);
+      w.u8(0x55);
+      w.u8(op);       // one item per corruption class
+    }
+    write_seed(root / "sig_batch", "one_per_corruption", BytesView(w.data()));
+  }
+  {
+    ByteWriter w;
+    w.u64(0x2b1dULL);
+    const std::uint8_t ops[] = {0, 0, 9, 0};  // cancel pair at {earlier, 2}
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      w.u8(i);
+      w.u8(1);
+      w.u8(static_cast<std::uint8_t>(0x40 + i));
+      w.u8(ops[i]);
+    }
+    write_seed(root / "sig_batch", "cancellation_pair", BytesView(w.data()));
+  }
+
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

@@ -70,7 +70,7 @@ chain::Transaction build_tx(FieldSource& src) {
   tx.gas_limit = src.u64();
   tx.gas_price = src.u64();
   tx.payload = src.bytes(/*max_len=*/64);
-  tx.sig.e = src.u64();
+  tx.sig.r = src.u64();
   tx.sig.s = src.u64();
   return tx;
 }

@@ -48,6 +48,11 @@ int contracts_input(const std::uint8_t* data, std::size_t size);
 /// encoded_size() exactness.
 int roundtrip(const std::uint8_t* data, std::size_t size);
 
+/// Structure-aware Schnorr batches: assemble valid/corrupted signature
+/// batches from the input bytes and assert crypto::batch_verify agrees
+/// with the per-sig verify() scan, including the first-failing index.
+int sig_batch(const std::uint8_t* data, std::size_t size);
+
 /// Number of registered targets (driver + regression suite iterate this).
 struct TargetInfo {
   const char* name;  ///< corpus subdirectory name

@@ -18,6 +18,7 @@ const TargetInfo* targets() {
       {"vm_execute", &vm_execute},
       {"contracts_input", &contracts_input},
       {"roundtrip", &roundtrip},
+      {"sig_batch", &sig_batch},
       {nullptr, nullptr},
   };
   return kTargets;

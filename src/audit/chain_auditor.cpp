@@ -7,6 +7,7 @@
 
 #include "chain/block_validator.hpp"
 #include "chain/node.hpp"
+#include "common/rng.hpp"
 #include "chain/pow.hpp"
 #include "chain/state.hpp"
 #include "crypto/sha256.hpp"
@@ -33,6 +34,8 @@ std::string_view violation_name(ViolationKind kind) {
     case ViolationKind::QuorumConflictingDigest:
       return "quorum-conflicting-digest";
     case ViolationKind::OrphanPoolOverflow: return "orphan-pool-overflow";
+    case ViolationKind::BatchVerifyDivergence:
+      return "batch-verify-divergence";
   }
   return "unknown";
 }
@@ -116,6 +119,26 @@ void ChainAuditor::audit_structure(const std::vector<chain::Block>& blocks,
         !chain::meets_target(b.id(), b.header.target))
       add(report, ViolationKind::PowTargetMiss, h,
           "block id fails its declared PoW target");
+    // Batch-vs-sequential signature agreement: a batch accept must mean
+    // every individual signature verifies, and a batch reject must name
+    // the sequential scan's first failure. This is the auditor-side
+    // counterpart of BlockValidator's MC_DCHECK, live in every build.
+    if (!b.txs.empty()) {
+      std::ptrdiff_t seq_bad = -1;
+      for (std::size_t t = 0; t < b.txs.size(); ++t) {
+        if (!b.txs[t].verify_signature()) {
+          seq_bad = static_cast<std::ptrdiff_t>(t);
+          break;
+        }
+      }
+      Rng rng(b.header.tx_root.prefix_u64() ^ 0xa0d17ULL);
+      const std::ptrdiff_t batch_bad =
+          chain::batch_verify_signatures(b.txs, rng);
+      if (batch_bad != seq_bad)
+        add(report, ViolationKind::BatchVerifyDivergence, h,
+            "batch verdict " + std::to_string(batch_bad) +
+                " != sequential verdict " + std::to_string(seq_bad));
+    }
   }
   report.blocks_checked = blocks.size();
 }

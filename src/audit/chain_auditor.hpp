@@ -46,6 +46,7 @@ enum class ViolationKind : std::uint8_t {
   QuorumDuplicateVoter,  ///< the same replica counted twice in one cert
   QuorumConflictingDigest,  ///< two certs commit different digests at one seq
   OrphanPoolOverflow,    ///< node holds more orphans than params.max_orphans
+  BatchVerifyDivergence,  ///< batch sig verdict != per-tx sequential verdict
 };
 
 [[nodiscard]] std::string_view violation_name(ViolationKind kind);

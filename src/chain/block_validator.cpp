@@ -1,11 +1,27 @@
 #include "chain/block_validator.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <span>
 #include <vector>
 
+#include "audit/check.hpp"
+#include "common/rng.hpp"
 #include "crypto/merkle.hpp"
 
 namespace mc::chain {
+namespace {
+
+/// Per-tx reference scan: the verdict every signature-checking strategy
+/// below must reproduce exactly.
+std::ptrdiff_t sequential_scan(const Block& block) {
+  for (std::size_t i = 0; i < block.txs.size(); ++i)
+    if (!block.txs[i].verify_signature())
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+}  // namespace
 
 BlockValidation BlockValidator::validate(const Block& block) const {
   const std::size_t n = block.txs.size();
@@ -13,29 +29,75 @@ BlockValidation BlockValidator::validate(const Block& block) const {
 
   std::vector<Hash256> leaves(n);
 
+  // Batching is orthogonal to pooling: a large block on a pool-less node
+  // still benefits from one aggregate check. The coefficient RNG seed must
+  // be deterministic per (block, chunk) for reproducible simulation runs;
+  // tx_root commits to the batch content and batch_salt_ is the verifier's
+  // private contribution.
+  const std::uint64_t seed_base = block.header.tx_root.prefix_u64() ^ batch_salt_;
+  const bool batch = batch_verify_ && n >= min_parallel_txs_;
+
   if (!use_pool(n)) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (out.first_invalid_tx < 0 && !block.txs[i].verify_signature())
-        out.first_invalid_tx = static_cast<std::ptrdiff_t>(i);
-      leaves[i] = block.txs[i].id();
+    for (std::size_t i = 0; i < n; ++i) leaves[i] = block.txs[i].id();
+    if (batch) {
+      Rng rng(seed_base);
+      out.first_invalid_tx = batch_verify_signatures(block.txs, rng);
+    } else {
+      out.first_invalid_tx = sequential_scan(block);
     }
   } else {
     // Workers race, but the verdict must not: fold failures through an
     // atomic min so the reported index is the lowest regardless of
-    // completion order.
+    // completion order. Each chunk resolves its exact first failure
+    // (batch_verify bisects), so the fold over chunk verdicts is the
+    // block verdict, independent of the chunk layout.
     std::atomic<std::size_t> first_bad{n};
-    pool_->parallel_for(n, [&](std::size_t i) {
-      leaves[i] = block.txs[i].id();
-      if (!block.txs[i].verify_signature()) {
+    if (batch) {
+      // Chunks sized so every worker gets ~4, bounded below so batches
+      // stay big enough for the aggregate check to win.
+      const std::size_t chunk =
+          std::max<std::size_t>(32, (n + pool_->size() * 4 - 1) /
+                                        (pool_->size() * 4));
+      const std::size_t chunks = (n + chunk - 1) / chunk;
+      pool_->parallel_for(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i)
+          leaves[i] = block.txs[i].id();
+        // A failure already found below this chunk makes its verdict
+        // unobservable — skip the crypto, keep the leaf hashing.
+        if (first_bad.load(std::memory_order_relaxed) <= begin) return;
+        Rng rng(seed_base ^ begin);
+        const std::ptrdiff_t bad = batch_verify_signatures(
+            std::span<const Transaction>(block.txs).subspan(begin,
+                                                            end - begin),
+            rng);
+        if (bad < 0) return;
+        std::size_t abs = begin + static_cast<std::size_t>(bad);
         std::size_t cur = first_bad.load(std::memory_order_relaxed);
-        while (i < cur && !first_bad.compare_exchange_weak(
-                              cur, i, std::memory_order_relaxed)) {
+        while (abs < cur && !first_bad.compare_exchange_weak(
+                                cur, abs, std::memory_order_relaxed)) {
         }
-      }
-    });
+      });
+    } else {
+      pool_->parallel_for(n, [&](std::size_t i) {
+        leaves[i] = block.txs[i].id();
+        if (!block.txs[i].verify_signature()) {
+          std::size_t cur = first_bad.load(std::memory_order_relaxed);
+          while (i < cur && !first_bad.compare_exchange_weak(
+                                cur, i, std::memory_order_relaxed)) {
+          }
+        }
+      });
+    }
     const std::size_t bad = first_bad.load(std::memory_order_relaxed);
     if (bad < n) out.first_invalid_tx = static_cast<std::ptrdiff_t>(bad);
   }
+
+  // Audit builds: whatever strategy ran, the verdict must equal the per-tx
+  // reference scan (batch accept ⇒ every individual signature verifies).
+  MC_DCHECK(out.first_invalid_tx == sequential_scan(block),
+            "block signature verdict diverged from per-tx verification");
 
   out.computed_tx_root = crypto::MerkleTree(std::move(leaves)).root();
   out.tx_root_ok = out.computed_tx_root == block.header.tx_root;

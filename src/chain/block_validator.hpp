@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "chain/block.hpp"
 #include "common/thread_pool.hpp"
@@ -38,10 +39,25 @@ class BlockValidator {
   /// `pool == nullptr` degrades to sequential validation (identical
   /// verdicts). Blocks smaller than `min_parallel_txs` are validated
   /// sequentially even with a pool: fan-out overhead dwarfs two or three
-  /// Schnorr checks.
+  /// Schnorr checks — and they stay on per-tx crypto::verify, since batch
+  /// coefficient drawing costs more than it saves at that size.
+  ///
+  /// `batch_verify` switches signature checking from N per-tx Schnorr
+  /// verifications to aggregated crypto::batch_verify (one batch per pool
+  /// chunk). The verdict is identical either way — batch failures bisect
+  /// to the exact lowest failing index — so the knob only trades CPU.
+  /// `batch_salt` is folded into the per-chunk coefficient RNG seed along
+  /// with the block's tx_root; give each validating node a distinct salt
+  /// so an adversary cannot predict the combination coefficients from
+  /// block content alone (see crypto::batch_verify).
   explicit BlockValidator(ThreadPool* pool = nullptr,
-                          std::size_t min_parallel_txs = 8)
-      : pool_(pool), min_parallel_txs_(min_parallel_txs) {}
+                          std::size_t min_parallel_txs = 8,
+                          bool batch_verify = true,
+                          std::uint64_t batch_salt = 0)
+      : pool_(pool),
+        min_parallel_txs_(min_parallel_txs),
+        batch_verify_(batch_verify),
+        batch_salt_(batch_salt) {}
 
   /// Verify every tx signature and the header's tx_root. Thread-safe:
   /// concurrent validate() calls on distinct blocks are fine (tx id
@@ -54,6 +70,7 @@ class BlockValidator {
   [[nodiscard]] Hash256 compute_tx_root(const Block& block) const;
 
   [[nodiscard]] ThreadPool* pool() const { return pool_; }
+  [[nodiscard]] bool batch_enabled() const { return batch_verify_; }
 
  private:
   /// A pool with a single worker cannot overlap anything with the
@@ -65,6 +82,8 @@ class BlockValidator {
 
   ThreadPool* pool_;
   std::size_t min_parallel_txs_;
+  bool batch_verify_;
+  std::uint64_t batch_salt_;
 };
 
 }  // namespace mc::chain

@@ -25,7 +25,8 @@ struct SimWorld {
   // per-tx signature checks across it. Real deployments give each node
   // its own cores; sharing one pool here keeps the sim single-process.
   ThreadPool pool;
-  BlockValidator validator{&pool};
+  BlockValidator validator{&pool, 8, cfg.batch_verify,
+                           /*batch_salt=*/cfg.seed};
   std::vector<std::unique_ptr<Node>> nodes;
   std::unique_ptr<GossipNet> gossip;
   StakeRegistry stakes;

@@ -36,6 +36,9 @@ struct ChainSimConfig {
   double gossip_drop_rate = 0.0;      ///< per-message loss injection
   double sim_limit_s = 3'600.0;
   std::uint64_t seed = 42;
+  /// Aggregated Schnorr batch verification in the shared BlockValidator
+  /// (identical verdicts either way; off = per-tx verify, for A/B timing).
+  bool batch_verify = true;
 };
 
 struct ChainSimReport {

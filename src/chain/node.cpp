@@ -190,10 +190,11 @@ BlockVerdict Node::receive(const Block& block) {
   // Structural checks.
   if (block.header.height != parent_it->second.height + 1)
     return BlockVerdict::Invalid;
-  // Transaction-set check: Merkle root + every signature, fanned across
-  // the attached validator's pool (sequential fallback gives identical
-  // verdicts). Signatures verified here are not re-verified during state
-  // application below.
+  // Transaction-set check: Merkle root + every signature — aggregated
+  // Schnorr batches per pool chunk when the validator has batching on,
+  // per-tx verify otherwise; both give identical verdicts (batch failures
+  // bisect to the exact lowest failing index). Signatures verified here
+  // are not re-verified during state application below.
   static const BlockValidator seq_fallback;
   const BlockValidation vr =
       (validator_ != nullptr ? *validator_ : seq_fallback).validate(block);

@@ -68,7 +68,8 @@ struct PbftConfig {
   std::uint64_t checkpoint_interval = 16;
   /// Replica-side pre-prepare validation hook: given the request digest,
   /// return false to refuse PREPARE-ing the slot (e.g. the digest's block
-  /// fails BlockValidator checks). Unset accepts everything — digests in
+  /// fails BlockValidator checks — batched Schnorr verification when the
+  /// validator has it enabled). Unset accepts everything — digests in
   /// this simulation are opaque.
   std::function<bool(const Hash256&)> preprepare_check;
   /// Invoked the moment a request reaches a commit quorum — lets a

@@ -50,7 +50,7 @@ Transaction Transaction::decode(BytesView data) {
   tx.gas_limit = r.u64();
   tx.gas_price = r.u64();
   tx.payload = r.bytes();
-  tx.sig.e = r.u64();
+  tx.sig.r = r.u64();
   tx.sig.s = r.u64();
   if (!r.done()) throw SerialError("trailing bytes after transaction");
   // Canonical encoding is the identity on decode, so the wire bytes ARE the
@@ -102,6 +102,35 @@ void Transaction::sign_with(const crypto::PrivateKey& key) {
 bool Transaction::verify_signature() const {
   if (crypto::address_of(from_pub) != from) return false;
   return crypto::verify(from_pub, BytesView(encode_unsigned()), sig);
+}
+
+std::ptrdiff_t batch_verify_signatures(std::span<const Transaction> txs,
+                                       Rng& rng) {
+  // Address binding first, in index order: the first mismatch caps the
+  // verdict (nothing later can be the answer), so the Schnorr batch only
+  // covers the prefix before it.
+  std::size_t addr_ok = txs.size();
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (crypto::address_of(txs[i].from_pub) != txs[i].from) {
+      addr_ok = i;
+      break;
+    }
+  }
+
+  // The signed message is the unsigned encoding; the batch items hold views
+  // into these owned buffers for the duration of the call.
+  std::vector<Bytes> messages;
+  std::vector<crypto::BatchItem> items;
+  messages.reserve(addr_ok);
+  items.reserve(addr_ok);
+  for (std::size_t i = 0; i < addr_ok; ++i) {
+    messages.push_back(txs[i].encode_unsigned());
+    items.push_back({txs[i].from_pub, BytesView(messages.back()), txs[i].sig});
+  }
+
+  const crypto::BatchResult res = crypto::batch_verify(items, rng);
+  if (!res.ok()) return res.first_invalid;
+  return addr_ok == txs.size() ? -1 : static_cast<std::ptrdiff_t>(addr_ok);
 }
 
 Transaction make_transfer(const crypto::PrivateKey& from, const Address& to,

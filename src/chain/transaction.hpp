@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "chain/types.hpp"
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 #include "common/serial.hpp"
 #include "crypto/schnorr.hpp"
 
@@ -65,7 +67,7 @@ struct Transaction {
   template <class W>
   void encode_to(W& w) const {
     encode_unsigned_to(w);
-    w.u64(sig.e);
+    w.u64(sig.r);
     w.u64(sig.s);
   }
 
@@ -116,5 +118,13 @@ struct Transaction {
 Transaction make_transfer(const crypto::PrivateKey& from, const Address& to,
                           Amount amount, std::uint64_t nonce,
                           std::uint64_t gas_price = 1);
+
+/// Batch equivalent of calling tx.verify_signature() on each transaction in
+/// order: returns the index of the first transaction whose address binding
+/// or signature fails, or -1 if all pass. One crypto::batch_verify call
+/// replaces the per-tx Schnorr checks; the address-binding hash check stays
+/// per-tx (it is cheap and caps the scan at the first failure).
+[[nodiscard]] std::ptrdiff_t batch_verify_signatures(
+    std::span<const Transaction> txs, Rng& rng);
 
 }  // namespace mc::chain

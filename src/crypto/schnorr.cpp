@@ -1,7 +1,10 @@
 #include "crypto/schnorr.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "audit/check.hpp"
 #include "common/hex.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
@@ -56,9 +59,20 @@ bool is_prime_u64(std::uint64_t n) {
 
 namespace {
 
+constexpr std::uint64_t kP = SchnorrGroup::p;
+constexpr std::uint64_t kQ = SchnorrGroup::q;
+
 /// Reduce a digest to an exponent in [0, q).
 std::uint64_t digest_mod_q(const Hash256& h) {
   return h.prefix_u64() % SchnorrGroup::q;
+}
+
+/// Challenge e = H(r || msg) mod q — shared by sign, verify and batch.
+std::uint64_t challenge(std::uint64_t r, BytesView message) {
+  Sha256 chal_ctx;
+  chal_ctx.update(BytesView(object_bytes(r)));
+  chal_ctx.update(message);
+  return digest_mod_q(chal_ctx.finalize());
 }
 
 }  // namespace
@@ -88,31 +102,205 @@ Signature sign(const PrivateKey& key, BytesView message) {
   if (k == 0) k = 1;
 
   const std::uint64_t r = powmod(SchnorrGroup::g, k, SchnorrGroup::p);
-
-  Sha256 chal_ctx;
-  chal_ctx.update(BytesView(object_bytes(r)));
-  chal_ctx.update(message);
-  const std::uint64_t e = digest_mod_q(chal_ctx.finalize());
+  const std::uint64_t e = challenge(r, message);
 
   // s = k - x*e mod q
   const std::uint64_t xe = mulmod(key.x, e, SchnorrGroup::q);
   const std::uint64_t s = (k + SchnorrGroup::q - xe) % SchnorrGroup::q;
 
-  return Signature{e, s};
+  return Signature{r, s};
 }
 
 bool verify(const PublicKey& key, BytesView message, const Signature& sig) {
-  if (sig.e >= SchnorrGroup::q || sig.s >= SchnorrGroup::q) return false;
-  if (key.y == 0 || key.y == 1 || key.y >= SchnorrGroup::p) return false;
-  // r' = g^s * y^e mod p; valid iff H(r' || msg) == e.
+  if (sig.s >= SchnorrGroup::q) return false;
+  if (sig.r == 0 || sig.r >= SchnorrGroup::p) return false;
+  // y ∈ {1, p-1} is the identity coset of the quotient group (the trivial
+  // key x = 0); reject it like y = 0 and out-of-range values.
+  if (key.y == 0 || key.y == 1 || key.y == SchnorrGroup::p - 1 ||
+      key.y >= SchnorrGroup::p)
+    return false;
+  // e = H(r || msg); valid iff g^s * y^e mod p reproduces the commitment
+  // in the quotient group Z_p*/{±1} — i.e. equals r or p - r. Honest
+  // signers always hit the + branch; accepting the coset is what lets
+  // batch_verify skip per-item subgroup membership tests (header notes).
+  const std::uint64_t e = challenge(sig.r, message);
   const std::uint64_t gs = powmod(SchnorrGroup::g, sig.s, SchnorrGroup::p);
-  const std::uint64_t ye = powmod(key.y, sig.e, SchnorrGroup::p);
-  const std::uint64_t r = mulmod(gs, ye, SchnorrGroup::p);
+  const std::uint64_t ye = powmod(key.y, e, SchnorrGroup::p);
+  const std::uint64_t v = mulmod(gs, ye, SchnorrGroup::p);
+  return v == sig.r || SchnorrGroup::p - v == sig.r;
+}
 
-  Sha256 chal_ctx;
-  chal_ctx.update(BytesView(object_bytes(r)));
-  chal_ctx.update(message);
-  return digest_mod_q(chal_ctx.finalize()) == sig.e;
+namespace {
+
+/// Π bases[i]^exps[i] mod p via the Pippenger bucket method: per window,
+/// every base lands in the bucket of its exponent digit, buckets fold with
+/// two multiplications each, and all terms share one squaring chain. For a
+/// 512-signature batch this costs ~25 modmuls per signature versus ~180 for
+/// an independent square-and-multiply per term.
+std::uint64_t multi_exp(const std::vector<std::uint64_t>& bases,
+                        const std::vector<std::uint64_t>& exps) {
+  const std::size_t n = bases.size();
+  if (n == 0) return 1;
+  // Exponents are < q < 2^61. Window width trades bucket-fold overhead
+  // (2^c per window) against per-term work (one mul per window).
+  const unsigned c = n >= 256 ? 8 : n >= 64 ? 7 : n >= 16 ? 5 : n >= 4 ? 4 : 2;
+  const unsigned windows = (61 + c - 1) / c;
+  const std::uint64_t mask = (1ULL << c) - 1;
+  std::vector<std::uint64_t> bucket(1ULL << c);
+
+  std::uint64_t result = 1;
+  for (int w = static_cast<int>(windows) - 1; w >= 0; --w) {
+    for (unsigned i = 0; i < c; ++i) result = mulmod(result, result, kP);
+    std::fill(bucket.begin(), bucket.end(), 1);
+    const unsigned shift = static_cast<unsigned>(w) * c;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = (exps[i] >> shift) & mask;
+      if (d != 0) bucket[d] = mulmod(bucket[d], bases[i], kP);
+    }
+    // Σ d·bucket[d] in the exponent == Π running suffix products.
+    std::uint64_t running = 1;
+    std::uint64_t acc = 1;
+    for (std::uint64_t d = mask; d >= 1; --d) {
+      running = mulmod(running, bucket[d], kP);
+      acc = mulmod(acc, running, kP);
+    }
+    result = mulmod(result, acc, kP);
+  }
+  return result;
+}
+
+/// Precomputed per-item challenge (the only per-item hash the batch needs).
+struct ItemChallenge {
+  std::uint64_t e = 0;
+};
+
+/// Aggregate check over a subset of items: fresh z_i per call, one
+/// multi-exponentiation, true iff g^(Σ z_i·s_i) · Π y_i^(z_i·e_i) ·
+/// Π r_i^(q-z_i) lands in the identity coset {1, p-1}. In the quotient
+/// group Z_p*/{±1} (prime order q) every nonzero y_i and r_i is a group
+/// element, exponent q-z realizes r^(-z) exactly, and a subset containing
+/// an invalid item survives with probability ≤ 2/q per call — no subgroup
+/// membership prefiltering required.
+bool aggregate_passes(std::span<const BatchItem> items,
+                      const std::vector<ItemChallenge>& ch,
+                      std::span<const std::size_t> idxs, Rng& rng) {
+  if (idxs.empty()) return true;
+  std::vector<std::uint64_t> bases;
+  std::vector<std::uint64_t> exps;
+  bases.reserve(2 * idxs.size() + 1);
+  exps.reserve(2 * idxs.size() + 1);
+
+  std::uint64_t s_acc = 0;
+  for (const std::size_t i : idxs) {
+    const std::uint64_t z = 1 + rng.uniform(kQ - 1);
+    s_acc = (s_acc + mulmod(z, items[i].sig.s, kQ)) % kQ;
+    bases.push_back(items[i].key.y);
+    exps.push_back(mulmod(z, ch[i].e, kQ));
+    bases.push_back(items[i].sig.r);
+    exps.push_back(kQ - z);  // r^(-z) in the quotient group
+  }
+  bases.push_back(SchnorrGroup::g);
+  exps.push_back(s_acc);
+  const std::uint64_t agg = multi_exp(bases, exps);
+  return agg == 1 || agg == kP - 1;
+}
+
+constexpr std::size_t kBisectLeaf = 4;
+
+/// Lowest-index failing signature within idxs, isolated by recursive
+/// bisection: a failing half is re-checked with fresh coefficients, leaves
+/// fall back to individual verify(). Returns npos when every leaf it was
+/// steered into verifies (possible only through a ~2⁻⁶⁰ spurious subset
+/// pass); the caller then rescans linearly.
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+std::size_t bisect_first_invalid(std::span<const BatchItem> items,
+                                 const std::vector<ItemChallenge>& ch,
+                                 std::span<const std::size_t> idxs, Rng& rng) {
+  if (idxs.size() <= kBisectLeaf) {
+    for (const std::size_t i : idxs)
+      if (!verify(items[i].key, items[i].message, items[i].sig)) return i;
+    return kNoIndex;
+  }
+  const auto left = idxs.first(idxs.size() / 2);
+  const auto right = idxs.subspan(idxs.size() / 2);
+  if (!aggregate_passes(items, ch, left, rng)) {
+    const std::size_t hit = bisect_first_invalid(items, ch, left, rng);
+    if (hit != kNoIndex) return hit;
+  }
+  return bisect_first_invalid(items, ch, right, rng);
+}
+
+std::ptrdiff_t sequential_first_invalid(std::span<const BatchItem> items) {
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (!verify(items[i].key, items[i].message, items[i].sig))
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+}  // namespace
+
+BatchResult batch_verify(std::span<const BatchItem> items, Rng& rng) {
+  const std::size_t n = items.size();
+  BatchResult out;
+  if (n == 0) return out;
+  // Tiny batches: coefficient drawing + the aggregate fold cost more than
+  // the two powmods they replace.
+  if (n < kBisectLeaf) {
+    out.first_invalid = sequential_first_invalid(items);
+    return out;
+  }
+
+  // Classification pass, in index order. The first index *known* invalid
+  // caps the verdict: nothing at a higher index can ever be the answer, so
+  // the scan stops there and the aggregate runs over the prefix only.
+  std::vector<ItemChallenge> ch(n);
+  std::vector<std::size_t> cands;
+  cands.reserve(n);
+  std::size_t first_known_bad = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchItem& it = items[i];
+    if (it.sig.s >= kQ || it.sig.r == 0 || it.sig.r >= kP || it.key.y == 0 ||
+        it.key.y == 1 || it.key.y == kP - 1 || it.key.y >= kP) {
+      first_known_bad = i;  // fails verify()'s range checks
+      break;
+    }
+    // Every in-range value is a quotient-group element, so nothing else
+    // disqualifies an item from the aggregate — the per-item cost is one
+    // challenge hash, nothing more.
+    ch[i].e = challenge(it.sig.r, it.message);
+    cands.push_back(i);
+  }
+
+  if (aggregate_passes(items, ch, cands, rng)) {
+    out.first_invalid = first_known_bad == n
+                            ? -1
+                            : static_cast<std::ptrdiff_t>(first_known_bad);
+  } else {
+    std::size_t bad = bisect_first_invalid(items, ch, cands, rng);
+    if (bad == kNoIndex) {
+      // Spurious aggregate failure is impossible (a valid batch satisfies
+      // the equation identically), but a spurious *subset pass* during
+      // bisection can steer past the culprit; rescan linearly.
+      for (const std::size_t i : cands) {
+        if (!verify(items[i].key, items[i].message, items[i].sig)) {
+          bad = i;
+          break;
+        }
+      }
+    }
+    out.first_invalid = bad == kNoIndex
+                            ? (first_known_bad == n
+                                   ? -1
+                                   : static_cast<std::ptrdiff_t>(first_known_bad))
+                            : static_cast<std::ptrdiff_t>(bad);
+  }
+
+  // Audit builds: batch accept ⇒ every individual signature verifies, and
+  // a batch reject names exactly the sequential scan's first failure.
+  MC_DCHECK(out.first_invalid == sequential_first_invalid(items),
+            "batch_verify verdict diverged from per-signature verification");
+  return out;
 }
 
 Address address_of(const PublicKey& key) {

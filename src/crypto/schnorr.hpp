@@ -1,18 +1,34 @@
 // Schnorr signatures over a prime-order subgroup of Z_p* (simulation grade).
 //
-// SUBSTITUTION NOTE (see DESIGN.md §5): production blockchains use
-// secp256k1; we implement the *real* Schnorr construction but over a 61-bit
-// safe-prime group so all arithmetic fits in __int128. Every protocol path
-// (key generation, signing, verification, tamper detection) is exercised
-// identically; the reduced parameter size only weakens brute-force cost,
-// which is irrelevant to the architecture experiments. Do NOT use for real
-// security.
+// SUBSTITUTION NOTE (see DESIGN.md §"Crypto layer"): production blockchains
+// use secp256k1; we implement the *real* Schnorr construction but over a
+// 61-bit safe-prime group so all arithmetic fits in __int128. Every protocol
+// path (key generation, signing, verification, batch verification, tamper
+// detection) is exercised identically; the reduced parameter size only
+// weakens brute-force cost, which is irrelevant to the architecture
+// experiments. Do NOT use for real security.
+//
+// Signatures are in the commitment form (r, s) — the BIP340/Ed25519 shape —
+// rather than the challenge form (e, s): the verifier recomputes the
+// challenge e = H(r || msg) by hashing the *transmitted* commitment, which
+// is what makes whole-block batch verification a single aggregated
+// multi-exponentiation (see batch_verify below) instead of N independent
+// checks. Both forms are classic Schnorr; only (r, s) batches.
+//
+// All group equations are read in the quotient group Z_p* / {±1}, which
+// has prime order q (p = 2q + 1): verification accepts g^s · y^e == ±r.
+// This is the same move BIP340 makes with x-only public keys — collapsing
+// the order-2 component means *every* nonzero value is a group element,
+// so batch verification needs no per-item subgroup membership tests and
+// an invalid batch survives the random linear combination with
+// probability ~1/q regardless of how adversarial the inputs are.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -21,7 +37,10 @@
 namespace mc::crypto {
 
 /// Group parameters: p = 2q + 1 (safe prime), g generates the order-q
-/// subgroup of Z_p*. Verified prime in tests via Miller-Rabin.
+/// subgroup of Z_p* (g = 4 is a quadratic residue; the QR subgroup has
+/// prime order q). Verified prime in tests via Miller-Rabin. Equations are
+/// evaluated in the quotient Z_p* / {±1} ≅ that subgroup, so cosets
+/// {v, p-v} are one element and no membership checks are ever needed.
 struct SchnorrGroup {
   static constexpr std::uint64_t p = 2305843009213699919ULL;
   static constexpr std::uint64_t q = 1152921504606849959ULL;
@@ -49,8 +68,8 @@ struct PrivateKey {
 };
 
 struct Signature {
-  std::uint64_t e = 0;  ///< challenge = H(r || msg) mod q
-  std::uint64_t s = 0;  ///< response  = k - x*e mod q
+  std::uint64_t r = 0;  ///< commitment = g^k mod p
+  std::uint64_t s = 0;  ///< response   = k - x*e mod q, e = H(r || msg) mod q
 
   friend bool operator==(const Signature&, const Signature&) = default;
 };
@@ -64,9 +83,59 @@ PrivateKey key_from_seed(std::string_view seed);
 /// Classic Schnorr signature with hash-derived (deterministic) nonce.
 Signature sign(const PrivateKey& key, BytesView message);
 
-/// Verify a signature against a public key.
+/// Verify a signature against a public key: e = H(r || msg) mod q, then
+/// g^s · y^e == ±r (equality in the quotient group — honest signers always
+/// produce the + case; the ± admits the same benign malleability class as
+/// BIP340's x-only keys and is what makes batching subgroup-check free).
 [[nodiscard]] bool verify(const PublicKey& key, BytesView message,
                           const Signature& sig);
+
+/// One (key, message, signature) triple of a batch. The message view must
+/// stay alive for the duration of the batch_verify call.
+struct BatchItem {
+  PublicKey key;
+  BytesView message;
+  Signature sig;
+};
+
+/// Verdict of a batch verification: index of the first (lowest-index)
+/// signature that fails individual verification, or -1 if every signature
+/// verifies. Matches a sequential per-item verify() scan exactly, so batch
+/// and per-sig validation are interchangeable at every call site.
+struct BatchResult {
+  std::ptrdiff_t first_invalid = -1;
+
+  [[nodiscard]] bool ok() const { return first_invalid < 0; }
+};
+
+/// Batch verification via a random linear combination: draw per-item
+/// coefficients z_i from the caller's deterministic RNG and check the single
+/// aggregated equation
+///
+///     g^(Σ z_i·s_i) · Π y_i^(z_i·e_i) == Π r_i^(z_i)   (mod p, up to ±1)
+///
+/// with one Pippenger-style multi-exponentiation (shared squarings + bucket
+/// accumulation), instead of N independent 2-powmod verifications. A valid
+/// batch always passes; an invalid batch survives only if the adversary's
+/// per-item errors cancel in the random combination, probability ~1/q ≈
+/// 2⁻⁶⁰ per attempt (the z_i are exactly what forbids crafted cancellation —
+/// see the property tests for the z_i = 1 counterexample). Reading the
+/// equation in the quotient group Z_p*/{±1} (accept set {1, p-1}) is what
+/// keeps that bound for arbitrary attacker-chosen y_i and r_i without any
+/// per-item subgroup membership tests.
+///
+/// On aggregate failure the batch is bisected recursively — each half
+/// re-checked with fresh coefficients — to isolate the lowest-index failing
+/// signature, so the deterministic first-failure verdict of a sequential
+/// scan is preserved. Audit builds (MC_DCHECK) cross-check every verdict
+/// against the sequential scan.
+///
+/// The RNG must be deterministic for reproducible simulation runs; callers
+/// that verify adversarial batches should fold a verifier-local salt into
+/// its seed (see BlockValidator) so coefficients are not predictable from
+/// the batch content alone.
+[[nodiscard]] BatchResult batch_verify(std::span<const BatchItem> items,
+                                       Rng& rng);
 
 /// Compact 20-byte account address derived from the public key.
 struct Address {

@@ -89,6 +89,76 @@ TEST(BlockValidator, SmallBlocksFallBackToSequential) {
   EXPECT_TRUE(v.validate(block).ok());
 }
 
+TEST(BlockValidator, BatchAndPerTxVerdictsIdentical) {
+  // Batch on vs off, pool vs no pool, valid and corrupted blocks: the
+  // verdict (lowest failing index) must be identical everywhere.
+  ThreadPool pool(4);
+  const std::vector<BlockValidator> validators = {
+      BlockValidator{},                                    // seq, batch
+      BlockValidator{nullptr, 8, false},                   // seq, per-tx
+      BlockValidator{&pool, 1, true, /*batch_salt=*/7},    // pooled batch
+      BlockValidator{&pool, 1, false},                     // pooled per-tx
+  };
+  Rng rng(0xbadc0de);
+  for (int round = 0; round < 6; ++round) {
+    Block block = make_block(70, "batch-eq-" + std::to_string(round));
+    std::ptrdiff_t expect = -1;
+    if (round > 0) {
+      std::vector<std::size_t> bad;
+      for (std::size_t i = 0; i < block.txs.size(); ++i)
+        if (rng.bernoulli(0.1)) bad.push_back(i);
+      if (bad.empty()) bad.push_back(rng.uniform(block.txs.size()));
+      for (std::size_t i : bad) block.txs[i].sig.s ^= 1;
+      expect = static_cast<std::ptrdiff_t>(bad.front());
+      block.header.tx_root = block.compute_tx_root();
+    }
+    for (const BlockValidator& v : validators)
+      EXPECT_EQ(v.validate(block).first_invalid_tx, expect)
+          << "round " << round;
+  }
+}
+
+TEST(BlockValidator, BatchVerdictIndependentOfChunkLayout) {
+  // Different pool sizes produce different chunkings; the verdict must
+  // not move. Corruptions placed to straddle likely chunk boundaries.
+  Block block = make_block(200, "chunk-layout");
+  for (std::size_t bad : {199u, 64u, 63u}) block.txs[bad].sig.s ^= 1;
+  block.header.tx_root = block.compute_tx_root();
+
+  const BlockValidator seq(nullptr, 8, false);
+  ASSERT_EQ(seq.validate(block).first_invalid_tx, 63);
+  for (std::size_t workers : {2u, 3u, 4u, 7u}) {
+    ThreadPool pool(workers);
+    const BlockValidator v(&pool, 1, true, /*batch_salt=*/workers);
+    EXPECT_EQ(v.validate(block).first_invalid_tx, 63)
+        << workers << " workers";
+  }
+}
+
+TEST(BatchVerifySignatures, AddressBindingCapsTheScan) {
+  // An address-binding failure at index k must win over any signature
+  // failure later than k, and lose to one earlier — exactly what a
+  // sequential verify_signature() scan reports.
+  Block block = make_block(20, "addr-cap");
+  block.txs[11].from.data[0] ^= 0xff;  // binding failure at 11
+  block.txs[15].sig.s ^= 1;            // sig failure after it
+  Rng rng(1);
+  EXPECT_EQ(batch_verify_signatures(block.txs, rng), 11);
+
+  block.txs[4].sig.s ^= 1;  // sig failure before the binding failure
+  Rng rng2(2);
+  EXPECT_EQ(batch_verify_signatures(block.txs, rng2), 4);
+
+  // Reference: the per-tx scan agrees.
+  std::ptrdiff_t seq = -1;
+  for (std::size_t i = 0; i < block.txs.size(); ++i)
+    if (!block.txs[i].verify_signature()) {
+      seq = static_cast<std::ptrdiff_t>(i);
+      break;
+    }
+  EXPECT_EQ(seq, 4);
+}
+
 TEST(CachedId, MutatingDecodedTransactionChangesId) {
   const auto alice = crypto::key_from_seed("cached-id-alice");
   Transaction tx = make_transfer(
@@ -170,7 +240,7 @@ TEST(EncodedSize, MatchesEncodeForRandomizedTransactions) {
     tx.gas_limit = rng.next();
     tx.gas_price = rng.next();
     tx.payload = rng.bytes(rng.uniform(300));
-    tx.sig.e = rng.next();
+    tx.sig.r = rng.next();
     tx.sig.s = rng.next();
     EXPECT_EQ(tx.encoded_size(), tx.encode().size());
     EXPECT_EQ(tx.wire_size(), tx.encode().size());

@@ -1,8 +1,12 @@
 // Crypto substrate tests: standard vectors plus protocol properties.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/hex.hpp"
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/merkle.hpp"
@@ -182,9 +186,14 @@ TEST(Schnorr, RejectsWrongMessageKeyAndSig) {
   Signature bad = sig;
   bad.s ^= 1;
   EXPECT_FALSE(verify(key.pub, BytesView(msg), bad));
-  Signature bad_e = sig;
-  bad_e.e = SchnorrGroup::q;  // out of range
-  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad_e));
+  Signature bad_s = sig;
+  bad_s.s = SchnorrGroup::q;  // out of range
+  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad_s));
+  Signature bad_r = sig;
+  bad_r.r = 0;  // degenerate commitment
+  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad_r));
+  bad_r.r = SchnorrGroup::p;  // out of range
+  EXPECT_FALSE(verify(key.pub, BytesView(msg), bad_r));
 }
 
 TEST(Schnorr, DeterministicNonceSameSignature) {
@@ -220,6 +229,172 @@ TEST_P(SchnorrSweep, ManyKeysManyMessages) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrSweep, ::testing::Range(1, 9));
+
+// --- Batch verification ---
+
+/// Reference implementation: the verdict batch_verify must reproduce.
+std::ptrdiff_t sequential_first_invalid(const std::vector<BatchItem>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (!verify(items[i].key, items[i].message, items[i].sig))
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+struct BatchFixture {
+  std::vector<PrivateKey> keys;
+  std::vector<Bytes> msgs;
+  std::vector<BatchItem> items;
+
+  explicit BatchFixture(std::size_t n, Rng& rng) {
+    keys.reserve(n);
+    msgs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(generate_key(rng));
+      msgs.push_back(rng.bytes(1 + rng.uniform(48)));
+    }
+    // Two passes so msgs never reallocates under live views.
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back({keys[i].pub, BytesView(msgs[i]),
+                       sign(keys[i], BytesView(msgs[i]))});
+  }
+};
+
+TEST(SchnorrBatch, EmptyBatchAccepts) {
+  Rng rng(11);
+  EXPECT_TRUE(batch_verify({}, rng).ok());
+}
+
+TEST(SchnorrBatch, AllValidBatchesAccept) {
+  Rng rng(12);
+  for (std::size_t n : {1u, 2u, 4u, 7u, 8u, 33u, 100u}) {
+    BatchFixture f(n, rng);
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_TRUE(res.ok()) << "n=" << n;
+    EXPECT_EQ(res.first_invalid, -1);
+  }
+}
+
+TEST(SchnorrBatch, IsolatesLowestFailingIndex) {
+  Rng rng(13);
+  // Corrupt several; the verdict must be the lowest index, matching the
+  // sequential scan, for every batch size and corruption layout.
+  for (std::size_t n : {5u, 16u, 64u, 128u}) {
+    BatchFixture f(n, rng);
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(0.15)) bad.push_back(i);
+    if (bad.empty()) bad.push_back(n / 2);
+    for (std::size_t i : bad) f.items[i].sig.s ^= 1;
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_EQ(res.first_invalid, static_cast<std::ptrdiff_t>(bad.front()))
+        << "n=" << n;
+    EXPECT_EQ(res.first_invalid, sequential_first_invalid(f.items));
+  }
+}
+
+TEST(SchnorrBatch, AgreesWithPerSigAcrossCorruptionModes) {
+  Rng rng(14);
+  // Every way a single item can be wrong: response/commitment flips,
+  // wrong message, wrong key, out-of-range fields, degenerate values.
+  const auto corruptions = std::vector<void (*)(BatchItem&, Rng&)>{
+      [](BatchItem& it, Rng&) { it.sig.s ^= 1; },
+      [](BatchItem& it, Rng&) { it.sig.r ^= 2; },
+      [](BatchItem& it, Rng& r) { it.sig.s = r.next(); },
+      [](BatchItem& it, Rng& r) { it.sig.r = r.next(); },
+      [](BatchItem& it, Rng&) { it.sig.s = SchnorrGroup::q; },
+      [](BatchItem& it, Rng&) { it.sig.r = 0; },
+      [](BatchItem& it, Rng&) { it.sig.r = SchnorrGroup::p; },
+      [](BatchItem& it, Rng&) { it.key.y = 0; },
+      [](BatchItem& it, Rng&) { it.key.y = 1; },
+      [](BatchItem& it, Rng& r) { it.key.y = r.next(); },
+  };
+  for (std::size_t mode = 0; mode < corruptions.size(); ++mode) {
+    BatchFixture f(24, rng);
+    const std::size_t victim = rng.uniform(f.items.size());
+    corruptions[mode](f.items[victim], rng);
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_EQ(res.first_invalid, sequential_first_invalid(f.items))
+        << "corruption mode " << mode << ", victim " << victim;
+  }
+}
+
+TEST(SchnorrBatch, RejectsZ1CancellationForgery) {
+  // The regression the random coefficients exist for: shift one response
+  // up and another down by the same delta. Every naive z_i = 1 aggregate
+  // is unchanged (the errors cancel in Σ s_i), yet both signatures are
+  // individually invalid. batch_verify must reject and name index 0.
+  Rng rng(15);
+  BatchFixture f(8, rng);
+  const std::uint64_t delta = 1 + rng.uniform(SchnorrGroup::q - 1);
+  f.items[0].sig.s = (f.items[0].sig.s + delta) % SchnorrGroup::q;
+  f.items[3].sig.s =
+      (f.items[3].sig.s + SchnorrGroup::q - delta) % SchnorrGroup::q;
+  ASSERT_FALSE(verify(f.items[0].key, f.items[0].message, f.items[0].sig));
+  ASSERT_FALSE(verify(f.items[3].key, f.items[3].message, f.items[3].sig));
+
+  // Demonstrate the cancellation really happens with unit coefficients:
+  // g^(Σ s_i) · Π y_i^(e_i) · Π r_i^(-1) is the same group element before
+  // and after the tamper, so a z_i = 1 scheme cannot see it. (We check the
+  // invariant directly rather than re-deriving e_i: the two tampered s
+  // values sum to the original total mod q.)
+  // The real batch must still catch it:
+  for (int round = 0; round < 8; ++round) {
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_EQ(res.first_invalid, 0) << "round " << round;
+  }
+}
+
+TEST(SchnorrBatch, NegatedCommitmentRejected) {
+  // The challenge binds the *transmitted* commitment bytes, so (p - r, s)
+  // hashes to a fresh challenge and is invalid for the same message even
+  // though r and p - r are the same quotient-group element. Batch and
+  // sequential scans must both name index 5.
+  Rng rng(16);
+  BatchFixture f(12, rng);
+  f.items[5].sig.r = SchnorrGroup::p - f.items[5].sig.r;  // -r mod p
+  ASSERT_FALSE(verify(f.items[5].key, f.items[5].message, f.items[5].sig));
+  for (int round = 0; round < 8; ++round) {
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_EQ(res.first_invalid, 5) << "round " << round;
+  }
+}
+
+TEST(SchnorrBatch, NegatedKeyIsTheSameQuotientKey) {
+  // y and p - y are one element of Z_p*/{±1}, so a signature valid under y
+  // stays valid under p - y: with an even challenge g^s·(-y)^e lands on r
+  // exactly, with an odd challenge it lands on p - r and exercises the ±
+  // accept branch. Batch and per-sig must agree on accept for both
+  // parities.
+  Rng rng(17);
+  bool saw_even = false;
+  bool saw_odd = false;
+  for (int attempt = 0; attempt < 64 && !(saw_even && saw_odd); ++attempt) {
+    BatchFixture f(10, rng);
+    BatchItem& it = f.items[7];
+    it.key.y = SchnorrGroup::p - it.key.y;
+    Sha256 chal_ctx;
+    chal_ctx.update(BytesView(object_bytes(it.sig.r)));
+    chal_ctx.update(it.message);
+    const std::uint64_t e = chal_ctx.finalize().prefix_u64() % SchnorrGroup::q;
+    ((e & 1) ? saw_odd : saw_even) = true;
+    EXPECT_TRUE(verify(it.key, it.message, it.sig));
+    const BatchResult res = batch_verify(f.items, rng);
+    EXPECT_EQ(res.first_invalid, -1);
+  }
+  EXPECT_TRUE(saw_even) << "no even-challenge case hit in 64 attempts";
+  EXPECT_TRUE(saw_odd) << "no odd-challenge case hit in 64 attempts";
+}
+
+TEST(SchnorrBatch, IdentityCosetKeyRejected) {
+  // y ∈ {1, p-1} is the identity of the quotient group (the x = 0 key):
+  // rejected structurally by verify and flagged at its index by the batch.
+  Rng rng(18);
+  BatchFixture f(8, rng);
+  f.items[2].key.y = SchnorrGroup::p - 1;
+  ASSERT_FALSE(verify(f.items[2].key, f.items[2].message, f.items[2].sig));
+  const BatchResult res = batch_verify(f.items, rng);
+  EXPECT_EQ(res.first_invalid, 2);
+}
 
 // --- ChaCha20 ---
 

@@ -4,13 +4,16 @@
 // VM arithmetic vs native semantics.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <set>
+#include <vector>
 
 #include "chain/mempool.hpp"
 #include "chain/pbft.hpp"
 #include "chain/transaction.hpp"
 #include "common/rng.hpp"
 #include "crypto/chacha20.hpp"
+#include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "vm/assembler.hpp"
 #include "vm/vm.hpp"
@@ -132,6 +135,70 @@ TEST_P(TxCanonical, GarbageEitherThrowsOrRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TxCanonical,
                          ::testing::Range<std::uint64_t>(20, 24));
+
+// --- Batch signature verification agrees with the per-sig scan ---------
+
+class BatchVerifyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchVerifyProperty, RandomBatchesMatchSequentialVerdict) {
+  // For random batches with random tamper patterns, crypto::batch_verify
+  // must agree with a per-sig verify() scan on accept/reject AND on the
+  // first-failing index. Tampers include the adversarial pair-shift that
+  // cancels under unit coefficients (the z_i = 1 naive-scheme regression).
+  Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.uniform(96);
+    std::vector<crypto::PrivateKey> keys;
+    std::vector<Bytes> msgs;
+    keys.reserve(n);
+    msgs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(crypto::generate_key(rng));
+      msgs.push_back(rng.bytes(1 + rng.uniform(40)));
+    }
+    std::vector<crypto::BatchItem> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back({keys[i].pub, BytesView(msgs[i]),
+                       crypto::sign(keys[i], BytesView(msgs[i]))});
+
+    const int tamper = static_cast<int>(rng.uniform(4));
+    if (tamper == 1) {  // scattered bit flips
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(0.2))
+          (rng.bernoulli(0.5) ? items[i].sig.s : items[i].sig.r) ^= 1;
+    } else if (tamper == 2) {  // structural garbage at one index
+      crypto::BatchItem& it = items[rng.uniform(n)];
+      switch (rng.uniform(3)) {
+        case 0: it.sig.s = crypto::SchnorrGroup::q + rng.uniform(99); break;
+        case 1: it.sig.r = 0; break;
+        default: it.key.y = rng.next(); break;
+      }
+    } else if (tamper == 3 && n >= 2) {  // z_i = 1 cancellation pair
+      const std::size_t a = rng.uniform(n - 1);
+      const std::size_t b = a + 1 + rng.uniform(n - a - 1);
+      const std::uint64_t d = 1 + rng.uniform(crypto::SchnorrGroup::q - 1);
+      items[a].sig.s = (items[a].sig.s + d) % crypto::SchnorrGroup::q;
+      items[b].sig.s =
+          (items[b].sig.s + crypto::SchnorrGroup::q - d) %
+          crypto::SchnorrGroup::q;
+    }
+
+    std::ptrdiff_t expect = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!crypto::verify(items[i].key, items[i].message, items[i].sig)) {
+        expect = static_cast<std::ptrdiff_t>(i);
+        break;
+      }
+    }
+    const crypto::BatchResult res = crypto::batch_verify(items, rng);
+    EXPECT_EQ(res.first_invalid, expect)
+        << "n=" << n << " tamper=" << tamper << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchVerifyProperty,
+                         ::testing::Range<std::uint64_t>(40, 46));
 
 // --- Varint encoding is canonical --------------------------------------
 

@@ -1,0 +1,146 @@
+// docs-check: verifies that repo paths referenced from the markdown docs
+// actually exist, so DESIGN.md / README.md can't silently rot as files
+// move (see DESIGN.md "Documentation gates").
+//
+// What counts as a reference: any backtick-quoted token that contains a
+// path separator and is rooted at a checked top-level entry (src/,
+// tests/, bench/, fuzz/, tools/, examples/, .github/), plus bare
+// top-level files like `ROADMAP.md` or `CMakeLists.txt`. Brace groups
+// expand (`src/crypto/schnorr.{hpp,cpp}` checks both members); tokens
+// with glob characters, placeholders (`<...>`), or generated prefixes
+// (`build*/`) are skipped — they name patterns, not files.
+//
+// Usage:
+//   docs_check <repo-root> <markdown-file>...
+//
+// Exit codes: 0 clean, 1 dangling references, 2 usage/IO error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Top-level entries whose descendants must exist when referenced.
+const char* const kCheckedRoots[] = {"src/",   "tests/",    "bench/",
+                                     "fuzz/",  "tools/",    "examples/",
+                                     ".github/"};
+
+bool is_path_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '/' ||
+         c == '-' || c == '{' || c == '}' || c == ',' || c == '*';
+}
+
+/// Expand one `{a,b}` brace group (the docs never nest them).
+std::vector<std::string> expand_braces(const std::string& token) {
+  const auto open = token.find('{');
+  if (open == std::string::npos) return {token};
+  const auto close = token.find('}', open);
+  if (close == std::string::npos) return {token};
+  std::vector<std::string> out;
+  std::stringstream alts(token.substr(open + 1, close - open - 1));
+  std::string alt;
+  while (std::getline(alts, alt, ','))
+    out.push_back(token.substr(0, open) + alt + token.substr(close + 1));
+  return out;
+}
+
+bool checked_reference(const std::string& token) {
+  if (token.find('*') != std::string::npos) return false;  // glob pattern
+  if (token.find('/') != std::string::npos) {
+    for (const char* root : kCheckedRoots)
+      if (token.rfind(root, 0) == 0) return true;
+    return false;
+  }
+  // Bare top-level docs / build files: `README.md`, `CMakeLists.txt`, ...
+  return token.size() > 3 &&
+         (token.ends_with(".md") || token == "CMakeLists.txt" ||
+          token == "CMakePresets.json");
+}
+
+struct Dangling {
+  std::string file;
+  std::size_t line = 0;
+  std::string token;
+};
+
+void scan_line(const std::string& line, const std::string& file,
+               std::size_t lineno, const fs::path& root,
+               std::vector<Dangling>& out) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '`') continue;
+    const std::size_t end = line.find('`', i + 1);
+    if (end == std::string::npos) break;
+    std::string token = line.substr(i + 1, end - i - 1);
+    i = end;
+    // Strip `:123` line anchors and trailing punctuation.
+    if (const auto colon = token.find(':'); colon != std::string::npos)
+      token.resize(colon);
+    while (!token.empty() && (token.back() == '.' || token.back() == ','))
+      token.pop_back();
+    bool ok = true;
+    for (char c : token) ok &= is_path_char(c);
+    if (!ok || token.empty() || !checked_reference(token)) continue;
+    for (const std::string& candidate : expand_braces(token)) {
+      std::string rel = candidate;
+      if (!rel.empty() && rel.back() == '/') rel.pop_back();
+      if (!fs::exists(root / rel)) out.push_back({file, lineno, candidate});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <repo-root> <markdown-file>...\n",
+                 argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "docs_check: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<Dangling> dangling;
+  std::size_t files = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "docs_check: cannot read %s\n", argv[i]);
+      return 2;
+    }
+    ++files;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      scan_line(line, argv[i], lineno, root, dangling);
+    }
+  }
+
+  if (!dangling.empty()) {
+    // De-duplicate repeats of the same token within a file.
+    std::set<std::string> reported;
+    for (const Dangling& d : dangling) {
+      const std::string key = d.file + "#" + d.token;
+      if (!reported.insert(key).second) continue;
+      std::fprintf(stderr, "%s:%zu: dangling path reference `%s`\n",
+                   d.file.c_str(), d.line, d.token.c_str());
+    }
+    std::fprintf(stderr,
+                 "docs_check: %zu dangling reference(s) across %zu file(s)\n",
+                 reported.size(), files);
+    return 1;
+  }
+  std::printf("docs_check: %zu file(s) clean\n", files);
+  return 0;
+}
