@@ -40,7 +40,8 @@ ChainSimConfig base_config(ConsensusKind consensus, std::size_t nodes) {
 void public_chain_sweep(ConsensusKind consensus, const char* name) {
   banner(std::string("C1: ") + name + " gossip network vs node count");
   Table table({"nodes", "committed", "tps", "avg_latency_s", "max_latency_s",
-               "gossip_msgs", "exec_duplication", "energy/tx"});
+               "gossip_msgs", "exec_duplication", "conflict_rate",
+               "energy/tx"});
   for (const std::size_t nodes : {2u, 4u, 8u, 16u, 32u}) {
     const ChainSimReport report = run_chain_sim(base_config(consensus, nodes));
     table.row()
@@ -51,6 +52,7 @@ void public_chain_sweep(ConsensusKind consensus, const char* name) {
         .cell(report.max_commit_latency_s, 3)
         .cell(report.gossip_messages)
         .cell(report.execution_duplication, 2)
+        .cell(report.conflict_rate, 3)
         .cell(sim::format_joules(report.energy_per_committed_tx_j));
   }
   table.print();

@@ -11,6 +11,7 @@
 #include "contracts/trial.hpp"
 #include "oracle/bridge.hpp"
 #include "oracle/monitor.hpp"
+#include "vm/analysis/analysis.hpp"
 
 namespace {
 
@@ -166,6 +167,49 @@ void denial_path() {
       "computation runs off-chain behind the oracle bridge.");
 }
 
+void admission_overhead() {
+  banner("F4d: deployment admission overhead (static analysis at deploy)");
+  // Every ContractStore::deploy runs the vm/analysis admission gate
+  // (DESIGN.md §12). Compare the full deploy path against the analyzer
+  // alone to show what share of deployment cost the gate is — a
+  // one-time, per-contract price, not a per-call one.
+  struct Entry {
+    const char* name;
+    const Bytes* code;
+  };
+  const Entry entries[] = {
+      {"policy", &PolicyContract::bytecode()},
+      {"registry", &RegistryContract::bytecode()},
+      {"analytics", &AnalyticsContract::bytecode()},
+      {"trial", &TrialContract::bytecode()},
+  };
+
+  constexpr int kReps = 500;
+  Table table({"contract", "bytes", "analyze_us", "deploy_us", "gate_share"});
+  for (const Entry& e : entries) {
+    Stopwatch analyze_timer;
+    for (int i = 0; i < kReps; ++i) {
+      const auto report = vm::analysis::analyze(BytesView(*e.code));
+      if (report.incomplete) std::abort();  // builtins must analyze fully
+    }
+    const double analyze_us = analyze_timer.seconds() * 1e6 / kReps;
+
+    vm::ContractStore store;
+    Stopwatch deploy_timer;
+    for (int i = 0; i < kReps; ++i)
+      store.deploy(*e.code, kHospital, 1);
+    const double deploy_us = deploy_timer.seconds() * 1e6 / kReps;
+
+    table.row()
+        .cell(e.name)
+        .cell(e.code->size())
+        .cell(analyze_us, 1)
+        .cell(deploy_us, 1)
+        .cell(analyze_us / deploy_us, 2);
+  }
+  table.print();
+}
+
 }  // namespace
 
 int main() {
@@ -173,5 +217,6 @@ int main() {
   per_category_cost();
   bridge_overhead();
   denial_path();
+  admission_overhead();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "contracts/policy.hpp"
+#include "vm/analysis/analysis.hpp"
 #include "vm/assembler.hpp"
 #include "vm/contract_store.hpp"
 #include "vm/vm.hpp"
@@ -83,6 +84,21 @@ void BM_Assemble(benchmark::State& state) {
         assemble(contracts::PolicyContract::source()));
 }
 BENCHMARK(BM_Assemble);
+
+void BM_AnalyzeContract(benchmark::State& state) {
+  // Static-analyzer throughput over the largest builtin contract: the
+  // one-time cost the deployment admission gate adds per contract.
+  const Bytes code = assemble(contracts::PolicyContract::source());
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const analysis::AnalysisReport report = analysis::analyze(BytesView(code));
+    benchmark::DoNotOptimize(report.stack.max_depth);
+    bytes += code.size();
+  }
+  state.counters["bytecode_bytes_per_s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeContract);
 
 void BM_HashNOpcode(benchmark::State& state) {
   const Bytes code = assemble("PUSH 1\nPUSH 2\nPUSH 3\nHASHN 3\nRETURN 1");

@@ -139,6 +139,42 @@ int main(int argc, char** argv) {
     write_seed(root / "vm_execute", "caller_flood", BytesView(flood));
   }
 
+  // Static-analyzer seeds: real contract bytecode (the precision path)
+  // plus the four admission-rejection regressions the analysis tests
+  // replay at deployment (invalid jumps, stack violations).
+  write_seed(root / "analyze", "policy_bytecode",
+             BytesView(mc::contracts::PolicyContract::bytecode()));
+  {
+    // Regression (PR 6): jump past the end of the code blob must be
+    // flagged invalid_jump and rejected at deployment.
+    ByteWriter w;
+    w.u8(0x01);  // PUSH
+    w.u64(9999);
+    w.u8(0x30);  // JUMP
+    write_seed(root / "analyze", "invalid_jump_oob", BytesView(w.data()));
+  }
+  {
+    // Regression (PR 6): jump INTO a PUSH immediate (pc 2 is not an
+    // instruction boundary) must be flagged invalid_jump.
+    ByteWriter w;
+    w.u8(0x01);  // PUSH
+    w.u64(2);
+    w.u8(0x30);  // JUMP
+    write_seed(root / "analyze", "invalid_jump_misaligned",
+               BytesView(w.data()));
+  }
+  {
+    // Regression (PR 6): POP on an empty stack must set
+    // underflow_possible and be rejected by the strict policy.
+    const std::uint8_t pop_empty[] = {0x02};
+    write_seed(root / "analyze", "stack_underflow",
+               BytesView(pop_empty, sizeof pop_empty));
+    // Regression (PR 6): a CALLER flood past kMaxStack must set
+    // overflow_possible and be rejected by the strict policy.
+    Bytes flood(1100, 0x60);  // Op::Caller
+    write_seed(root / "analyze", "stack_overflow", BytesView(flood));
+  }
+
   // Contract-input seeds: policy source text and dispatcher calldata.
   write_seed(root / "contracts_input", "policy_source",
              std::string(mc::contracts::PolicyContract::source()));

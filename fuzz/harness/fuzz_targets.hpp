@@ -53,6 +53,11 @@ int roundtrip(const std::uint8_t* data, std::size_t size);
 /// with the per-sig verify() scan, including the first-failing index.
 int sig_batch(const std::uint8_t* data, std::size_t size);
 
+/// vm::analysis::analyze over arbitrary bytecode: crash-freedom,
+/// determinism, and the soundness contract (a concrete vm::execute of
+/// the same bytes stays inside the static gas/stack/footprint bounds).
+int analyze(const std::uint8_t* data, std::size_t size);
+
 /// Number of registered targets (driver + regression suite iterate this).
 struct TargetInfo {
   const char* name;  ///< corpus subdirectory name

@@ -19,6 +19,7 @@ const TargetInfo* targets() {
       {"contracts_input", &contracts_input},
       {"roundtrip", &roundtrip},
       {"sig_batch", &sig_batch},
+      {"analyze", &analyze},
       {nullptr, nullptr},
   };
   return kTargets;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "chain/block_validator.hpp"
+#include "chain/conflict.hpp"
 #include "chain/pow.hpp"
 #include "common/thread_pool.hpp"
 
@@ -240,6 +241,24 @@ ChainSimReport run_chain_sim(const ChainSimConfig& config) {
           ? static_cast<double>(report.total_txs_executed) /
                 static_cast<double>(report.committed_txs)
           : 0;
+
+  // Conflict analysis over the committed chain: how much of the block
+  // workload could have run in parallel (node 0's view; all honest nodes
+  // converge to the same best chain).
+  {
+    BlockConflictReport chain_conflicts;
+    const Node& n0 = *world.nodes[0];
+    for (const BlockId& id : n0.best_chain()) {
+      const Block* block = n0.block(id);
+      if (block != nullptr)
+        chain_conflicts.merge(
+            analyze_block_conflicts(*block, /*store=*/nullptr));
+    }
+    report.conflict_pairs = chain_conflicts.pairs;
+    report.conflict_conflicting_pairs = chain_conflicts.conflicting_pairs;
+    report.conflict_unbounded_txs = chain_conflicts.unbounded_txs;
+    report.conflict_rate = chain_conflicts.conflict_rate();
+  }
 
   report.gossip_messages = world.gossip->stats().messages;
   report.gossip_bytes = world.gossip->stats().bytes;

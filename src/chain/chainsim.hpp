@@ -58,6 +58,15 @@ struct ChainSimReport {
   std::uint64_t total_txs_executed = 0;
   double execution_duplication = 0;  ///< txs_executed / committed_txs
 
+  // Parallelism headroom: pairwise static-footprint conflict analysis of
+  // every block on node 0's best chain (chain/conflict.hpp). The
+  // complement of conflict_rate is the fraction of tx pairs a
+  // conflict-DAG scheduler could run concurrently.
+  std::size_t conflict_pairs = 0;
+  std::size_t conflict_conflicting_pairs = 0;
+  std::size_t conflict_unbounded_txs = 0;
+  double conflict_rate = 0;
+
   // Network + energy.
   std::uint64_t gossip_messages = 0;
   std::uint64_t gossip_bytes = 0;

@@ -11,14 +11,14 @@ bool Mempool::add(const Transaction& tx, bool assume_verified) {
   if (!assume_verified && !tx.verify_signature())
     return false;  // verify outside the lock
   const TxId id = tx.id();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return by_id_.emplace(id, tx).second;
 }
 
 std::vector<Transaction> Mempool::select(const WorldState& state,
                                          const ChainParams& params,
                                          std::size_t max_txs) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   // Group by sender, sort each group by nonce, then greedily merge by
   // gas price while tracking simulated nonces and balances.
   std::unordered_map<Address, std::vector<const Transaction*>> by_sender;
@@ -79,12 +79,12 @@ std::vector<Transaction> Mempool::select(const WorldState& state,
 }
 
 void Mempool::remove(const std::vector<Transaction>& txs) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& tx : txs) by_id_.erase(tx.id());
 }
 
 std::vector<Transaction> Mempool::snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Transaction> out;
   out.reserve(by_id_.size());
   for (const auto& [id, tx] : by_id_) out.push_back(tx);

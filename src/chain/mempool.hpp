@@ -11,13 +11,13 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "chain/state.hpp"
 #include "chain/transaction.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mc::chain {
 
@@ -28,7 +28,7 @@ class Mempool {
   Mempool& operator=(const Mempool& other) {
     if (this != &other) {
       auto copied = other.copy_map();
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       by_id_ = std::move(copied);
     }
     return *this;
@@ -42,7 +42,7 @@ class Mempool {
 
   /// True if the pool already holds this transaction id.
   [[nodiscard]] bool contains(const TxId& id) const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return by_id_.count(id) > 0;
   }
 
@@ -59,30 +59,31 @@ class Mempool {
   [[nodiscard]] std::vector<Transaction> snapshot() const;
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return by_id_.size();
   }
   [[nodiscard]] bool empty() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return by_id_.empty();
   }
 
   void clear() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     by_id_.clear();
   }
 
  private:
   [[nodiscard]] std::unordered_map<TxId, Transaction> copy_map() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return by_id_;
   }
 
   // Justification: the mempool IS a shared concurrent container — the
   // one place per node where gossip/validator threads meet; its lock is
-  // the abstraction the rest of the chain layer builds on.
-  mutable std::mutex mutex_;  // medchain-lint: allow(concurrency-primitives)
-  std::unordered_map<TxId, Transaction> by_id_;  // guarded by mutex_
+  // the abstraction the rest of the chain layer builds on. The guard
+  // relation is machine-checked by clang -Wthread-safety.
+  mutable Mutex mutex_;
+  std::unordered_map<TxId, Transaction> by_id_ MC_GUARDED_BY(mutex_);
 };
 
 }  // namespace mc::chain

@@ -17,7 +17,7 @@ ThreadPool::~ThreadPool() { stop(); }
 
 void ThreadPool::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // The predicate runs with mutex_ held (condition_variable_any
+      // re-acquires before each evaluation), but the analysis cannot see
+      // through wait()'s unlock/relock cycle — hence the escape hatch.
+      cv_.wait(mutex_, [this]() MC_NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !queue_.empty();
+      });
       // Drain pending work even when stopping: tasks accepted by submit()
       // must run so their futures resolve.
       if (queue_.empty()) return;  // implies stopping_

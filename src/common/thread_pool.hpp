@@ -8,10 +8,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mc {
 
@@ -37,7 +38,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace([task] { (*task)(); });
     }
@@ -54,7 +55,7 @@ class ThreadPool {
 
   /// Tasks queued but not yet claimed by a worker (diagnostic).
   [[nodiscard]] std::size_t pending() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
@@ -62,10 +63,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;   // guarded by mutex_
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;                     // guarded by mutex_
+  std::queue<std::function<void()>> queue_ MC_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
+  // condition_variable_any waits on the annotated Mutex directly (it is
+  // BasicLockable), keeping the wait visible to clang -Wthread-safety.
+  std::condition_variable_any cv_;
+  bool stopping_ MC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mc

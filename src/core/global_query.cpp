@@ -1,8 +1,8 @@
 #include "core/global_query.hpp"
 
-#include <mutex>
 
 #include "common/stopwatch.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mc::core {
 
@@ -74,17 +74,17 @@ QueryExecution GlobalQueryService::submit(const learn::QueryVector& qv) {
   std::vector<double> global_params;  // grows across federated rounds
 
   for (std::size_t round = 0; round < rounds; ++round) {
-    // Justification: guards result aggregation inside a ThreadPool
-    // parallel_for — the pool owns the threads; this is only the
-    // reduction lock for its worker callbacks.
-    std::mutex results_mutex;  // medchain-lint: allow(concurrency-primitives)
+    // Guards result aggregation inside a ThreadPool parallel_for — the
+    // pool owns the threads; this is only the reduction lock for its
+    // worker callbacks (mc::Mutex keeps it clang-thread-safety-visible).
+    Mutex results_mutex;
     learn::SgdConfig sgd = config_.local_sgd;
     sgd.seed = config_.local_sgd.seed + round * 7919;
     pool_.parallel_for(permitted.size(), [&](std::size_t i) {
       LocalTaskResult r = permitted[i]->execute(
           qv, global_params.empty() ? nullptr : &global_params, sgd,
           config_.hidden_dim);
-      std::lock_guard lock(results_mutex);
+      MutexLock lock(results_mutex);
       // Accumulate FLOPs/bytes across rounds; keep last round's payload.
       r.flops += results[i].flops;
       r.result_bytes += results[i].result_bytes;

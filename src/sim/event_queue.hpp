@@ -4,6 +4,13 @@
 // broadcast storms, PBFT rounds) run on simulated time: events are
 // scheduled at absolute SimTime and executed in order. Ties break by
 // insertion sequence so runs are fully deterministic.
+//
+// Thread safety: NONE, by design — and therefore nothing here carries
+// MC_GUARDED_BY annotations. The queue is strictly single-threaded
+// (determinism requires one total event order); handlers that want
+// parallelism fan work out through ThreadPool and schedule follow-up
+// events from the simulation thread only. Sharing an EventQueue across
+// threads is a bug even where TSan happens to stay quiet.
 #pragma once
 
 #include <cstdint>

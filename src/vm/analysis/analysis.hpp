@@ -1,0 +1,192 @@
+// Static analyzer over vm::Op bytecode: abstract interpretation on a
+// constant-propagation stack domain.
+//
+// Produces, per contract (DESIGN.md §12):
+//   * CFG with invalid-jump-target and unreachable-code detection,
+//   * a proven max-stack-depth bound plus under/overflow possibility,
+//   * a worst-case gas upper bound (top for unbounded loops, with the
+//     loop heads identified),
+//   * the storage read/write footprint — every SLoad/SStore/SxLoad site
+//     with its key classified exact-constant / parameter-derived /
+//     top-unknown.
+//
+// Soundness contract: for ANY concrete execution of the same code under
+// any context, dynamic gas_used <= gas bound (unless top), the dynamic
+// max stack depth <= stack bound (unless top), and every storage key
+// actually touched is covered by the footprint (exactly, or by a
+// non-exact entry of the same kind). soundness_violation() checks this
+// mechanically against a recorded vm::ExecTrace; the fuzz corpus replays
+// it in every preset. The dual direction (no false *traps*) is NOT
+// promised: a branch guarded by storage or oracle data is explored both
+// ways, so "possible" flags over-approximate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vm/analysis/cfg.hpp"
+#include "vm/vm.hpp"
+
+namespace mc::vm::analysis {
+
+/// Abstract word value. Const tracks the exact value; Param marks data
+/// that is a pure function of the call environment (calldata, caller,
+/// value, height, timestamp); Top is unknown (storage, oracle, merges of
+/// distinct constants).
+enum class ValueClass : std::uint8_t { Bottom, Const, Param, Top };
+
+struct AbsValue {
+  ValueClass cls = ValueClass::Bottom;
+  Word value = 0;  ///< meaningful only when cls == Const
+
+  [[nodiscard]] static AbsValue constant(Word v) {
+    return {ValueClass::Const, v};
+  }
+  [[nodiscard]] static AbsValue param() { return {ValueClass::Param, 0}; }
+  [[nodiscard]] static AbsValue top() { return {ValueClass::Top, 0}; }
+
+  [[nodiscard]] bool is_const() const { return cls == ValueClass::Const; }
+
+  friend bool operator==(const AbsValue& a, const AbsValue& b) {
+    return a.cls == b.cls && (a.cls != ValueClass::Const || a.value == b.value);
+  }
+};
+
+/// Lattice join (Bottom < Const(v) < Top, Bottom < Param < Top; distinct
+/// constants and Const/Param mixes go to Top).
+[[nodiscard]] AbsValue join(const AbsValue& a, const AbsValue& b);
+
+/// Storage-key classification surfaced in reports and admission.
+enum class KeyClass : std::uint8_t { Exact, Param, Unknown };
+
+[[nodiscard]] KeyClass key_class_of(const AbsValue& v);
+[[nodiscard]] std::string_view key_class_name(KeyClass c);
+
+struct FootprintEntry {
+  enum class Kind : std::uint8_t { Read, Write, ForeignRead };
+  Kind kind = Kind::Read;
+  std::size_t pc = 0;      ///< SLoad/SStore/SxLoad site
+  AbsValue key;            ///< abstract storage key at the site
+  AbsValue contract;       ///< ForeignRead only: abstract contract id
+};
+
+[[nodiscard]] std::string_view footprint_kind_name(FootprintEntry::Kind k);
+
+/// Aggregated storage read/write footprint.
+struct StorageFootprint {
+  std::vector<FootprintEntry> entries;
+
+  /// Keys proven exactly (entries with Const keys) per kind.
+  [[nodiscard]] std::set<Word> exact_keys(FootprintEntry::Kind kind) const;
+  /// True when some entry of `kind` has a non-constant key — the
+  /// footprint then covers every key of that kind (top).
+  [[nodiscard]] bool unbounded(FootprintEntry::Kind kind) const;
+};
+
+struct StackBound {
+  /// No proven bound (unresolved jump or iteration cap hit).
+  bool top = false;
+  std::size_t max_depth = 0;  ///< proven bound when !top
+  bool underflow_possible = false;
+  bool overflow_possible = false;
+};
+
+struct GasBound {
+  bool top = false;           ///< cycle in the CFG or analysis incomplete
+  std::uint64_t max = 0;      ///< proven worst case when !top
+  std::vector<std::size_t> loop_head_pcs;  ///< back-edge targets
+};
+
+struct AnalysisReport {
+  std::size_t code_bytes = 0;
+  std::size_t instruction_count = 0;
+  /// vm::code_well_formed: no undefined opcode / truncated immediate.
+  bool well_formed = true;
+  Cfg cfg;
+  std::size_t unreachable_instructions = 0;
+  /// Jump/JumpI sites whose constant target is not a valid boundary.
+  std::vector<std::size_t> invalid_jump_pcs;
+  /// Jump/JumpI sites whose target is not a compile-time constant. The
+  /// analysis cannot follow them, so every bound degrades to top.
+  std::vector<std::size_t> unresolved_jump_pcs;
+  /// Set on unresolved jumps or the iteration cap: bounds and footprint
+  /// are top (still sound, no longer precise).
+  bool incomplete = false;
+  bool divide_by_zero_possible = false;
+  StackBound stack;
+  GasBound gas;
+  StorageFootprint footprint;
+
+  /// Proven free of the statically-decidable trap classes: well-formed,
+  /// fully resolved CFG, no invalid jump, no possible stack violation.
+  [[nodiscard]] bool clean() const {
+    return well_formed && !incomplete && invalid_jump_pcs.empty() &&
+           unresolved_jump_pcs.empty() && !stack.underflow_possible &&
+           !stack.overflow_possible;
+  }
+};
+
+struct AnalyzeOptions {
+  /// Pin calldata[0] to a constant: per-entry-point analysis (the
+  /// dispatch chain folds, yielding a per-selector gas bound/footprint).
+  std::optional<Word> selector;
+};
+
+[[nodiscard]] AnalysisReport analyze(BytesView code,
+                                     const AnalyzeOptions& opts = {});
+
+/// Selector constants compared against calldata[0] in the canonical
+/// dispatch pattern (PUSH k / EQ / PUSH @target / JUMPI), for
+/// per-entry-point sweeps by tools and benches.
+[[nodiscard]] std::vector<Word> discover_selectors(BytesView code);
+
+// ---------------------------------------------------------------------------
+// Deployment admission
+// ---------------------------------------------------------------------------
+
+/// What a ContractStore rejects at deployment. The strict default admits
+/// every contract in src/contracts/ and examples/; permissive() restores
+/// the pre-analysis behaviour (only malformed code rejected).
+struct AdmissionPolicy {
+  bool reject_malformed = true;
+  bool reject_invalid_jumps = true;
+  bool reject_unresolved_jumps = true;
+  bool reject_stack_violations = true;
+  bool require_bounded_gas = false;
+  /// When set (and the gas bound is finite), reject bounds above this.
+  std::optional<std::uint64_t> max_gas_bound;
+
+  [[nodiscard]] static AdmissionPolicy strict() { return {}; }
+  [[nodiscard]] static AdmissionPolicy permissive() {
+    AdmissionPolicy p;
+    p.reject_invalid_jumps = false;
+    p.reject_unresolved_jumps = false;
+    p.reject_stack_violations = false;
+    return p;
+  }
+};
+
+struct AdmissionVerdict {
+  bool admitted = true;
+  std::string reason;  ///< human-readable rejection cause
+};
+
+[[nodiscard]] AdmissionVerdict admit(const AnalysisReport& report,
+                                     const AdmissionPolicy& policy);
+
+// ---------------------------------------------------------------------------
+// Soundness check (dynamic subset-of static)
+// ---------------------------------------------------------------------------
+
+/// Empty string when `trace`/`result` (recorded by vm::execute on the
+/// SAME code the report was computed from) are contained in the static
+/// bounds; otherwise a description of the violated bound. The audit
+/// build wraps this in MC_DCHECK on every ContractStore::call.
+[[nodiscard]] std::string soundness_violation(const AnalysisReport& report,
+                                              const ExecTrace& trace,
+                                              const ExecResult& result);
+
+}  // namespace mc::vm::analysis

@@ -1,5 +1,6 @@
 #include "vm/contract_store.hpp"
 
+#include "audit/check.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
 
@@ -40,6 +41,10 @@ class CapturingHost : public Host {
 }  // namespace
 
 Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
+  analysis::AnalysisReport report = analysis::analyze(BytesView(code));
+  const analysis::AdmissionVerdict verdict = analysis::admit(report, policy_);
+  if (!verdict.admitted) throw AdmissionError(verdict.reason);
+
   ByteWriter w;
   w.bytes(BytesView(code));
   w.u64(deployer);
@@ -51,6 +56,7 @@ Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
   dc.deployer = deployer;
   dc.code = std::move(code);
   dc.deployed_height = height;
+  dc.report = std::move(report);
   contracts_[id] = std::move(dc);
   return id;
 }
@@ -66,7 +72,22 @@ std::optional<ExecResult> ContractStore::call(Word id, ExecContext ctx,
   if (it == contracts_.end()) return std::nullopt;
   ctx.contract_id = id;
   CapturingHost host(oracle_host, events_, contracts_);
+#if defined(MEDCHAIN_AUDIT)
+  // Audit builds mechanically enforce the analyzer's soundness contract:
+  // record the dynamic footprint/stack of every call and require it to be
+  // contained in the static bounds proven at deployment.
+  ExecTrace trace;
+  ctx.trace = &trace;
+  const ExecResult result =
+      execute(BytesView(it->second.code), it->second.storage, ctx, host);
+  const std::string violation =
+      analysis::soundness_violation(it->second.report, trace, result);
+  MC_DCHECK(violation.empty(),
+            "static analysis soundness contract violated on contract call");
+  return result;
+#else
   return execute(BytesView(it->second.code), it->second.storage, ctx, host);
+#endif
 }
 
 std::optional<ExecResult> ContractStore::call(Word id, ExecContext ctx) {

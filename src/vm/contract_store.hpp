@@ -8,13 +8,24 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "vm/analysis/analysis.hpp"
 #include "vm/vm.hpp"
 
 namespace mc::vm {
+
+/// Thrown by ContractStore::deploy when the static analyzer rejects the
+/// code under the store's admission policy. Derives invalid_argument so
+/// chain::Node::apply_block's existing handler marks the tx invalid.
+class AdmissionError : public std::invalid_argument {
+ public:
+  explicit AdmissionError(const std::string& reason)
+      : std::invalid_argument("contract admission rejected: " + reason) {}
+};
 
 struct DeployedContract {
   Word id = 0;
@@ -22,13 +33,26 @@ struct DeployedContract {
   Bytes code;
   Storage storage;
   std::uint64_t deployed_height = 0;
+  /// Static analysis computed once at deployment; the audit build checks
+  /// every later call's dynamic trace against these bounds.
+  analysis::AnalysisReport report;
 };
 
 class ContractStore {
  public:
   /// Deploy code; the id is derived from (code, deployer, store nonce) so
-  /// repeated deployments get distinct ids deterministically.
+  /// repeated deployments get distinct ids deterministically. The code is
+  /// statically analyzed and admitted under the store's policy first —
+  /// rejection throws AdmissionError and deploys nothing.
   Word deploy(Bytes code, Word deployer, std::uint64_t height);
+
+  /// Replace the admission policy applied by subsequent deploy() calls.
+  void set_admission_policy(analysis::AdmissionPolicy policy) {
+    policy_ = policy;
+  }
+  [[nodiscard]] const analysis::AdmissionPolicy& admission_policy() const {
+    return policy_;
+  }
 
   [[nodiscard]] bool exists(Word id) const { return contracts_.count(id) > 0; }
   [[nodiscard]] const DeployedContract* contract(Word id) const;
@@ -71,6 +95,7 @@ class ContractStore {
   std::vector<Event> events_;
   std::uint64_t nonce_ = 0;
   std::map<std::uint64_t, Snapshot> snapshots_;
+  analysis::AdmissionPolicy policy_ = analysis::AdmissionPolicy::strict();
 };
 
 }  // namespace mc::vm

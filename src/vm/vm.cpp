@@ -9,8 +9,6 @@
 namespace mc::vm {
 namespace {
 
-constexpr std::size_t kMaxStack = 1024;
-
 /// Instruction boundaries (valid jump targets) for a code blob.
 std::vector<bool> jump_targets(BytesView code) {
   std::vector<bool> valid(code.size(), false);
@@ -220,6 +218,7 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
       case Op::SLoad: {
         if (!need(1)) return trap(Halt::StackUnderflow);
         const Word key = pop();
+        if (ctx.trace != nullptr) ctx.trace->reads.insert(key);
         auto it = working.find(key);
         stack.push_back(it == working.end() ? 0 : it->second);
         break;
@@ -229,6 +228,7 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
         if (!need(2)) return trap(Halt::StackUnderflow);
         const Word target = pop();
         const Word key = pop();
+        if (ctx.trace != nullptr) ctx.trace->foreign_reads.emplace(target, key);
         const std::optional<Word> value = host.foreign_storage(target, key);
         if (!value.has_value()) return trap(Halt::OracleFailure);
         stack.push_back(*value);
@@ -239,6 +239,7 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
         if (!need(2)) return trap(Halt::StackUnderflow);
         const Word key = pop();
         const Word value = pop();
+        if (ctx.trace != nullptr) ctx.trace->writes.insert(key);
         if (value == 0)
           working.erase(key);
         else
@@ -315,6 +316,8 @@ ExecResult execute(BytesView code, Storage& storage, const ExecContext& ctx,
       case Op::Revert:
         return trap(Halt::Revert);
     }
+    if (ctx.trace != nullptr)
+      ctx.trace->max_stack = std::max(ctx.trace->max_stack, stack.size());
     pc = next_pc;
   }
 

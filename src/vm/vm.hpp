@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -17,6 +19,11 @@
 namespace mc::vm {
 
 using Word = std::uint64_t;
+
+/// Hard cap on the operand stack; pushing past it traps StackOverflow.
+/// Shared with the static analyzer, whose stack bounds are proven
+/// against this same limit.
+inline constexpr std::size_t kMaxStack = 1024;
 
 /// Contract storage: persistent key/value words.
 using Storage = std::map<Word, Word>;
@@ -61,6 +68,18 @@ struct ExecResult {
   [[nodiscard]] bool ok() const { return halted_ok(halt); }
 };
 
+/// Dynamic execution trace, recorded when ExecContext::trace is set:
+/// every storage key actually touched (including by runs that later
+/// trapped and rolled back) and the peak stack depth. The static
+/// analyzer's soundness contract is checked against this — see
+/// vm/analysis/analysis.hpp soundness_violation().
+struct ExecTrace {
+  std::set<Word> reads;
+  std::set<Word> writes;
+  std::set<std::pair<Word, Word>> foreign_reads;  ///< (contract, key)
+  std::size_t max_stack = 0;
+};
+
 /// Execution environment provided by the node.
 struct ExecContext {
   Word contract_id = 0;
@@ -71,6 +90,7 @@ struct ExecContext {
   std::uint64_t gas_limit = 1'000'000;
   std::uint64_t step_limit = 10'000'000;  ///< hard bound beyond gas
   std::vector<Word> calldata;
+  ExecTrace* trace = nullptr;  ///< optional footprint/stack recording
 };
 
 /// Host hooks: the ORACLE opcode is the paper's on-chain/off-chain bridge

@@ -1,0 +1,186 @@
+// medchain_analyze: static-analysis report / admission gate for contract
+// bytecode (DESIGN.md §12).
+//
+// Inputs: built-in contract suite (--builtins), assembler source files
+// (--asm file.mca ...), or raw bytecode files (--bin file ...). For each
+// contract it prints the whole-program CFG/stack/gas/footprint report and
+// a per-entry-point gas table (selectors recovered from the canonical
+// dispatch pattern). With --check it exits non-zero unless every input is
+// admitted under the strict deployment policy — the CI contract gate.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "contracts/analytics.hpp"
+#include "contracts/policy.hpp"
+#include "contracts/registry.hpp"
+#include "contracts/trial.hpp"
+#include "vm/analysis/analysis.hpp"
+#include "vm/assembler.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::vm;
+
+struct Input {
+  std::string name;
+  Bytes code;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void print_report(const Input& input,
+                  const analysis::AnalysisReport& report) {
+  std::printf("== %s ==\n", input.name.c_str());
+  std::printf("  code           %zu bytes, %zu instructions%s\n",
+              report.code_bytes, report.instruction_count,
+              report.well_formed ? "" : "  [MALFORMED]");
+  std::printf("  cfg            %zu blocks, %zu unreachable instruction(s)%s\n",
+              report.cfg.blocks.size(), report.unreachable_instructions,
+              report.cfg.has_cycle ? ", cyclic" : "");
+  for (const std::size_t pc : report.invalid_jump_pcs)
+    std::printf("  invalid jump   pc %zu\n", pc);
+  for (const std::size_t pc : report.unresolved_jump_pcs)
+    std::printf("  unresolved jump pc %zu\n", pc);
+
+  if (report.stack.top)
+    std::printf("  stack          no bound (analysis incomplete)\n");
+  else
+    std::printf("  stack          max depth %zu%s%s\n", report.stack.max_depth,
+                report.stack.underflow_possible ? ", underflow possible" : "",
+                report.stack.overflow_possible ? ", overflow possible" : "");
+
+  if (report.gas.top) {
+    std::printf("  gas            unbounded");
+    if (!report.gas.loop_head_pcs.empty()) {
+      std::printf(" (loop heads:");
+      for (const std::size_t pc : report.gas.loop_head_pcs)
+        std::printf(" %zu", pc);
+      std::printf(")");
+    }
+    std::printf("\n");
+  } else {
+    std::printf("  gas            <= %llu\n",
+                static_cast<unsigned long long>(report.gas.max));
+  }
+
+  std::printf("  footprint      %zu site(s)\n", report.footprint.entries.size());
+  for (const analysis::FootprintEntry& e : report.footprint.entries) {
+    const analysis::KeyClass kc = analysis::key_class_of(e.key);
+    if (kc == analysis::KeyClass::Exact)
+      std::printf("    pc %-5zu %-5s key=%llu\n", e.pc,
+                  std::string(analysis::footprint_kind_name(e.kind)).c_str(),
+                  static_cast<unsigned long long>(e.key.value));
+    else
+      std::printf("    pc %-5zu %-5s key=<%s>\n", e.pc,
+                  std::string(analysis::footprint_kind_name(e.kind)).c_str(),
+                  std::string(analysis::key_class_name(kc)).c_str());
+  }
+
+  const std::vector<Word> selectors = analysis::discover_selectors(
+      BytesView(input.code));
+  for (const Word sel : selectors) {
+    analysis::AnalyzeOptions opts;
+    opts.selector = sel;
+    const analysis::AnalysisReport per = analysis::analyze(
+        BytesView(input.code), opts);
+    if (per.gas.top)
+      std::printf("  entry %-12llu gas unbounded\n",
+                  static_cast<unsigned long long>(sel));
+    else
+      std::printf("  entry %-12llu gas <= %-8llu stack <= %zu\n",
+                  static_cast<unsigned long long>(sel),
+                  static_cast<unsigned long long>(per.gas.max),
+                  per.stack.max_depth);
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check] [--selector N] "
+               "[--builtins] [--asm file.mca ...] [--bin file ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Input> inputs;
+  bool check = false;
+  std::optional<Word> selector;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--selector") {
+      if (++i >= argc) return usage(argv[0]);
+      selector = static_cast<Word>(std::strtoull(argv[i], nullptr, 0));
+    } else if (arg == "--builtins") {
+      inputs.push_back({"builtin:registry",
+                        contracts::RegistryContract::bytecode()});
+      inputs.push_back({"builtin:policy",
+                        contracts::PolicyContract::bytecode()});
+      inputs.push_back({"builtin:analytics",
+                        contracts::AnalyticsContract::bytecode()});
+      inputs.push_back({"builtin:trial", contracts::TrialContract::bytecode()});
+    } else if (arg == "--asm" || arg == "--bin") {
+      if (++i >= argc) return usage(argv[0]);
+      const std::string path = argv[i];
+      std::string data;
+      if (!read_file(path, data)) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      if (arg == "--asm") {
+        try {
+          inputs.push_back({path, vm::assemble(data)});
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+          return 2;
+        }
+      } else {
+        inputs.push_back({path, Bytes(data.begin(), data.end())});
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  int rejected = 0;
+  for (const Input& input : inputs) {
+    analysis::AnalyzeOptions opts;
+    opts.selector = selector;
+    const analysis::AnalysisReport report =
+        analysis::analyze(BytesView(input.code), opts);
+    print_report(input, report);
+    const analysis::AdmissionVerdict verdict =
+        analysis::admit(report, analysis::AdmissionPolicy::strict());
+    if (verdict.admitted) {
+      std::printf("  admission      OK (strict policy)\n\n");
+    } else {
+      std::printf("  admission      REJECTED: %s\n\n", verdict.reason.c_str());
+      ++rejected;
+    }
+  }
+
+  if (check && rejected > 0) {
+    std::fprintf(stderr, "medchain_analyze: %d contract(s) rejected\n",
+                 rejected);
+    return 1;
+  }
+  return 0;
+}

@@ -22,6 +22,12 @@
 //                            headers must be [[nodiscard]] — a dropped
 //                            verdict on an untrusted-input path is a
 //                            vulnerability, not a style issue.
+//   vm-direct-execute        raw vm::execute calls are banned outside
+//                            vm/ — contract code runs through
+//                            ContractStore::deploy/call so the static
+//                            analyzer's admission gate (and, in audit
+//                            builds, its soundness check) cannot be
+//                            bypassed.
 //
 // Escape hatch: `// medchain-lint: allow(<rule>[, <rule>...])` on the
 // offending line or the line directly above it; `allow-file(<rule>)`
@@ -72,6 +78,9 @@ constexpr Rule kRules[] = {
     {"raw-assert", "use MC_ASSERT / MC_DCHECK instead of assert()"},
     {"nodiscard-decode",
      "public decode*/verify* header declarations must be [[nodiscard]]"},
+    {"vm-direct-execute",
+     "ContractStore::deploy/call only - raw vm::execute skips the "
+     "admission gate (vm/analysis) outside vm/"},
 };
 
 bool is_known_rule(std::string_view name) {
@@ -246,6 +255,10 @@ const char* check_raw_assert(std::string_view line) {
   return has_token(line, "assert(") ? "assert(" : nullptr;
 }
 
+const char* check_vm_direct_execute(std::string_view line) {
+  return has_token(line, "vm::execute(") ? "vm::execute(" : nullptr;
+}
+
 /// Heuristic declaration finder for decode*/verify* in headers. A match
 /// is a declaration when the name is preceded by a type-ish token on the
 /// same line (identifier/`>`/`&`/`*` that is not `return`), not reached
@@ -321,6 +334,9 @@ bool rule_applies(std::string_view rule, const std::string& rel,
     return !in_dir(rel, "common/") && !in_dir(rel, "sim/");
   if (rule == "raw-assert") return true;
   if (rule == "nodiscard-decode") return is_header;
+  // vm/ owns the interpreter: vm.cpp defines execute and contract_store
+  // is the admission choke point that wraps it.
+  if (rule == "vm-direct-execute") return !in_dir(rel, "vm/");
   return false;
 }
 
@@ -390,6 +406,7 @@ void scan_file(const fs::path& path, bool self_test, ScanResult& out) {
     report("concurrency-primitives", check_concurrency(stripped));
     report("raw-assert", check_raw_assert(stripped));
     report("nodiscard-decode", check_nodiscard(stripped, prev_stripped));
+    report("vm-direct-execute", check_vm_direct_execute(stripped));
 
     prev_allows = line_allows;
     prev_stripped = stripped;

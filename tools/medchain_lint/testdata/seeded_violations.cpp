@@ -25,6 +25,13 @@ void assert_violation(int x) {
   assert(x > 0);                          // expect(raw-assert)
 }
 
+void vm_bypass_violation() {
+  auto r = vm::execute(code, storage, ctx, host);   // expect(vm-direct-execute)
+  auto q = mc::vm::execute(code, storage, ctx, host);  // expect(vm-direct-execute)
+  (void)r; (void)q;
+  store.call(id, ctx, host);  // admission path: must not fire
+}
+
 void suppressed_lines() {
   // Justification: fixture proves the escape hatch suppresses a match.
   int r = rand();  // medchain-lint: allow(determinism-random)
