@@ -53,6 +53,35 @@ void BM_MerkleBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024)->Arg(8192);
 
+// Anchoring A/B: cost of ONE appended leaf when the digest comes from a
+// full tree rebuild (BM_MerkleRebuildAppend, the old SiteDataset path)
+// versus the incremental frontier (BM_MerkleFrontierAppend, O(log n)).
+void BM_MerkleRebuildAppend(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i)
+    leaves.push_back(sha256(std::to_string(i)));
+  std::size_t next = leaves.size();
+  for (auto _ : state) {
+    leaves.push_back(sha256(std::to_string(next++)));
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+    leaves.pop_back();  // keep n fixed across iterations
+  }
+}
+BENCHMARK(BM_MerkleRebuildAppend)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_MerkleFrontierAppend(benchmark::State& state) {
+  MerkleFrontier frontier;
+  for (int i = 0; i < state.range(0); ++i)
+    frontier.append(sha256(std::to_string(i)));
+  std::size_t next = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    frontier.append(sha256(std::to_string(next++)));
+    benchmark::DoNotOptimize(frontier.root());
+  }
+}
+BENCHMARK(BM_MerkleFrontierAppend)->Arg(64)->Arg(1024)->Arg(8192);
+
 void BM_MerkleProveVerify(benchmark::State& state) {
   std::vector<Hash256> leaves;
   for (int i = 0; i < 4096; ++i) leaves.push_back(sha256(std::to_string(i)));

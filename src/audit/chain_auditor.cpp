@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "chain/block_validator.hpp"
+#include "chain/execution/executor.hpp"
 #include "chain/node.hpp"
 #include "common/rng.hpp"
 #include "chain/pow.hpp"
@@ -36,6 +37,8 @@ std::string_view violation_name(ViolationKind kind) {
     case ViolationKind::OrphanPoolOverflow: return "orphan-pool-overflow";
     case ViolationKind::BatchVerifyDivergence:
       return "batch-verify-divergence";
+    case ViolationKind::ParallelExecutionDivergence:
+      return "parallel-execution-divergence";
   }
   return "unknown";
 }
@@ -155,7 +158,10 @@ void ChainAuditor::audit_state_roots(const std::vector<chain::Block>& blocks,
     const chain::Block& b = blocks[i];
     const chain::Height h = b.header.height;
     for (const auto& tx : b.txs) {
+      // Independent replay is the point of this audit: it must not route
+      // through the execution pipeline it cross-checks.
       const chain::ApplyResult applied =
+          // medchain-lint: allow(state-direct-apply)
           state.apply(tx, b.header.proposer, params_, /*execution_gas=*/0);
       ++report.txs_replayed;
       if (!applied.ok) {
@@ -223,6 +229,91 @@ AuditReport ChainAuditor::audit_node(const chain::Node& node) const {
     add(report, ViolationKind::OrphanPoolOverflow, node.height(),
         std::to_string(node.orphan_count()) + " orphans held, cap is " +
             std::to_string(params_.max_orphans));
+  return report;
+}
+
+AuditReport ChainAuditor::audit_parallel_execution(
+    const std::vector<chain::Block>& blocks, const HookFactory& make_hook,
+    ThreadPool& pool, std::size_t workers) const {
+  AuditReport report;
+  if (blocks.empty()) return report;
+  report.blocks_checked = blocks.size();
+
+  // One full replay per execution mode, each over its own freshly-built
+  // contract stack, so neither run can contaminate the other.
+  struct Replay {
+    std::vector<bool> ok;
+    std::vector<Hash256> ledger;
+    std::vector<Hash256> contracts;
+    std::vector<chain::TxReceipt> receipts;
+  };
+  const auto run = [&](bool parallel) {
+    Replay r;
+    std::unique_ptr<chain::ExecutionHook> hook =
+        make_hook ? make_hook() : nullptr;
+    chain::exec::BlockExecutor executor(params_, hook.get());
+    if (parallel) {
+      chain::exec::ExecutionConfig cfg;
+      cfg.workers = workers;
+      cfg.pool = &pool;
+      executor.set_config(cfg);
+    }
+    chain::WorldState state;
+    for (const auto& [addr, amount] : params_.premine)
+      state.credit(addr, amount);
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      const chain::exec::BlockExecResult res =
+          executor.execute_block(state, blocks[i], &r.receipts);
+      r.ok.push_back(res.ok);
+      report.txs_replayed += res.txs_seen;
+      if (!res.ok) break;  // partial state — a node would discard it
+      r.ledger.push_back(state.digest());
+      r.contracts.push_back(hook != nullptr ? hook->state_digest()
+                                            : Hash256{});
+    }
+    return r;
+  };
+  const Replay seq = run(/*parallel=*/false);
+  const Replay par = run(/*parallel=*/true);
+
+  const std::size_t common = std::min(seq.ok.size(), par.ok.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    const chain::Height h = blocks[k + 1].header.height;
+    if (seq.ok[k] != par.ok[k]) {
+      add(report, ViolationKind::ParallelExecutionDivergence, h,
+          std::string("block verdict differs: sequential ") +
+              (seq.ok[k] ? "ok" : "fail") + ", parallel " +
+              (par.ok[k] ? "ok" : "fail"));
+      return report;  // states diverged; later comparisons are noise
+    }
+    if (!seq.ok[k]) break;  // both rejected the same block: done
+    if (seq.ledger[k] != par.ledger[k])
+      add(report, ViolationKind::ParallelExecutionDivergence, h,
+          "ledger digest differs after this block");
+    if (seq.contracts[k] != par.contracts[k])
+      add(report, ViolationKind::ParallelExecutionDivergence, h,
+          "contract-state digest differs after this block");
+    if (!report.ok()) return report;
+  }
+
+  if (seq.receipts.size() != par.receipts.size()) {
+    add(report, ViolationKind::ParallelExecutionDivergence,
+        blocks.back().header.height,
+        "receipt counts differ: sequential " +
+            std::to_string(seq.receipts.size()) + ", parallel " +
+            std::to_string(par.receipts.size()));
+    return report;
+  }
+  for (std::size_t k = 0; k < seq.receipts.size(); ++k) {
+    const chain::TxReceipt& a = seq.receipts[k];
+    const chain::TxReceipt& b = par.receipts[k];
+    if (a.id != b.id || a.height != b.height || a.gas_used != b.gas_used ||
+        a.index != b.index) {
+      add(report, ViolationKind::ParallelExecutionDivergence, a.height,
+          "receipt " + std::to_string(k) + " differs between replays");
+      return report;
+    }
+  }
   return report;
 }
 

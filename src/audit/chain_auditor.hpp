@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,8 +22,13 @@
 #include "chain/block.hpp"
 #include "chain/types.hpp"
 
+namespace mc {
+class ThreadPool;
+}
+
 namespace mc::chain {
 class BlockValidator;
+class ExecutionHook;
 class Node;
 }
 
@@ -47,6 +53,7 @@ enum class ViolationKind : std::uint8_t {
   QuorumConflictingDigest,  ///< two certs commit different digests at one seq
   OrphanPoolOverflow,    ///< node holds more orphans than params.max_orphans
   BatchVerifyDivergence,  ///< batch sig verdict != per-tx sequential verdict
+  ParallelExecutionDivergence,  ///< wave-parallel replay != sequential replay
 };
 
 [[nodiscard]] std::string_view violation_name(ViolationKind kind);
@@ -102,6 +109,21 @@ class ChainAuditor {
   /// replicas (n = 3f+1, quorum 2f+1).
   [[nodiscard]] AuditReport audit_quorum_certs(
       const std::vector<QuorumCert>& certs, std::size_t cluster_size) const;
+
+  /// Hook factory for the parallel-execution audit: each replay builds
+  /// its own contract stack from scratch (nullptr factory or a factory
+  /// returning nullptr audits a pure-ledger chain).
+  using HookFactory = std::function<std::unique_ptr<chain::ExecutionHook>()>;
+
+  /// Replay `blocks` (genesis first) twice — once sequentially, once
+  /// through the wave-parallel scheduler fanned across `pool` with
+  /// `workers` workers — and compare per-block verdicts, ledger digests,
+  /// contract digests and the full receipt stream. Any mismatch is a
+  /// ParallelExecutionDivergence: the scheduler broke the determinism
+  /// contract of DESIGN.md §13.
+  [[nodiscard]] AuditReport audit_parallel_execution(
+      const std::vector<chain::Block>& blocks, const HookFactory& make_hook,
+      ThreadPool& pool, std::size_t workers) const;
 
  private:
   void audit_structure(const std::vector<chain::Block>& blocks,

@@ -88,6 +88,29 @@ TxFootprint tx_footprint(const Transaction& tx,
   return fp;
 }
 
+TxFootprint footprint_from_trace(const Transaction& tx, vm::Word contract_id,
+                                 const vm::ExecTrace& trace) {
+  TxFootprint fp;
+  fp.reads.insert(balance_cell(tx.from));
+  fp.writes.insert(balance_cell(tx.from));
+  for (const vm::Word key : trace.reads)
+    fp.reads.insert({fp_domain::kContract, contract_id, key});
+  for (const vm::Word key : trace.writes)
+    fp.writes.insert({fp_domain::kContract, contract_id, key});
+  for (const auto& [foreign, key] : trace.foreign_reads)
+    fp.reads.insert({fp_domain::kContract, foreign, key});
+  return fp;
+}
+
+std::vector<TxFootprint> block_footprints(const Block& block,
+                                          const vm::ContractStore* store) {
+  std::vector<TxFootprint> footprints;
+  footprints.reserve(block.txs.size());
+  for (const Transaction& tx : block.txs)
+    footprints.push_back(tx_footprint(tx, store));
+  return footprints;
+}
+
 bool footprints_conflict(const TxFootprint& a, const TxFootprint& b) {
   if (a.unbounded || b.unbounded) return true;
   const auto intersects = [](const std::set<FootprintCell>& x,
@@ -108,12 +131,9 @@ BlockConflictReport analyze_block_conflicts(const Block& block,
   BlockConflictReport report;
   report.txs = block.txs.size();
 
-  std::vector<TxFootprint> footprints;
-  footprints.reserve(block.txs.size());
-  for (const Transaction& tx : block.txs) {
-    footprints.push_back(tx_footprint(tx, store));
-    if (footprints.back().unbounded) ++report.unbounded_txs;
-  }
+  const std::vector<TxFootprint> footprints = block_footprints(block, store);
+  for (const TxFootprint& fp : footprints)
+    if (fp.unbounded) ++report.unbounded_txs;
 
   for (std::size_t i = 0; i < footprints.size(); ++i)
     for (std::size_t j = i + 1; j < footprints.size(); ++j) {

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "chain/block.hpp"
 #include "chain/transaction.hpp"
@@ -46,6 +47,19 @@ struct TxFootprint {
 /// is available (Call footprints then degrade to unbounded).
 [[nodiscard]] TxFootprint tx_footprint(const Transaction& tx,
                                        const vm::ContractStore* store);
+
+/// Footprint of a Call tx reconstructed from a *recorded* dynamic trace
+/// (the first concrete run of a ⊤-footprint contract): the tx's ledger
+/// cells plus one contract cell per traced read/write/foreign-read. Used
+/// by the execution layer's FootprintProvider as a scheduling hint; it is
+/// NOT a sound bound — commit-time validation covers mispredictions.
+[[nodiscard]] TxFootprint footprint_from_trace(const Transaction& tx,
+                                               vm::Word contract_id,
+                                               const vm::ExecTrace& trace);
+
+/// Index-aligned footprints of every transaction in `block`.
+[[nodiscard]] std::vector<TxFootprint> block_footprints(
+    const Block& block, const vm::ContractStore* store);
 
 /// True when the two footprints cannot safely run in parallel:
 /// write/write, write/read or read/write intersection, or either side

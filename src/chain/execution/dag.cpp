@@ -1,0 +1,46 @@
+#include "chain/execution/dag.hpp"
+
+#include <algorithm>
+
+namespace mc::chain::exec {
+
+bool TxDag::is_topological_order(
+    const std::vector<std::uint32_t>& order) const {
+  if (order.size() != size()) return false;
+  // position[v] = index of v within `order`; also rejects non-permutations.
+  std::vector<std::size_t> position(size(), size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= size() || position[order[i]] != size()) return false;
+    position[order[i]] = i;
+  }
+  for (std::size_t j = 0; j < size(); ++j)
+    for (const std::uint32_t p : preds[j])
+      if (position[p] >= position[j]) return false;
+  return true;
+}
+
+TxDag build_tx_dag(const std::vector<TxFootprint>& footprints) {
+  TxDag dag;
+  const std::size_t n = footprints.size();
+  dag.preds.resize(n);
+  dag.succs.resize(n);
+  dag.levels.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!footprints_conflict(footprints[i], footprints[j])) continue;
+      dag.preds[j].push_back(static_cast<std::uint32_t>(i));
+      dag.succs[i].push_back(static_cast<std::uint32_t>(j));
+      ++dag.edges;
+      dag.levels[j] = std::max(dag.levels[j], dag.levels[i] + 1);
+    }
+  }
+  // The double loop emits i ascending, so preds[j]/succs[i] are already
+  // sorted and levels[i] is final before any j > i consumes it.
+  if (n > 0)
+    dag.critical_path =
+        1 + *std::max_element(dag.levels.begin(), dag.levels.end());
+  return dag;
+}
+
+}  // namespace mc::chain::exec

@@ -1,0 +1,51 @@
+// Transaction dependency DAG built from read/write footprints.
+//
+// Layer (2) of the execution pipeline (DESIGN.md §13). An edge i -> j
+// (i < j in block order) exists iff the two footprints conflict
+// (W∩W, W∩R or R∩W, or either side ⊤) — so every edge points forward and
+// the block's own order is always a valid topological order. The
+// scheduler derives wave-readiness from `preds` and the report fields
+// feed the chainsim/bench parallelism columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/conflict.hpp"
+
+namespace mc::chain::exec {
+
+struct TxDag {
+  /// preds[j] = conflicting predecessors of tx j, ascending. Because the
+  /// committed set is always a prefix, tx j is ready as soon as
+  /// preds[j].back() has committed.
+  std::vector<std::vector<std::uint32_t>> preds;
+  std::vector<std::vector<std::uint32_t>> succs;
+  std::size_t edges = 0;
+
+  /// Longest-path depth per tx (level 0 = no predecessors).
+  std::vector<std::uint32_t> levels;
+  /// Length of the critical path in txs (0 for an empty DAG). The best
+  /// wall-clock any scheduler can reach is critical_path sequential steps.
+  std::size_t critical_path = 0;
+
+  [[nodiscard]] std::size_t size() const { return preds.size(); }
+
+  /// Available parallelism: txs / critical-path length (1.0 = fully
+  /// serial, n = embarrassingly parallel).
+  [[nodiscard]] double parallelism() const {
+    return critical_path == 0 ? 0.0
+                              : static_cast<double>(size()) /
+                                    static_cast<double>(critical_path);
+  }
+
+  /// True when `order` is a permutation of [0, size) that respects every
+  /// edge — the property test's oracle for sequential-order admission.
+  [[nodiscard]] bool is_topological_order(
+      const std::vector<std::uint32_t>& order) const;
+};
+
+/// Build the dependency DAG over index-aligned footprints.
+[[nodiscard]] TxDag build_tx_dag(const std::vector<TxFootprint>& footprints);
+
+}  // namespace mc::chain::exec

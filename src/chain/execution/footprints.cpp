@@ -1,0 +1,19 @@
+#include "chain/execution/footprints.hpp"
+
+namespace mc::chain::exec {
+
+TxFootprint FootprintProvider::footprint(const Transaction& tx) const {
+  TxFootprint fp = tx_footprint(tx, store_);
+  if (!fp.unbounded) return fp;
+  auto it = dynamic_.find(tx.id());
+  if (it != dynamic_.end()) return it->second;
+  return fp;  // still ⊤: first run of an unbounded tx
+}
+
+void FootprintProvider::record(const Transaction& tx, vm::Word contract_id,
+                               const vm::ExecTrace& trace) {
+  if (dynamic_.size() >= kMaxRecorded) dynamic_.clear();
+  dynamic_[tx.id()] = footprint_from_trace(tx, contract_id, trace);
+}
+
+}  // namespace mc::chain::exec

@@ -1,0 +1,51 @@
+// Footprint provider: static bounds first, recorded dynamic sets second.
+//
+// Layer (1) of the execution pipeline (DESIGN.md §13). The static
+// analyzer proves exact cell sets for most transactions; the ones it
+// cannot bound (⊤ footprints: non-constant storage keys, unknown targets)
+// would conservatively conflict with everything and serialize the block.
+// For those, the provider remembers the cell set of the transaction's
+// first concrete run and uses it as the *scheduling* footprint on any
+// later execution of the same tx (re-proposals, reorgs, replays, audits).
+//
+// A recorded set is a hint, not a bound: if the replay touches different
+// cells, the scheduler's commit-time validation catches it and re-runs
+// the transaction sequentially — correctness never rests on this cache.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "chain/conflict.hpp"
+#include "chain/transaction.hpp"
+
+namespace mc::chain::exec {
+
+class FootprintProvider {
+ public:
+  /// Recorded-set cache cap; on overflow the cache resets (the sets are
+  /// hints — dropping them costs speed on ⊤ txs, never correctness).
+  static constexpr std::size_t kMaxRecorded = 8192;
+
+  explicit FootprintProvider(const vm::ContractStore* store = nullptr)
+      : store_(store) {}
+
+  void set_store(const vm::ContractStore* store) { store_ = store; }
+  [[nodiscard]] const vm::ContractStore* store() const { return store_; }
+
+  /// Scheduling footprint for `tx`: the static footprint when bounded,
+  /// else the recorded dynamic set when one exists, else ⊤.
+  [[nodiscard]] TxFootprint footprint(const Transaction& tx) const;
+
+  /// Record the dynamic cell set of a ⊤-footprint Call's concrete run.
+  void record(const Transaction& tx, vm::Word contract_id,
+              const vm::ExecTrace& trace);
+
+  [[nodiscard]] std::size_t recorded_count() const { return dynamic_.size(); }
+
+ private:
+  const vm::ContractStore* store_;
+  std::unordered_map<TxId, TxFootprint> dynamic_;
+};
+
+}  // namespace mc::chain::exec

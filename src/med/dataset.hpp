@@ -45,7 +45,8 @@ class SiteDataset {
   }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
-  /// Append a new record (invalidates the cached digest).
+  /// Append a new record; the cached digest frontier advances in
+  /// O(log n) hashes, so per-append re-anchoring stays cheap.
   void append(PatientRecord record);
 
   /// Tamper helper for integrity experiments: silently modify record
@@ -63,7 +64,9 @@ class SiteDataset {
   /// Merkle tree over serialized records (leaf i = record i).
   [[nodiscard]] crypto::MerkleTree merkle_tree() const;
 
-  /// Content digest = Merkle root over record serializations.
+  /// Content digest = Merkle root over record serializations. Served
+  /// from the incremental frontier (O(log n) fold, no tree rebuild);
+  /// always equals merkle_tree().root().
   [[nodiscard]] Hash256 content_digest() const;
 
   /// Serialized bytes of record `index` (proof verification).
@@ -75,9 +78,15 @@ class SiteDataset {
   [[nodiscard]] std::uint64_t byte_size() const;
 
  private:
+  void rebuild_frontier();
+
   SiteConfig config_;
   std::vector<PatientRecord> records_;
   Hash256 national_key_;
+  /// Incremental digest over serialize_record leaves, kept in lockstep
+  /// with records_ (tamper() rebuilds it: the live digest must reflect
+  /// the falsified data while the on-chain anchor stays stale).
+  crypto::MerkleFrontier frontier_;
 };
 
 /// Split one global cohort across sites with realistic overlap: every

@@ -38,6 +38,50 @@ class CapturingHost : public Host {
   const std::map<Word, DeployedContract>& contracts_;
 };
 
+/// Host for speculative runs: buffers events locally (committed later, or
+/// never), records the value of every foreign read for commit-time
+/// validation, and fails oracle requests — speculable() excludes oracle
+/// contracts, so a trap here only means the gate was bypassed.
+class SpeculativeHost : public Host {
+ public:
+  SpeculativeHost(SpeculativeCall& spec,
+                  const std::map<Word, DeployedContract>& contracts)
+      : spec_(spec), contracts_(contracts) {}
+
+  std::optional<Word> oracle(Word /*request*/) override {
+    return std::nullopt;
+  }
+
+  void on_event(const Event& event) override { spec_.events.push_back(event); }
+
+  std::optional<Word> foreign_storage(Word contract_id, Word key) override {
+    Word value = 0;  // unknown contract/key reads as 0, as CapturingHost
+    auto it = contracts_.find(contract_id);
+    if (it != contracts_.end()) {
+      auto slot = it->second.storage.find(key);
+      if (slot != it->second.storage.end()) value = slot->second;
+    }
+    spec_.observed.emplace(std::make_pair(contract_id, key), value);
+    return value;
+  }
+
+ private:
+  SpeculativeCall& spec_;
+  const std::map<Word, DeployedContract>& contracts_;
+};
+
+/// Scan bytecode for Op::Oracle (deployment-time; immediate widths keep
+/// the walk aligned on instruction boundaries).
+bool code_uses_oracle(BytesView code) {
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const Op op = static_cast<Op>(code[pc]);
+    if (op == Op::Oracle) return true;
+    pc += 1 + static_cast<std::size_t>(immediate_width(op));
+  }
+  return false;
+}
+
 }  // namespace
 
 Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
@@ -54,11 +98,91 @@ Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
   DeployedContract dc;
   dc.id = id;
   dc.deployer = deployer;
+  dc.uses_oracle = code_uses_oracle(BytesView(code));
   dc.code = std::move(code);
   dc.deployed_height = height;
   dc.report = std::move(report);
   contracts_[id] = std::move(dc);
   return id;
+}
+
+bool ContractStore::speculable(Word id) const {
+  auto it = contracts_.find(id);
+  return it != contracts_.end() && !it->second.uses_oracle;
+}
+
+std::optional<SpeculativeCall> ContractStore::call_speculative(
+    Word id, ExecContext ctx) const {
+  auto it = contracts_.find(id);
+  if (it == contracts_.end()) return std::nullopt;
+  const DeployedContract& dc = it->second;
+
+  SpeculativeCall spec;
+  spec.contract_id = id;
+  ctx.contract_id = id;
+  ctx.trace = &spec.trace;  // always traced: the write/read sets come from it
+
+  SpeculativeHost host(spec, contracts_);
+  Storage working = dc.storage;  // scratch copy; the store stays untouched
+  spec.result = execute(BytesView(dc.code), working, ctx, host);
+
+#if defined(MEDCHAIN_AUDIT)
+  // Same soundness contract as call(): the dynamic trace must sit inside
+  // the static bounds proven at deployment.
+  const std::string violation =
+      analysis::soundness_violation(dc.report, spec.trace, spec.result);
+  MC_DCHECK(violation.empty(),
+            "static analysis soundness contract violated on speculative call");
+#endif
+
+  // Own-storage observations: the pre-state value of every key the run
+  // read (conservative — even reads after an own write validate against
+  // the committed pre-image).
+  for (const Word key : spec.trace.reads) {
+    auto slot = dc.storage.find(key);
+    spec.observed.emplace(std::make_pair(id, key),
+                          slot == dc.storage.end() ? 0 : slot->second);
+  }
+  // Write post-images, only meaningful for runs that halted ok (a trap
+  // rolls its writes back; validation still uses the observed set).
+  if (spec.result.ok()) {
+    for (const Word key : spec.trace.writes) {
+      auto slot = working.find(key);
+      spec.writes[key] = slot == working.end() ? 0 : slot->second;
+    }
+  }
+  return spec;
+}
+
+bool ContractStore::speculation_current(const SpeculativeCall& spec) const {
+  for (const auto& [cell, seen] : spec.observed) {
+    Word current = 0;
+    auto it = contracts_.find(cell.first);
+    if (it != contracts_.end()) {
+      auto slot = it->second.storage.find(cell.second);
+      if (slot != it->second.storage.end()) current = slot->second;
+    }
+    if (current != seen) return false;
+  }
+  return true;
+}
+
+void ContractStore::commit_speculation(const SpeculativeCall& spec,
+                                       Host* event_host) {
+  auto it = contracts_.find(spec.contract_id);
+  MC_ASSERT(it != contracts_.end(),
+            "committing a speculative call into a missing contract");
+  MC_ASSERT(spec.result.ok(), "committing a trapped speculative call");
+  for (const auto& [key, value] : spec.writes) {
+    if (value == 0)
+      it->second.storage.erase(key);  // the VM keeps no zero entries
+    else
+      it->second.storage[key] = value;
+  }
+  for (const Event& event : spec.events) {
+    events_.push_back(event);
+    if (event_host != nullptr) event_host->on_event(event);
+  }
 }
 
 const DeployedContract* ContractStore::contract(Word id) const {

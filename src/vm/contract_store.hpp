@@ -36,6 +36,26 @@ struct DeployedContract {
   /// Static analysis computed once at deployment; the audit build checks
   /// every later call's dynamic trace against these bounds.
   analysis::AnalysisReport report;
+  /// Code contains Op::Oracle (scanned at deployment): such calls must
+  /// not be re-run speculatively — a rerun would duplicate the external
+  /// side effect — so the parallel scheduler executes them at their
+  /// commit slot instead.
+  bool uses_oracle = false;
+};
+
+/// One contract call executed speculatively against the committed store
+/// (parallel scheduler, DESIGN.md §13). The store itself is untouched;
+/// `writes` holds the post-image of every key the run stored (value 0
+/// means *erase* — the VM never keeps zero-valued entries), `observed`
+/// the value every read saw (own SLOADs and foreign SXLOADs alike), and
+/// `events` the buffered emissions to append on commit.
+struct SpeculativeCall {
+  Word contract_id = 0;
+  ExecResult result;
+  std::map<Word, Word> writes;                    ///< key -> post value (0 = erase)
+  std::map<std::pair<Word, Word>, Word> observed; ///< (contract, key) -> value
+  std::vector<Event> events;
+  ExecTrace trace;
 };
 
 class ContractStore {
@@ -64,6 +84,30 @@ class ContractStore {
 
   /// Convenience call with a NullHost (no oracle, events logged only).
   std::optional<ExecResult> call(Word id, ExecContext ctx);
+
+  // --- speculative execution (chain/execution scheduler) ----------------
+
+  /// True when `id` exists and its code is oracle-free, i.e. a
+  /// speculative run of it is safe to discard and repeat.
+  [[nodiscard]] bool speculable(Word id) const;
+
+  /// Execute a call WITHOUT mutating the store: storage writes, reads and
+  /// events are captured into the returned SpeculativeCall. Oracle use
+  /// traps (speculable() gates it out beforehand); foreign reads are
+  /// served from committed state exactly as call() does. Returns nullopt
+  /// for an unknown contract.
+  [[nodiscard]] std::optional<SpeculativeCall> call_speculative(
+      Word id, ExecContext ctx) const;
+
+  /// Commit-time validation: every cell `spec` observed still holds the
+  /// value it observed, so replaying it now would reproduce it verbatim.
+  [[nodiscard]] bool speculation_current(const SpeculativeCall& spec) const;
+
+  /// Apply a successful speculative run: fold its write-set into the
+  /// contract's storage (0 erases) and append its events, forwarding each
+  /// to `event_host` when non-null (monitor-node parity with call()).
+  void commit_speculation(const SpeculativeCall& spec,
+                          Host* event_host = nullptr);
 
   /// All events ever emitted, oldest first.
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }

@@ -1,0 +1,206 @@
+// Conflict-footprint edge cases and the dependency-DAG contract backing
+// the parallel execution pipeline (DESIGN.md §13): exactly which
+// intersections conflict, how unbounded (⊤) footprints behave, and the
+// property that block order is always a valid topological order of the
+// DAG the scheduler runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "chain/conflict.hpp"
+#include "chain/execution/dag.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using mc::Rng;
+using mc::chain::FootprintCell;
+using mc::chain::TxFootprint;
+using mc::chain::footprints_conflict;
+using mc::chain::exec::TxDag;
+using mc::chain::exec::build_tx_dag;
+namespace fp = mc::chain::fp_domain;
+
+FootprintCell balance_cell(mc::vm::Word who) {
+  return {fp::kBalance, who, 0};
+}
+
+FootprintCell contract_cell(mc::vm::Word id, mc::vm::Word key) {
+  return {fp::kContract, id, key};
+}
+
+TxFootprint reads_of(std::initializer_list<FootprintCell> cells) {
+  TxFootprint f;
+  f.reads.insert(cells.begin(), cells.end());
+  return f;
+}
+
+TxFootprint writes_of(std::initializer_list<FootprintCell> cells) {
+  TxFootprint f;
+  f.writes.insert(cells.begin(), cells.end());
+  return f;
+}
+
+// --- pairwise conflict semantics -------------------------------------------
+
+TEST(Footprints, WriteWriteOnSameCellConflicts) {
+  const TxFootprint a = writes_of({balance_cell(1)});
+  const TxFootprint b = writes_of({balance_cell(1)});
+  EXPECT_TRUE(footprints_conflict(a, b));
+}
+
+TEST(Footprints, WriteReadEitherDirectionConflicts) {
+  const TxFootprint writer = writes_of({contract_cell(9, 7)});
+  const TxFootprint reader = reads_of({contract_cell(9, 7)});
+  EXPECT_TRUE(footprints_conflict(writer, reader));
+  EXPECT_TRUE(footprints_conflict(reader, writer));  // R∩W symmetric
+}
+
+TEST(Footprints, ReadReadCommutes) {
+  // Pure readers of the same cell never conflict — this is what lets a
+  // whole wave of lookups against one contract run concurrently.
+  const TxFootprint a = reads_of({contract_cell(9, 7), balance_cell(1)});
+  const TxFootprint b = reads_of({contract_cell(9, 7), balance_cell(2)});
+  EXPECT_FALSE(footprints_conflict(a, b));
+}
+
+TEST(Footprints, DisjointCellsCommute) {
+  const TxFootprint a = writes_of({balance_cell(1), contract_cell(9, 7)});
+  const TxFootprint b = writes_of({balance_cell(2), contract_cell(9, 8)});
+  EXPECT_FALSE(footprints_conflict(a, b));
+}
+
+TEST(Footprints, DomainsDoNotAlias) {
+  // Same (a, b) payload under different domains must stay distinct:
+  // balance of address 7 is not storage key 7.
+  const TxFootprint a = writes_of({{fp::kBalance, 7, 0}});
+  const TxFootprint b = writes_of({{fp::kContract, 7, 0}});
+  EXPECT_FALSE(footprints_conflict(a, b));
+}
+
+TEST(Footprints, UnboundedConflictsWithEverything) {
+  TxFootprint top;
+  top.unbounded = true;
+  const TxFootprint empty;  // no reads, no writes
+  const TxFootprint reader = reads_of({contract_cell(1, 1)});
+  // ⊤ conflicts even with a footprint it shares no cell with — including
+  // the empty one — and regardless of argument order.
+  EXPECT_TRUE(footprints_conflict(top, empty));
+  EXPECT_TRUE(footprints_conflict(empty, top));
+  EXPECT_TRUE(footprints_conflict(top, reader));
+  TxFootprint top2;
+  top2.unbounded = true;
+  EXPECT_TRUE(footprints_conflict(top, top2));
+}
+
+TEST(Footprints, SelfConflictIsNotAnEdge) {
+  // A writer trivially "conflicts" with itself pairwise, but the DAG is
+  // over distinct indices: a single tx (or several copies of the same
+  // footprint at different indices) must produce forward edges only,
+  // never self-loops.
+  TxFootprint w = writes_of({balance_cell(5)});
+  EXPECT_TRUE(footprints_conflict(w, w));
+
+  const TxDag solo = build_tx_dag({w});
+  EXPECT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo.edges, 0u);
+  EXPECT_TRUE(solo.preds[0].empty());
+  EXPECT_TRUE(solo.succs[0].empty());
+
+  const TxDag chain = build_tx_dag({w, w, w});
+  for (std::size_t j = 0; j < chain.size(); ++j)
+    for (const std::uint32_t p : chain.preds[j])
+      EXPECT_LT(p, j) << "self or backward edge at " << j;
+}
+
+// --- DAG shape --------------------------------------------------------------
+
+TEST(TxDagShape, SerialChainAndParallelBlock) {
+  TxFootprint w = writes_of({balance_cell(1)});
+  const TxDag serial = build_tx_dag({w, w, w, w});
+  EXPECT_EQ(serial.critical_path, 4u);
+  EXPECT_EQ(serial.edges, 6u);  // all-pairs on one cell
+  EXPECT_NEAR(serial.parallelism(), 1.0, 1e-9);
+
+  std::vector<TxFootprint> disjoint;
+  for (mc::vm::Word i = 0; i < 4; ++i)
+    disjoint.push_back(writes_of({balance_cell(100 + i)}));
+  const TxDag wide = build_tx_dag(disjoint);
+  EXPECT_EQ(wide.critical_path, 1u);
+  EXPECT_EQ(wide.edges, 0u);
+  EXPECT_NEAR(wide.parallelism(), 4.0, 1e-9);
+}
+
+TEST(TxDagShape, LevelsFollowLongestPath) {
+  // 0 -> 1 -> 3, 2 independent: levels 0,1,0,2.
+  const TxFootprint a = writes_of({balance_cell(1)});
+  const TxFootprint b = writes_of({balance_cell(1), balance_cell(2)});
+  const TxFootprint c = writes_of({balance_cell(9)});
+  const TxFootprint d = writes_of({balance_cell(2)});
+  const TxDag dag = build_tx_dag({a, b, c, d});
+  EXPECT_EQ(dag.levels, (std::vector<std::uint32_t>{0, 1, 0, 2}));
+  EXPECT_EQ(dag.critical_path, 3u);
+}
+
+// --- topological-order property --------------------------------------------
+
+TEST(TxDagOrder, RejectsNonPermutations) {
+  TxFootprint w = writes_of({balance_cell(1)});
+  const TxDag dag = build_tx_dag({w, w, w});
+  EXPECT_FALSE(dag.is_topological_order({0, 1}));        // too short
+  EXPECT_FALSE(dag.is_topological_order({0, 1, 1}));     // duplicate
+  EXPECT_FALSE(dag.is_topological_order({0, 1, 3}));     // out of range
+  EXPECT_FALSE(dag.is_topological_order({2, 1, 0}));     // violates edges
+  EXPECT_TRUE(dag.is_topological_order({0, 1, 2}));
+}
+
+// Property: for ANY footprint mix, the block's own order 0..n-1 is a
+// valid topological order of the DAG — the exact invariant that lets the
+// parallel scheduler fall back to index-order commit without deadlock.
+TEST(TxDagOrder, SequentialOrderAlwaysTopological) {
+  Rng rng(0xc0f1dULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform(24);
+    std::vector<TxFootprint> fps;
+    for (std::size_t i = 0; i < n; ++i) {
+      TxFootprint f;
+      // Small cell universe so collisions (and thus edges) are common.
+      const std::size_t cells = rng.uniform(4);
+      for (std::size_t c = 0; c < cells; ++c) {
+        const FootprintCell cell = contract_cell(rng.uniform(3), rng.uniform(5));
+        if (rng.bernoulli(0.5))
+          f.writes.insert(cell);
+        else
+          f.reads.insert(cell);
+      }
+      f.unbounded = rng.bernoulli(0.1);
+      fps.push_back(std::move(f));
+    }
+    const TxDag dag = build_tx_dag(fps);
+
+    std::vector<std::uint32_t> sequential(n);
+    std::iota(sequential.begin(), sequential.end(), 0);
+    ASSERT_TRUE(dag.is_topological_order(sequential))
+        << "block order rejected on trial " << trial << " (n=" << n << ")";
+
+    // Cross-check edge soundness: every recorded edge joins a genuinely
+    // conflicting pair, and every conflicting pair is an edge.
+    std::size_t conflicting = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (footprints_conflict(fps[i], fps[j])) ++conflicting;
+    EXPECT_EQ(dag.edges, conflicting);
+
+    // A reversal is only topological when the DAG has no edges at all.
+    if (n > 1 && dag.edges > 0) {
+      std::vector<std::uint32_t> reversed(sequential.rbegin(),
+                                          sequential.rend());
+      EXPECT_FALSE(dag.is_topological_order(reversed));
+    }
+  }
+}
+
+}  // namespace

@@ -147,6 +147,71 @@ TEST(Merkle, RootOfByteLeaves) {
             sha256_pair(sha256("a"), sha256("b")));
 }
 
+// --- Incremental frontier ---
+
+TEST(MerkleFrontier, EmptyMatchesEmptyTree) {
+  MerkleFrontier frontier;
+  EXPECT_TRUE(frontier.root().is_zero());
+  EXPECT_EQ(frontier.leaf_count(), 0u);
+}
+
+// The load-bearing equivalence: after every single append the frontier
+// root must equal a full MerkleTree rebuild over the same prefix —
+// covering powers of two, one-off-ragged sizes and everything between.
+TEST(MerkleFrontier, EveryPrefixMatchesFullRebuild) {
+  constexpr std::size_t kMax = 130;
+  std::vector<Hash256> leaves;
+  MerkleFrontier frontier;
+  for (std::size_t n = 1; n <= kMax; ++n) {
+    leaves.push_back(sha256("leaf-" + std::to_string(n)));
+    frontier.append(leaves.back());
+    ASSERT_EQ(frontier.root(), MerkleTree(leaves).root())
+        << "frontier diverged at " << n << " leaves";
+    ASSERT_EQ(frontier.leaf_count(), n);
+  }
+}
+
+TEST(MerkleFrontier, BulkConstructorMatchesAppendLoop) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 77; ++i) leaves.push_back(sha256(std::to_string(i)));
+  const MerkleFrontier bulk(leaves);
+  MerkleFrontier one_by_one;
+  for (const Hash256& leaf : leaves) one_by_one.append(leaf);
+  EXPECT_EQ(bulk.root(), one_by_one.root());
+  EXPECT_EQ(bulk.leaf_count(), leaves.size());
+}
+
+// Proofs minted from a full tree must verify against the root the
+// frontier reports — the dataset anchors frontier roots on-chain, and
+// sites later prove record inclusion with MerkleTree proofs.
+TEST(MerkleFrontier, TreeProofsVerifyAgainstFrontierRoot) {
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 64u, 100u}) {
+    std::vector<Hash256> leaves;
+    MerkleFrontier frontier;
+    for (std::size_t i = 0; i < n; ++i) {
+      leaves.push_back(sha256("record-" + std::to_string(i)));
+      frontier.append(leaves.back());
+    }
+    const MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(
+          MerkleTree::verify(leaves[i], i, tree.prove(i), frontier.root()))
+          << "leaf " << i << " of " << n;
+  }
+}
+
+TEST(MerkleFrontier, ClearResetsToEmpty) {
+  MerkleFrontier frontier;
+  frontier.append(sha256("x"));
+  frontier.append(sha256("y"));
+  frontier.clear();
+  EXPECT_EQ(frontier.leaf_count(), 0u);
+  EXPECT_TRUE(frontier.root().is_zero());
+  // Reusable after clear: behaves like a fresh accumulator.
+  frontier.append(sha256("z"));
+  EXPECT_EQ(frontier.root(), sha256("z"));
+}
+
 // --- Schnorr ---
 
 TEST(Schnorr, GroupParametersAreValid) {

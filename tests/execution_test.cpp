@@ -1,0 +1,565 @@
+// Parallel block execution (DESIGN.md §13): the wave scheduler must be
+// bit-identical to sequential execution — same state digests, same
+// contract-store digests, same receipts, same accept/reject verdicts —
+// on transfer chains, contract chains, randomized mixed workloads and
+// the abort/re-run path where a recorded dynamic footprint goes stale.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/chain_auditor.hpp"
+#include "chain/execution/executor.hpp"
+#include "chain/node.hpp"
+#include "chain/vm_hook.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "vm/assembler.hpp"
+
+namespace mc::chain {
+namespace {
+
+// Counter contract (bounded footprint): selector 1 increments storage[1]
+// by calldata[1], selector 2 returns it. Distinct deployments write
+// disjoint cells, so calls to different counters parallelize.
+const char* kCounterSource = R"(
+PUSH 0
+CALLDATALOAD
+PUSH 1
+EQ
+JUMPI @add
+PUSH 1
+SLOAD
+RETURN 1
+add:
+PUSH 1
+CALLDATALOAD
+PUSH 1
+SLOAD
+ADD
+PUSH 1
+SSTORE
+STOP
+)";
+
+// Slot writer (unbounded footprint): storage[calldata[0]] = calldata[1].
+// The key is param-derived, so the static analyzer reports ⊤ and the
+// scheduler leans on recorded dynamic footprints.
+const char* kSlotWriterSource = R"(
+PUSH 1
+CALLDATALOAD
+PUSH 0
+CALLDATALOAD
+SSTORE
+STOP
+)";
+
+// Branchy contract whose *read set* depends on prior state — the one
+// shape that can make a recorded footprint under-approximate:
+//   selector 1: storage[1] = calldata[1]            (mode flag)
+//   selector 2: storage[0] = calldata[1]            (indirect base)
+//   otherwise:  mode == 0 → storage[2] = 1          (plain path)
+//               mode != 0 → storage[storage[0]] = 1 (indirect path)
+const char* kBranchySource = R"(
+PUSH 0
+CALLDATALOAD
+PUSH 1
+EQ
+JUMPI @setmode
+PUSH 0
+CALLDATALOAD
+PUSH 2
+EQ
+JUMPI @setbase
+PUSH 1
+SLOAD
+JUMPI @indirect
+PUSH 1
+PUSH 2
+SSTORE
+STOP
+indirect:
+PUSH 1
+PUSH 0
+SLOAD
+SSTORE
+STOP
+setmode:
+PUSH 1
+CALLDATALOAD
+PUSH 1
+SSTORE
+STOP
+setbase:
+PUSH 1
+CALLDATALOAD
+PUSH 0
+SSTORE
+STOP
+)";
+
+std::vector<crypto::PrivateKey> make_users(std::size_t n) {
+  std::vector<crypto::PrivateKey> users;
+  for (std::size_t i = 0; i < n; ++i)
+    users.push_back(crypto::key_from_seed("exec-user-" + std::to_string(i)));
+  return users;
+}
+
+ChainParams params_with_premine(const std::vector<crypto::PrivateKey>& users) {
+  ChainParams params;
+  params.consensus = ConsensusKind::Pbft;
+  for (const auto& user : users)
+    params.premine.push_back({crypto::address_of(user.pub), 1'000'000'000});
+  return params;
+}
+
+Transaction make_anchor_tx(const crypto::PrivateKey& from,
+                           const Hash256& digest, std::uint64_t nonce) {
+  Transaction tx;
+  tx.kind = TxKind::Anchor;
+  tx.nonce = nonce;
+  tx.gas_limit = 50'000;
+  tx.payload = Bytes(digest.data.begin(), digest.data.end());
+  tx.sign_with(from);
+  return tx;
+}
+
+/// One full node with its own contract stack.
+struct Replica {
+  vm::ContractStore store;
+  VmExecutionHook hook{store};
+  Node node;
+
+  Replica(const ChainParams& params, const Block& genesis,
+          const std::string& who)
+      : node(crypto::key_from_seed(who), params, genesis, &hook) {}
+};
+
+/// Builder proposes; a sequential and a wave-parallel replica both apply
+/// every block; convergence is asserted digest-for-digest.
+struct ParallelRig {
+  std::vector<crypto::PrivateKey> users = make_users(8);
+  ChainParams params = params_with_premine(users);
+  Block genesis = make_genesis("exec-chain", ~0ULL);
+  ThreadPool pool{4};
+  Replica builder{params, genesis, "builder"};
+  Replica seq{params, genesis, "seq-replica"};
+  Replica par{params, genesis, "par-replica"};
+  std::vector<std::uint64_t> nonces = std::vector<std::uint64_t>(8, 0);
+  std::vector<Block> chain{genesis};
+
+  ParallelRig() {
+    exec::ExecutionConfig cfg;
+    cfg.workers = 4;
+    cfg.pool = &pool;
+    par.node.set_execution(cfg);
+  }
+
+  std::uint64_t next_nonce(std::size_t user) { return nonces[user]++; }
+
+  Block commit(const std::vector<Transaction>& txs, std::uint64_t time_ms) {
+    for (const auto& tx : txs) EXPECT_TRUE(builder.node.submit(tx));
+    const Block block = builder.node.propose(time_ms);
+    EXPECT_EQ(block.txs.size(), txs.size());
+    EXPECT_EQ(builder.node.receive(block), BlockVerdict::Accepted);
+    EXPECT_EQ(seq.node.receive(block), BlockVerdict::Accepted);
+    EXPECT_EQ(par.node.receive(block), BlockVerdict::Accepted);
+    chain.push_back(block);
+    return block;
+  }
+
+  void expect_converged() {
+    EXPECT_EQ(seq.node.height(), par.node.height());
+    EXPECT_EQ(seq.node.state().digest(), par.node.state().digest());
+    EXPECT_EQ(seq.store.digest(), par.store.digest());
+    EXPECT_EQ(seq.node.counters().txs_executed,
+              par.node.counters().txs_executed);
+    EXPECT_EQ(seq.node.counters().gas_executed,
+              par.node.counters().gas_executed);
+  }
+};
+
+/// A VmExecutionHook that owns its ContractStore, for HookFactory use.
+/// The store lives in a base constructed before VmExecutionHook.
+struct StoreHolder {
+  vm::ContractStore owned_store;
+};
+struct OwningVmHook : StoreHolder, VmExecutionHook {
+  OwningVmHook() : VmExecutionHook(owned_store) {}
+};
+
+// --- ledger-only convergence -----------------------------------------------
+
+TEST(ParallelExec, TransferChainMatchesSequential) {
+  ParallelRig rig;
+  // Five blocks mixing disjoint sender/recipient pairs (wide waves) with
+  // overlapping recipients and repeat senders (DAG edges).
+  for (int b = 0; b < 5; ++b) {
+    std::vector<Transaction> txs;
+    for (std::size_t u = 0; u < rig.users.size(); ++u) {
+      const std::size_t to = (u + 1 + static_cast<std::size_t>(b)) % 8;
+      txs.push_back(make_transfer(rig.users[u],
+                                  crypto::address_of(rig.users[to].pub),
+                                  100 + static_cast<Amount>(b),
+                                  rig.next_nonce(u)));
+    }
+    // Two extra txs from user 0 — a same-sender chain inside the block.
+    txs.push_back(make_transfer(rig.users[0],
+                                crypto::address_of(rig.users[3].pub), 7,
+                                rig.next_nonce(0)));
+    txs.push_back(make_transfer(rig.users[0],
+                                crypto::address_of(rig.users[4].pub), 9,
+                                rig.next_nonce(0)));
+    rig.commit(txs, 1'000 * (b + 1));
+  }
+  rig.expect_converged();
+
+  const exec::BlockExecMetrics& m = rig.par.node.executor().metrics();
+  EXPECT_GT(m.parallel_txs, 0u);
+  EXPECT_GT(m.waves, 0u);
+  EXPECT_GT(m.dag_edges, 0u);  // the same-sender chain forces edges
+  // The sequential replica never entered the wave path.
+  EXPECT_EQ(rig.seq.node.executor().metrics().parallel_txs, 0u);
+}
+
+// --- contract convergence ---------------------------------------------------
+
+TEST(ParallelExec, ContractChainMatchesSequential) {
+  ParallelRig rig;
+  // Three counter deployments (deploys serialize via the registry cell).
+  std::vector<Transaction> deploys;
+  for (std::size_t u = 0; u < 3; ++u)
+    deploys.push_back(make_deploy(rig.users[u], vm::assemble(kCounterSource),
+                                  rig.next_nonce(u)));
+  rig.commit(deploys, 1'000);
+
+  std::vector<vm::Word> counters;
+  for (std::size_t u = 0; u < 3; ++u)
+    counters.push_back(*rig.builder.hook.contract_id_of(deploys[u].id()));
+
+  // Blocks of calls: distinct senders to distinct counters speculate in
+  // one wave; repeat calls to the same counter serialize across waves.
+  for (int b = 0; b < 4; ++b) {
+    std::vector<Transaction> txs;
+    for (std::size_t u = 0; u < 6; ++u)
+      txs.push_back(make_call(rig.users[u], counters[u % 3],
+                              {1, static_cast<vm::Word>(u + 1)},
+                              rig.next_nonce(u)));
+    txs.push_back(make_transfer(rig.users[6],
+                                crypto::address_of(rig.users[7].pub), 11,
+                                rig.next_nonce(6)));
+    rig.commit(txs, 2'000 + 1'000 * b);
+  }
+  rig.expect_converged();
+
+  // Speculation actually committed from waves (not all commit-slot runs).
+  EXPECT_GT(rig.par.node.executor().metrics().parallel_txs, 0u);
+  // And the counters hold the sequential totals on the parallel replica.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto* dc = rig.par.store.contract(counters[c]);
+    ASSERT_NE(dc, nullptr);
+    EXPECT_EQ(dc->storage.at(1),
+              rig.seq.store.contract(counters[c])->storage.at(1));
+  }
+}
+
+TEST(ParallelExec, DynamicFootprintsRecordedForUnboundedCalls) {
+  ParallelRig rig;
+  const Transaction deploy = make_deploy(
+      rig.users[0], vm::assemble(kSlotWriterSource), rig.next_nonce(0));
+  const Transaction filler0 = make_transfer(
+      rig.users[6], crypto::address_of(rig.users[7].pub), 5,
+      rig.next_nonce(6));
+  rig.commit({deploy, filler0}, 1'000);
+  const vm::Word writer = *rig.builder.hook.contract_id_of(deploy.id());
+
+  // ⊤-footprint calls: each records its first-run cell set at commit.
+  for (int b = 0; b < 2; ++b) {
+    std::vector<Transaction> txs;
+    for (std::size_t u = 1; u < 5; ++u)
+      txs.push_back(make_call(rig.users[u], writer,
+                              {static_cast<vm::Word>(u), vm::Word{1}},
+                              rig.next_nonce(u)));
+    rig.commit(txs, 2'000 + 1'000 * b);
+  }
+  rig.expect_converged();
+  EXPECT_GT(rig.par.node.executor().footprints().recorded_count(), 0u);
+  // ⊤ txs serialize: they execute at their commit slot, not in waves.
+  EXPECT_GT(rig.par.node.executor().metrics().sequential_txs, 0u);
+}
+
+// --- divergence on invalid blocks ------------------------------------------
+
+TEST(ParallelExec, InvalidBlockRejectedIdentically) {
+  ParallelRig rig;
+  std::vector<Transaction> txs;
+  for (std::size_t u = 0; u < 4; ++u)
+    txs.push_back(make_transfer(rig.users[u],
+                                crypto::address_of(rig.users[u + 4].pub), 50,
+                                rig.next_nonce(u)));
+  rig.commit(txs, 1'000);
+  const Hash256 seq_digest = rig.seq.node.state().digest();
+
+  // Hand-craft a block with an overspending tx in the middle: both
+  // execution modes must reject it and roll back completely.
+  Block bad = rig.builder.node.propose(2'000);
+  bad.txs.clear();
+  for (std::size_t u = 0; u < 3; ++u)
+    bad.txs.push_back(make_transfer(rig.users[u],
+                                    crypto::address_of(rig.users[5].pub), 10,
+                                    rig.nonces[u]));
+  bad.txs.insert(bad.txs.begin() + 1,
+                 make_transfer(rig.users[7], crypto::address_of(
+                                   rig.users[0].pub),
+                               Amount{5'000'000'000}, rig.nonces[7]));
+  bad.header.tx_root = bad.compute_tx_root();
+  EXPECT_EQ(rig.seq.node.receive(bad), BlockVerdict::Invalid);
+  EXPECT_EQ(rig.par.node.receive(bad), BlockVerdict::Invalid);
+  EXPECT_EQ(rig.seq.node.height(), 1u);
+  EXPECT_EQ(rig.par.node.height(), 1u);
+  EXPECT_EQ(rig.seq.node.state().digest(), seq_digest);
+  EXPECT_EQ(rig.par.node.state().digest(), seq_digest);
+}
+
+// --- abort/re-run: a recorded footprint that goes stale ---------------------
+
+// A dynamic footprint is recorded from one concrete run and reused as a
+// scheduling hint on any later execution of the same transaction (reorg
+// replays, audits). When the pre-state differs between record time and
+// replay time, the hint can under-approximate — and commit-slot
+// validation must catch it. Two chains run through ONE BlockExecutor
+// (the provider cache persists; the contract store carries over):
+//
+//   Chain A (recording, mode off): T_probe takes the PLAIN path, so its
+//   recorded set is {read (D,1), write (D,2)} — no (D,0). T_base records
+//   {write (D,0)}.
+//   Chain B (stale replay, mode on, base moved to 3): [T_base, T_probe]
+//   in one block look independent per their recorded sets, so both
+//   speculate in one wave. T_probe actually takes the INDIRECT path and
+//   reads storage[0] = 3, which T_base rewrites to 7 at its commit slot:
+//   stale observation → abort → sequential re-run → storage[7] = 1,
+//   exactly the sequential outcome.
+TEST(ParallelExec, StaleRecordedFootprintAbortsAndRerunsIdentically) {
+  const auto users = make_users(8);
+  const ChainParams params = params_with_premine(users);
+  ThreadPool pool{4};
+
+  const auto fresh_state = [&] {
+    WorldState state;
+    for (const auto& [addr, amount] : params.premine)
+      state.credit(addr, amount);
+    return state;
+  };
+  const auto block_at = [](Height h, std::vector<Transaction> txs) {
+    Block b;
+    b.header.height = h;
+    b.txs = std::move(txs);
+    return b;
+  };
+
+  struct Stack {
+    vm::ContractStore store;
+    VmExecutionHook hook{store};
+    exec::BlockExecutor executor;
+    std::vector<TxReceipt> receipts;
+
+    Stack(const ChainParams& params, const exec::ExecutionConfig& cfg)
+        : executor(params, &hook) {
+      executor.set_config(cfg);
+    }
+
+    void apply(WorldState& state, const Block& block) {
+      const exec::BlockExecResult res =
+          executor.execute_block(state, block, &receipts);
+      ASSERT_TRUE(res.ok) << res.error;
+    }
+  };
+
+  exec::ExecutionConfig par_cfg;
+  par_cfg.workers = 4;
+  par_cfg.pool = &pool;
+  Stack par(params, par_cfg);
+  Stack seq(params, exec::ExecutionConfig{});
+
+  std::vector<Block> chain_a;
+  std::vector<Block> chain_b;
+
+  const Transaction deploy =
+      make_deploy(users[0], vm::assemble(kBranchySource), 0);
+  // Discover the contract id on a scratch stack before building the call
+  // transactions (the real runs see the same deploy as their first tx,
+  // so both stores assign the same id).
+  vm::Word id = 0;
+  {
+    vm::ContractStore probe_store;
+    VmExecutionHook probe_hook(probe_store);
+    exec::BlockExecutor probe_exec(params, &probe_hook);
+    WorldState state = fresh_state();
+    const exec::BlockExecResult res =
+        probe_exec.execute_block(state, block_at(1, {deploy}));
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto discovered = probe_hook.contract_id_of(deploy.id());
+    ASSERT_TRUE(discovered.has_value());
+    id = *discovered;
+  }
+
+  const Transaction t_mode = make_call(users[1], id, {1, 1}, 0);   // mode on
+  const Transaction t_base = make_call(users[2], id, {2, 7}, 0);   // base = 7
+  const Transaction t_probe = make_call(users[3], id, {3}, 0);     // branchy
+  const Transaction t_base2 = make_call(users[4], id, {2, 3}, 0);  // base = 3
+  const auto filler = [&](std::size_t user, std::uint64_t nonce) {
+    return make_transfer(users[user], crypto::address_of(users[5].pub), 5,
+                         nonce);
+  };
+
+  // Chain A: deploy, record T_base and T_probe with the mode flag off.
+  chain_a.push_back(block_at(1, {deploy, filler(6, 0)}));
+  chain_a.push_back(block_at(2, {t_base, filler(7, 0)}));
+  chain_a.push_back(block_at(3, {t_probe, filler(6, 1)}));
+  // Chain B (fresh ledger, same store): mode on, base to 3, stale pair.
+  chain_b.push_back(block_at(1, {t_mode, filler(7, 0)}));
+  chain_b.push_back(block_at(2, {t_base2, filler(6, 0)}));
+  chain_b.push_back(block_at(3, {t_base, t_probe}));
+
+  for (Stack* stack : {&par, &seq}) {
+    WorldState state_a = fresh_state();
+    for (const Block& b : chain_a) stack->apply(state_a, b);
+    WorldState state_b = fresh_state();
+    for (const Block& b : chain_b) stack->apply(state_b, b);
+    if (testing::Test::HasFatalFailure()) return;
+    if (stack == &par) {
+      // Both unbounded calls were recorded during chain A…
+      EXPECT_GE(stack->executor.footprints().recorded_count(), 2u);
+      // …and the stale pair produced exactly one abort + re-run.
+      EXPECT_EQ(stack->executor.metrics().aborts, 1u);
+      EXPECT_EQ(stack->executor.metrics().reruns, 1u);
+    }
+  }
+
+  // Bit-identical outcome despite the abort.
+  EXPECT_EQ(par.store.digest(), seq.store.digest());
+  ASSERT_EQ(par.receipts.size(), seq.receipts.size());
+  for (std::size_t k = 0; k < par.receipts.size(); ++k) {
+    EXPECT_EQ(par.receipts[k].id, seq.receipts[k].id);
+    EXPECT_EQ(par.receipts[k].gas_used, seq.receipts[k].gas_used);
+    EXPECT_EQ(par.receipts[k].index, seq.receipts[k].index);
+  }
+  // The re-run took the indirect path; the aborted speculative write to
+  // storage[3] never leaked into the store.
+  const vm::DeployedContract* dc = par.store.contract(id);
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->storage.at(0), 7u);
+  EXPECT_EQ(dc->storage.at(1), 1u);
+  EXPECT_EQ(dc->storage.at(7), 1u);
+  EXPECT_EQ(dc->storage.count(3), 0u);
+}
+
+// --- randomized mixed workload, gated by the auditor ------------------------
+
+TEST(ParallelExec, AuditorPassesRandomizedMixedWorkload) {
+  ParallelRig rig;
+  Rng rng(0x9a11e1ULL);
+
+  // Contracts: two counters (bounded) and one slot writer (⊤).
+  const Transaction d0 =
+      make_deploy(rig.users[0], vm::assemble(kCounterSource),
+                  rig.next_nonce(0));
+  const Transaction d1 =
+      make_deploy(rig.users[1], vm::assemble(kCounterSource),
+                  rig.next_nonce(1));
+  const Transaction d2 =
+      make_deploy(rig.users[2], vm::assemble(kSlotWriterSource),
+                  rig.next_nonce(2));
+  rig.commit({d0, d1, d2}, 1'000);
+  const std::vector<vm::Word> contracts = {
+      *rig.builder.hook.contract_id_of(d0.id()),
+      *rig.builder.hook.contract_id_of(d1.id()),
+      *rig.builder.hook.contract_id_of(d2.id())};
+
+  for (int b = 0; b < 6; ++b) {
+    std::vector<Transaction> txs;
+    const std::size_t count = 6 + rng.uniform(6);
+    for (std::size_t t = 0; t < count; ++t) {
+      const std::size_t u = rng.uniform(rig.users.size());
+      switch (rng.uniform(4)) {
+        case 0: {  // transfer, half the time into a hot account
+          const std::size_t to = rng.bernoulli(0.5) ? 0 : rng.uniform(8);
+          txs.push_back(make_transfer(
+              rig.users[u], crypto::address_of(rig.users[to].pub),
+              1 + rng.uniform(500), rig.next_nonce(u)));
+          break;
+        }
+        case 1:  // counter increment
+          txs.push_back(make_call(rig.users[u],
+                                  contracts[rng.uniform(2)],
+                                  {1, 1 + rng.uniform(9)},
+                                  rig.next_nonce(u)));
+          break;
+        case 2:  // ⊤ slot write; value 0 exercises the erase path
+          txs.push_back(make_call(rig.users[u], contracts[2],
+                                  {rng.uniform(5), rng.uniform(3)},
+                                  rig.next_nonce(u)));
+          break;
+        default: {  // anchor
+          const Hash256 digest = crypto::sha256(
+              "dataset-" + std::to_string(rng.uniform(1000)));
+          txs.push_back(
+              make_anchor_tx(rig.users[u], digest, rig.next_nonce(u)));
+          break;
+        }
+      }
+    }
+    rig.commit(txs, 2'000 + 1'000 * b);
+  }
+  rig.expect_converged();
+
+  // Independent double replay through the auditor: verdicts, ledger
+  // digests, contract digests and receipts must all match.
+  const audit::ChainAuditor auditor(rig.params);
+  const audit::AuditReport report = auditor.audit_parallel_execution(
+      rig.chain,
+      [] {
+        return std::unique_ptr<ExecutionHook>(new OwningVmHook());
+      },
+      rig.pool, /*workers=*/4);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.txs_replayed, 0u);
+  EXPECT_EQ(report.count(audit::ViolationKind::ParallelExecutionDivergence),
+            0u);
+}
+
+TEST(ParallelExec, AuditorAgreesOnRejectedBlock) {
+  // A chain whose final block is invalid: both replay modes must reject
+  // it — agreement on failure is part of the determinism contract.
+  ParallelRig rig;
+  std::vector<Transaction> txs;
+  for (std::size_t u = 0; u < 4; ++u)
+    txs.push_back(make_transfer(rig.users[u],
+                                crypto::address_of(rig.users[7].pub), 25,
+                                rig.next_nonce(u)));
+  rig.commit(txs, 1'000);
+
+  Block bad = rig.builder.node.propose(2'000);
+  bad.txs = {make_transfer(rig.users[0],
+                           crypto::address_of(rig.users[1].pub), 10,
+                           rig.nonces[0]),
+             make_transfer(rig.users[5],
+                           crypto::address_of(rig.users[6].pub),
+                           Amount{9'000'000'000}, rig.nonces[5])};
+  bad.header.tx_root = bad.compute_tx_root();
+  std::vector<Block> chain = rig.chain;
+  chain.push_back(bad);
+
+  const audit::ChainAuditor auditor(rig.params);
+  const audit::AuditReport report = auditor.audit_parallel_execution(
+      chain,
+      [] {
+        return std::unique_ptr<ExecutionHook>(new OwningVmHook());
+      },
+      rig.pool, /*workers=*/4);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace mc::chain

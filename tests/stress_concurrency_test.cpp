@@ -8,18 +8,24 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "chain/block.hpp"
 #include "chain/block_validator.hpp"
+#include "chain/execution/executor.hpp"
 #include "chain/faultsim.hpp"
 #include "chain/mempool.hpp"
+#include "chain/node.hpp"
 #include "chain/transaction.hpp"
+#include "chain/vm_hook.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/scheduler.hpp"
 #include "crypto/schnorr.hpp"
+#include "vm/assembler.hpp"
 
 namespace mc {
 namespace {
@@ -226,6 +232,180 @@ TEST(StressConcurrency, FaultSimUnderRandomCrashesStaysConsistent) {
   EXPECT_GT(report.blocks_committed, 0u);
   EXPECT_TRUE(report.live_nodes_agree);
   EXPECT_LE(report.committed_txs, report.submitted_txs);
+}
+
+// --- parallel block execution under TSan -----------------------------------
+
+namespace exec_stress {
+
+// Counter (bounded footprint) and slot writer (⊤ footprint): together
+// they exercise wave speculation, commit-slot fallbacks and dynamic
+// footprint recording inside the scheduler.
+const char* kCounter = R"(
+PUSH 0
+CALLDATALOAD
+PUSH 1
+EQ
+JUMPI @add
+PUSH 1
+SLOAD
+RETURN 1
+add:
+PUSH 1
+CALLDATALOAD
+PUSH 1
+SLOAD
+ADD
+PUSH 1
+SSTORE
+STOP
+)";
+const char* kSlotWriter = R"(
+PUSH 1
+CALLDATALOAD
+PUSH 0
+CALLDATALOAD
+SSTORE
+STOP
+)";
+
+struct Replica {
+  vm::ContractStore store;
+  chain::VmExecutionHook hook{store};
+  chain::Node node;
+
+  Replica(const chain::ChainParams& params, const chain::Block& genesis,
+          const std::string& who)
+      : node(crypto::key_from_seed(who), params, genesis, &hook) {}
+};
+
+struct Fixture {
+  std::vector<crypto::PrivateKey> users;
+  chain::ChainParams params;
+  chain::Block genesis = chain::make_genesis("exec-stress", ~0ULL);
+  std::vector<chain::Block> blocks;
+
+  Fixture() {
+    params.consensus = chain::ConsensusKind::Pbft;
+    for (int i = 0; i < 8; ++i) {
+      users.push_back(crypto::key_from_seed("stress-u" + std::to_string(i)));
+      params.premine.push_back(
+          {crypto::address_of(users.back().pub), 1'000'000'000});
+    }
+    // Build a contract-heavy chain once, sequentially.
+    Replica builder(params, genesis, "stress-builder");
+    std::vector<std::uint64_t> nonces(users.size(), 0);
+    std::vector<chain::Transaction> deploys = {
+        chain::make_deploy(users[0], vm::assemble(kCounter), nonces[0]++),
+        chain::make_deploy(users[1], vm::assemble(kCounter), nonces[1]++),
+        chain::make_deploy(users[2], vm::assemble(kSlotWriter), nonces[2]++)};
+    commit(builder, deploys, 1'000);
+    std::vector<vm::Word> ids;
+    for (const auto& d : deploys)
+      ids.push_back(*builder.hook.contract_id_of(d.id()));
+
+    Rng rng(0x57e55ULL);
+    for (int b = 0; b < 10; ++b) {
+      std::vector<chain::Transaction> txs;
+      for (int t = 0; t < 16; ++t) {
+        const std::size_t u = rng.uniform(users.size());
+        switch (rng.uniform(3)) {
+          case 0:
+            txs.push_back(chain::make_transfer(
+                users[u], crypto::address_of(users[rng.uniform(8)].pub),
+                1 + rng.uniform(100), nonces[u]++));
+            break;
+          case 1:
+            txs.push_back(chain::make_call(users[u], ids[rng.uniform(2)],
+                                           {1, 1 + rng.uniform(9)},
+                                           nonces[u]++));
+            break;
+          default:
+            txs.push_back(chain::make_call(users[u], ids[2],
+                                           {rng.uniform(6), rng.uniform(3)},
+                                           nonces[u]++));
+            break;
+        }
+      }
+      commit(builder, txs, 2'000 + 1'000 * b);
+    }
+  }
+
+  void commit(Replica& builder, const std::vector<chain::Transaction>& txs,
+              std::uint64_t time_ms) {
+    for (const auto& tx : txs) ASSERT_TRUE(builder.node.submit(tx));
+    const chain::Block block = builder.node.propose(time_ms);
+    ASSERT_EQ(block.txs.size(), txs.size());
+    ASSERT_EQ(builder.node.receive(block), chain::BlockVerdict::Accepted);
+    blocks.push_back(block);
+  }
+};
+
+}  // namespace exec_stress
+
+TEST(StressConcurrency, ParallelExecContractWavesMatchSequential) {
+  // One wave-parallel replica applies a contract-heavy chain: speculation
+  // fans across the pool while the commit thread mutates state/store in
+  // alternation — the frozen-state/join protocol TSan should probe.
+  exec_stress::Fixture fx;
+  if (testing::Test::HasFatalFailure()) return;
+
+  ThreadPool pool(4);
+  exec_stress::Replica seq(fx.params, fx.genesis, "stress-seq");
+  exec_stress::Replica par(fx.params, fx.genesis, "stress-par");
+  chain::exec::ExecutionConfig cfg;
+  cfg.workers = 4;
+  cfg.pool = &pool;
+  par.node.set_execution(cfg);
+
+  for (const chain::Block& b : fx.blocks) {
+    ASSERT_EQ(seq.node.receive(b), chain::BlockVerdict::Accepted);
+    ASSERT_EQ(par.node.receive(b), chain::BlockVerdict::Accepted);
+  }
+  EXPECT_EQ(par.node.state().digest(), seq.node.state().digest());
+  EXPECT_EQ(par.store.digest(), seq.store.digest());
+  EXPECT_GT(par.node.executor().metrics().parallel_txs, 0u);
+}
+
+TEST(StressConcurrency, ParallelExecReplicasShareOnePool) {
+  // Several wave-parallel replicas replay the same chain concurrently,
+  // all fanning their waves across ONE shared ThreadPool — pool reuse
+  // across schedulers plus replica threads driving commits in parallel.
+  exec_stress::Fixture fx;
+  if (testing::Test::HasFatalFailure()) return;
+
+  constexpr int kReplicas = 3;
+  ThreadPool pool(4);
+  std::vector<std::unique_ptr<exec_stress::Replica>> replicas;
+  for (int i = 0; i < kReplicas; ++i) {
+    replicas.push_back(std::make_unique<exec_stress::Replica>(
+        fx.params, fx.genesis, "stress-r" + std::to_string(i)));
+    chain::exec::ExecutionConfig cfg;
+    cfg.workers = 4;
+    cfg.pool = &pool;
+    replicas.back()->node.set_execution(cfg);
+  }
+
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kReplicas; ++i) {
+    threads.emplace_back([&, i] {
+      for (const chain::Block& b : fx.blocks)
+        if (replicas[static_cast<std::size_t>(i)]->node.receive(b) ==
+            chain::BlockVerdict::Accepted)
+          ++accepted;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(accepted.load(),
+            kReplicas * static_cast<int>(fx.blocks.size()));
+  for (int i = 1; i < kReplicas; ++i) {
+    EXPECT_EQ(replicas[static_cast<std::size_t>(i)]->node.state().digest(),
+              replicas[0]->node.state().digest());
+    EXPECT_EQ(replicas[static_cast<std::size_t>(i)]->store.digest(),
+              replicas[0]->store.digest());
+  }
 }
 
 }  // namespace

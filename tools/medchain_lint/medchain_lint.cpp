@@ -28,6 +28,11 @@
 //                            analyzer's admission gate (and, in audit
 //                            builds, its soundness check) cannot be
 //                            bypassed.
+//   state-direct-apply       raw WorldState/StateOverlay .apply() calls
+//                            are banned outside chain/state and
+//                            chain/execution/ — block transactions go
+//                            through BlockExecutor so sequential and
+//                            wave-parallel replicas stay bit-identical.
 //
 // Escape hatch: `// medchain-lint: allow(<rule>[, <rule>...])` on the
 // offending line or the line directly above it; `allow-file(<rule>)`
@@ -81,6 +86,9 @@ constexpr Rule kRules[] = {
     {"vm-direct-execute",
      "ContractStore::deploy/call only - raw vm::execute skips the "
      "admission gate (vm/analysis) outside vm/"},
+    {"state-direct-apply",
+     "BlockExecutor (chain/execution) only - raw <state>.apply() outside "
+     "chain/state skips the scheduled execution pipeline"},
 };
 
 bool is_known_rule(std::string_view name) {
@@ -259,6 +267,37 @@ const char* check_vm_direct_execute(std::string_view line) {
   return has_token(line, "vm::execute(") ? "vm::execute(" : nullptr;
 }
 
+/// Matches `<recv>.apply(` / `<recv>->apply(` where the receiver
+/// identifier names a ledger state or execution overlay: trailing
+/// underscores stripped, then a case-insensitive "state"/"overlay"
+/// suffix. Catches `state.apply`, `src_state.apply`, `preview_state_->
+/// apply` without firing on unrelated apply() methods (learners,
+/// standardizers).
+const char* check_state_direct_apply(std::string_view line) {
+  const auto ends_with_ci = [](std::string_view s, std::string_view suffix) {
+    if (s.size() < suffix.size()) return false;
+    for (std::size_t i = 0; i < suffix.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(
+          s[s.size() - suffix.size() + i])));
+      if (c != suffix[i]) return false;
+    }
+    return true;
+  };
+  for (const char* member : {".apply(", "->apply("}) {
+    std::size_t at = 0;
+    while ((at = line.find(member, at)) != std::string_view::npos) {
+      std::size_t back = at;
+      while (back > 0 && is_word(line[back - 1])) --back;
+      std::string_view recv = line.substr(back, at - back);
+      while (!recv.empty() && recv.back() == '_') recv.remove_suffix(1);
+      if (ends_with_ci(recv, "state") || ends_with_ci(recv, "overlay"))
+        return member;
+      at += std::strlen(member);
+    }
+  }
+  return nullptr;
+}
+
 /// Heuristic declaration finder for decode*/verify* in headers. A match
 /// is a declaration when the name is preceded by a type-ish token on the
 /// same line (identifier/`>`/`&`/`*` that is not `return`), not reached
@@ -337,6 +376,11 @@ bool rule_applies(std::string_view rule, const std::string& rel,
   // vm/ owns the interpreter: vm.cpp defines execute and contract_store
   // is the admission choke point that wraps it.
   if (rule == "vm-direct-execute") return !in_dir(rel, "vm/");
+  // chain/state defines the apply methods; chain/execution is the one
+  // sanctioned caller (the pipeline the rule funnels everyone through).
+  if (rule == "state-direct-apply")
+    return !in_dir(rel, "chain/execution/") && rel != "chain/state.hpp" &&
+           rel != "chain/state.cpp";
   return false;
 }
 
@@ -407,6 +451,7 @@ void scan_file(const fs::path& path, bool self_test, ScanResult& out) {
     report("raw-assert", check_raw_assert(stripped));
     report("nodiscard-decode", check_nodiscard(stripped, prev_stripped));
     report("vm-direct-execute", check_vm_direct_execute(stripped));
+    report("state-direct-apply", check_state_direct_apply(stripped));
 
     prev_allows = line_allows;
     prev_stripped = stripped;

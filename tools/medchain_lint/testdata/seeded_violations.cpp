@@ -32,6 +32,15 @@ void vm_bypass_violation() {
   store.call(id, ctx, host);  // admission path: must not fire
 }
 
+void state_bypass_violations() {
+  state.apply(tx, proposer, params);        // expect(state-direct-apply)
+  src_state.apply(tx, Address{}, params);   // expect(state-direct-apply)
+  world_state_->apply(tx, proposer, params);  // expect(state-direct-apply)
+  overlay.apply(tx, proposer, params);      // expect(state-direct-apply)
+  standardizer.apply(core.x);   // unrelated apply(): must not fire
+  estate.applying(tx);          // wrong member name: must not fire
+}
+
 void suppressed_lines() {
   // Justification: fixture proves the escape hatch suppresses a match.
   int r = rand();  // medchain-lint: allow(determinism-random)
