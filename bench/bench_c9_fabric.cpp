@@ -1,0 +1,238 @@
+// Experiment C9: tuple-space compute fabric vs static assignment.
+//
+// The paper distributes precision-medicine analytics by assigning tasks
+// to sites up front. C9 measures what the leased tuple-space fabric buys
+// over that static plan when the fleet misbehaves: (a) crash windows
+// that kill a quarter of the workers mid-run — healing and permanent —
+// where leases re-issue the lost work; (b) stragglers, where the
+// speculation path duplicates slow leases and the first result wins;
+// (c) graceful degradation as a growing fraction of the fleet dies for
+// good; (d) bit-for-bit replay of the full run report from the seed.
+//
+// Pass --quick for the CI smoke variant (smaller fleet and task counts).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/fabric/backend.hpp"
+#include "core/fabric/fabric.hpp"
+#include "sim/faults.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core::fabric;
+
+bool g_quick = false;
+
+std::size_t fleet_workers() { return g_quick ? 8 : 32; }
+
+std::string hex(const Hash256& h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (auto b : h.data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<AnalyticsTask> make_tasks(std::size_t n, std::size_t workers,
+                                      std::uint64_t work,
+                                      double rate_per_s = 0.0) {
+  std::vector<AnalyticsTask> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AnalyticsTask task;
+    task.tag = "t" + std::to_string(i);
+    task.work = work;
+    task.data_bytes = 4096;
+    task.home = static_cast<NodeId>(i % workers);
+    task.at_s = rate_per_s > 0 ? static_cast<double>(i) / rate_per_s : 0.0;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+/// Fabric tuning shared by the crash sections: short leases so lost work
+/// reappears quickly relative to the 10 ms tasks.
+FabricConfig crash_tuning() {
+  FabricConfig tuning;
+  tuning.space.lease_s = 0.5;
+  return tuning;
+}
+
+void crash_recovery() {
+  banner("C9a: quarter of the fleet crashes mid-run (static vs fabric)");
+  const std::size_t workers = fleet_workers();
+  const std::size_t n_tasks = g_quick ? 1500 : 10000;
+  const std::size_t killed = (workers + 3) / 4;  // >= 25% of the fleet
+
+  Table table({"schedule", "backend", "completed", "failed", "recoveries",
+               "makespan_s", "p99_ms"});
+  for (const bool heal : {true, false}) {
+    FleetConfig fleet;
+    fleet.workers = workers;
+    fleet.seed = 0xC9A;
+    for (std::size_t w = 0; w < killed; ++w) {
+      if (heal)
+        fleet.faults.crash(static_cast<NodeId>(w), 0.5, 4.0);
+      else
+        fleet.faults.crash(static_cast<NodeId>(w), 0.5);  // never returns
+    }
+    const auto tasks = make_tasks(n_tasks, workers, /*work=*/10'000'000);
+
+    StaticPlanBackend static_plan(fleet);
+    FabricBackend fabric(fleet, crash_tuning());
+    for (AnalyticsBackend* backend :
+         std::vector<AnalyticsBackend*>{&static_plan, &fabric}) {
+      const AnalyticsReport report = backend->run(tasks);
+      table.row()
+          .cell(heal ? "crash+heal" : "crash, no heal")
+          .cell(backend->name())
+          .cell(report.completed)
+          .cell(report.failed)
+          .cell(report.recoveries)
+          .cell(report.makespan_s, 3)
+          .cell(report.p99_latency_s * 1e3, 1);
+    }
+  }
+  table.print();
+}
+
+void straggler_speculation() {
+  banner("C9b: straggler fraction sweep, speculation off vs on (fabric)");
+  const std::size_t workers = g_quick ? 8 : 16;
+  const std::size_t n_tasks = g_quick ? 600 : 3000;
+  // Paced arrivals below fleet capacity so latency measures service time
+  // (the straggler tax), not queue drain.
+  const double rate = static_cast<double>(workers) / 0.05 * 0.6;
+
+  Table table({"straggler_frac", "speculation", "makespan_s", "p99_ms",
+               "marks", "spec_wins"});
+  for (const double frac : {0.0, 0.1, 0.3}) {
+    for (const bool spec : {false, true}) {
+      FleetConfig fleet;
+      fleet.workers = workers;
+      fleet.seed = 0xC9B;
+      fleet.straggler_frac = frac;
+      fleet.straggler_slowdown = 10.0;
+
+      FabricConfig tuning;
+      tuning.space.lease_s = 30.0;  // leases never expire: isolate speculation
+      tuning.speculation = spec;
+
+      FabricBackend fabric(fleet, tuning);
+      const AnalyticsReport report =
+          fabric.run(make_tasks(n_tasks, workers, /*work=*/50'000'000, rate));
+      const FabricReport& full = fabric.last_report();
+      table.row()
+          .cell(frac, 2)
+          .cell(spec ? "on" : "off")
+          .cell(report.makespan_s, 3)
+          .cell(report.p99_latency_s * 1e3, 1)
+          .cell(full.speculation_marks)
+          .cell(full.space.speculative_wins);
+    }
+  }
+  table.print();
+}
+
+void graceful_degradation() {
+  banner("C9c: permanent fleet loss sweep (graceful degradation)");
+  const std::size_t workers = fleet_workers();
+  const std::size_t n_tasks = g_quick ? 800 : 4000;
+
+  Table table({"dead_workers", "backend", "completed", "failed", "poisoned",
+               "makespan_s"});
+  for (const double dead_frac : {0.0, 0.25, 0.5}) {
+    const std::size_t dead =
+        static_cast<std::size_t>(dead_frac * static_cast<double>(workers));
+    FleetConfig fleet;
+    fleet.workers = workers;
+    fleet.seed = 0xC9C;
+    for (std::size_t w = 0; w < dead; ++w)
+      fleet.faults.crash(static_cast<NodeId>(w), 0.3);  // permanent
+
+    const auto tasks = make_tasks(n_tasks, workers, /*work=*/10'000'000);
+    StaticPlanBackend static_plan(fleet);
+    FabricBackend fabric(fleet, crash_tuning());
+    for (AnalyticsBackend* backend :
+         std::vector<AnalyticsBackend*>{&static_plan, &fabric}) {
+      const AnalyticsReport report = backend->run(tasks);
+      const std::size_t poisoned =
+          backend == &fabric ? fabric.last_report().poisoned : 0;
+      table.row()
+          .cell(dead)
+          .cell(backend->name())
+          .cell(report.completed)
+          .cell(report.failed)
+          .cell(poisoned)
+          .cell(report.makespan_s, 3);
+    }
+  }
+  table.print();
+}
+
+void replay_determinism() {
+  banner("C9d: seed-identical replay and degradation accounting");
+  const std::size_t workers = fleet_workers();
+  const std::size_t n_tasks = g_quick ? 1000 : 5000;
+  const std::size_t killed = (workers + 3) / 4;
+
+  FleetConfig fleet;
+  fleet.workers = workers;
+  fleet.seed = 0xC9D;
+  fleet.straggler_frac = 0.1;
+  fleet.straggler_slowdown = 6.0;
+  for (std::size_t w = 0; w < killed; ++w)
+    fleet.faults.crash(static_cast<NodeId>(w), 0.4, 3.0);
+  const auto tasks = make_tasks(n_tasks, workers, /*work=*/10'000'000);
+
+  FabricBackend first(fleet, crash_tuning());
+  FabricBackend second(fleet, crash_tuning());
+  first.run(tasks);
+  second.run(tasks);
+  const FabricReport& a = first.last_report();
+  const FabricReport& b = second.last_report();
+
+  std::printf("run fingerprint: %s\n", hex(a.fingerprint()).c_str());
+  std::printf("replay matches:  %s\n",
+              a.fingerprint() == b.fingerprint() ? "yes" : "NO");
+
+  Table table({"tuples", "done", "poisoned", "reissues", "expiries",
+               "revocations", "spec_wins", "dup_completions", "results_lost"});
+  table.row()
+      .cell(a.tuples)
+      .cell(a.done)
+      .cell(a.poisoned)
+      .cell(a.space.reissues)
+      .cell(a.space.lease_expiries)
+      .cell(a.space.revocations)
+      .cell(a.space.speculative_wins)
+      .cell(a.space.duplicate_completions)
+      .cell(a.results_lost);
+  table.print();
+  std::printf("work conserved:  %s (put=%llu done=%llu poisoned=%llu)\n",
+              a.work_put == a.work_done + a.work_poisoned ? "yes" : "NO",
+              static_cast<unsigned long long>(a.work_put),
+              static_cast<unsigned long long>(a.work_done),
+              static_cast<unsigned long long>(a.work_poisoned));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) g_quick = true;
+
+  std::printf("== bench_c9_fabric%s ==\n", g_quick ? " (quick)" : "");
+  crash_recovery();
+  straggler_speculation();
+  graceful_degradation();
+  replay_determinism();
+  return 0;
+}

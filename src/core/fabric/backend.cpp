@@ -1,0 +1,201 @@
+#include "core/fabric/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "audit/check.hpp"
+#include "core/scheduler.hpp"
+
+namespace mc::core::fabric {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+void finalize_latencies(AnalyticsReport& report, std::vector<double> latencies) {
+  if (latencies.empty()) return;
+  double sum = 0;
+  for (const double l : latencies) sum += l;
+  report.mean_latency_s = sum / static_cast<double>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_s = percentile(latencies, 0.50);
+  report.p99_latency_s = percentile(latencies, 0.99);
+}
+
+/// Merged, sorted downtime intervals for one node.
+std::vector<std::pair<double, double>> downtime(const sim::FaultPlan& plan,
+                                                NodeId node) {
+  std::vector<std::pair<double, double>> windows;
+  for (const auto& crash : plan.crashes())
+    if (crash.node == node) windows.emplace_back(crash.at, crash.until);
+  std::sort(windows.begin(), windows.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& w : windows) {
+    if (!merged.empty() && w.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, w.second);
+    else
+      merged.push_back(w);
+  }
+  return merged;
+}
+
+}  // namespace
+
+FabricConfig fabric_config(const FleetConfig& fleet, FabricConfig tuning) {
+  tuning.workers = fleet.workers;
+  tuning.regions = fleet.regions;
+  tuning.seed = fleet.seed;
+  tuning.worker_speed = fleet.worker_speed;
+  tuning.hetero_spread = fleet.hetero_spread;
+  tuning.straggler_frac = fleet.straggler_frac;
+  tuning.straggler_slowdown = fleet.straggler_slowdown;
+  tuning.faults = fleet.faults;
+  tuning.sim_limit_s = fleet.sim_limit_s;
+  return tuning;
+}
+
+StaticPlanBackend::StaticPlanBackend(FleetConfig fleet,
+                                     std::size_t retry_budget)
+    : fleet_(std::move(fleet)), retry_budget_(retry_budget) {}
+
+AnalyticsReport StaticPlanBackend::run(const std::vector<AnalyticsTask>& tasks) {
+  AnalyticsReport report;
+  report.backend = name();
+  report.tasks = tasks.size();
+
+  // Plan with what a static planner knows: a nominal, healthy,
+  // homogeneous fleet. No hub — pure per-site assignment.
+  std::vector<SchedSite> nominal(fleet_.workers,
+                                 SchedSite{fleet_.worker_speed, 0.0, true});
+  MoveComputeScheduler planner(nominal, SchedSite{});
+  planner.set_hub_alive(false);
+  std::vector<SchedTask> plan_tasks;
+  plan_tasks.reserve(tasks.size());
+  for (const auto& task : tasks) {
+    SchedTask st;
+    st.id = task.tag;
+    st.data_site = task.home;
+    st.flops = static_cast<double>(task.work);
+    st.data_bytes = task.data_bytes;
+    plan_tasks.push_back(std::move(st));
+  }
+  const Schedule plan = planner.schedule(plan_tasks);
+
+  // Execute the plan against reality: true speeds, crash windows, FIFO
+  // per site in plan order. Work interrupted by a crash restarts when
+  // the site returns; a site that never returns strands its queue.
+  const FabricConfig fleet_view = fabric_config(fleet_);
+  const std::vector<double> speeds = worker_speeds(fleet_view);
+  std::vector<std::vector<std::pair<double, double>>> down(fleet_.workers);
+  for (NodeId w = 0; w < fleet_.workers; ++w)
+    down[w] = downtime(fleet_.faults, w);
+
+  std::vector<double> site_free(fleet_.workers, 0.0);
+  std::vector<double> latencies;
+  latencies.reserve(tasks.size());
+  report.outcomes.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const AnalyticsTask& task = tasks[i];
+    const Placement& placement = plan.placements[i];
+    AnalyticsOutcome outcome;
+    outcome.tag = task.tag;
+    MC_DCHECK(placement.at_data && placement.site == task.home,
+              "static plan placed a task off its data site");
+    const std::size_t site = placement.site;
+    const double exec = static_cast<double>(task.work) / speeds[site];
+    double start = std::max(site_free[site], task.at_s);
+    bool failed = false;
+    for (;;) {
+      bool interrupted = false;
+      for (const auto& [at, until] : down[site]) {
+        if (until <= start) continue;   // already healed
+        if (at >= start + exec) break;  // strictly after this attempt
+        // Window overlaps the attempt: covering the start means waiting,
+        // cutting into a running attempt means a retry.
+        if (at > start) {
+          ++outcome.retries;
+          ++report.recoveries;
+          if (outcome.retries > retry_budget_) {
+            failed = true;
+            break;
+          }
+        }
+        if (until == kInf) {
+          failed = true;
+          break;
+        }
+        start = until;
+        interrupted = true;
+        break;
+      }
+      if (failed || !interrupted) break;
+    }
+    if (failed || start + exec > fleet_.sim_limit_s) {
+      ++report.failed;
+      site_free[site] = kInf;  // nothing behind it runs either
+      report.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    const double finish = start + exec;
+    site_free[site] = finish;
+    outcome.completed = true;
+    outcome.latency_s = finish - task.at_s;
+    latencies.push_back(outcome.latency_s);
+    ++report.completed;
+    report.makespan_s = std::max(report.makespan_s, finish);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  report.bytes_moved = plan.total_bytes_moved;
+  finalize_latencies(report, std::move(latencies));
+  return report;
+}
+
+FabricBackend::FabricBackend(const FleetConfig& fleet, FabricConfig tuning)
+    : config_(fabric_config(fleet, std::move(tuning))) {}
+
+AnalyticsReport FabricBackend::run(const std::vector<AnalyticsTask>& tasks) {
+  ComputeFabric fabric(config_);
+  for (const auto& task : tasks) {
+    const NodeId home =
+        task.home < config_.workers ? task.home : kNoNode;
+    fabric.submit(task.tag, task.work, task.data_bytes, home, task.at_s);
+  }
+  last_report_ = fabric.run();
+
+  AnalyticsReport report;
+  report.backend = name();
+  report.tasks = last_report_.tuples;
+  report.completed = last_report_.done;
+  report.failed = last_report_.tuples - last_report_.done;
+  // Both recovery paths count as re-executions: lease re-issues and
+  // speculative duplicates (either can rescue a crashed worker's tuple —
+  // whichever fires first).
+  report.recoveries =
+      last_report_.space.reissues + last_report_.space.speculative_takes;
+  report.bytes_moved = last_report_.bytes_moved;
+  report.makespan_s = last_report_.makespan_s;
+  report.mean_latency_s = last_report_.mean_latency_s;
+  report.p50_latency_s = last_report_.p50_latency_s;
+  report.p99_latency_s = last_report_.p99_latency_s;
+  report.outcomes.reserve(last_report_.outcomes.size());
+  for (const auto& o : last_report_.outcomes) {
+    if (o.state == TupleState::Replaced) continue;
+    AnalyticsOutcome outcome;
+    outcome.tag = o.tag;
+    outcome.completed = o.state == TupleState::Done;
+    outcome.latency_s = o.latency_s;
+    outcome.retries = o.reissues;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace mc::core::fabric

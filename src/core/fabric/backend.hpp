@@ -1,0 +1,120 @@
+// Analytics execution backends: static plan vs tuple-space fabric.
+//
+// The fabric replaces static task assignment, but the paper's baseline
+// (MoveComputeScheduler) must stay comparable — so both run behind one
+// AnalyticsBackend interface against the *same* fleet: identical worker
+// speeds (worker_speeds()), identical crash schedule (sim::FaultPlan),
+// identical task list. The static backend plans against the nominal
+// healthy fleet (what a static planner knows up front) and then executes
+// against reality — heterogeneous speeds, stragglers, crash windows —
+// with only local restart-retry; the fabric backend runs the full leased
+// pull loop. bench_c9_fabric and the fabric tests compare the two.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fabric/fabric.hpp"
+#include "sim/faults.hpp"
+
+namespace mc::core::fabric {
+
+/// One off-chain analytics task, backend-neutral.
+struct AnalyticsTask {
+  std::string tag;
+  std::uint64_t work = 1;        ///< abstract units (≈ flops / nominal speed)
+  std::uint64_t data_bytes = 0;  ///< input shipped when run off-home
+  NodeId home = 0;               ///< worker/site hosting the data
+  double at_s = 0;               ///< arrival time (surge modelling)
+};
+
+struct AnalyticsOutcome {
+  std::string tag;
+  bool completed = false;
+  double latency_s = 0;      ///< arrival → finish (completed tasks only)
+  std::size_t retries = 0;   ///< re-executions this task consumed
+};
+
+struct AnalyticsReport {
+  std::string backend;
+  std::size_t tasks = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t recoveries = 0;  ///< total re-executions across the run
+  std::uint64_t bytes_moved = 0;
+  double makespan_s = 0;
+  double mean_latency_s = 0;
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  std::vector<AnalyticsOutcome> outcomes;
+
+  [[nodiscard]] bool all_completed() const { return failed == 0; }
+};
+
+/// The fleet both backends face: sizes, true speeds and the fault
+/// schedule. Planner-visible knowledge is only `workers` and the nominal
+/// `worker_speed`; everything else is what execution discovers.
+struct FleetConfig {
+  std::size_t workers = 8;
+  std::uint32_t regions = 1;
+  std::uint64_t seed = 0xfab51c;
+  double worker_speed = 1e9;
+  double hetero_spread = 0.0;
+  double straggler_frac = 0.0;
+  double straggler_slowdown = 8.0;
+  sim::FaultPlan faults;
+  double sim_limit_s = 600;
+};
+
+/// Stamp the fleet identity onto a FabricConfig, preserving `tuning`'s
+/// fabric-only knobs (lease, speculation, autotune, network, ...).
+[[nodiscard]] FabricConfig fabric_config(const FleetConfig& fleet,
+                                         FabricConfig tuning = {});
+
+class AnalyticsBackend {
+ public:
+  virtual ~AnalyticsBackend() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual AnalyticsReport run(const std::vector<AnalyticsTask>& tasks) = 0;
+};
+
+/// Baseline: MoveComputeScheduler plans once against the nominal healthy
+/// fleet (hub disabled — pure static per-site assignment), then each
+/// site executes its queue FIFO at its *true* speed. A crash window that
+/// interrupts a task restarts it when the site returns (one retry each,
+/// up to `retry_budget`); a site that never returns strands the rest of
+/// its queue — exactly the degradation a pull-based fabric avoids.
+class StaticPlanBackend : public AnalyticsBackend {
+ public:
+  explicit StaticPlanBackend(FleetConfig fleet, std::size_t retry_budget = 4);
+
+  [[nodiscard]] const char* name() const override { return "static-plan"; }
+  AnalyticsReport run(const std::vector<AnalyticsTask>& tasks) override;
+
+ private:
+  FleetConfig fleet_;
+  std::size_t retry_budget_;
+};
+
+/// The tuple-space fabric behind the same interface.
+class FabricBackend : public AnalyticsBackend {
+ public:
+  explicit FabricBackend(const FleetConfig& fleet, FabricConfig tuning = {});
+
+  [[nodiscard]] const char* name() const override { return "fabric"; }
+  AnalyticsReport run(const std::vector<AnalyticsTask>& tasks) override;
+
+  /// Full fabric report of the last run() (fingerprint, speculation and
+  /// lease counters) — for benches that print more than the common rows.
+  [[nodiscard]] const FabricReport& last_report() const {
+    return last_report_;
+  }
+
+ private:
+  FabricConfig config_;
+  FabricReport last_report_;
+};
+
+}  // namespace mc::core::fabric

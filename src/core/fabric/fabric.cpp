@@ -1,0 +1,474 @@
+#include "core/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "audit/check.hpp"
+#include "common/serial.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mc::core::fabric {
+
+std::vector<double> worker_speeds(const FabricConfig& config) {
+  const Rng root(config.seed);
+  Rng spread = root.fork("fabric-speed");
+  std::vector<double> speeds(config.workers, config.worker_speed);
+  for (auto& s : speeds)
+    s *= 1.0 + config.hetero_spread * (2.0 * spread.uniform01() - 1.0);
+  const auto stragglers = static_cast<std::size_t>(
+      config.straggler_frac * static_cast<double>(config.workers) + 0.5);
+  if (stragglers > 0) {
+    Rng pick = root.fork("fabric-stragglers");
+    for (const std::size_t w :
+         pick.sample_without_replacement(config.workers, stragglers))
+      speeds[w] /= std::max(config.straggler_slowdown, 1.0);
+  }
+  return speeds;
+}
+
+Hash256 FabricReport::fingerprint() const {
+  HashWriter w;
+  w.str("fabric-report-v1");
+  w.u8(settled ? 1 : 0);
+  w.f64(makespan_s);
+  w.u64(tuples);
+  w.u64(done);
+  w.u64(poisoned);
+  w.u64(replaced);
+  w.u64(space.puts);
+  w.u64(space.derived_puts);
+  w.u64(space.takes);
+  w.u64(space.speculative_takes);
+  w.u64(space.commits);
+  w.u64(space.speculative_wins);
+  w.u64(space.expired_lease_commits);
+  w.u64(space.duplicate_completions);
+  w.u64(space.reissues);
+  w.u64(space.lease_expiries);
+  w.u64(space.revocations);
+  w.u64(space.poisoned);
+  w.u64(space.splits);
+  w.u64(space.merges);
+  w.u64(space.local_grants);
+  w.u64(heartbeats_delivered);
+  w.u64(heartbeats_lost);
+  w.u64(results_lost);
+  w.u64(worker_crashes);
+  w.u64(worker_restarts);
+  w.u64(speculation_marks);
+  w.u64(work_put);
+  w.u64(work_done);
+  w.u64(work_poisoned);
+  w.u64(bytes_moved);
+  w.u64(outcomes.size());
+  for (const auto& o : outcomes) {
+    w.str(o.tag);
+    w.u8(static_cast<std::uint8_t>(o.state));
+    w.u64(o.reissues);
+    w.u64(o.grants);
+    w.f64(o.latency_s);
+    w.u32(o.done_by);
+  }
+  return w.digest();
+}
+
+ComputeFabric::ComputeFabric(FabricConfig config) : config_(std::move(config)) {
+  if (config_.workers == 0)
+    throw std::invalid_argument("fabric needs at least one worker");
+  if (config_.regions == 0)
+    throw std::invalid_argument("fabric needs at least one region");
+}
+
+void ComputeFabric::submit(std::string tag, std::uint64_t work,
+                           std::uint64_t data_bytes, NodeId data_home,
+                           double at_s) {
+  if (data_home != kNoNode && data_home >= config_.workers)
+    throw std::out_of_range("task pinned to unknown worker");
+  submissions_.push_back(
+      Submission{std::move(tag), work, data_bytes, data_home, at_s});
+}
+
+namespace {
+
+/// The whole live run: network, queue, injector, space, worker states.
+/// Stack-local to ComputeFabric::run(); events capture `this`.
+struct Runtime {
+  enum class WState : std::uint8_t { Idle, Busy, Down };
+
+  struct Worker {
+    WState state = WState::Idle;
+    std::uint64_t epoch = 0;  ///< bumped per crash; kills in-flight work
+    double speed = 1.0;
+    Rng rng{0};
+  };
+
+  const FabricConfig& cfg;
+  sim::Network net;
+  sim::EventQueue queue;
+  sim::FaultInjector injector;
+  TupleSpace space;
+  std::vector<Worker> workers;
+  std::vector<SimTime> last_hb;
+  std::vector<bool> hb_suspected;  ///< revoked since last heartbeat
+  Rng wire;
+  NodeId coord;
+  bool done = false;
+  SimTime makespan = 0;
+
+  // Straggler detector state.
+  double latency_ewma = 0;
+  double sec_per_work_ewma = 0;
+  std::uint64_t completions = 0;
+  std::vector<double> recent;  ///< ring of last attempt latencies
+  std::size_t recent_next = 0;
+  static constexpr std::size_t kRecentCap = 128;
+
+  // Report counters outside the space.
+  std::uint64_t hb_delivered = 0;
+  std::uint64_t hb_lost = 0;
+  std::uint64_t results_lost = 0;
+  std::size_t crashes = 0;
+  std::size_t restarts = 0;
+  std::size_t spec_marks = 0;
+  std::uint64_t bytes_moved = 0;
+
+  explicit Runtime(const FabricConfig& config)
+      : cfg(config),
+        net(config.net),
+        injector(net, queue),
+        space(config.space),
+        wire(Rng(config.seed).fork("fabric-wire")),
+        coord(static_cast<NodeId>(config.workers)) {
+    const std::vector<double> speeds = worker_speeds(cfg);
+    workers.resize(cfg.workers);
+    for (std::size_t w = 0; w < cfg.workers; ++w) {
+      net.add_node(static_cast<std::uint32_t>(w % cfg.regions));
+      workers[w].speed = speeds[w];
+      workers[w].rng =
+          Rng(cfg.seed).fork("fabric-worker-" + std::to_string(w));
+    }
+    net.add_node(0);  // coordinator lives in region 0
+    last_hb.assign(cfg.workers, 0.0);
+    hb_suspected.assign(cfg.workers, false);
+  }
+
+  // --- message plumbing --------------------------------------------------
+
+  /// Does a message sent now from `a` to `b` get through? Evaluated at
+  /// send time: crash/partition cuts drop it outright, degrade windows
+  /// drop it with their extra-loss probability.
+  bool deliverable(NodeId a, NodeId b) {
+    if (injector.is_down(a) || injector.is_down(b)) return false;
+    if (!injector.connected(a, b)) return false;
+    const double loss = injector.loss(a, b);
+    return loss <= 0.0 || !wire.bernoulli(loss);
+  }
+
+  [[nodiscard]] double delay(NodeId a, NodeId b, std::size_t bytes) const {
+    return net.delay(a, b, bytes) + injector.extra_latency(a, b);
+  }
+
+  // --- worker side -------------------------------------------------------
+
+  void poll(NodeId w) {
+    if (done) return;
+    Worker& worker = workers[w];
+    if (worker.state != WState::Idle) return;
+    if (injector.is_down(w) || !deliverable(w, coord)) {
+      queue.schedule_in(cfg.poll_interval_s, [this, w] { poll(w); });
+      return;
+    }
+    queue.schedule_in(delay(w, coord, cfg.control_bytes),
+                      [this, w] { coordinator_take(w); });
+  }
+
+  void on_grant(NodeId w, TakeGrant grant) {
+    Worker& worker = workers[w];
+    if (injector.is_down(w) || worker.state != WState::Idle)
+      return;  // grant lost; the lease expires and the tuple re-issues
+    worker.state = WState::Busy;
+    double exec = static_cast<double>(grant.tuple.work) / worker.speed;
+    exec *= 1.0 + cfg.exec_jitter_frac * worker.rng.uniform01();
+    if (grant.tuple.data_home != kNoNode && grant.tuple.data_home != w &&
+        grant.tuple.data_bytes > 0) {
+      // Input shipped from replicated storage at the default bandwidth.
+      exec += static_cast<double>(grant.tuple.data_bytes) /
+              cfg.net.default_bandwidth;
+      bytes_moved += grant.tuple.data_bytes;
+    }
+    const std::uint64_t epoch = worker.epoch;
+    const LeaseId lease = grant.lease;
+    queue.schedule_in(exec,
+                      [this, w, lease, epoch] { on_done(w, lease, epoch); });
+  }
+
+  void on_done(NodeId w, LeaseId lease, std::uint64_t epoch) {
+    Worker& worker = workers[w];
+    if (worker.epoch != epoch || worker.state != WState::Busy)
+      return;  // the crash that bumped the epoch destroyed this work
+    worker.state = WState::Idle;
+    poll(w);  // pull the next tuple immediately
+    if (!deliverable(w, coord)) {
+      ++results_lost;  // lease expiry will re-issue the tuple
+      return;
+    }
+    queue.schedule_in(delay(w, coord, cfg.control_bytes),
+                      [this, lease] { coordinator_result(lease); });
+  }
+
+  void heartbeat(NodeId w) {
+    if (done) return;
+    if (!injector.is_down(w) && deliverable(w, coord)) {
+      queue.schedule_in(delay(w, coord, cfg.control_bytes), [this, w] {
+        last_hb[w] = queue.now();
+        hb_suspected[w] = false;
+        ++hb_delivered;
+      });
+    } else {
+      ++hb_lost;
+    }
+    queue.schedule_in(cfg.heartbeat_interval_s, [this, w] { heartbeat(w); });
+  }
+
+  // --- coordinator side --------------------------------------------------
+
+  void coordinator_take(NodeId w) {
+    if (done) return;
+    std::optional<TakeGrant> grant = space.take(w, queue.now());
+    if (!grant) {
+      // Empty reply: the worker re-polls after its idle interval.
+      queue.schedule_in(cfg.poll_interval_s, [this, w] { poll(w); });
+      return;
+    }
+    if (!deliverable(coord, w)) return;  // grant lost in transit
+    queue.schedule_in(delay(coord, w, cfg.grant_bytes),
+                      [this, w, g = std::move(*grant)] { on_grant(w, g); });
+  }
+
+  void coordinator_result(LeaseId lease) {
+    const CommitResult result = space.complete(lease, queue.now());
+    if (!result.committed) return;
+    observe_latency(result.attempt_latency_s, result.work);
+    if (space.settled()) finish();
+  }
+
+  void observe_latency(double attempt_s, std::uint64_t work) {
+    ++completions;
+    latency_ewma = completions == 1 ? attempt_s
+                                    : cfg.ewma_alpha * attempt_s +
+                                          (1.0 - cfg.ewma_alpha) * latency_ewma;
+    const double spw = attempt_s / static_cast<double>(std::max<std::uint64_t>(work, 1));
+    sec_per_work_ewma =
+        completions == 1
+            ? spw
+            : cfg.ewma_alpha * spw + (1.0 - cfg.ewma_alpha) * sec_per_work_ewma;
+    if (recent.size() < kRecentCap) {
+      recent.push_back(attempt_s);
+    } else {
+      recent[recent_next] = attempt_s;
+      recent_next = (recent_next + 1) % kRecentCap;
+    }
+  }
+
+  [[nodiscard]] double recent_percentile(double p) const {
+    if (recent.empty()) return 0.0;
+    std::vector<double> sorted = recent;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+  }
+
+  void sweep() {
+    if (done) return;
+    const SimTime now = queue.now();
+    space.expire_leases(now);
+
+    // Heartbeat starvation: a worker the coordinator has not heard from
+    // for a full timeout lost its leases — crash windows and partitions
+    // starve heartbeats, so recovery fires well before a long lease
+    // deadline would.
+    for (NodeId w = 0; w < cfg.workers; ++w) {
+      if (hb_suspected[w]) continue;
+      if (last_hb[w] + cfg.heartbeat_timeout_s >= now) continue;
+      hb_suspected[w] = true;
+      space.revoke_worker(w, now);
+    }
+
+    // Straggler detector: EWMA floor tightened by the recent percentile.
+    if (cfg.speculation && completions >= cfg.spec_min_history) {
+      const double threshold =
+          std::max(cfg.spec_latency_multiple * latency_ewma,
+                   recent_percentile(cfg.spec_percentile));
+      if (threshold > 0) {
+        for (const auto& record : space.records()) {
+          if (record.state != TupleState::Leased || record.speculate ||
+              record.leases.empty())
+            continue;
+          if (now - record.leases.front().granted_s > threshold) {
+            space.mark_speculative(record.tuple.id);
+            ++spec_marks;
+          }
+        }
+      }
+    }
+
+    autotune(now);
+    if (space.settled()) {
+      finish();
+      return;
+    }
+    queue.schedule_in(cfg.sweep_interval_s, [this] { sweep(); });
+  }
+
+  void autotune(SimTime now) {
+    if (!cfg.autotune || completions < cfg.spec_min_history) return;
+    if (sec_per_work_ewma <= 0) return;
+    const double split_above = 2.0 * cfg.target_latency_s;
+    const double merge_below = 0.5 * cfg.target_latency_s;
+    std::vector<TupleId> to_split;
+    std::vector<TupleId> to_merge;
+    for (const auto& record : space.records()) {
+      if (record.state != TupleState::Pending) continue;
+      const double predicted =
+          static_cast<double>(record.tuple.work) * sec_per_work_ewma;
+      if (predicted > split_above && to_split.size() < 64)
+        to_split.push_back(record.tuple.id);
+      else if (predicted < merge_below && to_merge.size() < 64)
+        to_merge.push_back(record.tuple.id);
+    }
+    for (const TupleId id : to_split) space.split(id, cfg.min_work, now);
+    for (std::size_t i = 0; i + 1 < to_merge.size(); i += 2) {
+      const TupleRecord* a = space.read(to_merge[i]);
+      const TupleRecord* b = space.read(to_merge[i + 1]);
+      if (a == nullptr || b == nullptr) continue;
+      const std::uint64_t combined = a->tuple.work + b->tuple.work;
+      if (combined > cfg.max_work) continue;
+      if (static_cast<double>(combined) * sec_per_work_ewma >
+          cfg.target_latency_s)
+        continue;
+      space.merge(to_merge[i], to_merge[i + 1], now);
+    }
+  }
+
+  void finish() {
+    done = true;
+    makespan = space.last_settle_s();
+  }
+
+  // --- fault hooks -------------------------------------------------------
+
+  void on_crash(NodeId node) {
+    if (node >= cfg.workers) return;
+    Worker& worker = workers[node];
+    worker.state = WState::Down;
+    ++worker.epoch;
+    ++crashes;
+  }
+
+  void on_restart(NodeId node) {
+    if (node >= cfg.workers) return;
+    Worker& worker = workers[node];
+    if (worker.state != WState::Down) return;
+    worker.state = WState::Idle;
+    ++restarts;
+    poll(node);
+  }
+};
+
+}  // namespace
+
+FabricReport ComputeFabric::run() {
+  Runtime rt(config_);
+  rt.injector.on_crash = [&rt](NodeId node, sim::SimTime) {
+    rt.on_crash(node);
+  };
+  rt.injector.on_restart = [&rt](NodeId node, sim::SimTime) {
+    rt.on_restart(node);
+  };
+  rt.injector.install(config_.faults);
+
+  for (const auto& sub : submissions_) {
+    rt.queue.schedule_at(sub.at_s, [&rt, &sub] {
+      rt.space.put(sub.tag, sub.work, sub.data_bytes, sub.data_home,
+                   rt.queue.now());
+    });
+  }
+  for (NodeId w = 0; w < config_.workers; ++w) {
+    // Stagger heartbeats so the fleet doesn't synchronize on the wire.
+    const double offset = config_.heartbeat_interval_s *
+                          static_cast<double>(w) /
+                          static_cast<double>(config_.workers);
+    rt.queue.schedule_at(offset, [&rt, w] { rt.heartbeat(w); });
+    rt.queue.schedule_at(0.0, [&rt, w] { rt.poll(w); });
+  }
+  rt.queue.schedule_in(config_.sweep_interval_s, [&rt] { rt.sweep(); });
+
+  rt.queue.run(config_.sim_limit_s);
+
+  FabricReport report;
+  report.settled = rt.space.settled();
+  report.makespan_s = report.settled ? rt.makespan : config_.sim_limit_s;
+  report.space = rt.space.stats();
+  report.heartbeats_delivered = rt.hb_delivered;
+  report.heartbeats_lost = rt.hb_lost;
+  report.results_lost = rt.results_lost;
+  report.worker_crashes = rt.crashes;
+  report.worker_restarts = rt.restarts;
+  report.speculation_marks = rt.spec_marks;
+  report.work_put = rt.space.work_put();
+  report.work_done = rt.space.work_done();
+  report.work_poisoned = rt.space.work_poisoned();
+  report.bytes_moved = rt.bytes_moved;
+
+  std::vector<double> latencies;
+  for (const auto& record : rt.space.records()) {
+    TupleOutcome outcome;
+    outcome.tag = record.tuple.tag;
+    outcome.state = record.state;
+    outcome.reissues = record.reissues;
+    outcome.grants = record.grants;
+    outcome.done_by = record.done_by;
+    switch (record.state) {
+      case TupleState::Done:
+        ++report.done;
+        ++report.tuples;
+        outcome.latency_s = record.settled_s - record.tuple.created_s;
+        latencies.push_back(outcome.latency_s);
+        break;
+      case TupleState::Poisoned:
+        ++report.poisoned;
+        ++report.tuples;
+        break;
+      case TupleState::Replaced:
+        ++report.replaced;
+        break;
+      default:
+        ++report.tuples;  // unsettled leftovers (sim limit hit)
+        break;
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (const double l : latencies) sum += l;
+    report.mean_latency_s = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&latencies](double p) {
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(p * static_cast<double>(latencies.size())));
+      return latencies[std::min(rank == 0 ? 0 : rank - 1,
+                                latencies.size() - 1)];
+    };
+    report.p50_latency_s = at(0.50);
+    report.p99_latency_s = at(0.99);
+  }
+  MC_ASSERT(!report.settled ||
+                report.work_done + report.work_poisoned == report.work_put,
+            "fabric settled but work was lost or double-counted");
+  return report;
+}
+
+}  // namespace mc::core::fabric

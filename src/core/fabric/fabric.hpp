@@ -1,0 +1,162 @@
+// ComputeFabric: pull-based execution of a TupleSpace on the simulated
+// network (DESIGN.md §14).
+//
+// One coordinator owns the tuple space; W workers pull work over the
+// simulated network. Robustness machinery, all deterministic from the
+// config seed:
+//
+//   - every take is a lease; a sweep reclaims leases at their deadline
+//     and a worker whose heartbeats starve (crash or partition from
+//     sim::FaultInjector) has its leases revoked early, so lost work
+//     reappears in the space bounded by min(lease_s, heartbeat timeout);
+//   - a straggler detector (EWMA over per-attempt latency, tightened by
+//     a recent-window percentile) marks slow leased tuples for
+//     speculative duplication; idle workers pull duplicates and the
+//     first result wins, duplicate-completion-safe;
+//   - task granularity auto-tunes: once enough completions calibrate the
+//     seconds-per-work-unit estimate, over-coarse pending tuples split
+//     and over-fine ones merge, between configured work bounds;
+//   - crashes and partitions come from a sim::FaultPlan evaluated by the
+//     FaultInjector on the shared EventQueue, so any failure scenario —
+//     including the run report fingerprint — replays from a seed.
+//
+// Workers are network nodes 0..workers-1 (FaultPlan node ids address
+// them directly); the coordinator is node `workers` and is assumed
+// reliable (its failure is PBFT's problem, not the fabric's).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/fabric/tuple_space.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace mc::core::fabric {
+
+struct FabricConfig {
+  std::size_t workers = 8;
+  std::uint32_t regions = 1;
+  std::uint64_t seed = 0xfab51c;
+
+  // Fleet heterogeneity (all drawn deterministically from `seed`).
+  double worker_speed = 1e9;        ///< nominal work units per second
+  double hetero_spread = 0.0;       ///< speed varies ±spread uniformly
+  double straggler_frac = 0.0;      ///< fraction of workers slowed
+  double straggler_slowdown = 8.0;  ///< stragglers run this much slower
+  double exec_jitter_frac = 0.05;   ///< per-attempt runtime jitter
+
+  SpaceConfig space;  ///< lease deadline, re-issue budget, backoff
+
+  // Liveness plumbing.
+  double heartbeat_interval_s = 0.25;
+  double heartbeat_timeout_s = 1.0;  ///< stale heartbeat → revoke leases
+  double poll_interval_s = 0.05;     ///< idle worker re-take cadence
+  double sweep_interval_s = 0.25;    ///< coordinator recovery cadence
+
+  // Straggler speculation.
+  bool speculation = true;
+  double spec_latency_multiple = 2.5;  ///< elapsed > mult × EWMA → suspect
+  double spec_percentile = 0.95;       ///< and > recent p-th percentile
+  std::size_t spec_min_history = 8;    ///< completions before arming
+  double ewma_alpha = 0.2;
+
+  // Granularity auto-tuning.
+  bool autotune = false;
+  double target_latency_s = 0.05;  ///< split above 2×, merge below ½×
+  std::uint64_t min_work = 1;
+  std::uint64_t max_work = ~std::uint64_t{0};
+
+  // Control-plane message sizes (drive simulated network delay).
+  std::size_t control_bytes = 64;
+  std::size_t grant_bytes = 256;
+
+  sim::NetworkConfig net;
+  sim::FaultPlan faults;     ///< crash/partition schedule over worker ids
+  double sim_limit_s = 600;  ///< hard stop; unsettled runs report it
+};
+
+/// Terminal fact about one tuple, in put order — the replayable record.
+struct TupleOutcome {
+  std::string tag;
+  TupleState state = TupleState::Pending;
+  std::size_t reissues = 0;
+  std::size_t grants = 0;
+  double latency_s = 0;  ///< created → done (0 unless Done)
+  NodeId done_by = kNoNode;
+};
+
+struct FabricReport {
+  bool settled = false;   ///< every tuple reached a terminal state
+  double makespan_s = 0;  ///< last settle time (sim_limit_s if unsettled)
+  std::size_t tuples = 0; ///< live leaf tuples (puts + derived − replaced)
+  std::size_t done = 0;
+  std::size_t poisoned = 0;
+  std::size_t replaced = 0;
+  SpaceStats space;
+  std::uint64_t heartbeats_delivered = 0;
+  std::uint64_t heartbeats_lost = 0;
+  std::uint64_t results_lost = 0;  ///< completions dropped by crash/cut
+  std::size_t worker_crashes = 0;
+  std::size_t worker_restarts = 0;
+  std::size_t speculation_marks = 0;
+  std::uint64_t work_put = 0;
+  std::uint64_t work_done = 0;
+  std::uint64_t work_poisoned = 0;
+  std::uint64_t bytes_moved = 0;  ///< input shipped for off-home grants
+  double mean_latency_s = 0;  ///< created → done over Done tuples
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  std::vector<TupleOutcome> outcomes;
+
+  /// Fraction of grants that landed on the tuple's data home.
+  [[nodiscard]] double locality() const {
+    return space.takes == 0 ? 1.0
+                            : static_cast<double>(space.local_grants) /
+                                  static_cast<double>(space.takes);
+  }
+
+  /// Content hash of the full run record — two runs of the same config
+  /// match bit-for-bit or the replay is broken.
+  [[nodiscard]] Hash256 fingerprint() const;
+};
+
+/// One-shot fabric run: construct, submit tasks, run(). The simulation
+/// substrate (network, queue, injector) lives only inside run().
+class ComputeFabric {
+ public:
+  explicit ComputeFabric(FabricConfig config);
+
+  /// Queue a task: `work` units over `data_bytes` of input hosted at
+  /// worker `data_home` (kNoNode = unpinned), arriving at `at_s`.
+  void submit(std::string tag, std::uint64_t work,
+              std::uint64_t data_bytes = 0, NodeId data_home = kNoNode,
+              double at_s = 0.0);
+
+  /// Run the scenario to settlement (or sim_limit_s) and report.
+  FabricReport run();
+
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+ private:
+  struct Submission {
+    std::string tag;
+    std::uint64_t work;
+    std::uint64_t data_bytes;
+    NodeId data_home;
+    double at_s;
+  };
+
+  FabricConfig config_;
+  std::vector<Submission> submissions_;
+};
+
+/// True per-worker speeds (units/s) for `config`'s fleet: nominal speed
+/// spread by hetero_spread, with straggler_frac of workers slowed by
+/// straggler_slowdown. Deterministic in the seed; exposed so a static
+/// baseline can execute against the *same* fleet the fabric faces.
+std::vector<double> worker_speeds(const FabricConfig& config);
+
+}  // namespace mc::core::fabric

@@ -1,0 +1,271 @@
+#include "core/fabric/tuple_space.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "audit/check.hpp"
+
+namespace mc::core::fabric {
+
+const char* to_string(TupleState state) {
+  switch (state) {
+    case TupleState::Pending:  return "pending";
+    case TupleState::Leased:   return "leased";
+    case TupleState::Done:     return "done";
+    case TupleState::Poisoned: return "poisoned";
+    case TupleState::Replaced: return "replaced";
+  }
+  return "?";
+}
+
+TupleSpace::TupleSpace(SpaceConfig config)
+    : config_(config), backoff_(config.backoff) {
+  if (config_.max_leases == 0)
+    throw std::invalid_argument("tuple space needs at least one lease slot");
+}
+
+TupleId TupleSpace::insert(std::string tag, std::uint64_t work,
+                           std::uint64_t bytes, NodeId home, SimTime now,
+                           bool derived) {
+  if (work == 0) throw std::invalid_argument("tuple carries zero work");
+  const TupleId id = records_.size();
+  TupleRecord record;
+  record.tuple =
+      TaskTuple{id, std::move(tag), work, bytes, home, now};
+  records_.push_back(std::move(record));
+  pending_.push_back(id);
+  ++unsettled_;
+  if (derived) {
+    ++stats_.derived_puts;
+  } else {
+    ++stats_.puts;
+    work_put_ += work;
+  }
+  return id;
+}
+
+TupleId TupleSpace::put(std::string tag, std::uint64_t work,
+                        std::uint64_t data_bytes, NodeId data_home,
+                        SimTime now) {
+  return insert(std::move(tag), work, data_bytes, data_home, now,
+                /*derived=*/false);
+}
+
+TakeGrant TupleSpace::grant(TupleRecord& record, NodeId worker, SimTime now,
+                            bool speculative) {
+  const LeaseId lease_id = next_lease_++;
+  record.state = TupleState::Leased;
+  record.leases.push_back(Lease{lease_id, worker, now,
+                                now + config_.lease_s, speculative});
+  ++record.grants;
+  if (record.first_granted_s < 0) record.first_granted_s = now;
+  leases_.emplace(lease_id,
+                  LeaseInfo{record.tuple.id, worker, speculative, now});
+  ++stats_.takes;
+  if (speculative) ++stats_.speculative_takes;
+  if (record.tuple.data_home == worker) ++stats_.local_grants;
+  return TakeGrant{record.tuple, lease_id, speculative};
+}
+
+std::optional<TakeGrant> TupleSpace::take(NodeId worker, SimTime now) {
+  // Pass 1: pending tuples, FIFO with a bounded data-home affinity scan.
+  // Entries settled or replaced since they were queued are compacted off
+  // the front and skipped elsewhere; backoff-gated entries keep their
+  // FIFO slot but are not takeable yet.
+  while (!pending_.empty() &&
+         records_[pending_.front()].state != TupleState::Pending)
+    pending_.pop_front();
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::size_t chosen = kNone;
+  std::size_t eligible_seen = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const TupleRecord& record = records_[pending_[i]];
+    if (record.state != TupleState::Pending) continue;
+    if (record.not_before_s > now) continue;
+    if (chosen == kNone) chosen = i;  // FIFO fallback
+    if (record.tuple.data_home == worker) {
+      chosen = i;  // affinity hit wins outright
+      break;
+    }
+    if (++eligible_seen >= std::max<std::size_t>(config_.affinity_window, 1))
+      break;
+  }
+  if (chosen != kNone) {
+    TupleRecord& record = records_[pending_[chosen]];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(chosen));
+    return grant(record, worker, now, /*speculative=*/false);
+  }
+
+  // Pass 2: straggler-marked leased tuples with duplicate headroom. Never
+  // hand a worker a duplicate of work it is already running.
+  for (std::size_t i = 0; i < spec_pool_.size();) {
+    TupleRecord& record = records_[spec_pool_[i]];
+    const bool still_eligible =
+        record.state == TupleState::Leased && record.speculate;
+    if (!still_eligible) {
+      spec_pool_.erase(spec_pool_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const bool already_mine =
+        std::any_of(record.leases.begin(), record.leases.end(),
+                    [worker](const Lease& l) { return l.worker == worker; });
+    if (record.leases.size() < config_.max_leases && !already_mine)
+      return grant(record, worker, now, /*speculative=*/true);
+    ++i;
+  }
+  return std::nullopt;
+}
+
+const TupleRecord* TupleSpace::read(TupleId id) {
+  if (id >= records_.size()) return nullptr;
+  ++stats_.reads;
+  return &records_[id];
+}
+
+void TupleSpace::settle(TupleRecord& record, SimTime now) {
+  MC_ASSERT(unsettled_ > 0, "settling with no open obligations");
+  --unsettled_;
+  record.settled_s = now;
+  last_settle_s_ = std::max(last_settle_s_, now);
+  MC_DCHECK(unsettled_ > 0 || work_done_ + work_poisoned_ == work_put_,
+            "work conservation broken: put != done + poisoned at settle");
+}
+
+CommitResult TupleSpace::complete(LeaseId lease, SimTime now) {
+  CommitResult result;
+  const auto it = leases_.find(lease);
+  if (it == leases_.end()) {
+    ++stats_.duplicate_completions;  // unknown lease: nothing to commit
+    result.duplicate = true;
+    return result;
+  }
+  const LeaseInfo info = it->second;
+  leases_.erase(it);
+  TupleRecord& record = records_[info.tuple];
+  // Drop this lease from the live set if it is still there (it may have
+  // been reclaimed by expiry/revocation already — the result still counts).
+  const auto live = std::find_if(
+      record.leases.begin(), record.leases.end(),
+      [lease](const Lease& l) { return l.id == lease; });
+  const bool was_live = live != record.leases.end();
+  if (was_live) record.leases.erase(live);
+
+  if (record.settled()) {
+    ++stats_.duplicate_completions;
+    result.duplicate = true;
+    return result;
+  }
+
+  // First result wins: commit exactly once.
+  record.state = TupleState::Done;
+  record.done_by = info.worker;
+  record.committed_after_expiry = !was_live;
+  record.leases.clear();  // zombie leases stay in leases_ → duplicate path
+  record.speculate = false;
+  work_done_ += record.tuple.work;
+  ++stats_.commits;
+  if (info.speculative) ++stats_.speculative_wins;
+  if (!was_live) ++stats_.expired_lease_commits;
+  settle(record, now);
+  result.committed = true;
+  result.attempt_latency_s = now - info.granted_s;
+  result.work = record.tuple.work;
+  return result;
+}
+
+void TupleSpace::reissue_or_poison(TupleRecord& record, SimTime now) {
+  MC_ASSERT(record.leases.empty(), "re-issue with live leases");
+  record.speculate = false;
+  if (record.reissues >= config_.reissue_budget) {
+    record.state = TupleState::Poisoned;
+    work_poisoned_ += record.tuple.work;
+    ++stats_.poisoned;
+    settle(record, now);
+    return;
+  }
+  ++record.reissues;
+  ++stats_.reissues;
+  record.state = TupleState::Pending;
+  record.not_before_s = now + backoff_.backoff(record.reissues);
+  pending_.push_back(record.tuple.id);
+}
+
+std::size_t TupleSpace::expire_leases(SimTime now) {
+  std::size_t reclaimed = 0;
+  for (auto& record : records_) {
+    if (record.state != TupleState::Leased) continue;
+    const auto expired = [now](const Lease& l) { return l.deadline_s < now; };
+    const auto first =
+        std::remove_if(record.leases.begin(), record.leases.end(), expired);
+    const auto n = static_cast<std::size_t>(record.leases.end() - first);
+    if (n == 0) continue;
+    record.leases.erase(first, record.leases.end());
+    reclaimed += n;
+    stats_.lease_expiries += n;
+    if (record.leases.empty()) reissue_or_poison(record, now);
+  }
+  return reclaimed;
+}
+
+std::size_t TupleSpace::revoke_worker(NodeId worker, SimTime now) {
+  std::size_t reclaimed = 0;
+  for (auto& record : records_) {
+    if (record.state != TupleState::Leased) continue;
+    const auto held = [worker](const Lease& l) { return l.worker == worker; };
+    const auto first =
+        std::remove_if(record.leases.begin(), record.leases.end(), held);
+    const auto n = static_cast<std::size_t>(record.leases.end() - first);
+    if (n == 0) continue;
+    record.leases.erase(first, record.leases.end());
+    reclaimed += n;
+    stats_.revocations += n;
+    if (record.leases.empty()) reissue_or_poison(record, now);
+  }
+  return reclaimed;
+}
+
+void TupleSpace::mark_speculative(TupleId id) {
+  if (id >= records_.size()) return;
+  TupleRecord& record = records_[id];
+  if (record.state != TupleState::Leased || record.speculate) return;
+  record.speculate = true;
+  spec_pool_.push_back(id);
+}
+
+bool TupleSpace::split(TupleId id, std::uint64_t min_work, SimTime now) {
+  if (id >= records_.size()) return false;
+  TupleRecord& record = records_[id];
+  if (record.state != TupleState::Pending) return false;
+  const std::uint64_t w = record.tuple.work;
+  if (w / 2 < std::max<std::uint64_t>(min_work, 1)) return false;
+  record.state = TupleState::Replaced;
+  --unsettled_;  // the two children re-open the obligation below
+  ++stats_.splits;
+  const TaskTuple t = record.tuple;  // copy: insert() may reallocate records_
+  insert(t.tag + "/a", t.work / 2, t.data_bytes / 2, t.data_home, now,
+         /*derived=*/true);
+  insert(t.tag + "/b", t.work - t.work / 2, t.data_bytes - t.data_bytes / 2,
+         t.data_home, now, /*derived=*/true);
+  return true;
+}
+
+std::optional<TupleId> TupleSpace::merge(TupleId a, TupleId b, SimTime now) {
+  if (a == b || a >= records_.size() || b >= records_.size())
+    return std::nullopt;
+  if (records_[a].state != TupleState::Pending ||
+      records_[b].state != TupleState::Pending)
+    return std::nullopt;
+  records_[a].state = TupleState::Replaced;
+  records_[b].state = TupleState::Replaced;
+  unsettled_ -= 2;  // re-opened once by the merged child
+  ++stats_.merges;
+  const TaskTuple ta = records_[a].tuple;
+  const TaskTuple tb = records_[b].tuple;
+  return insert("(" + ta.tag + "+" + tb.tag + ")", ta.work + tb.work,
+                ta.data_bytes + tb.data_bytes, ta.data_home, now,
+                /*derived=*/true);
+}
+
+}  // namespace mc::core::fabric

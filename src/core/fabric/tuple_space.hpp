@@ -1,0 +1,242 @@
+// Tuple-space work queue for off-chain analytics (DESIGN.md §14).
+//
+// The paper's F1/F5 "move computing to data" path needs more than a
+// static plan: hospital fleets have stragglers, heterogeneous hardware
+// and mid-run crashes. TupleSpace is the coordinator-side state of a
+// pull-based compute fabric in the tuple-space style (put/take/read on
+// immutable task tuples): workers `take` work instead of being assigned
+// it, every take grants a *lease* with a deadline, and a dead worker's
+// in-flight tuples reappear in the space when the lease expires — within
+// a bounded re-issue budget, after which the tuple is poisoned and
+// surfaced in the run report instead of retrying forever.
+//
+// Lifecycle:  pending → leased → { done | re-issued (→ pending) | poisoned }
+// (`replaced` is a bookkeeping terminal used when granularity retuning
+// splits or merges a *pending* tuple; the obligation moves to the
+// children, never lost.)
+//
+// Commit rule: first result wins, exactly once. complete() commits a
+// tuple on the first result regardless of whether the presenting lease
+// is still active — a slow worker whose lease already expired still did
+// the work — and every later completion (speculative duplicate, re-issued
+// twin, zombie lease) is counted and dropped. Work is conserved: the
+// units put equal the units accounted done + poisoned, always.
+//
+// The class is single-threaded by design (it lives on the simulation
+// thread of a ComputeFabric run); determinism is the point — every
+// failure scenario replays byte-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oracle/retry.hpp"
+#include "sim/clock.hpp"
+
+namespace mc::core::fabric {
+
+using sim::kNoNode;
+using sim::NodeId;
+using sim::SimTime;
+
+using TupleId = std::uint64_t;
+using LeaseId = std::uint64_t;
+
+enum class TupleState : std::uint8_t {
+  Pending,   ///< in the space, takeable (possibly backoff-gated)
+  Leased,    ///< at least one worker holds a live lease
+  Done,      ///< exactly one result committed
+  Poisoned,  ///< re-issue budget exhausted; terminal failure
+  Replaced,  ///< split/merged while pending; children carry the work
+};
+
+[[nodiscard]] const char* to_string(TupleState state);
+
+/// Immutable unit of work. `work` is in abstract units (a worker burns
+/// them at its units-per-second speed), so split/merge arithmetic is
+/// exact and the conservation invariant holds bit-for-bit.
+struct TaskTuple {
+  TupleId id = 0;
+  std::string tag;                ///< caller-visible task name
+  std::uint64_t work = 1;         ///< abstract work units, never 0
+  std::uint64_t data_bytes = 0;   ///< input shipped when run off-home
+  NodeId data_home = kNoNode;     ///< worker hosting the data; kNoNode = any
+  SimTime created_s = 0;
+};
+
+/// One outstanding grant of a tuple to a worker.
+struct Lease {
+  LeaseId id = 0;
+  NodeId worker = kNoNode;
+  SimTime granted_s = 0;
+  SimTime deadline_s = 0;
+  bool speculative = false;
+};
+
+/// Mutable bookkeeping wrapped around one immutable tuple.
+struct TupleRecord {
+  TaskTuple tuple;
+  TupleState state = TupleState::Pending;
+  std::size_t reissues = 0;   ///< lease recoveries so far
+  std::size_t grants = 0;     ///< leases granted, speculative included
+  SimTime not_before_s = 0;   ///< re-issue backoff gate
+  bool speculate = false;     ///< straggler detector marked for duplication
+  std::vector<Lease> leases;  ///< live leases (primary first)
+  // Terminal facts, valid once state is Done / Poisoned.
+  SimTime settled_s = 0;
+  NodeId done_by = kNoNode;
+  SimTime first_granted_s = -1;
+  bool committed_after_expiry = false;  ///< won by a lease already expired
+
+  [[nodiscard]] bool settled() const {
+    return state == TupleState::Done || state == TupleState::Poisoned ||
+           state == TupleState::Replaced;
+  }
+};
+
+struct SpaceConfig {
+  SimTime lease_s = 1.0;           ///< take → completion deadline
+  std::size_t reissue_budget = 4;  ///< re-issues before poisoning
+  std::size_t max_leases = 2;      ///< primary + speculative duplicates
+  /// take() prefers a tuple whose data_home matches the taker among the
+  /// first `affinity_window` eligible pending tuples (0 = strict FIFO).
+  std::size_t affinity_window = 8;
+  /// Re-issue n waits backoff(n) before the tuple is takeable again —
+  /// the PR 3 retry schedule reused as the lease/re-issue governor.
+  oracle::RetryConfig backoff;
+};
+
+struct SpaceStats {
+  std::uint64_t puts = 0;          ///< caller puts
+  std::uint64_t derived_puts = 0;  ///< children minted by split/merge
+  std::uint64_t takes = 0;
+  std::uint64_t speculative_takes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t speculative_wins = 0;      ///< committed by a duplicate
+  std::uint64_t expired_lease_commits = 0; ///< committed after lease expiry
+  std::uint64_t duplicate_completions = 0; ///< dropped: tuple already settled
+  std::uint64_t reissues = 0;
+  std::uint64_t lease_expiries = 0;  ///< leases reclaimed at their deadline
+  std::uint64_t revocations = 0;     ///< leases reclaimed by worker health
+  std::uint64_t poisoned = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t local_grants = 0;  ///< take matched the tuple's data_home
+};
+
+/// A granted take: the immutable tuple plus the lease covering it.
+struct TakeGrant {
+  TaskTuple tuple;
+  LeaseId lease = 0;
+  bool speculative = false;
+};
+
+/// Outcome of presenting a result for a lease.
+struct CommitResult {
+  bool committed = false;      ///< this result won the tuple
+  bool duplicate = false;      ///< tuple already settled; result dropped
+  double attempt_latency_s = 0;  ///< grant → result, for the committed lease
+  std::uint64_t work = 0;  ///< committed tuple's work units (calibration)
+};
+
+class TupleSpace {
+ public:
+  explicit TupleSpace(SpaceConfig config = {});
+
+  /// Insert a fresh tuple; FIFO position is put order.
+  TupleId put(std::string tag, std::uint64_t work, std::uint64_t data_bytes,
+              NodeId data_home, SimTime now);
+
+  /// Grant `worker` a lease on an eligible tuple: first choice is a
+  /// pending tuple (data-home affinity within the configured window,
+  /// else FIFO head), second choice a straggler-marked leased tuple that
+  /// still has speculative lease headroom. nullopt when nothing is
+  /// takeable at `now` (backoff gates count as not takeable).
+  std::optional<TakeGrant> take(NodeId worker, SimTime now);
+
+  /// Non-destructive read of one record (nullptr for unknown ids).
+  const TupleRecord* read(TupleId id);
+
+  /// Present a result for `lease`. First result commits — even when the
+  /// lease already expired — and every later one is dropped as a
+  /// duplicate. Never commits twice.
+  CommitResult complete(LeaseId lease, SimTime now);
+
+  /// Reclaim every lease whose deadline passed; tuples left leaseless
+  /// re-enter the space (or poison past the budget). Returns leases
+  /// reclaimed.
+  std::size_t expire_leases(SimTime now);
+
+  /// Reclaim every lease held by `worker` (crash observed via heartbeat
+  /// starvation — no reason to wait for the deadline). Returns leases
+  /// reclaimed.
+  std::size_t revoke_worker(NodeId worker, SimTime now);
+
+  /// Straggler detector verdict: allow speculative duplicate leases on a
+  /// currently-leased tuple.
+  void mark_speculative(TupleId id);
+
+  /// Split a *pending* tuple into two halves (granularity too coarse).
+  /// Returns false when the tuple is not pending or `min_work` blocks it.
+  bool split(TupleId id, std::uint64_t min_work, SimTime now);
+
+  /// Merge two *pending* tuples into one (granularity too fine). The
+  /// merged tuple inherits `a`'s data home and FIFO position is fresh.
+  std::optional<TupleId> merge(TupleId a, TupleId b, SimTime now);
+
+  /// Every obligation met: nothing pending or leased anywhere.
+  [[nodiscard]] bool settled() const { return unsettled_ == 0; }
+  [[nodiscard]] std::size_t unsettled() const { return unsettled_; }
+  /// Time the last obligation settled (commit or poison).
+  [[nodiscard]] SimTime last_settle_s() const { return last_settle_s_; }
+
+  [[nodiscard]] const std::vector<TupleRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const SpaceStats& stats() const { return stats_; }
+  [[nodiscard]] const SpaceConfig& config() const { return config_; }
+
+  /// Conservation probe: units put by callers vs units settled in leaf
+  /// tuples (done + poisoned). Equal once settled() — checked by tests
+  /// and MC_DCHECKed on every settle.
+  [[nodiscard]] std::uint64_t work_put() const { return work_put_; }
+  [[nodiscard]] std::uint64_t work_done() const { return work_done_; }
+  [[nodiscard]] std::uint64_t work_poisoned() const { return work_poisoned_; }
+
+ private:
+  struct LeaseInfo {
+    TupleId tuple = 0;
+    NodeId worker = kNoNode;
+    bool speculative = false;
+    SimTime granted_s = 0;
+  };
+
+  TupleId insert(std::string tag, std::uint64_t work, std::uint64_t bytes,
+                 NodeId home, SimTime now, bool derived);
+  TakeGrant grant(TupleRecord& record, NodeId worker, SimTime now,
+                  bool speculative);
+  /// Tuple lost all leases without a result: re-issue or poison.
+  void reissue_or_poison(TupleRecord& record, SimTime now);
+  void settle(TupleRecord& record, SimTime now);
+
+  SpaceConfig config_;
+  oracle::RetryPolicy backoff_;
+  std::vector<TupleRecord> records_;  ///< index == TupleId
+  std::deque<TupleId> pending_;       ///< FIFO; entries lazily invalidated
+  std::vector<TupleId> spec_pool_;    ///< straggler-marked leased tuples
+  std::unordered_map<LeaseId, LeaseInfo> leases_;  ///< survives expiry
+  LeaseId next_lease_ = 1;
+  std::size_t unsettled_ = 0;
+  SimTime last_settle_s_ = 0;
+  std::uint64_t work_put_ = 0;
+  std::uint64_t work_done_ = 0;
+  std::uint64_t work_poisoned_ = 0;
+  SpaceStats stats_;
+};
+
+}  // namespace mc::core::fabric

@@ -26,6 +26,7 @@ Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
       for (std::size_t replica : task.replica_sites) {
         if (budget == 0) break;
         --budget;  // each probe of a candidate site spends budget
+        ++placement.retries;
         if (replica < sites_.size() && sites_[replica].alive) {
           local_site = replica;
           have_local = true;
@@ -80,6 +81,7 @@ Schedule MoveComputeScheduler::schedule(const std::vector<SchedTask>& tasks) {
     } else {
       placement.at_data = false;
       placement.site = kHubSite;
+      if (placement.rescheduled) ++placement.retries;  // hub was a probe too
       placement.start_s = hub_start;
       placement.finish_s = hub_finish;
       placement.bytes_moved = task.data_bytes;

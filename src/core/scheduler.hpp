@@ -53,6 +53,10 @@ struct Placement {
   bool rescheduled = false;      ///< primary site dead, ran elsewhere
   bool failed = false;           ///< no live site within the retry budget
   bool deadline_missed = false;  ///< finished after the task's deadline
+  /// Fallback probes this task spent (replica sites tried, plus the hub
+  /// when a rescheduled task ends up there) — 0 when the primary site
+  /// took it. Per-task attribution of the schedule-wide `reschedules`.
+  std::size_t retries = 0;
 };
 
 struct Schedule {

@@ -94,6 +94,9 @@
 #include "core/baselines.hpp"
 #include "core/compose.hpp"
 #include "core/consortium.hpp"
+#include "core/fabric/backend.hpp"
+#include "core/fabric/fabric.hpp"
+#include "core/fabric/tuple_space.hpp"
 #include "core/global_query.hpp"
 #include "core/local_system.hpp"
 #include "core/scheduler.hpp"

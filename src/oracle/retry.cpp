@@ -23,10 +23,15 @@ bool CircuitBreaker::allow(double now_s) {
     case BreakerState::Closed:
       return true;
     case BreakerState::HalfOpen:
-      return true;  // the probe is in flight; let it through
+      // Exactly one probe flies at a time; everyone else fast-fails
+      // until on_success/on_failure resolves it.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
     case BreakerState::Open:
       if (now_s - opened_at_ >= cooldown_s_) {
         state_ = BreakerState::HalfOpen;
+        probe_in_flight_ = true;  // this caller is the probe
         return true;
       }
       return false;
@@ -37,6 +42,7 @@ bool CircuitBreaker::allow(double now_s) {
 void CircuitBreaker::on_success() {
   state_ = BreakerState::Closed;
   consecutive_failures_ = 0;
+  probe_in_flight_ = false;
 }
 
 void CircuitBreaker::on_failure(double now_s) {
@@ -45,8 +51,9 @@ void CircuitBreaker::on_failure(double now_s) {
       consecutive_failures_ >= threshold_) {
     if (state_ != BreakerState::Open) ++opens_;
     state_ = BreakerState::Open;
-    opened_at_ = now_s;
+    opened_at_ = now_s;  // failed probe restarts the full cooldown
   }
+  probe_in_flight_ = false;
 }
 
 RetryingClient::RetryingClient(RpcChannel& channel, Transport transport,

@@ -58,8 +58,10 @@ class CircuitBreaker {
   CircuitBreaker(std::size_t threshold, double cooldown_s)
       : threshold_(threshold), cooldown_s_(cooldown_s) {}
 
-  /// May a call proceed at `now_s`? Open flips to HalfOpen (one probe
-  /// allowed) once the cooldown has elapsed.
+  /// May a call proceed at `now_s`? Open flips to HalfOpen once the
+  /// cooldown has elapsed, and HalfOpen admits exactly one probe at a
+  /// time: further calls fast-fail until on_success() closes the breaker
+  /// or on_failure() re-opens it with a fresh full cooldown.
   bool allow(double now_s);
   /// The protected call succeeded: close and reset the failure streak.
   void on_success();
@@ -77,6 +79,7 @@ class CircuitBreaker {
   std::size_t consecutive_failures_ = 0;
   double opened_at_ = 0;
   std::uint64_t opens_ = 0;
+  bool probe_in_flight_ = false;  ///< the single HalfOpen probe is out
 };
 
 struct RetryStats {

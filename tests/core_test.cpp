@@ -317,6 +317,38 @@ TEST(Scheduler, RetryBudgetExhaustionFailsTask) {
   EXPECT_EQ(rescued.placements[0].site, kHubSite);
 }
 
+TEST(Scheduler, PerTaskRetriesAttributeDegradation) {
+  // Four tasks, four fates: clean local placement (0 retries), one
+  // replica probe (1), replica probe then hub (2), budget exhausted (2).
+  // Slow WAN keeps the hub a last resort, so live-replica tasks stay local.
+  MoveComputeScheduler scheduler({{1e10, 0}, {1e10, 0}, {1e10, 0}},
+                                 {1e10, 0}, /*wan=*/1e6, /*retry_budget=*/2);
+  scheduler.set_site_alive(0, false);
+  scheduler.set_site_alive(2, false);
+
+  SchedTask clean{"clean", /*data_site=*/1, 1e9, 1 << 20, false};
+  SchedTask replica_hit{"replica", 0, 1e9, 1 << 20, false};
+  replica_hit.replica_sites = {1};
+  SchedTask via_hub{"hub", 0, 1e9, 1 << 20, false};
+  via_hub.replica_sites = {2};  // dead probe, then the hub
+  SchedTask doomed{"doomed", 0, 1e9, 1 << 20, false};
+  doomed.replica_sites = {2, 2};  // two dead probes burn the budget
+
+  const Schedule schedule =
+      scheduler.schedule({clean, replica_hit, via_hub, doomed});
+  ASSERT_EQ(schedule.placements.size(), 4u);
+  EXPECT_EQ(schedule.placements[0].retries, 0u);
+  EXPECT_EQ(schedule.placements[1].retries, 1u);
+  EXPECT_EQ(schedule.placements[1].site, 1u);
+  EXPECT_EQ(schedule.placements[2].retries, 2u);
+  EXPECT_EQ(schedule.placements[2].site, kHubSite);
+  EXPECT_EQ(schedule.placements[3].retries, 2u);
+  EXPECT_TRUE(schedule.placements[3].failed);
+  // Schedule-wide totals stay as before; retries refine, not replace.
+  EXPECT_EQ(schedule.reschedules, 3u);
+  EXPECT_EQ(schedule.failed_tasks, 1u);
+}
+
 TEST(Scheduler, HubOnlyTaskFailsWhenHubIsDown) {
   MoveComputeScheduler scheduler({{1e10, 0}}, {1e12, 0}, 125e6);
   scheduler.set_hub_alive(false);

@@ -1,0 +1,460 @@
+// Tuple-space compute fabric tests: TupleSpace lifecycle and commit
+// rules, lease recovery under crashes and partitions, straggler
+// speculation, granularity autotuning, and fabric-vs-static backends —
+// every scenario deterministic and seed-replayable.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fabric/backend.hpp"
+#include "core/fabric/fabric.hpp"
+#include "core/fabric/tuple_space.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
+
+namespace mc::core::fabric {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TupleSpace: coordinator-side data structure.
+// ---------------------------------------------------------------------------
+
+TEST(TupleSpace, PutTakeCompleteLifecycle) {
+  TupleSpace space;
+  const TupleId id = space.put("t0", 10, 0, kNoNode, 0.0);
+  EXPECT_FALSE(space.settled());
+  EXPECT_EQ(space.read(id)->state, TupleState::Pending);
+
+  const auto grant = space.take(/*worker=*/0, /*now=*/0.5);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->tuple.id, id);
+  EXPECT_FALSE(grant->speculative);
+  EXPECT_EQ(space.read(id)->state, TupleState::Leased);
+
+  // Nothing else is takeable: the single tuple is leased, not speculative.
+  EXPECT_FALSE(space.take(1, 0.6).has_value());
+
+  const CommitResult result = space.complete(grant->lease, 0.8);
+  EXPECT_TRUE(result.committed);
+  EXPECT_FALSE(result.duplicate);
+  EXPECT_DOUBLE_EQ(result.attempt_latency_s, 0.3);
+  EXPECT_EQ(result.work, 10u);
+  EXPECT_TRUE(space.settled());
+  EXPECT_EQ(space.read(id)->state, TupleState::Done);
+  EXPECT_EQ(space.read(id)->done_by, 0u);
+  EXPECT_DOUBLE_EQ(space.last_settle_s(), 0.8);
+  EXPECT_EQ(space.work_done(), space.work_put());
+  EXPECT_EQ(space.stats().commits, 1u);
+}
+
+TEST(TupleSpace, TakePrefersDataHomeWithinAffinityWindow) {
+  SpaceConfig config;
+  config.affinity_window = 8;
+  TupleSpace space(config);
+  space.put("a", 1, 0, /*data_home=*/3, 0.0);
+  space.put("b", 1, 0, /*data_home=*/7, 0.0);
+  // Worker 7 skips the FIFO head because "b" lives on it...
+  const auto grant = space.take(7, 0.1);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->tuple.tag, "b");
+  EXPECT_EQ(space.stats().local_grants, 1u);
+  // ...and with a zero window, strict FIFO would have handed it "a".
+  TupleSpace fifo(SpaceConfig{.affinity_window = 0});
+  fifo.put("a", 1, 0, 3, 0.0);
+  fifo.put("b", 1, 0, 7, 0.0);
+  EXPECT_EQ(fifo.take(7, 0.1)->tuple.tag, "a");
+}
+
+TEST(TupleSpace, LeaseExpiryReissuesWithBackoffThenPoisons) {
+  SpaceConfig config;
+  config.lease_s = 1.0;
+  config.reissue_budget = 2;
+  config.backoff.backoff_base_s = 0.5;
+  TupleSpace space(config);
+  const TupleId id = space.put("t", 4, 0, kNoNode, 0.0);
+
+  double now = 0.0;
+  for (std::size_t round = 1; round <= config.reissue_budget; ++round) {
+    const auto grant = space.take(0, now);
+    ASSERT_TRUE(grant.has_value());
+    now += 1.5;  // past the deadline
+    EXPECT_EQ(space.expire_leases(now), 1u);
+    const TupleRecord* record = space.read(id);
+    EXPECT_EQ(record->state, TupleState::Pending);
+    EXPECT_EQ(record->reissues, round);
+    // Backoff gates the re-take.
+    EXPECT_GT(record->not_before_s, now);
+    EXPECT_FALSE(space.take(0, now).has_value());
+    now = record->not_before_s;
+  }
+
+  // Budget exhausted: the next lost lease poisons the tuple.
+  ASSERT_TRUE(space.take(0, now).has_value());
+  now += 1.5;
+  space.expire_leases(now);
+  EXPECT_EQ(space.read(id)->state, TupleState::Poisoned);
+  EXPECT_TRUE(space.settled());
+  EXPECT_EQ(space.work_poisoned(), space.work_put());
+  EXPECT_EQ(space.stats().poisoned, 1u);
+  EXPECT_EQ(space.stats().reissues, config.reissue_budget);
+}
+
+// The lease-expiry-vs-slow-worker race: the original worker's result
+// arrives after its lease expired and the tuple was re-issued to someone
+// else. First result wins — exactly one commit, ever.
+TEST(TupleSpace, SlowWorkerResultAfterExpiryCommitsExactlyOnce) {
+  SpaceConfig config;
+  config.lease_s = 1.0;
+  config.backoff.backoff_base_s = 0.0;  // re-takeable immediately
+  TupleSpace space(config);
+  const TupleId id = space.put("t", 8, 0, kNoNode, 0.0);
+
+  const auto slow = space.take(0, 0.0);
+  ASSERT_TRUE(slow.has_value());
+  space.expire_leases(2.0);  // slow worker presumed dead
+  const auto retry = space.take(1, 2.0);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->tuple.id, id);
+
+  // The presumed-dead worker was merely slow: its result still lands
+  // first and commits, flagged as an expired-lease commit.
+  const CommitResult first = space.complete(slow->lease, 2.5);
+  EXPECT_TRUE(first.committed);
+  EXPECT_EQ(space.read(id)->state, TupleState::Done);
+  EXPECT_EQ(space.read(id)->done_by, 0u);
+  EXPECT_TRUE(space.read(id)->committed_after_expiry);
+  EXPECT_EQ(space.stats().expired_lease_commits, 1u);
+
+  // The re-issued twin's result is dropped as a duplicate.
+  const CommitResult second = space.complete(retry->lease, 3.0);
+  EXPECT_FALSE(second.committed);
+  EXPECT_TRUE(second.duplicate);
+  EXPECT_EQ(space.stats().commits, 1u);
+  EXPECT_EQ(space.stats().duplicate_completions, 1u);
+  EXPECT_EQ(space.work_done(), space.work_put());
+  EXPECT_TRUE(space.settled());
+}
+
+TEST(TupleSpace, SpeculativeDuplicateFirstResultWins) {
+  SpaceConfig config;
+  config.max_leases = 2;
+  TupleSpace space(config);
+  const TupleId id = space.put("t", 2, 0, kNoNode, 0.0);
+  const auto primary = space.take(0, 0.0);
+  ASSERT_TRUE(primary.has_value());
+
+  space.mark_speculative(id);
+  // The straggling primary holder never gets its own duplicate.
+  EXPECT_FALSE(space.take(0, 0.1).has_value());
+  const auto duplicate = space.take(1, 0.2);
+  ASSERT_TRUE(duplicate.has_value());
+  EXPECT_TRUE(duplicate->speculative);
+  // max_leases reached: no third copy.
+  EXPECT_FALSE(space.take(2, 0.3).has_value());
+
+  const CommitResult fast = space.complete(duplicate->lease, 0.5);
+  EXPECT_TRUE(fast.committed);
+  EXPECT_EQ(space.stats().speculative_wins, 1u);
+  const CommitResult late = space.complete(primary->lease, 4.0);
+  EXPECT_TRUE(late.duplicate);
+  EXPECT_EQ(space.stats().commits, 1u);
+  EXPECT_TRUE(space.settled());
+}
+
+TEST(TupleSpace, RevokeWorkerReclaimsAllItsLeases) {
+  SpaceConfig config;
+  config.backoff.backoff_base_s = 0.0;
+  TupleSpace space(config);
+  space.put("a", 1, 0, kNoNode, 0.0);
+  space.put("b", 1, 0, kNoNode, 0.0);
+  ASSERT_TRUE(space.take(5, 0.0).has_value());
+  ASSERT_TRUE(space.take(5, 0.0).has_value());
+  EXPECT_EQ(space.revoke_worker(5, 0.5), 2u);
+  EXPECT_EQ(space.stats().revocations, 2u);
+  EXPECT_EQ(space.stats().reissues, 2u);
+  // Both tuples are back in the space for someone healthier.
+  EXPECT_TRUE(space.take(6, 0.6).has_value());
+  EXPECT_TRUE(space.take(7, 0.6).has_value());
+}
+
+TEST(TupleSpace, SplitAndMergeConserveWorkExactly) {
+  TupleSpace space;
+  const TupleId fat = space.put("fat", 101, 1000, 2, 0.0);
+  space.put("t1", 3, 0, kNoNode, 0.0);
+  space.put("t2", 5, 0, kNoNode, 0.0);
+  const std::uint64_t put = space.work_put();
+
+  ASSERT_TRUE(space.split(fat, /*min_work=*/10, 0.1));
+  EXPECT_EQ(space.read(fat)->state, TupleState::Replaced);
+  const auto merged = space.merge(1, 2, 0.2);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(space.read(*merged)->tuple.work, 8u);
+  EXPECT_EQ(space.stats().splits, 1u);
+  EXPECT_EQ(space.stats().merges, 1u);
+
+  // Drain: three leaf tuples (fat/a, fat/b, merged) remain.
+  std::size_t drained = 0;
+  double now = 0.3;
+  while (auto grant = space.take(0, now)) {
+    EXPECT_TRUE(space.complete(grant->lease, now + 0.1).committed);
+    now += 0.2;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 3u);
+  EXPECT_TRUE(space.settled());
+  EXPECT_EQ(space.work_put(), put);          // derived puts don't inflate
+  EXPECT_EQ(space.work_done(), put);         // ...and the units all landed
+  // A leased tuple refuses to split or merge.
+  const TupleId late = space.put("late", 40, 0, kNoNode, now);
+  ASSERT_TRUE(space.take(0, now).has_value());
+  EXPECT_FALSE(space.split(late, 1, now));
+  EXPECT_FALSE(space.merge(late, late, now).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ComputeFabric: the full event-driven runtime.
+// ---------------------------------------------------------------------------
+
+FabricConfig small_fleet() {
+  FabricConfig config;
+  config.workers = 8;
+  config.seed = 0x51;
+  config.worker_speed = 1e9;
+  config.sim_limit_s = 120;
+  return config;
+}
+
+void submit_batch(ComputeFabric& fabric, std::size_t n,
+                  std::uint64_t work = 10'000'000) {
+  for (std::size_t i = 0; i < n; ++i)
+    fabric.submit("task-" + std::to_string(i), work, 0,
+                  static_cast<NodeId>(i % fabric.config().workers));
+}
+
+TEST(ComputeFabric, HealthyFleetSettlesEverythingAndReplays) {
+  const FabricConfig config = small_fleet();
+  auto run_once = [&config] {
+    ComputeFabric fabric(config);
+    submit_batch(fabric, 200);
+    return fabric.run();
+  };
+  const FabricReport first = run_once();
+  EXPECT_TRUE(first.settled);
+  EXPECT_EQ(first.tuples, 200u);
+  EXPECT_EQ(first.done, 200u);
+  EXPECT_EQ(first.poisoned, 0u);
+  EXPECT_EQ(first.space.commits, 200u);
+  EXPECT_EQ(first.work_done, first.work_put);
+  EXPECT_GT(first.makespan_s, 0.0);
+  EXPECT_GT(first.locality(), 0.0);
+
+  // Same seed, same report — bit for bit.
+  const FabricReport second = run_once();
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+  // A different seed shuffles jitter and wire order: different record.
+  FabricConfig other = config;
+  other.seed = 0x52;
+  ComputeFabric fabric(other);
+  submit_batch(fabric, 200);
+  EXPECT_NE(first.fingerprint(), fabric.run().fingerprint());
+}
+
+// Acceptance headline: a seeded crash schedule kills 25% of the fleet
+// mid-run; the fabric completes 100% of tuples with zero lost and zero
+// double-committed results.
+TEST(ComputeFabric, QuarterFleetCrashMidRunLosesNothing) {
+  FabricConfig config = small_fleet();
+  config.space.lease_s = 0.5;
+  config.faults.crash(0, 0.3, 5.0).crash(1, 0.35, 5.0);  // 2 of 8 = 25%
+  ComputeFabric fabric(config);
+  submit_batch(fabric, 800);
+  const FabricReport report = fabric.run();
+
+  EXPECT_TRUE(report.settled);
+  EXPECT_EQ(report.done, report.tuples);  // 100% completed...
+  EXPECT_EQ(report.poisoned, 0u);         // ...nothing poisoned...
+  EXPECT_EQ(report.work_done, report.work_put);  // ...zero units lost
+  EXPECT_EQ(report.space.commits, static_cast<std::uint64_t>(report.done));
+  EXPECT_EQ(report.worker_crashes, 2u);
+  EXPECT_EQ(report.worker_restarts, 2u);
+  // The crash actually bit: leases were reclaimed and tuples re-issued.
+  EXPECT_GT(report.space.reissues, 0u);
+  // Replays seed-identically even under faults.
+  ComputeFabric again(config);
+  submit_batch(again, 800);
+  EXPECT_EQ(report.fingerprint(), again.run().fingerprint());
+}
+
+TEST(ComputeFabric, AllWorkersDieAndRestartMidRun) {
+  FabricConfig config = small_fleet();
+  config.workers = 4;
+  config.space.lease_s = 0.5;
+  for (NodeId w = 0; w < 4; ++w) config.faults.crash(w, 0.2, 3.0);
+  ComputeFabric fabric(config);
+  submit_batch(fabric, 100);
+  const FabricReport report = fabric.run();
+  EXPECT_TRUE(report.settled);
+  EXPECT_EQ(report.done, 100u);
+  EXPECT_EQ(report.worker_crashes, 4u);
+  EXPECT_EQ(report.worker_restarts, 4u);
+  EXPECT_GT(report.makespan_s, 3.0);  // nothing could finish before revival
+  EXPECT_EQ(report.work_done, report.work_put);
+}
+
+// "Leader of nothing": the coordinator starts with every worker already
+// dead — the space just holds the work until someone shows up.
+TEST(ComputeFabric, StartsWithWholeFleetDownAndRecovers) {
+  FabricConfig config = small_fleet();
+  config.workers = 4;
+  for (NodeId w = 0; w < 4; ++w) config.faults.crash(w, 0.0, 2.0);
+  ComputeFabric fabric(config);
+  submit_batch(fabric, 50);
+  const FabricReport report = fabric.run();
+  EXPECT_TRUE(report.settled);
+  EXPECT_EQ(report.done, 50u);
+  EXPECT_EQ(report.poisoned, 0u);
+  EXPECT_GT(report.makespan_s, 2.0);
+  // No lease ever existed before the restarts, so nothing was re-issued.
+  EXPECT_EQ(report.space.lease_expiries, 0u);
+}
+
+TEST(ComputeFabric, SpeculationBeatsStragglersEndToEnd) {
+  FabricConfig config = small_fleet();
+  config.straggler_frac = 0.3;  // ~30% of the fleet runs 20× slower
+  config.straggler_slowdown = 20.0;
+  config.space.lease_s = 30.0;  // expiry must NOT be what rescues the tail
+
+  auto run_with = [&config](bool speculation) {
+    FabricConfig c = config;
+    c.speculation = speculation;
+    ComputeFabric fabric(c);
+    // Paced arrivals below fleet capacity, so latency measures service
+    // time (straggler tax included), not backlog drain.
+    for (std::size_t i = 0; i < 200; ++i)
+      fabric.submit("task-" + std::to_string(i), 50'000'000, 0,
+                    static_cast<NodeId>(i % c.workers),
+                    static_cast<double>(i) * 0.01);
+    return fabric.run();
+  };
+  const FabricReport with = run_with(true);
+  const FabricReport without = run_with(false);
+  ASSERT_TRUE(with.settled);
+  ASSERT_TRUE(without.settled);
+  EXPECT_EQ(with.done, 200u);
+  EXPECT_EQ(without.done, 200u);
+  // Speculative duplicates won tuples off the stragglers...
+  EXPECT_GT(with.speculation_marks, 0u);
+  EXPECT_GT(with.space.speculative_wins, 0u);
+  // ...and both the tail and the makespan improved.
+  EXPECT_LT(with.makespan_s, without.makespan_s);
+  EXPECT_LT(with.p99_latency_s, without.p99_latency_s);
+}
+
+TEST(ComputeFabric, HeartbeatStarvationRecoversFasterThanLeaseDeadline) {
+  FabricConfig config = small_fleet();
+  config.workers = 2;
+  config.space.lease_s = 30.0;  // the deadline alone would stall the run
+  config.heartbeat_timeout_s = 1.0;
+  config.speculation = false;  // isolate the heartbeat recovery path
+  config.faults.crash(0, 0.35);  // permanent: never restarts
+  ComputeFabric fabric(config);
+  submit_batch(fabric, 20, /*work=*/200'000'000);  // 0.2 s: crash mid-task
+  const FabricReport report = fabric.run();
+  EXPECT_TRUE(report.settled);
+  EXPECT_EQ(report.done, 20u);
+  EXPECT_GT(report.space.revocations, 0u);  // heartbeat path fired...
+  EXPECT_LT(report.makespan_s, config.space.lease_s);  // ...before expiry
+  EXPECT_EQ(report.work_done, report.work_put);
+}
+
+TEST(ComputeFabric, AutotuneSplitsCoarseAndMergesFineTuples) {
+  FabricConfig config = small_fleet();
+  config.workers = 4;
+  config.autotune = true;
+  config.target_latency_s = 0.05;
+  config.min_work = 1'000'000;
+  config.max_work = 200'000'000;
+  ComputeFabric fabric(config);
+  // Calibration batch near the target, then a far-too-coarse tuple and a
+  // cloud of far-too-fine ones.
+  submit_batch(fabric, 30, /*work=*/40'000'000);
+  fabric.submit("fat", 1'000'000'000, 0, kNoNode, 0.0);
+  for (int i = 0; i < 40; ++i)
+    fabric.submit("fine-" + std::to_string(i), 2'000'000, 0, kNoNode, 0.0);
+  const FabricReport report = fabric.run();
+  EXPECT_TRUE(report.settled);
+  EXPECT_EQ(report.poisoned, 0u);
+  EXPECT_GT(report.space.splits, 0u);
+  EXPECT_GT(report.space.merges, 0u);
+  EXPECT_GT(report.replaced, 0u);
+  // Conservation holds across every split and merge.
+  EXPECT_EQ(report.work_done, report.work_put);
+}
+
+// ---------------------------------------------------------------------------
+// Backends: fabric vs the static MoveComputeScheduler plan.
+// ---------------------------------------------------------------------------
+
+std::vector<AnalyticsTask> batch_tasks(std::size_t n, std::size_t workers,
+                                       std::uint64_t work = 10'000'000) {
+  std::vector<AnalyticsTask> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tasks.push_back(AnalyticsTask{"task-" + std::to_string(i), work, 0,
+                                  static_cast<NodeId>(i % workers), 0.0});
+  return tasks;
+}
+
+TEST(AnalyticsBackends, AgreeOnAHealthyHomogeneousFleet) {
+  FleetConfig fleet;
+  fleet.workers = 8;
+  const auto tasks = batch_tasks(160, fleet.workers);
+  StaticPlanBackend baseline(fleet);
+  FabricBackend fabric(fleet);
+  const AnalyticsReport s = baseline.run(tasks);
+  const AnalyticsReport f = fabric.run(tasks);
+  EXPECT_EQ(s.completed, 160u);
+  EXPECT_EQ(f.completed, 160u);
+  EXPECT_TRUE(s.all_completed());
+  EXPECT_TRUE(f.all_completed());
+  // Healthy and uniform: pull scheduling only pays the control-plane
+  // overhead, so the two makespans land in the same ballpark.
+  EXPECT_LT(f.makespan_s, 3.0 * s.makespan_s);
+}
+
+TEST(AnalyticsBackends, FabricBeatsStaticPlanThroughCrashWindow) {
+  FleetConfig fleet;
+  fleet.workers = 8;
+  fleet.faults.crash(0, 0.1, 6.0).crash(1, 0.1, 6.0);
+  FabricConfig tuning;
+  tuning.space.lease_s = 0.5;
+  const auto tasks = batch_tasks(400, fleet.workers);
+  StaticPlanBackend baseline(fleet);
+  FabricBackend fabric(fleet, tuning);
+  const AnalyticsReport s = baseline.run(tasks);
+  const AnalyticsReport f = fabric.run(tasks);
+
+  // Static: the two crashed sites strand their queues until the heal, so
+  // the makespan is pinned past it. Fabric: survivors absorb the work.
+  EXPECT_TRUE(f.all_completed());
+  EXPECT_GE(s.makespan_s, 6.0);
+  EXPECT_LT(f.makespan_s, s.makespan_s);
+  EXPECT_LT(f.p99_latency_s, s.p99_latency_s);
+  EXPECT_GT(f.recoveries, 0u);
+
+  // Graceful degradation: if the sites never heal the static plan fails
+  // their tasks outright; the fabric still completes every one.
+  FleetConfig dead = fleet;
+  dead.faults = sim::FaultPlan{};
+  dead.faults.crash(0, 0.1).crash(1, 0.1);
+  const AnalyticsReport s2 = StaticPlanBackend(dead).run(tasks);
+  FabricBackend fabric2(dead, tuning);
+  const AnalyticsReport f2 = fabric2.run(tasks);
+  EXPECT_GT(s2.failed, 0u);
+  EXPECT_FALSE(s2.all_completed());
+  EXPECT_TRUE(f2.all_completed());
+  EXPECT_EQ(f2.completed, 400u);
+}
+
+}  // namespace
+}  // namespace mc::core::fabric

@@ -119,6 +119,88 @@ TEST(FaultInjector, TraceIsSeedDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+std::size_t count_events(const std::vector<FaultEvent>& trace,
+                         FaultEvent::Kind kind, SimTime at, NodeId node) {
+  std::size_t n = 0;
+  for (const auto& event : trace)
+    if (event.kind == kind && event.at == at && event.node == node) ++n;
+  return n;
+}
+
+TEST(FaultInjector, OverlappingCrashWindowsFireEachBoundaryOnce) {
+  FaultPlan plan;
+  plan.crash(2, 1.0, 3.0).crash(2, 2.0, 4.0);  // same node, overlapping
+
+  auto run_once = [&plan](std::vector<double> probes,
+                          std::vector<bool>& down_at) {
+    Network net = Network::uniform(4, 1);
+    EventQueue queue;
+    FaultInjector injector(net, queue);
+    injector.install(plan);
+    down_at.clear();
+    for (const double t : probes) {
+      queue.run(t);
+      down_at.push_back(injector.is_down(2));
+    }
+    queue.run(10.0);
+    return injector.trace();
+  };
+
+  std::vector<bool> down;
+  const auto trace = run_once({0.5, 1.5, 2.5, 3.5, 4.5}, down);
+  // is_down holds across the *union* of the windows, [1, 4).
+  EXPECT_EQ(down, (std::vector<bool>{false, true, true, true, false}));
+  // Every boundary fires exactly once — four events, no duplicates even
+  // where the windows overlap.
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::Crash, 1.0, 2), 1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::Crash, 2.0, 2), 1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::Restart, 3.0, 2), 1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::Restart, 4.0, 2), 1u);
+  // Replays identically.
+  std::vector<bool> down2;
+  EXPECT_EQ(trace, run_once({0.5, 1.5, 2.5, 3.5, 4.5}, down2));
+  EXPECT_EQ(down, down2);
+}
+
+TEST(FaultInjector, PartitionHealsMidDegradeWindow) {
+  FaultPlan plan;
+  plan.partition({1}, 1.0, 3.0)
+      .degrade(0, 1, 2.0, 5.0, /*extra_loss=*/0.5, /*extra_latency_s=*/0.01);
+
+  auto run_once = [&plan] {
+    Network net = Network::uniform(4, 2);  // 0,2 region 0; 1,3 region 1
+    EventQueue queue;
+    FaultInjector injector(net, queue);
+    injector.install(plan);
+
+    queue.run(2.5);  // partition and degrade both active
+    EXPECT_FALSE(injector.connected(0, 1));
+    EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.5);
+
+    queue.run(3.5);  // partition healed mid-degrade: lossy but connected
+    EXPECT_TRUE(injector.connected(0, 1));
+    EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(injector.extra_latency(0, 1), 0.01);
+
+    queue.run(6.0);  // degrade over too
+    EXPECT_DOUBLE_EQ(injector.loss(0, 1), 0.0);
+    return injector.trace();
+  };
+
+  const auto trace = run_once();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::PartitionStart, 1.0, kNoNode),
+            1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::DegradeStart, 2.0, kNoNode),
+            1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::PartitionHeal, 3.0, kNoNode),
+            1u);
+  EXPECT_EQ(count_events(trace, FaultEvent::Kind::DegradeEnd, 5.0, kNoNode),
+            1u);
+  EXPECT_EQ(trace, run_once());  // seed-identical replay
+}
+
 TEST(GossipFaults, PartitionStarvesMinorityUntilHeal) {
   Network net = Network::uniform(4, 2);
   EventQueue queue;

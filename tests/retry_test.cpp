@@ -70,6 +70,40 @@ TEST(CircuitBreaker, OpensAfterThresholdAndProbesHalfOpen) {
   EXPECT_EQ(breaker.state(), BreakerState::Closed);
 }
 
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker(/*threshold=*/2, /*cooldown_s=*/1.0);
+  breaker.on_failure(0.0);
+  breaker.on_failure(0.1);  // opened at 0.1
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+  // Cooldown elapses: the first caller becomes the probe, and every
+  // other caller fast-fails while that probe is in flight.
+  EXPECT_TRUE(breaker.allow(1.2));
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  EXPECT_FALSE(breaker.allow(1.2));
+  EXPECT_FALSE(breaker.allow(1.8));
+
+  // Probe succeeds: closed, and traffic flows freely again.
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow(1.9));
+  EXPECT_TRUE(breaker.allow(1.9));
+
+  // Re-open and fail the probe: the breaker re-opens with a *full*
+  // cooldown from the probe failure, not a leftover from the first open.
+  breaker.on_failure(2.0);
+  breaker.on_failure(2.1);
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_TRUE(breaker.allow(3.2));   // the probe
+  breaker.on_failure(3.2);           // probe fails
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_FALSE(breaker.allow(4.1));  // 0.9 s into the fresh cooldown
+  EXPECT_TRUE(breaker.allow(4.3));   // full cooldown elapsed: next probe
+  EXPECT_FALSE(breaker.allow(4.3));  // ...still one at a time
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
 struct ClientHarness {
   RpcChannel channel{crypto::sha256("bridge-key")};
   int method_runs = 0;

@@ -23,6 +23,7 @@
 #include "chain/vm_hook.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/fabric/fabric.hpp"
 #include "core/scheduler.hpp"
 #include "crypto/schnorr.hpp"
 #include "vm/assembler.hpp"
@@ -158,6 +159,44 @@ TEST(StressConcurrency, ParallelOffchainAnalyticsViaScheduler) {
 
   EXPECT_EQ(placements.load(), kWorkers * 32u);
   EXPECT_GE(hub_moves.load(), kWorkers * 3u);  // the hub_only tasks at least
+}
+
+TEST(StressConcurrency, FabricLeaseSpeculationChurn) {
+  // Each worker thread owns an independent ComputeFabric (fabrics are
+  // single-owner by design — the event loop is single-threaded) running
+  // the same crash+straggler scenario, and publishes its fingerprint.
+  // TSan probes the parallel_for fan-out; the postcondition pins full
+  // determinism: every same-seeded run must produce the same record even
+  // with lease churn, revocations and speculative duplicates in play.
+  ThreadPool pool(4);
+  const std::size_t kRuns = 8;
+  std::vector<Hash256> fingerprints(kRuns);
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> recoveries{0};
+
+  pool.parallel_for(kRuns, [&fingerprints, &commits, &recoveries](
+                               std::size_t r) {
+    core::fabric::FabricConfig config;
+    config.workers = 6;
+    config.seed = 0x57e;
+    config.space.lease_s = 0.3;
+    config.straggler_frac = 0.3;
+    config.straggler_slowdown = 10.0;
+    config.faults.crash(0, 0.2, 2.0).crash(1, 0.5, 2.5);
+    core::fabric::ComputeFabric fabric(config);
+    for (std::size_t i = 0; i < 300; ++i)
+      fabric.submit("t" + std::to_string(i), 10'000'000, 0,
+                    static_cast<sim::NodeId>(i % config.workers));
+    const core::fabric::FabricReport report = fabric.run();
+    fingerprints[r] = report.fingerprint();
+    commits += report.space.commits;
+    recoveries += report.space.reissues + report.space.speculative_takes;
+  });
+
+  for (std::size_t r = 1; r < kRuns; ++r)
+    EXPECT_EQ(fingerprints[r], fingerprints[0]);
+  EXPECT_EQ(commits.load(), kRuns * 300u);
+  EXPECT_GT(recoveries.load(), 0u);  // the faults actually bit
 }
 
 TEST(StressConcurrency, BlockValidatorHammeredFromManyThreads) {
