@@ -175,6 +175,142 @@ int main(int argc, char** argv) {
     write_seed(root / "analyze", "stack_overflow", BytesView(flood));
   }
 
+  // Param-keyed analyzer seeds (PR 9): programs whose storage keys are
+  // symbolic in calldata/env — the concretization leg of fuzz_analyze
+  // must evaluate them to the exact cells the trace touches.
+  {
+    // storage[H(7, calldata[3])] += calldata[2] — the per-patient record
+    // shape the parallel-execution bench schedules conflict-free.
+    write_seed(root / "analyze", "patient_record",
+               BytesView(vm::assemble(R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @put
+REVERT
+put:
+POP
+PUSH 7
+PUSH 3
+CALLDATALOAD        ; [7, patient]
+HASHN 2             ; [rkey]
+DUP 1               ; [rkey, rkey]
+SLOAD               ; [rkey, old]
+PUSH 2
+CALLDATALOAD        ; [rkey, old, delta]
+ADD                 ; [rkey, new]
+SWAP 1              ; [new, rkey]
+SSTORE
+PUSH 1
+RETURN 1
+)")));
+    // storage[8*calldata[1] + 16] = calldata[2] — affine key, wraps mod
+    // 2^64 exactly like the VM's arithmetic.
+    write_seed(root / "analyze", "affine_key",
+               BytesView(vm::assemble(R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @put
+REVERT
+put:
+POP
+PUSH 2
+CALLDATALOAD        ; [val]
+PUSH 1
+CALLDATALOAD        ; [val, cd1]
+PUSH 8
+MUL                 ; [val, 8*cd1]
+PUSH 16
+ADD                 ; [val, key]
+SSTORE
+PUSH 1
+RETURN 1
+)")));
+    // storage[H(3, CALLER)] += 1 — key symbolic in the caller identity.
+    write_seed(root / "analyze", "caller_keyed",
+               BytesView(vm::assemble(R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @bump
+REVERT
+bump:
+POP
+PUSH 3
+CALLER              ; [3, caller]
+HASHN 2             ; [ckey]
+DUP 1               ; [ckey, ckey]
+SLOAD               ; [ckey, old]
+PUSH 1
+ADD                 ; [ckey, new]
+SWAP 1              ; [new, ckey]
+SSTORE
+PUSH 1
+RETURN 1
+)")));
+    // Two selectors with disjoint footprints: per-selector summaries
+    // must prune each entry point to its own key.
+    write_seed(root / "analyze", "selector_switch",
+               BytesView(vm::assemble(R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @dyn
+DUP 1
+PUSH 2
+EQ
+JUMPI @fixed
+REVERT
+dyn:
+POP
+PUSH 1              ; [val]
+PUSH 5
+PUSH 1
+CALLDATALOAD        ; [val, 5, cd1]
+HASHN 2             ; [val, key]
+SSTORE
+PUSH 1
+RETURN 1
+fixed:
+POP
+PUSH 1              ; [val]
+PUSH 42             ; [val, 42]
+SSTORE
+PUSH 1
+RETURN 1
+)")));
+    // Key loaded from storage itself: symbolic evaluation has no model
+    // for it, so the footprint must refuse to concretize (fall back to
+    // the unbounded/recorded ladder), never invent a cell.
+    write_seed(root / "analyze", "nonconcrete_storage_key",
+               BytesView(vm::assemble(R"(
+PUSH 0
+CALLDATALOAD
+DUP 1
+PUSH 1
+EQ
+JUMPI @put
+REVERT
+put:
+POP
+PUSH 99             ; [val]
+PUSH 1
+SLOAD               ; [val, storage[1]]
+SSTORE
+PUSH 1
+RETURN 1
+)")));
+  }
+
   // Contract-input seeds: policy source text and dispatcher calldata.
   write_seed(root / "contracts_input", "policy_source",
              std::string(mc::contracts::PolicyContract::source()));

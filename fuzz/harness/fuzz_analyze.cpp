@@ -90,6 +90,29 @@ int analyze(const std::uint8_t* data, std::size_t size) {
   const std::string violation =
       vm::analysis::soundness_violation(report, trace, result);
   MC_FUZZ_EXPECT(violation.empty(), "static bounds violated by execution");
+
+  // Concretization soundness: evaluating the symbolic footprint keys
+  // against this call's concrete environment must cover every cell the
+  // trace actually touched — the containment the parallel scheduler and
+  // the audit-build DCHECK both rely on (DESIGN.md §13). Checked for the
+  // whole-program report and for the per-selector summary that matches
+  // this calldata, mirroring ContractStore's deploy-time cache.
+  const vm::analysis::SymbolicEnv env = vm::analysis::env_of(ctx);
+  if (!report.incomplete) {
+    MC_FUZZ_EXPECT(
+        vm::analysis::concretization_violation(report.footprint, env, trace)
+            .empty(),
+        "concretized whole-program footprint missed a traced cell");
+  }
+  const auto summaries = vm::analysis::summarize_selectors(code);
+  if (const vm::analysis::SelectorSummary* sum =
+          vm::analysis::summary_for(summaries, ctx.calldata);
+      sum != nullptr && !sum->incomplete) {
+    MC_FUZZ_EXPECT(
+        vm::analysis::concretization_violation(sum->footprint, env, trace)
+            .empty(),
+        "concretized selector summary missed a traced cell");
+  }
   return 0;
 }
 

@@ -263,15 +263,23 @@ ChainSimReport run_chain_sim(const ChainSimConfig& config) {
 
   // Conflict analysis over the committed chain: how much of the block
   // workload could have run in parallel (node 0's view; all honest nodes
-  // converge to the same best chain).
+  // converge to the same best chain). Routed through the execution
+  // layer's scheduling footprint — the same static-exact / concretized-
+  // symbolic ladder the wave scheduler uses — so the reported
+  // conflict_rate is what the scheduler would actually see.
   {
     BlockConflictReport chain_conflicts;
     const Node& n0 = *world.nodes[0];
+    const vm::ContractStore* store = n0.executor().footprints().store();
     for (const BlockId& id : n0.best_chain()) {
       const Block* block = n0.block(id);
       if (block != nullptr)
-        chain_conflicts.merge(
-            analyze_block_conflicts(*block, /*store=*/nullptr));
+        chain_conflicts.merge(analyze_block_conflicts(
+            *block, [&](const Transaction& tx) {
+              return exec::scheduling_footprint(tx, store,
+                                                block->header.height,
+                                                /*symbolic=*/true);
+            }));
     }
     report.conflict_pairs = chain_conflicts.pairs;
     report.conflict_conflicting_pairs = chain_conflicts.conflicting_pairs;

@@ -5,11 +5,14 @@
 #include "chain/vm_hook.hpp"
 
 namespace mc::chain {
-namespace {
 
-FootprintCell balance_cell(const Address& addr) {
+FootprintCell balance_cell_of(const Address& addr) {
   return {fp_domain::kBalance, fnv1a(BytesView(addr.data)), 0};
 }
+
+namespace {
+
+FootprintCell balance_cell(const Address& addr) { return balance_cell_of(addr); }
 
 /// Fold a contract's deployment-time static footprint into cells. Exact
 /// keys become precise cells; any non-constant key (or an incomplete
@@ -126,12 +129,12 @@ bool footprints_conflict(const TxFootprint& a, const TxFootprint& b) {
          intersects(a.reads, b.writes);
 }
 
-BlockConflictReport analyze_block_conflicts(const Block& block,
-                                            const vm::ContractStore* store) {
+namespace {
+
+BlockConflictReport conflicts_over(const Block& block,
+                                   std::vector<TxFootprint> footprints) {
   BlockConflictReport report;
   report.txs = block.txs.size();
-
-  const std::vector<TxFootprint> footprints = block_footprints(block, store);
   for (const TxFootprint& fp : footprints)
     if (fp.unbounded) ++report.unbounded_txs;
 
@@ -142,6 +145,22 @@ BlockConflictReport analyze_block_conflicts(const Block& block,
         ++report.conflicting_pairs;
     }
   return report;
+}
+
+}  // namespace
+
+BlockConflictReport analyze_block_conflicts(const Block& block,
+                                            const vm::ContractStore* store) {
+  return conflicts_over(block, block_footprints(block, store));
+}
+
+BlockConflictReport analyze_block_conflicts(
+    const Block& block,
+    const std::function<TxFootprint(const Transaction&)>& footprint_of) {
+  std::vector<TxFootprint> footprints;
+  footprints.reserve(block.txs.size());
+  for (const Transaction& tx : block.txs) footprints.push_back(footprint_of(tx));
+  return conflicts_over(block, std::move(footprints));
 }
 
 }  // namespace mc::chain

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -41,6 +42,11 @@ struct TxFootprint {
   std::set<FootprintCell> writes;
   bool unbounded = false;
 };
+
+/// The ledger cell every transaction touches for its sender (fees +
+/// nonce). Shared with the execution layer's concretizer so symbolic
+/// scheduling footprints key balances identically.
+[[nodiscard]] FootprintCell balance_cell_of(const Address& addr);
 
 /// Derive the footprint of `tx`. `store` resolves Call targets to their
 /// deployment-time analysis reports; pass nullptr when no contract state
@@ -93,5 +99,12 @@ struct BlockConflictReport {
 /// Pairwise conflict analysis of one block's transaction list.
 [[nodiscard]] BlockConflictReport analyze_block_conflicts(
     const Block& block, const vm::ContractStore* store);
+
+/// As above with caller-supplied footprints — the execution layer routes
+/// this through its symbolic-concretizing FootprintProvider so reported
+/// conflict rates match what the wave scheduler actually sees.
+[[nodiscard]] BlockConflictReport analyze_block_conflicts(
+    const Block& block,
+    const std::function<TxFootprint(const Transaction&)>& footprint_of);
 
 }  // namespace mc::chain

@@ -135,7 +135,8 @@ bool BlockExecutor::run_parallel(WorldState& state, const Block& block,
 
   std::vector<TxFootprint> fps;
   fps.reserve(n);
-  for (const Transaction& tx : block.txs) fps.push_back(provider_.footprint(tx));
+  for (const Transaction& tx : block.txs)
+    fps.push_back(provider_.footprint(tx, height));
   const TxDag dag = build_tx_dag(fps);
   metrics_.dag_edges += dag.edges;
 

@@ -35,6 +35,10 @@ struct ExecutionConfig {
   ThreadPool* pool = nullptr;
   /// Record first-run dynamic footprints for ⊤ transactions.
   bool record_dynamic_footprints = true;
+  /// Concretize per-selector symbolic footprint summaries against tx
+  /// calldata (DESIGN.md §12–13). Off = the Param-as-whole-kind
+  /// baseline, kept as the A/B arm for benches.
+  bool symbolic_footprints = true;
 };
 
 /// Cumulative scheduler statistics (chainsim columns, bench probes).
@@ -86,7 +90,10 @@ class BlockExecutor {
   BlockExecutor(ChainParams params, ExecutionHook* hook)
       : params_(std::move(params)), hook_(hook) {}
 
-  void set_config(const ExecutionConfig& config) { config_ = config; }
+  void set_config(const ExecutionConfig& config) {
+    config_ = config;
+    provider_.set_symbolic(config.symbolic_footprints);
+  }
   [[nodiscard]] const ExecutionConfig& config() const { return config_; }
   [[nodiscard]] const BlockExecMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const FootprintProvider& footprints() const {

@@ -1,19 +1,26 @@
-// Footprint provider: static bounds first, recorded dynamic sets second.
+// Footprint provider: static bounds, concretized symbolic summaries,
+// recorded dynamic sets.
 //
 // Layer (1) of the execution pipeline (DESIGN.md §13). The static
-// analyzer proves exact cell sets for most transactions; the ones it
-// cannot bound (⊤ footprints: non-constant storage keys, unknown targets)
-// would conservatively conflict with everything and serialize the block.
-// For those, the provider remembers the cell set of the transaction's
-// first concrete run and uses it as the *scheduling* footprint on any
-// later execution of the same tx (re-proposals, reorgs, replays, audits).
+// analyzer proves exact cell sets for most transactions; for a Call
+// whose keys are calldata-derived, the *concretizer* below evaluates the
+// contract's per-selector symbolic footprint summary (DESIGN.md §12)
+// against the tx's concrete calldata, producing exact cells — two
+// patients updating their own record slots no longer conflict. Only
+// genuinely unresolvable keys (storage- or oracle-derived, widened
+// joins, unknown timestamps) fall back to the recorded-dynamic-set / ⊤
+// path.
 //
-// A recorded set is a hint, not a bound: if the replay touches different
-// cells, the scheduler's commit-time validation catches it and re-runs
-// the transaction sequentially — correctness never rests on this cache.
+// A concretized or recorded set is a scheduling hint, not a bound: if
+// the run touches different cells, the scheduler's commit-time
+// validation catches it and re-runs the transaction sequentially —
+// correctness never rests on this cache. (Audit builds additionally
+// MC_DCHECK trace containment for concretized footprints in
+// ContractStore::call.)
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <unordered_map>
 
 #include "chain/conflict.hpp"
@@ -21,21 +28,48 @@
 
 namespace mc::chain::exec {
 
+/// Concretizer: evaluate the per-selector symbolic footprint summary of
+/// `tx`'s target against its concrete calldata/sender/height and write
+/// the exact conflict cells (ledger cells included) into `out`. Returns
+/// false — leaving `out` untouched — when the tx is not a bounded-fit
+/// Call, the summary is incomplete, or some key fails to evaluate.
+[[nodiscard]] bool concretize_call_footprint(const Transaction& tx,
+                                             const vm::ContractStore& store,
+                                             std::uint64_t height,
+                                             TxFootprint& out);
+
+/// Full scheduling-footprint ladder: static-exact cells when bounded,
+/// else the concretized symbolic summary (when `symbolic`), else ⊤.
+[[nodiscard]] TxFootprint scheduling_footprint(const Transaction& tx,
+                                               const vm::ContractStore* store,
+                                               std::uint64_t height,
+                                               bool symbolic);
+
 class FootprintProvider {
  public:
-  /// Recorded-set cache cap; on overflow the cache resets (the sets are
-  /// hints — dropping them costs speed on ⊤ txs, never correctness).
+  /// Recorded-set cache cap; on overflow the oldest half is evicted
+  /// (the sets are hints — dropping them costs speed on ⊤ txs, never
+  /// correctness — but recent blocks' hints survive the cliff).
   static constexpr std::size_t kMaxRecorded = 8192;
 
-  explicit FootprintProvider(const vm::ContractStore* store = nullptr)
-      : store_(store) {}
+  explicit FootprintProvider(const vm::ContractStore* store = nullptr,
+                             std::size_t max_recorded = kMaxRecorded)
+      : store_(store), max_recorded_(max_recorded) {}
 
   void set_store(const vm::ContractStore* store) { store_ = store; }
   [[nodiscard]] const vm::ContractStore* store() const { return store_; }
 
+  /// A/B switch for the symbolic concretizer (ExecutionConfig wires it
+  /// through; benches compare against the Param-as-whole-kind baseline).
+  void set_symbolic(bool on) { symbolic_ = on; }
+  [[nodiscard]] bool symbolic() const { return symbolic_; }
+
   /// Scheduling footprint for `tx`: the static footprint when bounded,
-  /// else the recorded dynamic set when one exists, else ⊤.
-  [[nodiscard]] TxFootprint footprint(const Transaction& tx) const;
+  /// else the concretized per-selector summary, else the recorded
+  /// dynamic set when one exists, else ⊤. `height` is the block height
+  /// the tx would execute at (Height-derived keys concretize with it).
+  [[nodiscard]] TxFootprint footprint(const Transaction& tx,
+                                      std::uint64_t height = 0) const;
 
   /// Record the dynamic cell set of a ⊤-footprint Call's concrete run.
   void record(const Transaction& tx, vm::Word contract_id,
@@ -45,7 +79,10 @@ class FootprintProvider {
 
  private:
   const vm::ContractStore* store_;
+  bool symbolic_ = true;
+  std::size_t max_recorded_;
   std::unordered_map<TxId, TxFootprint> dynamic_;
+  std::deque<TxId> order_;  ///< insertion order; unique per recorded id
 };
 
 }  // namespace mc::chain::exec

@@ -35,7 +35,10 @@ Gas VmExecutionHook::execute(const Transaction& tx, Height height) {
   if (tx.kind == TxKind::Deploy) {
     if (!vm::code_well_formed(BytesView(tx.payload)))
       throw std::invalid_argument("malformed contract bytecode");
+    // This hook is the one sanctioned route from a Deploy transaction to
+    // the store; the admission gate and footprint summaries run inside.
     const vm::Word id =
+        // medchain-lint: allow(footprint-bypass)
         store_.deploy(tx.payload, fnv1a(BytesView(tx.from.data)), height);
     // tx.id() here is a cache hit: the id was memoized when the tx was
     // signed/decoded, so indexing by it costs no re-hash even though every

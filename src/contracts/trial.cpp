@@ -229,6 +229,9 @@ const Bytes& TrialContract::bytecode() {
 
 TrialContract::TrialContract(vm::ContractStore& store, Word deployer,
                              std::uint64_t height)
+    // Built-in contract with in-repo audited source: constructor-time
+    // deployment at node setup is sanctioned; summaries still run.
+    // medchain-lint: allow(footprint-bypass)
     : store_(store), id_(store.deploy(bytecode(), deployer, height)) {}
 
 TrialContract::TrialContract(vm::ContractStore& store, Word contract_id)

@@ -1,0 +1,40 @@
+#include "core/fabric/run_board.hpp"
+
+namespace mc::core::fabric {
+
+void FabricRunBoard::post(const FabricReport& report) {
+  MutexLock lock(mu_);
+  fingerprints_.push_back(report.fingerprint());
+  commits_ += report.space.commits;
+  recoveries_ += report.space.reissues + report.space.speculative_takes;
+  poisoned_ += report.poisoned;
+}
+
+std::size_t FabricRunBoard::runs() const {
+  MutexLock lock(mu_);
+  return fingerprints_.size();
+}
+
+bool FabricRunBoard::fingerprints_agree() const {
+  MutexLock lock(mu_);
+  for (const Hash256& fp : fingerprints_)
+    if (!(fp == fingerprints_.front())) return false;
+  return true;
+}
+
+std::uint64_t FabricRunBoard::total_commits() const {
+  MutexLock lock(mu_);
+  return commits_;
+}
+
+std::uint64_t FabricRunBoard::total_recoveries() const {
+  MutexLock lock(mu_);
+  return recoveries_;
+}
+
+std::uint64_t FabricRunBoard::total_poisoned() const {
+  MutexLock lock(mu_);
+  return poisoned_;
+}
+
+}  // namespace mc::core::fabric

@@ -1,0 +1,46 @@
+// Cross-thread aggregation board for concurrent fabric runs.
+//
+// A ComputeFabric is single-owner by design — its event loop is
+// single-threaded and deterministic — but callers routinely run many
+// independent fabrics across a ThreadPool (the TSan stress suite, fleet
+// sweeps in benches) and fan their reports into shared tallies. That
+// fan-in is exactly the kind of shared state the clang -Wthread-safety
+// CI leg exists to guard: FabricRunBoard owns it behind an annotated
+// mc::Mutex, so an unguarded access fails compilation under clang
+// instead of becoming a race for TSan to catch at run time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/thread_annotations.hpp"
+#include "core/fabric/fabric.hpp"
+
+namespace mc::core::fabric {
+
+class FabricRunBoard {
+ public:
+  /// Fold one finished run's report into the board (thread-safe).
+  void post(const FabricReport& report) MC_EXCLUDES(mu_);
+
+  [[nodiscard]] std::size_t runs() const MC_EXCLUDES(mu_);
+  /// True when every posted run produced the same record fingerprint —
+  /// the determinism postcondition for same-seeded fleets. Vacuously
+  /// true with no runs posted.
+  [[nodiscard]] bool fingerprints_agree() const MC_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t total_commits() const MC_EXCLUDES(mu_);
+  /// Lease re-issues + speculative takes: the healing work the faults
+  /// forced.
+  [[nodiscard]] std::uint64_t total_recoveries() const MC_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t total_poisoned() const MC_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<Hash256> fingerprints_ MC_GUARDED_BY(mu_);
+  std::uint64_t commits_ MC_GUARDED_BY(mu_) = 0;
+  std::uint64_t recoveries_ MC_GUARDED_BY(mu_) = 0;
+  std::uint64_t poisoned_ MC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mc::core::fabric

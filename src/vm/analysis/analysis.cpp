@@ -9,10 +9,175 @@
 
 namespace mc::vm::analysis {
 
+std::string_view env_param_name(EnvParam p) {
+  switch (p) {
+    case EnvParam::Calldata: return "calldata";
+    case EnvParam::CallDataSize: return "calldatasize";
+    case EnvParam::Caller: return "caller";
+    case EnvParam::CallValue: return "callvalue";
+    case EnvParam::Height: return "height";
+    case EnvParam::Timestamp: return "timestamp";
+  }
+  return "?";
+}
+
+SymExprPtr sym_const(Word v) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymExpr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+SymExprPtr sym_param(EnvParam p, Word index) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymExpr::Kind::Param;
+  e->param = p;
+  e->index = index;
+  return e;
+}
+
+SymExprPtr sym_affine(Word scale, SymExprPtr base, Word offset) {
+  if (!base || scale == 0) return sym_const(offset);
+  // All folds use wrapping u64 arithmetic, exactly like the VM.
+  if (base->kind == SymExpr::Kind::Const)
+    return sym_const(scale * base->value + offset);
+  if (base->kind == SymExpr::Kind::Affine) {
+    const Word s = scale * base->scale;
+    const Word o = scale * base->offset + offset;
+    return sym_affine(s, base->base, o);
+  }
+  if (scale == 1 && offset == 0) return base;
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymExpr::Kind::Affine;
+  e->scale = scale;
+  e->offset = offset;
+  e->base = std::move(base);
+  return e;
+}
+
+SymExprPtr sym_hash(std::vector<SymExprPtr> parts) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymExpr::Kind::Hash;
+  e->parts = std::move(parts);
+  return e;
+}
+
+bool sym_equal(const SymExprPtr& a, const SymExprPtr& b) {
+  if (a == b) return true;  // covers both-null and shared nodes
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case SymExpr::Kind::Const: return a->value == b->value;
+    case SymExpr::Kind::Param:
+      return a->param == b->param &&
+             (a->param != EnvParam::Calldata || a->index == b->index);
+    case SymExpr::Kind::Affine:
+      return a->scale == b->scale && a->offset == b->offset &&
+             sym_equal(a->base, b->base);
+    case SymExpr::Kind::Hash: {
+      if (a->parts.size() != b->parts.size()) return false;
+      for (std::size_t i = 0; i < a->parts.size(); ++i)
+        if (!sym_equal(a->parts[i], b->parts[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t sym_node_count(const SymExpr& e) {
+  std::size_t n = 1;
+  if (e.base) n += sym_node_count(*e.base);
+  for (const SymExprPtr& p : e.parts)
+    if (p) n += sym_node_count(*p);
+  return n;
+}
+
+std::string sym_to_string(const SymExpr& e) {
+  switch (e.kind) {
+    case SymExpr::Kind::Const: return std::to_string(e.value);
+    case SymExpr::Kind::Param:
+      if (e.param == EnvParam::Calldata)
+        return "calldata[" + std::to_string(e.index) + "]";
+      return std::string(env_param_name(e.param));
+    case SymExpr::Kind::Affine: {
+      std::string s;
+      if (e.scale != 1) s += std::to_string(e.scale) + "*";
+      s += e.base ? sym_to_string(*e.base) : "?";
+      if (e.offset != 0) s += "+" + std::to_string(e.offset);
+      return s;
+    }
+    case SymExpr::Kind::Hash: {
+      std::string s = "H(";
+      for (std::size_t i = 0; i < e.parts.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += e.parts[i] ? sym_to_string(*e.parts[i]) : "?";
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+SymbolicEnv env_of(const ExecContext& ctx) {
+  SymbolicEnv env;
+  env.calldata = &ctx.calldata;
+  env.caller = ctx.caller;
+  env.call_value = ctx.call_value;
+  env.height = ctx.height;
+  env.time_ms = ctx.time_ms;
+  return env;
+}
+
+std::optional<Word> eval_symbolic(const SymExpr& e, const SymbolicEnv& env) {
+  switch (e.kind) {
+    case SymExpr::Kind::Const: return e.value;
+    case SymExpr::Kind::Param:
+      switch (e.param) {
+        case EnvParam::Calldata:
+          if (env.calldata == nullptr) return std::nullopt;
+          // Out-of-range calldata reads are 0, the VM's CallDataLoad rule.
+          return e.index < env.calldata->size()
+                     ? (*env.calldata)[static_cast<std::size_t>(e.index)]
+                     : Word{0};
+        case EnvParam::CallDataSize:
+          if (env.calldata == nullptr) return std::nullopt;
+          return static_cast<Word>(env.calldata->size());
+        case EnvParam::Caller: return env.caller;
+        case EnvParam::CallValue: return env.call_value;
+        case EnvParam::Height: return env.height;
+        case EnvParam::Timestamp: return env.time_ms;
+      }
+      return std::nullopt;
+    case SymExpr::Kind::Affine: {
+      if (!e.base) return std::nullopt;
+      const std::optional<Word> base = eval_symbolic(*e.base, env);
+      if (!base) return std::nullopt;
+      return e.scale * *base + e.offset;
+    }
+    case SymExpr::Kind::Hash: {
+      // Mirror the VM's HashN folding bit-for-bit.
+      ByteWriter w;
+      for (const SymExprPtr& p : e.parts) {
+        if (!p) return std::nullopt;
+        const std::optional<Word> v = eval_symbolic(*p, env);
+        if (!v) return std::nullopt;
+        w.u64(*v);
+      }
+      return crypto::sha256(BytesView(w.data())).prefix_u64();
+    }
+  }
+  return std::nullopt;
+}
+
 AbsValue join(const AbsValue& a, const AbsValue& b) {
   if (a.cls == ValueClass::Bottom) return b;
   if (b.cls == ValueClass::Bottom) return a;
   if (a == b) return a;
+  // Two environment-derived values with different (or missing)
+  // expressions stay Param but lose the closed form: widening, so a
+  // merged key never names a cell only one branch would touch.
+  if (a.cls == ValueClass::Param && b.cls == ValueClass::Param)
+    return AbsValue::param();
   return AbsValue::top();
 }
 
@@ -31,6 +196,15 @@ std::string_view key_class_name(KeyClass c) {
     case KeyClass::Unknown: return "unknown";
   }
   return "?";
+}
+
+std::string key_to_string(const AbsValue& v) {
+  switch (v.cls) {
+    case ValueClass::Const: return std::to_string(v.value);
+    case ValueClass::Param:
+      return v.sym ? sym_to_string(*v.sym) : "<param>";
+    default: return "<unknown>";
+  }
 }
 
 std::string_view footprint_kind_name(FootprintEntry::Kind k) {
@@ -63,8 +237,23 @@ namespace {
 
 using Stack = std::vector<AbsValue>;
 
+/// Cap on symbolic expression size: adversarial bytecode can nest HashN
+/// results into each other; past this the value stays Param (sound).
+constexpr std::size_t kMaxSymNodes = 64;
+
+/// The symbolic view of a value: Const lifts to a Const leaf, Param
+/// keeps its expression (when it has one). nullptr = not expressible.
+SymExprPtr as_sym(const AbsValue& v) {
+  if (v.is_const()) return sym_const(v.value);
+  if (v.cls == ValueClass::Param) return v.sym;
+  return nullptr;
+}
+
 /// Binary arithmetic on abstract values, mirroring vm::execute's
 /// wrapping/compare semantics exactly for the Const x Const case.
+/// Symbolic operands compose affinely (sym ± const, sym · const,
+/// sym << const), keeping key derivations like `8*calldata[i] + 16`
+/// in closed form.
 AbsValue arith(Op op, const AbsValue& a, const AbsValue& b) {
   if (a.is_const() && b.is_const()) {
     const Word x = a.value;
@@ -83,6 +272,29 @@ AbsValue arith(Op op, const AbsValue& a, const AbsValue& b) {
       case Op::Xor: return AbsValue::constant(x ^ y);
       case Op::Shl: return AbsValue::constant(y >= 64 ? 0 : x << y);
       case Op::Shr: return AbsValue::constant(y >= 64 ? 0 : x >> y);
+      default: break;
+    }
+  }
+  if (a.cls == ValueClass::Param && a.sym && b.is_const()) {
+    switch (op) {
+      case Op::Add: return AbsValue::symbolic(sym_affine(1, a.sym, b.value));
+      case Op::Sub:
+        return AbsValue::symbolic(sym_affine(1, a.sym, Word{0} - b.value));
+      case Op::Mul:
+        return AbsValue::symbolic(sym_affine(b.value, a.sym, 0));
+      case Op::Shl:
+        if (b.value >= 64) return AbsValue::constant(0);
+        return AbsValue::symbolic(sym_affine(Word{1} << b.value, a.sym, 0));
+      default: break;
+    }
+  }
+  if (a.is_const() && b.cls == ValueClass::Param && b.sym) {
+    switch (op) {
+      case Op::Add: return AbsValue::symbolic(sym_affine(1, b.sym, a.value));
+      case Op::Sub:  // a - b  ==  (-1)·b + a, wrapping
+        return AbsValue::symbolic(sym_affine(Word{0} - 1, b.sym, a.value));
+      case Op::Mul:
+        return AbsValue::symbolic(sym_affine(a.value, b.sym, 0));
       default: break;
     }
   }
@@ -283,10 +495,12 @@ struct Interp {
       case Op::Not: {
         if (underflow(1)) break;
         const AbsValue a = pop();
-        AbsValue out = a;
+        AbsValue out = AbsValue::top();
         if (a.is_const())
           out = AbsValue::constant(in.op == Op::IsZero ? (a.value == 0 ? 1 : 0)
                                                        : ~a.value);
+        else if (a.cls == ValueClass::Param)
+          out = AbsValue::param();  // still env-derived, but not affine
         push(out);
         if (!trapped) fallthrough();
         break;
@@ -317,6 +531,9 @@ struct Interp {
         AbsValue out = AbsValue::top();
         if (index.cls != ValueClass::Top) {
           out = AbsValue::param();
+          if (index.is_const())
+            out = AbsValue::symbolic(
+                sym_param(EnvParam::Calldata, index.value));
           if (index.is_const() && index.value == 0 &&
               opts.selector.has_value())
             out = AbsValue::constant(*opts.selector);
@@ -327,7 +544,7 @@ struct Interp {
       }
 
       case Op::CallDataSize:
-        push(AbsValue::param());
+        push(AbsValue::symbolic(sym_param(EnvParam::CallDataSize)));
         if (!trapped) fallthrough();
         break;
 
@@ -361,10 +578,19 @@ struct Interp {
       }
 
       case Op::Caller:
+        push(AbsValue::symbolic(sym_param(EnvParam::Caller)));
+        if (!trapped) fallthrough();
+        break;
       case Op::CallValue:
+        push(AbsValue::symbolic(sym_param(EnvParam::CallValue)));
+        if (!trapped) fallthrough();
+        break;
       case Op::Height:
+        push(AbsValue::symbolic(sym_param(EnvParam::Height)));
+        if (!trapped) fallthrough();
+        break;
       case Op::Timestamp:
-        push(AbsValue::param());
+        push(AbsValue::symbolic(sym_param(EnvParam::Timestamp)));
         if (!trapped) fallthrough();
         break;
 
@@ -391,10 +617,12 @@ struct Interp {
         }
         bool all_const = true;
         bool all_derived = true;
+        bool all_symbolic = true;
         for (std::size_t k = 0; k < n; ++k) {
           const AbsValue& v = s[s.size() - n + k];
           all_const = all_const && v.is_const();
           all_derived = all_derived && v.cls != ValueClass::Top;
+          all_symbolic = all_symbolic && as_sym(v) != nullptr;
         }
         AbsValue out = AbsValue::top();
         if (all_const) {
@@ -403,6 +631,19 @@ struct Interp {
           for (std::size_t k = 0; k < n; ++k) w.u64(s[s.size() - n + k].value);
           out = AbsValue::constant(
               crypto::sha256(BytesView(w.data())).prefix_u64());
+        } else if (all_symbolic) {
+          // Hash of a known tuple shape: keep the closed form so a
+          // per-patient key like H(7, calldata[3]) concretizes later.
+          std::vector<SymExprPtr> parts;
+          parts.reserve(n);
+          std::size_t nodes = 1;
+          for (std::size_t k = 0; k < n; ++k) {
+            parts.push_back(as_sym(s[s.size() - n + k]));
+            nodes += sym_node_count(*parts.back());
+          }
+          out = nodes <= kMaxSymNodes
+                    ? AbsValue::symbolic(sym_hash(std::move(parts)))
+                    : AbsValue::param();
         } else if (all_derived) {
           out = AbsValue::param();
         }
@@ -572,6 +813,92 @@ std::string soundness_violation(const AnalysisReport& report,
       if (pairs.count(fr) == 0)
         return "dynamic foreign read (" + std::to_string(fr.first) + ", " +
                std::to_string(fr.second) + ") outside the static set";
+  }
+  return {};
+}
+
+std::vector<SelectorSummary> summarize_selectors(BytesView code) {
+  std::vector<SelectorSummary> summaries;
+  const std::vector<Word> selectors = discover_selectors(code);
+  for (const Word sel : selectors) {
+    if (summaries.size() >= kMaxSelectorSummaries) break;
+    AnalyzeOptions opts;
+    opts.selector = sel;
+    AnalysisReport per = analyze(code, opts);
+    summaries.push_back(
+        {sel, per.incomplete, std::move(per.footprint)});
+  }
+  return summaries;
+}
+
+const SelectorSummary* summary_for(
+    const std::vector<SelectorSummary>& summaries,
+    const std::vector<Word>& calldata) {
+  if (calldata.empty()) return nullptr;
+  for (const SelectorSummary& s : summaries)
+    if (s.selector == calldata.front()) return &s;
+  return nullptr;
+}
+
+ConcreteFootprint concretize_footprint(const StorageFootprint& fp,
+                                       const SymbolicEnv& env) {
+  ConcreteFootprint out;
+  const auto eval_key = [&env](const AbsValue& v) -> std::optional<Word> {
+    if (v.is_const()) return v.value;
+    if (v.cls == ValueClass::Param && v.sym)
+      return eval_symbolic(*v.sym, env);
+    return std::nullopt;
+  };
+  for (const FootprintEntry& e : fp.entries) {
+    switch (e.kind) {
+      case FootprintEntry::Kind::Read:
+        if (const auto key = eval_key(e.key))
+          out.reads.insert(*key);
+        else
+          out.reads_exact = false;
+        break;
+      case FootprintEntry::Kind::Write:
+        if (const auto key = eval_key(e.key))
+          out.writes.insert(*key);
+        else
+          out.writes_exact = false;
+        break;
+      case FootprintEntry::Kind::ForeignRead: {
+        const auto contract = eval_key(e.contract);
+        const auto key = eval_key(e.key);
+        if (contract && key)
+          out.foreign_reads.emplace(*contract, *key);
+        else
+          out.foreign_exact = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string concretization_violation(const StorageFootprint& fp,
+                                     const SymbolicEnv& env,
+                                     const ExecTrace& trace) {
+  const ConcreteFootprint cf = concretize_footprint(fp, env);
+  if (cf.reads_exact) {
+    for (const Word key : trace.reads)
+      if (cf.reads.count(key) == 0)
+        return "dynamic read of key " + std::to_string(key) +
+               " outside the concretized read set";
+  }
+  if (cf.writes_exact) {
+    for (const Word key : trace.writes)
+      if (cf.writes.count(key) == 0)
+        return "dynamic write of key " + std::to_string(key) +
+               " outside the concretized write set";
+  }
+  if (cf.foreign_exact) {
+    for (const auto& fr : trace.foreign_reads)
+      if (cf.foreign_reads.count(fr) == 0)
+        return "dynamic foreign read (" + std::to_string(fr.first) + ", " +
+               std::to_string(fr.second) +
+               ") outside the concretized set";
   }
   return {};
 }

@@ -82,6 +82,29 @@ bool code_uses_oracle(BytesView code) {
   return false;
 }
 
+#if defined(MEDCHAIN_AUDIT)
+/// Audit leg of the symbolic-domain contract: evaluate the deployed
+/// symbolic footprints under the call's fully-known environment and
+/// require the dynamic trace to sit inside the concretized cells —
+/// first the whole-program footprint, then the matching per-selector
+/// summary (what the execution-layer concretizer schedules on).
+std::string concretization_check(const DeployedContract& dc,
+                                 const ExecContext& ctx,
+                                 const ExecTrace& trace) {
+  const analysis::SymbolicEnv env = analysis::env_of(ctx);
+  if (!dc.report.incomplete) {
+    std::string v =
+        analysis::concretization_violation(dc.report.footprint, env, trace);
+    if (!v.empty()) return v;
+  }
+  const analysis::SelectorSummary* sum =
+      analysis::summary_for(dc.selector_summaries, ctx.calldata);
+  if (sum != nullptr && !sum->incomplete)
+    return analysis::concretization_violation(sum->footprint, env, trace);
+  return {};
+}
+#endif
+
 }  // namespace
 
 Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
@@ -99,6 +122,7 @@ Word ContractStore::deploy(Bytes code, Word deployer, std::uint64_t height) {
   dc.id = id;
   dc.deployer = deployer;
   dc.uses_oracle = code_uses_oracle(BytesView(code));
+  dc.selector_summaries = analysis::summarize_selectors(BytesView(code));
   dc.code = std::move(code);
   dc.deployed_height = height;
   dc.report = std::move(report);
@@ -133,6 +157,9 @@ std::optional<SpeculativeCall> ContractStore::call_speculative(
       analysis::soundness_violation(dc.report, spec.trace, spec.result);
   MC_DCHECK(violation.empty(),
             "static analysis soundness contract violated on speculative call");
+  const std::string concrete_violation = concretization_check(dc, ctx, spec.trace);
+  MC_DCHECK(concrete_violation.empty(),
+            "concretized footprint missed a traced cell on speculative call");
 #endif
 
   // Own-storage observations: the pre-state value of every key the run
@@ -208,6 +235,10 @@ std::optional<ExecResult> ContractStore::call(Word id, ExecContext ctx,
       analysis::soundness_violation(it->second.report, trace, result);
   MC_DCHECK(violation.empty(),
             "static analysis soundness contract violated on contract call");
+  const std::string concrete_violation =
+      concretization_check(it->second, ctx, trace);
+  MC_DCHECK(concrete_violation.empty(),
+            "concretized footprint missed a traced cell on contract call");
   return result;
 #else
   return execute(BytesView(it->second.code), it->second.storage, ctx, host);

@@ -36,6 +36,10 @@ struct DeployedContract {
   /// Static analysis computed once at deployment; the audit build checks
   /// every later call's dynamic trace against these bounds.
   analysis::AnalysisReport report;
+  /// Per-dispatch-entry footprint summaries with symbolic keys, computed
+  /// once at deployment. The execution layer concretizes these against a
+  /// tx's calldata to schedule on exact cells (DESIGN.md §12–13).
+  std::vector<analysis::SelectorSummary> selector_summaries;
   /// Code contains Op::Oracle (scanned at deployment): such calls must
   /// not be re-run speculatively — a rerun would duplicate the external
   /// side effect — so the parallel scheduler executes them at their

@@ -58,6 +58,32 @@ TEST(FuzzRegression, EveryTargetHasCorpus) {
   }
 }
 
+// The param-keyed analyzer seeds (PR 9) drive fuzz_analyze's
+// concretization leg: symbolic storage keys evaluated against the
+// harness's fixed calldata/env must cover the traced cells, and the
+// storage-derived key must refuse to concretize rather than miss. Named
+// here so deleting one from the corpus fails loudly instead of silently
+// shrinking coverage.
+TEST(FuzzRegression, ParamKeyedAnalyzeSeedsCommitted) {
+  const fs::path dir = fs::path(MEDCHAIN_CORPUS_DIR) / "analyze";
+  const auto* analyze = [] {
+    for (const auto* t : all_targets())
+      if (std::string_view(t->name) == "analyze") return t;
+    return static_cast<const TargetInfo*>(nullptr);
+  }();
+  ASSERT_NE(analyze, nullptr);
+  for (const char* name :
+       {"patient_record", "affine_key", "caller_keyed", "selector_switch",
+        "nonconcrete_storage_key"}) {
+    SCOPED_TRACE(name);
+    const fs::path file = dir / name;
+    ASSERT_TRUE(fs::is_regular_file(file)) << "missing seed " << file;
+    const mc::Bytes data = read_file(file);
+    ASSERT_FALSE(data.empty());
+    EXPECT_EQ(analyze->fn(data.data(), data.size()), 0);
+  }
+}
+
 TEST(FuzzRegression, ReplayCommittedCorpus) {
   const fs::path root(MEDCHAIN_CORPUS_DIR);
   std::size_t replayed = 0;

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fabric/fabric.hpp"
+#include "core/fabric/run_board.hpp"
 #include "core/scheduler.hpp"
 #include "crypto/schnorr.hpp"
 #include "vm/assembler.hpp"
@@ -164,18 +165,17 @@ TEST(StressConcurrency, ParallelOffchainAnalyticsViaScheduler) {
 TEST(StressConcurrency, FabricLeaseSpeculationChurn) {
   // Each worker thread owns an independent ComputeFabric (fabrics are
   // single-owner by design — the event loop is single-threaded) running
-  // the same crash+straggler scenario, and publishes its fingerprint.
-  // TSan probes the parallel_for fan-out; the postcondition pins full
-  // determinism: every same-seeded run must produce the same record even
-  // with lease churn, revocations and speculative duplicates in play.
+  // the same crash+straggler scenario, and posts its report into one
+  // shared FabricRunBoard (the annotated fan-in guarded by clang's
+  // -Wthread-safety leg). TSan probes the parallel_for fan-out; the
+  // postcondition pins full determinism: every same-seeded run must
+  // produce the same record even with lease churn, revocations and
+  // speculative duplicates in play.
   ThreadPool pool(4);
   const std::size_t kRuns = 8;
-  std::vector<Hash256> fingerprints(kRuns);
-  std::atomic<std::uint64_t> commits{0};
-  std::atomic<std::uint64_t> recoveries{0};
+  core::fabric::FabricRunBoard board;
 
-  pool.parallel_for(kRuns, [&fingerprints, &commits, &recoveries](
-                               std::size_t r) {
+  pool.parallel_for(kRuns, [&board](std::size_t) {
     core::fabric::FabricConfig config;
     config.workers = 6;
     config.seed = 0x57e;
@@ -187,16 +187,14 @@ TEST(StressConcurrency, FabricLeaseSpeculationChurn) {
     for (std::size_t i = 0; i < 300; ++i)
       fabric.submit("t" + std::to_string(i), 10'000'000, 0,
                     static_cast<sim::NodeId>(i % config.workers));
-    const core::fabric::FabricReport report = fabric.run();
-    fingerprints[r] = report.fingerprint();
-    commits += report.space.commits;
-    recoveries += report.space.reissues + report.space.speculative_takes;
+    board.post(fabric.run());
   });
 
-  for (std::size_t r = 1; r < kRuns; ++r)
-    EXPECT_EQ(fingerprints[r], fingerprints[0]);
-  EXPECT_EQ(commits.load(), kRuns * 300u);
-  EXPECT_GT(recoveries.load(), 0u);  // the faults actually bit
+  EXPECT_EQ(board.runs(), kRuns);
+  EXPECT_TRUE(board.fingerprints_agree());
+  EXPECT_EQ(board.total_commits(), kRuns * 300u);
+  EXPECT_GT(board.total_recoveries(), 0u);  // the faults actually bit
+  EXPECT_EQ(board.total_poisoned(), 0u);
 }
 
 TEST(StressConcurrency, BlockValidatorHammeredFromManyThreads) {

@@ -286,6 +286,229 @@ TEST(Analysis, EveryBuiltinContractIsCleanAndBounded) {
 }
 
 // ---------------------------------------------------------------------------
+// Symbolic keys, per-selector summaries, and concretization (PR 9)
+// ---------------------------------------------------------------------------
+
+// Selector-dependent keys: the per-selector summaries must prune each
+// entry point to its own storage sites, with the symbolic key expression
+// preserved, and summary_for must route calldata to the matching one.
+TEST(Symbolic, SelectorSummariesCarryDistinctKeyExpressions) {
+  using Kind = analysis::FootprintEntry::Kind;
+  const char* src = R"(
+    PUSH 0
+    CALLDATALOAD
+    DUP 1
+    PUSH 1
+    EQ
+    JUMPI @dyn
+    DUP 1
+    PUSH 2
+    EQ
+    JUMPI @fixed
+    REVERT
+    dyn:
+    POP
+    PUSH 1
+    PUSH 5
+    PUSH 1
+    CALLDATALOAD
+    HASHN 2
+    SSTORE
+    STOP
+    fixed:
+    POP
+    PUSH 1
+    PUSH 42
+    SSTORE
+    STOP
+  )";
+  const Bytes code = assemble(src);
+  const auto summaries = analysis::summarize_selectors(BytesView(code));
+  ASSERT_EQ(summaries.size(), 2u);
+
+  const auto write_entries = [](const analysis::StorageFootprint& fp) {
+    std::vector<analysis::FootprintEntry> out;
+    for (const auto& e : fp.entries)
+      if (e.kind == Kind::Write) out.push_back(e);
+    return out;
+  };
+
+  const auto dyn = write_entries(summaries[0].footprint);
+  ASSERT_EQ(dyn.size(), 1u);
+  EXPECT_EQ(analysis::key_class_of(dyn[0].key), analysis::KeyClass::Param);
+  ASSERT_NE(dyn[0].key.sym, nullptr);
+  EXPECT_EQ(analysis::key_to_string(dyn[0].key), "H(5, calldata[1])");
+
+  const auto fixed = write_entries(summaries[1].footprint);
+  ASSERT_EQ(fixed.size(), 1u);
+  EXPECT_EQ(analysis::key_class_of(fixed[0].key), analysis::KeyClass::Exact);
+  EXPECT_EQ(fixed[0].key.value, 42u);
+
+  EXPECT_EQ(analysis::summary_for(summaries, {1, 9}), &summaries[0]);
+  EXPECT_EQ(analysis::summary_for(summaries, {2}), &summaries[1]);
+  EXPECT_EQ(analysis::summary_for(summaries, {3}), nullptr);
+  EXPECT_EQ(analysis::summary_for(summaries, {}), nullptr);
+}
+
+// Affine keys wrap mod 2^64 exactly like the VM's arithmetic: the
+// concretized cell must equal the traced one even when scale*param
+// overflows.
+TEST(Symbolic, AffineOverflowWrapsLikeTheVm) {
+  const char* src = R"(
+    PUSH 9
+    PUSH 1
+    CALLDATALOAD
+    PUSH 18446744073709551615
+    MUL
+    PUSH 5
+    ADD
+    SSTORE
+    STOP
+  )";
+  const AnalysisReport r = analyze_asm(src);
+  ASSERT_EQ(r.footprint.entries.size(), 1u);
+  const analysis::AbsValue& key = r.footprint.entries[0].key;
+  ASSERT_EQ(analysis::key_class_of(key), analysis::KeyClass::Param);
+  ASSERT_NE(key.sym, nullptr);
+  EXPECT_EQ(analysis::key_to_string(key),
+            "18446744073709551615*calldata[1]+5");
+
+  Storage storage;
+  ExecContext ctx;
+  ctx.calldata = {0, 7};
+  ExecTrace trace;
+  ctx.trace = &trace;
+  NullHost host;
+  ASSERT_TRUE(execute(BytesView(assemble(src)), storage, ctx, host).ok());
+  // 7 * (2^64 - 1) + 5 ≡ -2 mod 2^64.
+  EXPECT_EQ(trace.writes, (std::set<Word>{0xffff'ffff'ffff'fffeULL}));
+
+  const analysis::ConcreteFootprint cf =
+      analysis::concretize_footprint(r.footprint, analysis::env_of(ctx));
+  EXPECT_TRUE(cf.writes_exact);
+  EXPECT_EQ(cf.writes, trace.writes);
+}
+
+// HashN over a mixed Const/Param tuple: the symbolic hash must evaluate
+// to the identical sha256 folding the interpreter performs.
+TEST(Symbolic, HashOfMixedConstParamTupleMatchesTheVm) {
+  const char* src = R"(
+    PUSH 1
+    PUSH 5
+    PUSH 2
+    CALLDATALOAD
+    PUSH 9
+    HASHN 3
+    SSTORE
+    STOP
+  )";
+  const AnalysisReport r = analyze_asm(src);
+  ASSERT_EQ(r.footprint.entries.size(), 1u);
+  const analysis::AbsValue& key = r.footprint.entries[0].key;
+  ASSERT_NE(key.sym, nullptr);
+  EXPECT_EQ(analysis::key_to_string(key), "H(5, calldata[2], 9)");
+
+  Storage storage;
+  ExecContext ctx;
+  ctx.calldata = {0, 0, 77};
+  ExecTrace trace;
+  ctx.trace = &trace;
+  NullHost host;
+  ASSERT_TRUE(execute(BytesView(assemble(src)), storage, ctx, host).ok());
+
+  const analysis::ConcreteFootprint cf =
+      analysis::concretize_footprint(r.footprint, analysis::env_of(ctx));
+  EXPECT_TRUE(cf.writes_exact);
+  EXPECT_EQ(cf.writes, trace.writes);
+}
+
+// Join of two distinct symbolic keys must widen to plain Param — the
+// merged key concretizes to "unknown", never to one of the two cells.
+TEST(Symbolic, JoinOfDistinctKeysWidensAndRefusesToConcretize) {
+  using Kind = analysis::FootprintEntry::Kind;
+  const char* src = R"(
+    PUSH 9
+    PUSH 0
+    CALLDATALOAD
+    JUMPI @alt
+    PUSH 1
+    CALLDATALOAD
+    JUMP @store
+    alt:
+    PUSH 1
+    CALLDATALOAD
+    PUSH 5
+    ADD
+    store:
+    SSTORE
+    STOP
+  )";
+  const AnalysisReport r = analyze_asm(src);
+  // Whatever the fixpoint recorded at the store site, no entry may claim
+  // an exact constant cell, and the merged Param key must make the
+  // concretized write set inexact (fall back to unbounded).
+  bool saw_widened = false;
+  for (const auto& e : r.footprint.entries) {
+    ASSERT_EQ(e.kind, Kind::Write);
+    EXPECT_NE(analysis::key_class_of(e.key), analysis::KeyClass::Exact);
+    if (e.key.cls == analysis::ValueClass::Param && e.key.sym == nullptr)
+      saw_widened = true;
+  }
+  EXPECT_TRUE(saw_widened);
+
+  ExecContext ctx;
+  ctx.calldata = {1, 30};
+  const analysis::ConcreteFootprint cf =
+      analysis::concretize_footprint(r.footprint, analysis::env_of(ctx));
+  EXPECT_FALSE(cf.writes_exact);
+}
+
+// Env-keyed footprints concretize only when the environment value is
+// known: caller-keyed cells resolve under a full ExecContext env, but a
+// scheduling-time env with no timestamp must refuse a Timestamp key.
+TEST(Symbolic, EnvKeysConcretizeOnlyWhenTheEnvValueIsKnown) {
+  const char* caller_src = R"(
+    PUSH 1
+    PUSH 3
+    CALLER
+    HASHN 2
+    SSTORE
+    STOP
+  )";
+  const AnalysisReport r = analyze_asm(caller_src);
+  ASSERT_EQ(r.footprint.entries.size(), 1u);
+  EXPECT_EQ(analysis::key_to_string(r.footprint.entries[0].key),
+            "H(3, caller)");
+
+  Storage storage;
+  ExecContext ctx;
+  ctx.caller = 1234;
+  ExecTrace trace;
+  ctx.trace = &trace;
+  NullHost host;
+  ASSERT_TRUE(
+      execute(BytesView(assemble(caller_src)), storage, ctx, host).ok());
+  const analysis::ConcreteFootprint cf =
+      analysis::concretize_footprint(r.footprint, analysis::env_of(ctx));
+  EXPECT_TRUE(cf.writes_exact);
+  EXPECT_EQ(cf.writes, trace.writes);
+
+  // Same env minus the caller: the key must refuse to concretize.
+  analysis::SymbolicEnv no_caller;
+  no_caller.calldata = &ctx.calldata;
+  EXPECT_FALSE(
+      analysis::concretize_footprint(r.footprint, no_caller).writes_exact);
+
+  const AnalysisReport ts = analyze_asm("PUSH 1\nTIMESTAMP\nSSTORE\nSTOP\n");
+  ASSERT_EQ(ts.footprint.entries.size(), 1u);
+  analysis::SymbolicEnv sched_env;  // scheduling time: no timestamp
+  sched_env.calldata = &ctx.calldata;
+  sched_env.caller = 1234;
+  EXPECT_FALSE(
+      analysis::concretize_footprint(ts.footprint, sched_env).writes_exact);
+}
+
+// ---------------------------------------------------------------------------
 // Deployment admission
 // ---------------------------------------------------------------------------
 

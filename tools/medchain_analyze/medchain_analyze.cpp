@@ -40,6 +40,27 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+/// One line per storage site. Exact keys print as numbers; Param keys
+/// with a symbolic expression print it (e.g. `key=H(7, calldata[3])`)
+/// so readers can see what the concretizer will evaluate; everything
+/// else prints its key class.
+void print_footprint_entries(const analysis::StorageFootprint& fp,
+                             const char* indent) {
+  for (const analysis::FootprintEntry& e : fp.entries) {
+    const analysis::KeyClass kc = analysis::key_class_of(e.key);
+    std::string key;
+    if (kc == analysis::KeyClass::Exact)
+      key = std::to_string(e.key.value);
+    else if (e.key.cls == analysis::ValueClass::Param && e.key.sym)
+      key = analysis::key_to_string(e.key);
+    else
+      key = "<" + std::string(analysis::key_class_name(kc)) + ">";
+    std::printf("%spc %-5zu %-5s key=%s\n", indent, e.pc,
+                std::string(analysis::footprint_kind_name(e.kind)).c_str(),
+                key.c_str());
+  }
+}
+
 void print_report(const Input& input,
                   const analysis::AnalysisReport& report) {
   std::printf("== %s ==\n", input.name.c_str());
@@ -76,17 +97,7 @@ void print_report(const Input& input,
   }
 
   std::printf("  footprint      %zu site(s)\n", report.footprint.entries.size());
-  for (const analysis::FootprintEntry& e : report.footprint.entries) {
-    const analysis::KeyClass kc = analysis::key_class_of(e.key);
-    if (kc == analysis::KeyClass::Exact)
-      std::printf("    pc %-5zu %-5s key=%llu\n", e.pc,
-                  std::string(analysis::footprint_kind_name(e.kind)).c_str(),
-                  static_cast<unsigned long long>(e.key.value));
-    else
-      std::printf("    pc %-5zu %-5s key=<%s>\n", e.pc,
-                  std::string(analysis::footprint_kind_name(e.kind)).c_str(),
-                  std::string(analysis::key_class_name(kc)).c_str());
-  }
+  print_footprint_entries(report.footprint, "    ");
 
   const std::vector<Word> selectors = analysis::discover_selectors(
       BytesView(input.code));
@@ -103,6 +114,12 @@ void print_report(const Input& input,
                   static_cast<unsigned long long>(sel),
                   static_cast<unsigned long long>(per.gas.max),
                   per.stack.max_depth);
+    // Per-selector footprint: the summary the deploy path caches and the
+    // scheduler concretizes against live calldata (DESIGN.md §13).
+    std::printf("    selector footprint  %zu site(s)%s\n",
+                per.footprint.entries.size(),
+                per.incomplete ? "  [incomplete]" : "");
+    print_footprint_entries(per.footprint, "      ");
   }
 }
 

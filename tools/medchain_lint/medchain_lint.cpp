@@ -33,6 +33,13 @@
 //                            chain/execution/ — block transactions go
 //                            through BlockExecutor so sequential and
 //                            wave-parallel replicas stay bit-identical.
+//   footprint-bypass         direct <store>.deploy() calls are banned
+//                            outside vm/ and tests — contracts reach the
+//                            chain through Deploy transactions so the
+//                            admission gate runs and the per-selector
+//                            footprint summaries the parallel scheduler
+//                            concretizes are computed exactly once, at
+//                            the choke point.
 //
 // Escape hatch: `// medchain-lint: allow(<rule>[, <rule>...])` on the
 // offending line or the line directly above it; `allow-file(<rule>)`
@@ -89,6 +96,9 @@ constexpr Rule kRules[] = {
     {"state-direct-apply",
      "BlockExecutor (chain/execution) only - raw <state>.apply() outside "
      "chain/state skips the scheduled execution pipeline"},
+    {"footprint-bypass",
+     "Deploy transactions only - raw <store>.deploy() outside vm/ and "
+     "tests skips the admission gate and its footprint summaries"},
 };
 
 bool is_known_rule(std::string_view name) {
@@ -267,35 +277,53 @@ const char* check_vm_direct_execute(std::string_view line) {
   return has_token(line, "vm::execute(") ? "vm::execute(" : nullptr;
 }
 
-/// Matches `<recv>.apply(` / `<recv>->apply(` where the receiver
-/// identifier names a ledger state or execution overlay: trailing
-/// underscores stripped, then a case-insensitive "state"/"overlay"
-/// suffix. Catches `state.apply`, `src_state.apply`, `preview_state_->
-/// apply` without firing on unrelated apply() methods (learners,
-/// standardizers).
-const char* check_state_direct_apply(std::string_view line) {
-  const auto ends_with_ci = [](std::string_view s, std::string_view suffix) {
-    if (s.size() < suffix.size()) return false;
-    for (std::size_t i = 0; i < suffix.size(); ++i) {
-      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(
-          s[s.size() - suffix.size() + i])));
-      if (c != suffix[i]) return false;
-    }
-    return true;
-  };
-  for (const char* member : {".apply(", "->apply("}) {
+bool ends_with_ci(std::string_view s, std::string_view suffix) {
+  if (s.size() < suffix.size()) return false;
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(
+        s[s.size() - suffix.size() + i])));
+    if (c != suffix[i]) return false;
+  }
+  return true;
+}
+
+/// Matches `<recv>.member(` / `<recv>->member(` where the receiver
+/// identifier, trailing underscores stripped, case-insensitively ends
+/// with one of `suffixes`. Shared receiver-matching core of the
+/// state-direct-apply and footprint-bypass rules.
+const char* receiver_member_call(
+    std::string_view line, std::initializer_list<const char*> members,
+    std::initializer_list<const char*> suffixes) {
+  for (const char* member : members) {
     std::size_t at = 0;
     while ((at = line.find(member, at)) != std::string_view::npos) {
       std::size_t back = at;
       while (back > 0 && is_word(line[back - 1])) --back;
       std::string_view recv = line.substr(back, at - back);
       while (!recv.empty() && recv.back() == '_') recv.remove_suffix(1);
-      if (ends_with_ci(recv, "state") || ends_with_ci(recv, "overlay"))
-        return member;
+      for (const char* suffix : suffixes)
+        if (ends_with_ci(recv, suffix)) return member;
       at += std::strlen(member);
     }
   }
   return nullptr;
+}
+
+/// Matches `<recv>.apply(` / `<recv>->apply(` where the receiver
+/// identifier names a ledger state or execution overlay. Catches
+/// `state.apply`, `src_state.apply`, `preview_state_->apply` without
+/// firing on unrelated apply() methods (learners, standardizers).
+const char* check_state_direct_apply(std::string_view line) {
+  return receiver_member_call(line, {".apply(", "->apply("},
+                              {"state", "overlay"});
+}
+
+/// Matches `<recv>.deploy(` / `<recv>->deploy(` where the receiver
+/// names a contract store. Catches `store.deploy`, `store_->deploy`,
+/// `contract_store.deploy` without firing on unrelated deploy()
+/// helpers (fleet deployers, infra scripts).
+const char* check_footprint_bypass(std::string_view line) {
+  return receiver_member_call(line, {".deploy(", "->deploy("}, {"store"});
 }
 
 /// Heuristic declaration finder for decode*/verify* in headers. A match
@@ -381,6 +409,10 @@ bool rule_applies(std::string_view rule, const std::string& rel,
   if (rule == "state-direct-apply")
     return !in_dir(rel, "chain/execution/") && rel != "chain/state.hpp" &&
            rel != "chain/state.cpp";
+  // vm/ owns ContractStore::deploy (the admission gate itself); tests
+  // exercise the raw entry point deliberately.
+  if (rule == "footprint-bypass")
+    return !in_dir(rel, "vm/") && rel.find("tests/") == std::string::npos;
   return false;
 }
 
@@ -452,6 +484,7 @@ void scan_file(const fs::path& path, bool self_test, ScanResult& out) {
     report("nodiscard-decode", check_nodiscard(stripped, prev_stripped));
     report("vm-direct-execute", check_vm_direct_execute(stripped));
     report("state-direct-apply", check_state_direct_apply(stripped));
+    report("footprint-bypass", check_footprint_bypass(stripped));
 
     prev_allows = line_allows;
     prev_stripped = stripped;

@@ -32,6 +32,15 @@ void vm_bypass_violation() {
   store.call(id, ctx, host);  // admission path: must not fire
 }
 
+void footprint_bypass_violations() {
+  store.deploy(deploy_tx, 7);               // expect(footprint-bypass)
+  contract_store_->deploy(tx, height);      // expect(footprint-bypass)
+  auto id = node_store.deploy(std::move(tx), h);  // expect(footprint-bypass)
+  deployer.deploy(fleet);       // unrelated deploy(): must not fire
+  store.deployments();          // wrong member name: must not fire
+  (void)id;
+}
+
 void state_bypass_violations() {
   state.apply(tx, proposer, params);        // expect(state-direct-apply)
   src_state.apply(tx, Address{}, params);   // expect(state-direct-apply)
