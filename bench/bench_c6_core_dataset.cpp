@@ -7,8 +7,10 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/transform.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "learn/logistic.hpp"
 #include "learn/metrics.hpp"
+#include "med/anchor.hpp"
 
 namespace {
 
@@ -119,6 +121,53 @@ void anchoring_granularity() {
       "record-level verifiability at per-site on-chain cost.");
 }
 
+void anchoring_backend_ab() {
+  banner("C6d: dataset anchoring & batch audit - hash backend A/B");
+  // The anchoring pipeline is leaf hashing + tree builds end to end;
+  // forcing the backend isolates the multi-lane engine's contribution
+  // (EXPERIMENTS.md C10). Identical digests on both rows by contract.
+  med::CohortConfig cohort;
+  cohort.patients = 4'000;
+  cohort.seed = 31;
+  const auto records = med::generate_cohort(cohort);
+
+  Table table({"backend", "records", "rebuild_ms", "audit_ms",
+               "verified", "records/s(audit)"});
+  for (const auto backend :
+       {crypto::HashBackend::kPortable, crypto::HashBackend::kSimd}) {
+    crypto::set_hash_backend(backend);
+    med::SiteDataset site({"ab-site", med::SchemaKind::CommonV1, 0.0, 1},
+                          records, crypto::sha256("c6d-key"));
+    vm::ContractStore store;
+    contracts::RegistryContract registry(store, 1, 1);
+    const contracts::Word owner = fnv1a("ab-site");
+    med::anchor_dataset(registry, owner, site);
+
+    Stopwatch rebuild_timer;
+    const Hash256 root = site.merkle_tree().root();
+    const double rebuild_ms = rebuild_timer.millis();
+
+    Stopwatch audit_timer;
+    const std::size_t verified = med::verify_all_records(registry, site);
+    const double audit_ms = audit_timer.millis();
+
+    (void)root;
+    table.row()
+        .cell(backend == crypto::HashBackend::kPortable
+                  ? "portable"
+                  : crypto::hash_kernel_name(crypto::active_hash_kernel()))
+        .cell(site.size())
+        .cell(rebuild_ms, 2)
+        .cell(audit_ms, 1)
+        .cell(verified)
+        .cell(audit_ms > 0 ? static_cast<double>(verified) * 1000 / audit_ms
+                           : 0.0,
+              0);
+  }
+  crypto::set_hash_backend(crypto::HashBackend::kAuto);
+  table.print();
+}
+
 }  // namespace
 
 int main() {
@@ -126,5 +175,6 @@ int main() {
   virtual_dataset_scale();
   data_scale_buys_accuracy();
   anchoring_granularity();
+  anchoring_backend_ab();
   return 0;
 }

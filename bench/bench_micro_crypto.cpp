@@ -9,13 +9,24 @@
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/merkle.hpp"
+#include "chain/pow.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace {
 
 using namespace mc;
 using namespace mc::crypto;
+
+/// Pin a backend for the duration of one benchmark run.
+struct BenchBackend {
+  explicit BenchBackend(HashBackend b) : prev(hash_backend()) {
+    set_hash_backend(b);
+  }
+  ~BenchBackend() { set_hash_backend(prev); }
+  HashBackend prev;
+};
 
 void BM_Sha256(benchmark::State& state) {
   Rng rng(1);
@@ -52,6 +63,127 @@ void BM_MerkleBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024)->Arg(8192);
+
+// --- Multi-lane batch engine A/B (DESIGN.md §15, EXPERIMENTS.md C10) ---
+//
+// Identical work per iteration; only the forced backend differs, so the
+// ratio between the Portable and SIMD rows is the kernel speedup.
+
+void sha256_many_ab(benchmark::State& state, HashBackend backend) {
+  const BenchBackend scope(backend);
+  Rng rng(21);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t len = static_cast<std::size_t>(state.range(1));
+  std::vector<Bytes> inputs;
+  std::vector<BytesView> views;
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back(rng.bytes(len));
+  for (const Bytes& b : inputs) views.emplace_back(b);
+  std::vector<Hash256> out(n);
+  for (auto _ : state) {
+    sha256_many(views.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n) *
+                          static_cast<std::int64_t>(len));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n));
+}
+
+// Batch-size sweep at a fixed 256-byte message: the small-batch end
+// (1/2/4/8) locates the SIMD crossover, the large end the steady state.
+void BM_Sha256ManyPortable(benchmark::State& state) {
+  sha256_many_ab(state, HashBackend::kPortable);
+}
+void BM_Sha256ManySse2(benchmark::State& state) {
+  sha256_many_ab(state, HashBackend::kSse2);
+}
+void BM_Sha256ManyAvx2(benchmark::State& state) {
+  sha256_many_ab(state, HashBackend::kAvx2);
+}
+#define MC_MANY_ARGS                                                    \
+  ->Args({1, 256})->Args({2, 256})->Args({4, 256})->Args({8, 256})      \
+      ->Args({64, 256})->Args({1024, 256})->Args({1024, 32})
+BENCHMARK(BM_Sha256ManyPortable) MC_MANY_ARGS;
+BENCHMARK(BM_Sha256ManySse2) MC_MANY_ARGS;
+BENCHMARK(BM_Sha256ManyAvx2) MC_MANY_ARGS;
+#undef MC_MANY_ARGS
+
+// Lanes-vs-throughput: the same pair-hash workload forced through the
+// 1-, 4- and 8-lane kernels.
+void pair_many_ab(benchmark::State& state, HashBackend backend) {
+  const BenchBackend scope(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Hash256> left(n), right(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    left[i] = sha256(std::to_string(i));
+    right[i] = sha256(std::to_string(~i));
+  }
+  for (auto _ : state) {
+    sha256_pair_many(left.data(), right.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n));
+}
+void BM_Sha256PairManyPortable(benchmark::State& state) {
+  pair_many_ab(state, HashBackend::kPortable);
+}
+void BM_Sha256PairManySse2(benchmark::State& state) {
+  pair_many_ab(state, HashBackend::kSse2);
+}
+void BM_Sha256PairManyAvx2(benchmark::State& state) {
+  pair_many_ab(state, HashBackend::kAvx2);
+}
+BENCHMARK(BM_Sha256PairManyPortable)->Arg(4096);
+BENCHMARK(BM_Sha256PairManySse2)->Arg(4096);
+BENCHMARK(BM_Sha256PairManyAvx2)->Arg(4096);
+
+void merkle_build_ab(benchmark::State& state, HashBackend backend) {
+  const BenchBackend scope(backend);
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i)
+    leaves.push_back(sha256(std::to_string(i)));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+void BM_MerkleBuildPortable(benchmark::State& state) {
+  merkle_build_ab(state, HashBackend::kPortable);
+}
+void BM_MerkleBuildSimd(benchmark::State& state) {
+  merkle_build_ab(state, HashBackend::kSimd);
+}
+BENCHMARK(BM_MerkleBuildPortable)->Arg(64)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_MerkleBuildSimd)->Arg(64)->Arg(1024)->Arg(8192);
+
+// PoW probe: a fixed-budget grind at an impossible target, so every
+// iteration performs exactly `range(0)` double-hash attempts through the
+// midstate + lane sweep.
+void pow_probe_ab(benchmark::State& state, HashBackend backend) {
+  const BenchBackend scope(backend);
+  chain::BlockHeader header;
+  header.target = 1;  // never met: the full budget is always spent
+  std::uint64_t start = 0;
+  for (auto _ : state) {
+    const chain::MineResult result = chain::mine(
+        header, static_cast<std::uint64_t>(state.range(0)), start);
+    benchmark::DoNotOptimize(result.attempts);
+    start += static_cast<std::uint64_t>(state.range(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+void BM_PowProbePortable(benchmark::State& state) {
+  pow_probe_ab(state, HashBackend::kPortable);
+}
+void BM_PowProbeSimd(benchmark::State& state) {
+  pow_probe_ab(state, HashBackend::kSimd);
+}
+BENCHMARK(BM_PowProbePortable)->Arg(4096);
+BENCHMARK(BM_PowProbeSimd)->Arg(4096);
 
 // Anchoring A/B: cost of ONE appended leaf when the digest comes from a
 // full tree rebuild (BM_MerkleRebuildAppend, the old SiteDataset path)

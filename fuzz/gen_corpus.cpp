@@ -371,6 +371,42 @@ RETURN 1
     write_seed(root / "sig_batch", "cancellation_pair", BytesView(w.data()));
   }
 
+  // Multi-lane sha256 seeds: byte 0 = batch size selector, then one
+  // length byte per message, then the byte pool messages slice from.
+  {
+    ByteWriter w;
+    w.u8(7);  // 8 messages: one full AVX2 lane group
+    // Lengths on both padding boundaries (one vs two pad blocks).
+    for (std::uint8_t len : {55, 56, 63, 64, 65, 0, 1, 127}) w.u8(len);
+    for (int i = 0; i < 64; ++i) w.u8(static_cast<std::uint8_t>(i * 7));
+    write_seed(root / "sha256_many", "boundary_lanes", BytesView(w.data()));
+  }
+  {
+    // Multi-block seed: every lane long enough that the interleaved
+    // kernels stream several full compressions before the pad block.
+    ByteWriter w;
+    w.u8(7);
+    for (int i = 0; i < 8; ++i) w.u8(200);
+    for (int i = 0; i < 200; ++i) w.u8(static_cast<std::uint8_t>(i * 13));
+    write_seed(root / "sha256_many", "multi_block", BytesView(w.data()));
+  }
+  {
+    ByteWriter w;
+    w.u8(0);   // single message: scalar straggler path
+    w.u8(32);
+    for (int i = 0; i < 32; ++i) w.u8(static_cast<std::uint8_t>(0xa0 + i));
+    write_seed(root / "sha256_many", "single", BytesView(w.data()));
+  }
+  {
+    // Ragged mix: unequal lengths force the grouping + straggler logic.
+    ByteWriter w;
+    w.u8(11);  // 12 messages
+    for (std::uint8_t len : {3, 3, 3, 3, 64, 64, 9, 100, 100, 100, 100, 0})
+      w.u8(len);
+    for (int i = 0; i < 96; ++i) w.u8(static_cast<std::uint8_t>(i ^ 0x5a));
+    write_seed(root / "sha256_many", "ragged_pool", BytesView(w.data()));
+  }
+
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

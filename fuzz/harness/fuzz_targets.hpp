@@ -58,6 +58,12 @@ int sig_batch(const std::uint8_t* data, std::size_t size);
 /// the same bytes stays inside the static gas/stack/footprint bounds).
 int analyze(const std::uint8_t* data, std::size_t size);
 
+/// Structure-aware multi-lane SHA-256 batches: assemble ragged batches
+/// from the input bytes and assert every SIMD backend is bit-identical
+/// to the portable scalar path (digests, Merkle levels, lane-accurate
+/// digest accounting).
+int sha256_many(const std::uint8_t* data, std::size_t size);
+
 /// Number of registered targets (driver + regression suite iterate this).
 struct TargetInfo {
   const char* name;  ///< corpus subdirectory name

@@ -20,6 +20,7 @@ const TargetInfo* targets() {
       {"roundtrip", &roundtrip},
       {"sig_batch", &sig_batch},
       {"analyze", &analyze},
+      {"sha256_many", &sha256_many},
       {nullptr, nullptr},
   };
   return kTargets;

@@ -5,7 +5,7 @@
 
 #include "audit/check.hpp"
 #include "common/serial.hpp"
-#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mc::chain {
 
@@ -18,37 +18,55 @@ MineResult mine(BlockHeader& header, std::uint64_t max_attempts,
   MineResult result;
 
   // Everything before the nonce (parent, roots, height, time, target —
-  // 120 bytes) is constant across the grind, so hash it once and snapshot
-  // the SHA-256 midstate; each attempt then resumes the copy and hashes
-  // only the 28-byte tail (nonce + proposer). That turns 4 compression
-  // calls + 2 heap allocations per nonce into 3 compressions and zero
-  // allocations.
-  HashWriter prefix;
-  prefix.hash(header.parent);
-  prefix.hash(header.tx_root);
-  prefix.hash(header.state_root);
-  prefix.u64(header.height);
-  prefix.u64(header.time_ms);
-  prefix.u64(header.target);
-  const crypto::Sha256 midstate = prefix.context();
+  // 120 bytes) is constant across the grind, so hash it once into a
+  // SHA-256 midstate; each attempt then only finalizes the 28-byte tail
+  // (nonce + proposer). On SIMD hosts the grind additionally sweeps
+  // `hash_lane_width()` consecutive nonces per interleaved compression
+  // (DESIGN.md §15). The two compose: the midstate amortizes the prefix
+  // compressions over the whole sweep, the lanes amortize the tail ones.
+  std::uint8_t prefix[120];
+  std::copy(header.parent.data.begin(), header.parent.data.end(), prefix);
+  std::copy(header.tx_root.data.begin(), header.tx_root.data.end(),
+            prefix + 32);
+  std::copy(header.state_root.data.begin(), header.state_root.data.end(),
+            prefix + 64);
+  store_le(prefix + 96, header.height);
+  store_le(prefix + 104, header.time_ms);
+  store_le(prefix + 112, header.target);
+  const crypto::Sha256Midstate midstate{BytesView(prefix, sizeof prefix)};
 
-  std::uint8_t tail[8 + 20];
-  std::copy(header.proposer.data.begin(), header.proposer.data.end(), tail + 8);
+  constexpr std::size_t kTailLen = 8 + 20;
+  std::uint8_t tails[8][kTailLen];
+  Hash256 digests[8];
+  const std::size_t width = crypto::hash_lane_width();
+  for (std::size_t lane = 0; lane < width; ++lane)
+    std::copy(header.proposer.data.begin(), header.proposer.data.end(),
+              tails[lane] + 8);
 
-  for (std::uint64_t i = 0; i < max_attempts; ++i) {
-    const std::uint64_t nonce = start_nonce + i;
-    store_le(tail, nonce);
-    crypto::Sha256 ctx = midstate;
-    ctx.update(BytesView(tail, sizeof tail));
-    const Hash256 h = crypto::sha256(BytesView(ctx.finalize().data));
-    ++result.attempts;
-    if (meets_target(h, header.target)) {
-      header.nonce = nonce;
-      MC_DCHECK(h == header.id(), "PoW midstate hash diverged from header id");
-      result.found = true;
-      result.nonce = nonce;
-      return result;
+  // `attempts` counts nonces in logical scan order — identical across
+  // backends — while Sha256::digest_count() reflects the lanes actually
+  // hashed (a batch may overshoot a mid-batch hit).
+  std::uint64_t done = 0;
+  while (done < max_attempts) {
+    const std::size_t batch = static_cast<std::size_t>(
+        std::min<std::uint64_t>(width, max_attempts - done));
+    for (std::size_t lane = 0; lane < batch; ++lane)
+      store_le(tails[lane], start_nonce + done + lane);
+    midstate.finish_many(&tails[0][0], kTailLen, kTailLen, batch,
+                         /*double_hash=*/true, digests);
+    for (std::size_t lane = 0; lane < batch; ++lane) {
+      ++result.attempts;
+      if (meets_target(digests[lane], header.target)) {
+        const std::uint64_t nonce = start_nonce + done + lane;
+        header.nonce = nonce;
+        MC_DCHECK(digests[lane] == header.id(),
+                  "PoW midstate hash diverged from header id");
+        result.found = true;
+        result.nonce = nonce;
+        return result;
+      }
     }
+    done += batch;
   }
   // Match the legacy loop's observable state: the header is left holding
   // the last nonce tried.

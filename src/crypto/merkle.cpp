@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/sha256_batch.hpp"
+
 namespace mc::crypto {
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaves)
@@ -13,13 +15,10 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves)
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
     const auto& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i < prev.size(); i += 2) {
-      const Hash256& left = prev[i];
-      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(sha256_pair(left, right));
-    }
+    // Whole-level batch: every parent of the level goes through the
+    // multi-lane engine (duplicate-last-odd handled inside).
+    std::vector<Hash256> next((prev.size() + 1) / 2);
+    sha256_merkle_level(prev.data(), prev.size(), next.data());
     levels_.push_back(std::move(next));
   }
   root_ = levels_.back().front();
@@ -56,7 +55,32 @@ bool MerkleTree::verify(const Hash256& leaf, std::size_t index,
 }
 
 MerkleFrontier::MerkleFrontier(const std::vector<Hash256>& leaves) {
-  for (const Hash256& leaf : leaves) append(leaf);
+  const std::size_t n = leaves.size();
+  if (n == 0) return;
+  // Bulk build, equivalent to appending one by one: after n appends the
+  // frontier holds, per set bit b of n taken left to right in descending
+  // order, the root of the perfect subtree over the next 2^b leaves.
+  // Each perfect subtree is built level-by-level through the multi-lane
+  // engine instead of 2^b - 1 scalar pair hashes.
+  std::size_t top = 0;
+  while ((std::size_t{1} << (top + 1)) <= n) ++top;
+  frontier_.resize(top + 1);
+  std::size_t offset = 0;
+  std::vector<Hash256> scratch, next;
+  for (std::size_t bit = top + 1; bit-- > 0;) {
+    const std::size_t width = std::size_t{1} << bit;
+    if ((n & width) == 0) continue;
+    scratch.assign(leaves.begin() + static_cast<std::ptrdiff_t>(offset),
+                   leaves.begin() + static_cast<std::ptrdiff_t>(offset + width));
+    while (scratch.size() > 1) {
+      next.resize(scratch.size() / 2);
+      sha256_merkle_level(scratch.data(), scratch.size(), next.data());
+      scratch.swap(next);
+    }
+    frontier_[bit] = scratch.front();
+    offset += width;
+  }
+  count_ = n;
 }
 
 void MerkleFrontier::append(const Hash256& leaf) {
@@ -106,10 +130,7 @@ void MerkleFrontier::clear() {
 }
 
 Hash256 merkle_root_of(const std::vector<Bytes>& leaves) {
-  std::vector<Hash256> digests;
-  digests.reserve(leaves.size());
-  for (const auto& l : leaves) digests.push_back(sha256(BytesView(l)));
-  return MerkleTree(std::move(digests)).root();
+  return MerkleTree(sha256_many(leaves)).root();
 }
 
 }  // namespace mc::crypto

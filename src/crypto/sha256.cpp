@@ -14,6 +14,10 @@ std::uint64_t Sha256::digest_count() noexcept {
   return g_digest_count.load(std::memory_order_relaxed);
 }
 
+void Sha256::add_digest_count(std::uint64_t lanes) noexcept {
+  g_digest_count.fetch_add(lanes, std::memory_order_relaxed);
+}
+
 namespace {
 
 constexpr std::uint32_t kK[64] = {

@@ -28,7 +28,16 @@ class Sha256 {
   /// content; costs one uncontended atomic add per digest.
   [[nodiscard]] static std::uint64_t digest_count() noexcept;
 
+  /// Batch-engine accounting hook: the multi-lane kernels (sha256_batch)
+  /// finalize W digests per interleaved compression, so they add the
+  /// *lane* count — digest_count() reports digests produced, never kernel
+  /// invocations, and is therefore backend-independent for identical work.
+  static void add_digest_count(std::uint64_t lanes) noexcept;
+
  private:
+  // The midstate sweep resumes state_/buffer_ across SIMD lanes.
+  friend class Sha256Midstate;
+
   void process_block(const std::uint8_t* block);
 
   std::uint32_t state_[8];

@@ -1,0 +1,356 @@
+#include "crypto/sha256_batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string_view>
+
+#include "crypto/sha256_lanes.hpp"
+
+namespace mc::crypto {
+
+namespace detail {
+
+const std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+const std::uint32_t kSha256Iv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kMaxLanes = 8;
+// Residual-message cap for the midstate sweep's stack buffers: buffered
+// prefix (≤ 63) + tail + padding must fit; longer tails take the scalar
+// path (they are outside the PoW shape this exists for).
+constexpr std::size_t kMaxResidual = 192;
+
+HashBackend backend_from_env() {
+  const char* v = std::getenv("MEDCHAIN_HASH_BACKEND");
+  if (v == nullptr) return HashBackend::kAuto;
+  const std::string_view s(v);
+  if (s == "portable" || s == "scalar") return HashBackend::kPortable;
+  if (s == "simd") return HashBackend::kSimd;
+  if (s == "sse2") return HashBackend::kSse2;
+  if (s == "avx2") return HashBackend::kAvx2;
+  return HashBackend::kAuto;
+}
+
+std::atomic<HashBackend>& backend_slot() {
+  // Env read exactly once; set_hash_backend overrides it afterwards.
+  static std::atomic<HashBackend> slot{backend_from_env()};
+  return slot;
+}
+
+HashKernel widest_kernel() noexcept {
+#ifdef MC_SHA256_X86
+  static const bool avx2 = detail::cpu_has_avx2();
+  return avx2 ? HashKernel::kAvx2x8 : HashKernel::kSse2x4;
+#else
+  return HashKernel::kScalar;
+#endif
+}
+
+using XformFn = void (*)(std::uint32_t*, const std::uint8_t* const*,
+                         std::size_t);
+
+XformFn kernel_fn(HashKernel k) noexcept {
+#ifdef MC_SHA256_X86
+  if (k == HashKernel::kAvx2x8) return &detail::sha256_xform_avx2_x8;
+  if (k == HashKernel::kSse2x4) return &detail::sha256_xform_sse2_x4;
+#endif
+  (void)k;
+  return nullptr;
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void broadcast_states(std::uint32_t* states, const std::uint32_t* init,
+                      std::size_t w) {
+  for (std::size_t word = 0; word < 8; ++word)
+    for (std::size_t lane = 0; lane < w; ++lane)
+      states[word * w + lane] = init[word];
+}
+
+void extract_digests(const std::uint32_t* states, std::size_t w,
+                     Hash256* out) {
+  for (std::size_t lane = 0; lane < w; ++lane)
+    for (std::size_t word = 0; word < 8; ++word)
+      store_be32(out[lane].data.data() + 4 * word, states[word * w + lane]);
+}
+
+/// Run `blocks` compressions per lane from `init` over pre-assembled
+/// (already padded) message blocks, and write the lane digests. Counts
+/// one digest per lane.
+void compress_lanes(HashKernel kb, const std::uint32_t init[8],
+                    const std::uint8_t* const* blocks_ptr, std::size_t blocks,
+                    Hash256* out) {
+  const std::size_t w = static_cast<std::size_t>(kb);
+  std::uint32_t states[8 * kMaxLanes];
+  broadcast_states(states, init, w);
+  kernel_fn(kb)(states, blocks_ptr, blocks);
+  extract_digests(states, w, out);
+  Sha256::add_digest_count(w);
+}
+
+/// Hash `w` equal-length messages with the interleaved kernel `kb`
+/// (w == lane width of kb). Avoids copying the bulk of the message: full
+/// blocks stream straight from the callers' buffers, only the final
+/// padded block(s) are assembled on the stack.
+void hash_lanes_equal(HashKernel kb, const std::uint8_t* const* msgs,
+                      std::size_t len, Hash256* out) {
+  const std::size_t w = static_cast<std::size_t>(kb);
+  const XformFn xform = kernel_fn(kb);
+  std::uint32_t states[8 * kMaxLanes];
+  broadcast_states(states, detail::kSha256Iv, w);
+
+  const std::size_t full = len / 64;
+  if (full > 0) xform(states, msgs, full);
+
+  const std::size_t rem = len % 64;
+  const std::size_t pad_blocks = rem < 56 ? 1 : 2;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  std::uint8_t finals[kMaxLanes][128];
+  const std::uint8_t* ptrs[kMaxLanes];
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    std::uint8_t* f = finals[lane];
+    std::memset(f, 0, pad_blocks * 64);
+    if (rem > 0) std::memcpy(f, msgs[lane] + full * 64, rem);
+    f[rem] = 0x80;
+    for (std::size_t i = 0; i < 8; ++i)
+      f[pad_blocks * 64 - 8 + i] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    ptrs[lane] = f;
+  }
+  xform(states, ptrs, pad_blocks);
+  extract_digests(states, w, out);
+  Sha256::add_digest_count(w);
+}
+
+/// Second sha256d pass over `w` lane digests: one pre-padded block each
+/// (32-byte digest + 0x80 + 256-bit length).
+void double_pass(HashKernel kb, Hash256* digests, std::size_t w) {
+  std::uint8_t bufs[kMaxLanes][64];
+  const std::uint8_t* ptrs[kMaxLanes];
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    std::uint8_t* f = bufs[lane];
+    std::memset(f, 0, 64);
+    std::memcpy(f, digests[lane].data.data(), 32);
+    f[32] = 0x80;
+    f[62] = 0x01;  // 256 bits, big-endian
+    ptrs[lane] = f;
+  }
+  compress_lanes(kb, detail::kSha256Iv, ptrs, 1, digests);
+}
+
+/// Shared sweep shape: consume `count` items in batches of the widest
+/// kernel, drop to the 4-lane kernel for 4..7 stragglers, and leave the
+/// scalar tail to the caller. `body(kb, pos)` handles one batch starting
+/// at `pos` with kernel `kb`.
+template <typename Body>
+std::size_t lane_sweep(HashKernel k, std::size_t count, Body body) {
+  std::size_t pos = 0;
+  if (k == HashKernel::kAvx2x8)
+    while (count - pos >= 8) {
+      body(HashKernel::kAvx2x8, pos);
+      pos += 8;
+    }
+  if (k != HashKernel::kScalar)
+    while (count - pos >= 4) {
+      body(HashKernel::kSse2x4, pos);
+      pos += 4;
+    }
+  return pos;
+}
+
+/// Pair-hash `count` digest pairs addressed by accessors (covers both
+/// the contiguous pair arrays and the strided/duplicated Merkle level).
+template <typename LeftFn, typename RightFn>
+void pair_hash_sweep(std::size_t count, LeftFn left_of, RightFn right_of,
+                     Hash256* out) {
+  const HashKernel k = active_hash_kernel();
+  std::uint8_t bufs[kMaxLanes][64];
+  const std::uint8_t* msgs[kMaxLanes];
+  for (std::size_t lane = 0; lane < kMaxLanes; ++lane) msgs[lane] = bufs[lane];
+  std::size_t pos = lane_sweep(k, count, [&](HashKernel kb, std::size_t at) {
+    const std::size_t w = static_cast<std::size_t>(kb);
+    for (std::size_t lane = 0; lane < w; ++lane) {
+      std::memcpy(bufs[lane], left_of(at + lane).data.data(), 32);
+      std::memcpy(bufs[lane] + 32, right_of(at + lane).data.data(), 32);
+    }
+    hash_lanes_equal(kb, msgs, 64, out + at);
+  });
+  for (; pos < count; ++pos)
+    out[pos] = sha256_pair(left_of(pos), right_of(pos));
+}
+
+}  // namespace
+
+void set_hash_backend(HashBackend backend) noexcept {
+  backend_slot().store(backend, std::memory_order_relaxed);
+}
+
+HashBackend hash_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+HashKernel active_hash_kernel() noexcept {
+  switch (hash_backend()) {
+    case HashBackend::kPortable:
+      return HashKernel::kScalar;
+    case HashBackend::kSse2:
+#ifdef MC_SHA256_X86
+      return HashKernel::kSse2x4;
+#else
+      return HashKernel::kScalar;
+#endif
+    case HashBackend::kAvx2:
+    case HashBackend::kSimd:
+    case HashBackend::kAuto:
+      break;
+  }
+  return widest_kernel();
+}
+
+const char* hash_kernel_name(HashKernel kernel) noexcept {
+  switch (kernel) {
+    case HashKernel::kScalar:
+      return "scalar";
+    case HashKernel::kSse2x4:
+      return "sse2x4";
+    case HashKernel::kAvx2x8:
+      return "avx2x8";
+  }
+  return "unknown";
+}
+
+std::size_t hash_lane_width() noexcept {
+  return static_cast<std::size_t>(active_hash_kernel());
+}
+
+void sha256_many(const BytesView* inputs, std::size_t n, Hash256* out) {
+  const HashKernel k = active_hash_kernel();
+  if (k == HashKernel::kScalar || n < 4) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sha256(inputs[i]);
+    return;
+  }
+  // Group equal-length inputs (stable, so the grouping is deterministic)
+  // — lanes of one interleaved batch must share a block schedule.
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return inputs[a].size() < inputs[b].size();
+                   });
+  std::size_t run = 0;
+  while (run < n) {
+    const std::size_t len = inputs[idx[run]].size();
+    std::size_t end = run;
+    while (end < n && inputs[idx[end]].size() == len) ++end;
+    const std::size_t count = end - run;
+    const std::uint8_t* msgs[kMaxLanes];
+    Hash256 digests[kMaxLanes];
+    std::size_t pos =
+        lane_sweep(k, count, [&](HashKernel kb, std::size_t at) {
+          const std::size_t w = static_cast<std::size_t>(kb);
+          for (std::size_t lane = 0; lane < w; ++lane)
+            msgs[lane] = inputs[idx[run + at + lane]].data();
+          hash_lanes_equal(kb, msgs, len, digests);
+          for (std::size_t lane = 0; lane < w; ++lane)
+            out[idx[run + at + lane]] = digests[lane];
+        });
+    for (; pos < count; ++pos) out[idx[run + pos]] = sha256(inputs[idx[run + pos]]);
+    run = end;
+  }
+}
+
+std::vector<Hash256> sha256_many(const std::vector<Bytes>& inputs) {
+  std::vector<BytesView> views;
+  views.reserve(inputs.size());
+  for (const Bytes& b : inputs) views.emplace_back(b);
+  std::vector<Hash256> out(inputs.size());
+  sha256_many(views.data(), views.size(), out.data());
+  return out;
+}
+
+void sha256_pair_many(const Hash256* left, const Hash256* right,
+                      std::size_t n, Hash256* out) {
+  pair_hash_sweep(
+      n, [&](std::size_t i) -> const Hash256& { return left[i]; },
+      [&](std::size_t i) -> const Hash256& { return right[i]; }, out);
+}
+
+void sha256_merkle_level(const Hash256* nodes, std::size_t n, Hash256* out) {
+  if (n == 0) return;
+  const std::size_t parents = (n + 1) / 2;
+  pair_hash_sweep(
+      parents, [&](std::size_t p) -> const Hash256& { return nodes[2 * p]; },
+      [&](std::size_t p) -> const Hash256& {
+        // Odd level: the last parent duplicates its left child.
+        return nodes[std::min(2 * p + 1, n - 1)];
+      },
+      out);
+}
+
+Sha256Midstate::Sha256Midstate(BytesView prefix) { ctx_.update(prefix); }
+
+void Sha256Midstate::finish_many(const std::uint8_t* tails,
+                                 std::size_t tail_len, std::size_t tail_stride,
+                                 std::size_t n, bool double_hash,
+                                 Hash256* out) const {
+  const HashKernel k = active_hash_kernel();
+  std::size_t pos = 0;
+  const std::size_t rem = ctx_.buffer_len_ + tail_len;
+  const std::size_t blocks = (rem + 1 + 8 + 63) / 64;
+  if (k != HashKernel::kScalar && blocks * 64 <= kMaxResidual) {
+    const std::uint64_t bit_len = (ctx_.total_len_ + tail_len) * 8;
+    std::uint8_t bufs[kMaxLanes][kMaxResidual];
+    const std::uint8_t* ptrs[kMaxLanes];
+    for (std::size_t lane = 0; lane < kMaxLanes; ++lane) ptrs[lane] = bufs[lane];
+    pos = lane_sweep(k, n, [&](HashKernel kb, std::size_t at) {
+      const std::size_t w = static_cast<std::size_t>(kb);
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        std::uint8_t* f = bufs[lane];
+        std::memset(f, 0, blocks * 64);
+        if (ctx_.buffer_len_ > 0) std::memcpy(f, ctx_.buffer_, ctx_.buffer_len_);
+        if (tail_len > 0)
+          std::memcpy(f + ctx_.buffer_len_, tails + (at + lane) * tail_stride,
+                      tail_len);
+        f[rem] = 0x80;
+        for (std::size_t i = 0; i < 8; ++i)
+          f[blocks * 64 - 8 + i] =
+              static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+      }
+      compress_lanes(kb, ctx_.state_, ptrs, blocks, out + at);
+      if (double_hash) double_pass(kb, out + at, w);
+    });
+  }
+  for (; pos < n; ++pos) {
+    Sha256 c = ctx_;
+    c.update(BytesView(tails + pos * tail_stride, tail_len));
+    const Hash256 h = c.finalize();
+    out[pos] = double_hash ? sha256(BytesView(h.data)) : h;
+  }
+}
+
+}  // namespace mc::crypto

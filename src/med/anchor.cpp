@@ -1,6 +1,9 @@
 #include "med/anchor.hpp"
 
+#include <vector>
+
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mc::med {
 
@@ -48,6 +51,25 @@ bool verify_record_inclusion(contracts::RegistryContract& registry,
   // The locally-proven root must also be the committed one.
   return registry.digest_of(dataset_word(dataset)) ==
          digest_word(tree.root());
+}
+
+std::size_t verify_all_records(contracts::RegistryContract& registry,
+                               const SiteDataset& dataset) {
+  const std::size_t n = dataset.size();
+  if (n == 0) return 0;
+  std::vector<Bytes> blobs;
+  blobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) blobs.push_back(dataset.record_blob(i));
+  const std::vector<Hash256> leaves = crypto::sha256_many(blobs);
+  const crypto::MerkleTree tree = dataset.merkle_tree();
+  if (registry.digest_of(dataset_word(dataset)) != digest_word(tree.root()))
+    return 0;
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (crypto::MerkleTree::verify(leaves[i], i, tree.prove(i), tree.root()))
+      ++verified;
+  }
+  return verified;
 }
 
 }  // namespace mc::med

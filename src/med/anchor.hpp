@@ -49,4 +49,12 @@ AuditResult audit_dataset(contracts::RegistryContract& registry,
 [[nodiscard]] bool verify_record_inclusion(contracts::RegistryContract& registry,
                              const SiteDataset& dataset, std::size_t index);
 
+/// Full-dataset inclusion audit: re-hash every record leaf through the
+/// batch engine, prove each against one shared tree, and require the
+/// root to match the on-chain commitment. Returns the number of records
+/// that verified — dataset.size() iff the dataset is fully clean, 0 when
+/// the root itself is stale or unregistered.
+[[nodiscard]] std::size_t verify_all_records(
+    contracts::RegistryContract& registry, const SiteDataset& dataset);
+
 }  // namespace mc::med

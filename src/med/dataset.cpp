@@ -5,6 +5,7 @@
 #include "common/hex.hpp"
 #include "common/serial.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mc::med {
 
@@ -53,10 +54,15 @@ SiteDataset::SiteDataset(SiteConfig config, std::vector<PatientRecord> records,
   rebuild_frontier();
 }
 
+std::vector<Hash256> SiteDataset::leaf_digests() const {
+  std::vector<Bytes> blobs;
+  blobs.reserve(records_.size());
+  for (const auto& record : records_) blobs.push_back(serialize_record(record));
+  return crypto::sha256_many(blobs);
+}
+
 void SiteDataset::rebuild_frontier() {
-  frontier_.clear();
-  for (const auto& record : records_)
-    frontier_.append(crypto::sha256(BytesView(serialize_record(record))));
+  frontier_ = crypto::MerkleFrontier(leaf_digests());
 }
 
 void SiteDataset::append(PatientRecord record) {
@@ -99,11 +105,7 @@ std::vector<RawRow> SiteDataset::export_rows() const {
 }
 
 crypto::MerkleTree SiteDataset::merkle_tree() const {
-  std::vector<Hash256> leaves;
-  leaves.reserve(records_.size());
-  for (const auto& record : records_)
-    leaves.push_back(crypto::sha256(BytesView(serialize_record(record))));
-  return crypto::MerkleTree(std::move(leaves));
+  return crypto::MerkleTree(leaf_digests());
 }
 
 Hash256 SiteDataset::content_digest() const { return frontier_.root(); }

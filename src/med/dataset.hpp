@@ -80,6 +80,11 @@ class SiteDataset {
  private:
   void rebuild_frontier();
 
+  /// Leaf digests of every record, hashed through the multi-lane batch
+  /// engine (records serialize to mostly equal-length blobs, so lanes
+  /// fill well).
+  [[nodiscard]] std::vector<Hash256> leaf_digests() const;
+
   SiteConfig config_;
   std::vector<PatientRecord> records_;
   Hash256 national_key_;

@@ -2,12 +2,15 @@
 // PoW, PoS.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "chain/block.hpp"
 #include "chain/mempool.hpp"
 #include "chain/pos.hpp"
 #include "chain/pow.hpp"
 #include "chain/state.hpp"
 #include "chain/transaction.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mc::chain {
 namespace {
@@ -252,6 +255,26 @@ TEST(Pow, MiningRespectsAttemptBudget) {
   const MineResult result = mine(header, 50);
   EXPECT_FALSE(result.found);
   EXPECT_EQ(result.attempts, 50u);
+}
+
+TEST(Pow, MiningIsBackendIndependent) {
+  // The lane sweep scans nonces in the same logical order on every
+  // backend, so found/nonce/attempts are bit-for-bit identical whether
+  // the grind ran scalar or 8 lanes wide (DESIGN.md §15).
+  const auto grind = [](crypto::HashBackend backend) {
+    crypto::set_hash_backend(backend);
+    BlockHeader header;
+    header.height = 9;
+    header.target = ~0ULL / 64;  // 1-in-64 hashes succeed
+    const MineResult result = mine(header, 10'000, 5);
+    return std::tuple(result.found, result.nonce, result.attempts,
+                      header.nonce, header.id());
+  };
+  const auto portable = grind(crypto::HashBackend::kPortable);
+  const auto simd = grind(crypto::HashBackend::kSimd);
+  crypto::set_hash_backend(crypto::HashBackend::kAuto);
+  ASSERT_TRUE(std::get<0>(portable));
+  EXPECT_EQ(portable, simd);
 }
 
 TEST(Pow, ExpectedAttemptsInverseInTarget) {

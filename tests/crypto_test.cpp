@@ -12,6 +12,7 @@
 #include "crypto/merkle.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace mc::crypto {
 namespace {
@@ -62,6 +63,194 @@ TEST(Sha256, DoubleHashAndPair) {
   EXPECT_EQ(sha256d(str_bytes("x")), sha256(BytesView(once.data)));
   const Hash256 a = sha256("a"), b = sha256("b");
   EXPECT_NE(sha256_pair(a, b), sha256_pair(b, a));
+}
+
+// --- Multi-lane batch engine (DESIGN.md §15) ---
+
+/// Force a backend for one scope and restore the previous one on exit,
+/// so test order never leaks backend state.
+class ScopedHashBackend {
+ public:
+  explicit ScopedHashBackend(HashBackend backend) : prev_(hash_backend()) {
+    set_hash_backend(backend);
+  }
+  ~ScopedHashBackend() { set_hash_backend(prev_); }
+  ScopedHashBackend(const ScopedHashBackend&) = delete;
+  ScopedHashBackend& operator=(const ScopedHashBackend&) = delete;
+
+ private:
+  HashBackend prev_;
+};
+
+/// Every backend worth exercising on this host. Forcing a kernel the CPU
+/// lacks degrades down the ladder, so listing all of them is always safe
+/// — a degraded entry just re-tests a narrower kernel.
+const std::vector<HashBackend>& all_backends() {
+  static const std::vector<HashBackend> kBackends = {
+      HashBackend::kPortable, HashBackend::kSse2, HashBackend::kAvx2,
+      HashBackend::kSimd, HashBackend::kAuto};
+  return kBackends;
+}
+
+TEST(Sha256Batch, NistVectorsOnEveryBackend) {
+  const std::vector<Bytes> inputs = {
+      to_bytes(""), to_bytes("abc"),
+      to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      Bytes(1'000'000, static_cast<std::uint8_t>('a'))};
+  const std::vector<std::string> expected = {
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"};
+  for (const HashBackend backend : all_backends()) {
+    ScopedHashBackend scope(backend);
+    // Duplicate each vector across a full lane group so the SIMD path
+    // actually engages (n >= 4 and equal-length runs).
+    std::vector<Bytes> lanes;
+    for (const Bytes& in : inputs)
+      for (int i = 0; i < 8; ++i) lanes.push_back(in);
+    const std::vector<Hash256> out = sha256_many(lanes);
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      EXPECT_EQ(to_hex(out[i]), expected[i / 8])
+          << "backend " << static_cast<int>(backend) << " input " << i;
+  }
+}
+
+TEST(Sha256Batch, CrossBackendBitIdentical) {
+  // Random lengths 0..4 KiB plus the padding boundaries; mixed lengths in
+  // one call exercise the equal-length grouping and the straggler path.
+  Rng rng(41);
+  std::vector<Bytes> inputs;
+  for (const std::size_t n : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u})
+    inputs.push_back(rng.bytes(n));
+  for (int i = 0; i < 64; ++i) inputs.push_back(rng.bytes(rng.uniform(4096)));
+  // Equal-length duplicates so full SIMD groups form.
+  for (int i = 0; i < 16; ++i) inputs.push_back(inputs[2]);
+
+  std::vector<Hash256> reference;
+  {
+    ScopedHashBackend scope(HashBackend::kPortable);
+    reference = sha256_many(inputs);
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    EXPECT_EQ(reference[i], sha256(BytesView(inputs[i]))) << "i=" << i;
+  for (const HashBackend backend : all_backends()) {
+    ScopedHashBackend scope(backend);
+    EXPECT_EQ(sha256_many(inputs), reference)
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST(Sha256Batch, PairAndLevelMatchScalar) {
+  Rng rng(42);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u}) {
+    std::vector<Hash256> left(n), right(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      left[i] = sha256(BytesView(rng.bytes(16)));
+      right[i] = sha256(BytesView(rng.bytes(16)));
+    }
+    std::vector<Hash256> want_pairs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      want_pairs[i] = sha256_pair(left[i], right[i]);
+    std::vector<Hash256> want_level((n + 1) / 2);
+    for (std::size_t p = 0; p < want_level.size(); ++p)
+      want_level[p] = sha256_pair(
+          left[2 * p], 2 * p + 1 < n ? left[2 * p + 1] : left[2 * p]);
+    for (const HashBackend backend : all_backends()) {
+      ScopedHashBackend scope(backend);
+      std::vector<Hash256> pairs(n), level(want_level.size());
+      sha256_pair_many(left.data(), right.data(), n, pairs.data());
+      sha256_merkle_level(left.data(), n, level.data());
+      EXPECT_EQ(pairs, want_pairs) << "n=" << n;
+      EXPECT_EQ(level, want_level) << "n=" << n;
+    }
+  }
+}
+
+TEST(Sha256Batch, MidstateSweepMatchesScalar) {
+  // Prefix lengths straddle block boundaries so the buffered residue the
+  // lanes resume from takes every shape (empty, partial, nearly full);
+  // the prefix is absorbed in ragged increments to vary buffer state.
+  Rng rng(43);
+  for (const std::size_t prefix_len :
+       {0u, 1u, 55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes prefix = rng.bytes(prefix_len);
+    Sha256Midstate midstate{BytesView(prefix)};
+    constexpr std::size_t kTail = 28;
+    constexpr std::size_t kN = 13;
+    std::uint8_t tails[kN][kTail];
+    for (auto& tail : tails)
+      for (auto& byte : tail)
+        byte = static_cast<std::uint8_t>(rng.uniform(256));
+    for (const bool double_hash : {false, true}) {
+      std::vector<Hash256> want(kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        Sha256 ctx;
+        std::size_t offset = 0;  // ragged absorb: 1, 2, 4, 8, ... bytes
+        for (std::size_t step = 1; offset < prefix.size(); step *= 2) {
+          const std::size_t take =
+              std::min(step, prefix.size() - offset);
+          ctx.update(BytesView(prefix.data() + offset, take));
+          offset += take;
+        }
+        ctx.update(BytesView(tails[i], kTail));
+        const Hash256 h = ctx.finalize();
+        want[i] = double_hash ? sha256(BytesView(h.data)) : h;
+      }
+      for (const HashBackend backend : all_backends()) {
+        ScopedHashBackend scope(backend);
+        std::vector<Hash256> got(kN);
+        midstate.finish_many(&tails[0][0], kTail, kTail, kN, double_hash,
+                             got.data());
+        EXPECT_EQ(got, want) << "prefix " << prefix_len << " double "
+                             << double_hash << " backend "
+                             << static_cast<int>(backend);
+      }
+    }
+  }
+}
+
+TEST(Sha256Batch, DigestCountCountsLanes) {
+  // The satellite contract: digest_count() reports digests produced, not
+  // kernel invocations, so a 32-message batch adds exactly 32 on every
+  // backend.
+  std::vector<Bytes> inputs;
+  Rng rng(44);
+  for (int i = 0; i < 32; ++i) inputs.push_back(rng.bytes(100));
+  for (const HashBackend backend : all_backends()) {
+    ScopedHashBackend scope(backend);
+    const std::uint64_t before = Sha256::digest_count();
+    (void)sha256_many(inputs);
+    EXPECT_EQ(Sha256::digest_count() - before, 32u)
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST(Sha256Batch, BackendSelectionSurface) {
+  ScopedHashBackend scope(HashBackend::kPortable);
+  EXPECT_EQ(hash_backend(), HashBackend::kPortable);
+  EXPECT_EQ(active_hash_kernel(), HashKernel::kScalar);
+  EXPECT_EQ(hash_lane_width(), 1u);
+  set_hash_backend(HashBackend::kAuto);
+  // Whatever resolves, the name and width must be consistent.
+  const HashKernel kernel = active_hash_kernel();
+  EXPECT_EQ(hash_lane_width(), static_cast<std::size_t>(kernel));
+  EXPECT_STRNE(hash_kernel_name(kernel), "unknown");
+}
+
+TEST(Merkle, RootIsBackendIndependent) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 37; ++i) leaves.push_back(sha256(std::to_string(i)));
+  Hash256 reference;
+  {
+    ScopedHashBackend scope(HashBackend::kPortable);
+    reference = MerkleTree(leaves).root();
+  }
+  for (const HashBackend backend : all_backends()) {
+    ScopedHashBackend scope(backend);
+    EXPECT_EQ(MerkleTree(leaves).root(), reference);
+    EXPECT_EQ(MerkleFrontier(leaves).root(), reference);
+  }
 }
 
 // --- HMAC-SHA256 (RFC 4231) ---

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "contracts/registry.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "med/anchor.hpp"
 #include "med/dataset.hpp"
 #include "med/generator.hpp"
@@ -370,6 +371,27 @@ TEST_F(AnchorTest, RecordInclusionProofs) {
   site_.tamper(7, 3.0);
   // The tampered dataset's live root no longer matches the chain.
   EXPECT_FALSE(verify_record_inclusion(registry_, site_, 7));
+}
+
+TEST_F(AnchorTest, BatchAuditVerifiesEveryRecord) {
+  // Unregistered dataset: nothing verifies.
+  EXPECT_EQ(verify_all_records(registry_, site_), 0u);
+  ASSERT_TRUE(anchor_dataset(registry_, owner_, site_));
+  EXPECT_EQ(verify_all_records(registry_, site_), site_.size());
+
+  // Stale root (tamper without refresh): the whole audit fails closed.
+  site_.tamper(3, 2.5);
+  EXPECT_EQ(verify_all_records(registry_, site_), 0u);
+
+  // The audit is backend-independent: portable and SIMD agree.
+  ASSERT_TRUE(refresh_anchor(registry_, owner_, site_));
+  crypto::set_hash_backend(crypto::HashBackend::kPortable);
+  const std::size_t portable = verify_all_records(registry_, site_);
+  crypto::set_hash_backend(crypto::HashBackend::kSimd);
+  const std::size_t simd = verify_all_records(registry_, site_);
+  crypto::set_hash_backend(crypto::HashBackend::kAuto);
+  EXPECT_EQ(portable, site_.size());
+  EXPECT_EQ(simd, portable);
 }
 
 }  // namespace
